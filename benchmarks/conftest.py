@@ -1,0 +1,20 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints it (run with ``pytest benchmarks/ --benchmark-only -s`` to see
+the tables inline).  Timings are collected with a single round — these
+are experiment harnesses, not micro-benchmarks; the timing numbers
+document the cost of regenerating each artefact.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,40 @@
+"""E12 — regenerate the design-choice ablations."""
+
+from repro.eval.experiments import run_ablations
+from repro.eval.reporting import render_table
+
+
+def test_bench_ablations(once, benchmark):
+    rows = once(benchmark, run_ablations, duration_s=120.0)
+    table = render_table(
+        ["group", "variant", "sybil max D", "other min D", "margin", "note"],
+        [
+            (r.group, r.variant, r.sybil_max, r.other_min, r.margin, r.note)
+            for r in rows
+        ],
+        title="E12 — design ablations on the field-test scenario "
+        "(margin > 1: perfect Sybil/neighbour separation)",
+    )
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+
+    by_variant = {(r.group, r.variant): r for r in rows}
+
+    # Eq. 7's raison d'etre: raw spoofed-power streams break; centering
+    # restores the similarity.
+    assert (
+        by_variant[("normalisation", "none")].margin
+        < by_variant[("normalisation", "center-only")].margin
+    )
+    assert by_variant[("normalisation", "common-scale z-score")].margin > 1.0
+
+    # The warp band: tighter bands never help the Sybil pairs less than
+    # unbounded warping helps coincidental look-alikes.
+    banded = [r for r in rows if r.group == "dtw-band" and r.variant.startswith("band")]
+    assert all(r.margin > 1.0 for r in banded)
+
+    # The paper's declared limitation: per-packet power control
+    # destroys the voiceprint.
+    smart = [r for r in rows if r.group == "smart-attacker"][0]
+    best = max(r.margin for r in rows if r.group == "normalisation")
+    assert smart.margin < best

@@ -1,0 +1,48 @@
+"""E13 — future work: SCH beacon rates vs observation time."""
+
+from repro.eval.experiments import run_beacon_rate_study
+from repro.eval.reporting import render_table
+
+
+def test_bench_beacon_rate(once, benchmark):
+    rows = once(
+        benchmark,
+        run_beacon_rate_study,
+        beacon_rates_hz=(10.0, 50.0),
+        observation_times_s=(2.0, 5.0, 10.0, 20.0),
+        duration_s=120.0,
+    )
+    table = render_table(
+        ["rate Hz", "obs time s", "samples", "sybil max D", "other min D", "margin"],
+        [
+            (
+                r.beacon_rate_hz,
+                r.observation_time_s,
+                r.samples_per_series,
+                r.sybil_max,
+                r.other_min,
+                r.margin,
+            )
+            for r in rows
+        ],
+        title="E13 — SCH beacon-rate future work (paper: higher SCH rates "
+        "should buy shorter observation times)",
+    )
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+
+    def shortest_perfect(rate):
+        times = [
+            r.observation_time_s
+            for r in rows
+            if r.beacon_rate_hz == rate and r.margin > 1.0
+        ]
+        return min(times) if times else None
+
+    cch = shortest_perfect(10.0)
+    sch = shortest_perfect(50.0)
+    assert cch is not None
+    assert sch is not None
+    # The future-work premise: a 5x rate never needs a LONGER window,
+    # and typically needs a shorter one.
+    assert sch <= cch

@@ -1,0 +1,34 @@
+"""E1 — regenerate Fig. 5 / Observation 1 (model-based ranging errors)."""
+
+from repro.eval.experiments import run_observation1
+from repro.eval.reporting import render_table
+
+
+def test_bench_fig05_observation1(once, benchmark):
+    rows = once(benchmark, run_observation1, duration_s=300.0)
+    table = render_table(
+        ["period", "n", "mean dBm", "std dB", "true m", "FSPL m", "two-ray m"],
+        [
+            (
+                r.label,
+                r.n_samples,
+                r.mean_dbm,
+                r.std_db,
+                r.true_distance_m,
+                r.fspl_estimate_m,
+                r.trgp_estimate_m,
+            )
+            for r in rows
+        ],
+        title="Fig. 5 / Observation 1 — RSSI distributions and ranging estimates "
+        "(paper: 140 m ranged as 281.5/171.2 m FSPL, 263.9/205.8 m TRGP)",
+    )
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+    # Shape claims: sessions differ (temporal variation) and ranging is
+    # grossly wrong under both predefined models.
+    stationary = rows[:2]
+    assert stationary[0].mean_dbm != stationary[1].mean_dbm
+    for row in stationary:
+        assert row.fspl_error_m / row.true_distance_m > 0.2
+        assert row.trgp_error_m / row.true_distance_m > 0.2

@@ -1,0 +1,31 @@
+"""E3 — regenerate Figs. 6-7 / Observation 3 (Sybil voiceprint similarity)."""
+
+from repro.eval.experiments import run_observation3
+from repro.eval.reporting import render_table
+
+
+def test_bench_fig06_07_observation3(once, benchmark):
+    results = once(benchmark, run_observation3, duration_s=180.0)
+    rows = []
+    for result in results:
+        label = {"4": "normal node 1 (ahead, Fig. 6)", "3": "normal node 3 (behind, Fig. 7)"}[
+            result.recorder
+        ]
+        rows.append(
+            (
+                label,
+                result.max_within_sybil(),
+                result.min_cross(),
+                result.min_cross() / max(result.max_within_sybil(), 1e-12),
+            )
+        )
+    table = render_table(
+        ["recorder", "max within-attacker D", "min cross D", "margin"],
+        rows,
+        title="Figs. 6-7 / Observation 3 — per-step DTW distances "
+        "(margin > 1: every same-radio pair beats every cross pair)",
+    )
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+    for result in results:
+        assert result.max_within_sybil() < result.min_cross()

@@ -1,0 +1,25 @@
+"""E4 — regenerate Fig. 9 (the DTW worked example)."""
+
+from repro.eval.experiments import run_dtw_example
+from repro.eval.reporting import render_table
+
+
+def test_bench_fig09_dtw_example(once, benchmark):
+    result = once(benchmark, run_dtw_example)
+    table = render_table(
+        ["quantity", "value"],
+        [
+            ("X", "{1, 1, 4, 1, 1}"),
+            ("Y", "{2, 2, 2, 4, 2, 2}"),
+            ("DTW distance (Eqs. 3-6, squared cost)", result.squared_distance),
+            ("DTW distance (absolute cost)", result.absolute_distance),
+            ("Fig. 9's printed value", result.paper_claimed),
+            ("warp path", " ".join(map(str, result.path))),
+        ],
+        title="Fig. 9 — DTW worked example (the figure's 9 does not follow "
+        "from the printed equations; both standard costs give 5)",
+    )
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+    assert result.squared_distance == 5.0
+    assert not result.matches_paper

@@ -1,0 +1,63 @@
+"""E6 — regenerate Fig. 11a (DR/FPR vs density, static channel)."""
+
+import pytest
+
+from repro.eval.experiments import run_boundary_training, run_fig11a
+from repro.eval.reporting import render_table
+from repro.sim.scenario import ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def boundary():
+    return run_boundary_training(
+        densities_vhls_per_km=(10, 30, 50, 80, 100),
+        base_config=ScenarioConfig(sim_time_s=60.0),
+        seed=100,
+    ).line
+
+
+def test_bench_fig11a_static_model(once, benchmark, boundary):
+    rows = once(
+        benchmark,
+        run_fig11a,
+        boundary,
+        densities_vhls_per_km=(10, 40, 80),
+        runs_per_density=1,
+        base_config=ScenarioConfig(sim_time_s=60.0),
+        recorded_nodes=8,
+        verifiers_per_run=3,
+        seed=500,
+    )
+    table = render_table(
+        ["density", "method", "DR", "FPR", "node-periods"],
+        [
+            (
+                r.density_vhls_per_km,
+                r.method,
+                r.detection_rate,
+                r.false_positive_rate,
+                r.n_outcomes,
+            )
+            for r in rows
+        ],
+        title="Fig. 11a — static model (paper: both methods ~90% DR, "
+        "FPR under 10%; CPVSAD improves with density, Voiceprint declines)",
+    )
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+
+    vp = {r.density_vhls_per_km: r for r in rows if r.method == "voiceprint"}
+    cp = {r.density_vhls_per_km: r for r in rows if r.method == "cpvsad"}
+    # Both methods detect a solid share of Sybil identities everywhere.
+    assert min(r.detection_rate for r in vp.values()) > 0.4
+    assert min(r.detection_rate for r in cp.values()) > 0.4
+    # Voiceprint's DR does not *peak* at the densest point (channel
+    # collisions), mirroring the paper's declining trend.  The sweep is
+    # small (single run per density), so the comparison is against the
+    # best sparser density rather than point-to-point.
+    sparser_best = max(
+        r.detection_rate for d, r in vp.items() if d < max(vp)
+    )
+    assert vp[max(vp)].detection_rate <= sparser_best + 0.15
+    # CPVSAD keeps its false positives bounded when its model is right.
+    assert max(r.false_positive_rate for r in cp.values()) < 0.2

@@ -1,0 +1,46 @@
+"""E9 — regenerate Fig. 14 (the red-light false positive analysis)."""
+
+from repro.eval.experiments import run_fig14
+from repro.eval.reporting import render_table
+
+
+def test_bench_fig14_false_detection(once, benchmark):
+    result = once(
+        benchmark,
+        run_fig14,
+        duration_s=420.0,
+        detection_period_s=30.0,
+    )
+    table = render_table(
+        ["quantity", "value"],
+        [
+            ("stationary detection periods", len(result.stationary_periods)),
+            ("moving detection periods", len(result.moving_periods)),
+            ("D(malicious, node 2) stationary", result.node2_distance_stationary),
+            ("D(malicious, node 2) moving", result.node2_distance_moving),
+            ("FP periods (single-period rule)", result.false_positives_single),
+            ("FP periods while stationary", result.false_positives_stationary),
+            ("FP periods while moving", result.false_positives_moving),
+            ("FP-period rate stationary", result.fp_rate_stationary()),
+            ("FP-period rate moving", result.fp_rate_moving()),
+            ("FP periods (multi-period confirmation)", result.false_positives_confirmed),
+        ],
+        title="Fig. 14 — red-light false positive (paper: the stationary "
+        "convoy produces the false positive; confirmation over periods "
+        "prunes it)",
+    )
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+
+    # The urban route must actually park the convoy at some point.
+    assert len(result.stationary_periods) >= 1
+    assert len(result.moving_periods) >= 2
+    # The paper's mechanism: false positives concentrate in the
+    # stationary periods — while moving, the voiceprints separate.
+    stationary_rate = result.fp_rate_stationary()
+    moving_rate = result.fp_rate_moving()
+    assert stationary_rate is not None and moving_rate is not None
+    assert stationary_rate >= moving_rate
+    # The suggested multi-period confirmation prunes the transients and
+    # never makes things worse.
+    assert result.false_positives_confirmed <= result.false_positives_single

@@ -1,0 +1,32 @@
+"""E11 — regenerate Table I (RSSI-method comparison matrix)."""
+
+from repro.eval.experiments import run_table1
+from repro.eval.reporting import render_table
+
+
+def test_bench_table1_method_matrix(once, benchmark):
+    rows = once(benchmark, run_table1)
+    table = render_table(
+        ["method", "RPM", "C/D", "C/I", "SoI", "mobility", "implemented"],
+        [
+            (
+                r.method,
+                r.propagation_model,
+                r.centralisation,
+                r.cooperation,
+                r.needs_infrastructure,
+                r.mobility,
+                r.implemented,
+            )
+            for r in rows
+        ],
+        title="Table I — comparisons of RSSI-based detection methods",
+    )
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+
+    voiceprint = [r for r in rows if r.method == "Voiceprint"][0]
+    assert voiceprint.propagation_model == "Model-free"
+    assert voiceprint.cooperation == "I"
+    assert not voiceprint.needs_infrastructure
+    assert len(rows) == 8

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Highway scenario: train a boundary, then detect under Table V traffic.
+
+The paper's simulation workload end to end, scaled to run in about a
+minute:
+
+1. Train the density-adaptive threshold line on a small density sweep
+   (the Fig. 10 pipeline).
+2. Run a fresh highway simulation (5 % attackers, 3–6 Sybil identities
+   each, randomised TX powers) at a chosen density.
+3. Let several verifier vehicles run Voiceprint once per detection
+   period and score them against ground truth (Eqs. 10–13).
+
+Run:
+    python examples/highway_attack.py [density_vhls_per_km]
+"""
+
+import sys
+
+from repro import LinearThreshold, ScenarioConfig
+from repro.eval.metrics import average_rates
+from repro.eval.runner import run_voiceprint
+from repro.eval.training import collect_training_corpus, train_boundary
+from repro.sim import HighwaySimulator
+
+
+def main(density: float = 40.0) -> None:
+    base = ScenarioConfig(sim_time_s=60.0)
+
+    print("training the decision boundary (Fig. 10 pipeline) ...")
+    corpus = collect_training_corpus(
+        [10, 40, 80],
+        base_config=base,
+        runs_per_density=1,
+        verifiers_per_run=3,
+        recorded_nodes=6,
+        seed=1000,
+    )
+    line = train_boundary(corpus)
+    print(
+        f"  trained D <= {line.k:.6f} * den + {line.b:.6f} "
+        f"on {len(corpus.points)} labelled pairs"
+    )
+
+    print(f"simulating a 2 km highway at {density:.0f} vehicles/km ...")
+    config = base.with_density(density).with_seed(7)
+    result = HighwaySimulator(config, recorded_nodes=8).run()
+    print(
+        f"  {config.n_vehicles} vehicles ({config.n_malicious} malicious), "
+        f"{result.transmitted} beacons on air, "
+        f"{result.loss_rate:.0%} lost to CCH saturation"
+    )
+    print(f"  ground-truth Sybil identities: {len(result.truth.sybil_ids)}")
+
+    print("running Voiceprint on the recorded verifiers ...")
+    outcomes = run_voiceprint(result, LinearThreshold.from_decision_line(line))
+    for outcome in outcomes:
+        dr = outcome.detection_rate
+        fpr = outcome.false_positive_rate
+        print(
+            f"  {outcome.node} period {outcome.period_index}: "
+            f"DR={'-' if dr is None else format(dr, '.2f')} "
+            f"FPR={'-' if fpr is None else format(fpr, '.2f')} "
+            f"({outcome.true_flagged}/{outcome.total_illegitimate} Sybil, "
+            f"{outcome.false_flagged}/{outcome.total_legitimate} false)"
+        )
+    dr, fpr = average_rates(outcomes)
+    print(f"average detection rate      : {dr:.3f}")
+    print(f"average false positive rate : {fpr:.3f}")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 40.0)

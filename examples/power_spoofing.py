@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Why the Z-score matters: TX-power spoofing vs normalisation.
+
+The paper's Assumption 3 lets the attacker give every Sybil identity a
+different (constant) transmission power, separating the streams' RSSI
+levels by several dB.  Eq. 7's normalisation cancels exactly that
+constant offset.  This example measures the Sybil/neighbour separation
+margin with normalisation disabled, with plain mean-centering, and with
+the Z-score variants — the E12 "normalisation" ablation as a narrated
+walkthrough.
+
+Run:
+    python examples/power_spoofing.py
+"""
+
+from repro.eval.experiments import run_ablations
+from repro.eval.reporting import render_table
+
+
+def main() -> None:
+    print("running the normalisation ablation (spoofed Sybil powers) ...")
+    rows = run_ablations(duration_s=120.0)
+    table = [
+        (row.variant, row.sybil_max, row.other_min, row.margin, row.note)
+        for row in rows
+        if row.group == "normalisation"
+    ]
+    print(
+        render_table(
+            ["normalisation", "sybil max", "other min", "margin", "note"],
+            table,
+            title="Sybil/neighbour separation under TX-power spoofing",
+        )
+    )
+    print()
+    print("margin > 1 means every Sybil pair is closer than any honest pair.")
+    print("Without normalisation the spoofed power offsets destroy the")
+    print("similarity; centering (what Eq. 7 achieves for constant offsets)")
+    print("restores it.")
+
+    print()
+    band = [
+        (row.variant, row.sybil_max, row.other_min, row.margin)
+        for row in rows
+        if row.group == "dtw-band"
+    ]
+    print(
+        render_table(
+            ["DTW variant", "sybil max", "other min", "margin"],
+            band,
+            title="Warp-band ablation (same drive)",
+        )
+    )
+
+    print()
+    smart = [row for row in rows if row.group == "smart-attacker"]
+    for row in smart:
+        print(
+            f"power-control smart attacker: margin {row.margin:.2f} "
+            f"(paper's declared limitation — expected to collapse toward/below 1)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Voiceprint: RSSI-based Sybil attack detection for VANETs.
+
+A full reproduction of *"Voiceprint: A Novel Sybil Attack Detection
+Method Based on RSSI for VANETs"* (Yao et al., DSN 2017): the detection
+algorithm itself plus every substrate the paper's evaluation needs —
+radio propagation models, a highway VANET simulator with a CSMA/CA MAC,
+Sybil attack models, the CPVSAD comparison baseline, and the experiment
+harness that regenerates each table and figure.
+
+Quickstart::
+
+    from repro import VoiceprintDetector
+
+    detector = VoiceprintDetector()
+    for timestamp, identity, rssi in received_beacons:
+        detector.observe(identity, timestamp, rssi)
+    report = detector.detect(density=40.0)   # vehicles/km
+    print(sorted(report.sybil_ids))
+
+See ``examples/`` for runnable end-to-end scenarios and DESIGN.md for
+the system inventory.
+"""
+
+from .core import (
+    ConstantThreshold,
+    DecisionLine,
+    DetectionReport,
+    DetectorConfig,
+    LinearThreshold,
+    MultiPeriodConfirmer,
+    RSSITimeSeries,
+    VoiceprintDetector,
+    dtw,
+    dtw_distance,
+    fastdtw,
+    fastdtw_distance,
+    fit_decision_line,
+)
+from .sim import (
+    FieldTestConfig,
+    HighwaySimulator,
+    ScenarioConfig,
+    SimulationResult,
+    run_field_test,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConstantThreshold",
+    "DecisionLine",
+    "DetectionReport",
+    "DetectorConfig",
+    "LinearThreshold",
+    "MultiPeriodConfirmer",
+    "RSSITimeSeries",
+    "VoiceprintDetector",
+    "dtw",
+    "dtw_distance",
+    "fastdtw",
+    "fastdtw_distance",
+    "fit_decision_line",
+    "FieldTestConfig",
+    "HighwaySimulator",
+    "ScenarioConfig",
+    "SimulationResult",
+    "run_field_test",
+    "__version__",
+]

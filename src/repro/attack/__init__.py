@@ -1,0 +1,19 @@
+"""Attack models: Sybil identity fabrication and power strategies."""
+
+from .sybil import (
+    ConstantPower,
+    PerPacketRandomPower,
+    PowerPolicy,
+    RandomWalkPower,
+    SybilAttacker,
+    SybilIdentity,
+)
+
+__all__ = [
+    "ConstantPower",
+    "PerPacketRandomPower",
+    "PowerPolicy",
+    "RandomWalkPower",
+    "SybilAttacker",
+    "SybilIdentity",
+]

@@ -1,0 +1,210 @@
+"""Sybil attack models (paper Section IV-A).
+
+A *malicious node* is one physical vehicle that broadcasts under its own
+identity plus several fabricated ones (*Sybil nodes*), each with a
+forged position and — per Assumption 3 — possibly its own (constant)
+transmission power.  The paper's simulations give each malicious node
+3–6 Sybil identities with initial powers drawn from 17–23 dBm.
+
+The paper's future-work section names the one attack Voiceprint cannot
+handle: *power control*, where the attacker modulates TX power packet by
+packet to scramble the RSSI shape.  :class:`PerPacketRandomPower`
+implements that smart attacker so the limitation can be measured
+(ablation E12) rather than asserted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PowerPolicy",
+    "ConstantPower",
+    "PerPacketRandomPower",
+    "RandomWalkPower",
+    "SybilIdentity",
+    "SybilAttacker",
+]
+
+Point = Tuple[float, float]
+
+
+class PowerPolicy(Protocol):
+    """Per-identity transmit-power schedule."""
+
+    def power_dbm(self, t: float, rng: np.random.Generator) -> float:
+        """TX power for a packet sent at time ``t``."""
+        ...
+
+
+@dataclass(frozen=True)
+class ConstantPower:
+    """Assumption 3's honest-after-setup policy: pick once, hold forever."""
+
+    dbm: float
+
+    def power_dbm(self, t: float, rng: np.random.Generator) -> float:
+        return self.dbm
+
+
+@dataclass(frozen=True)
+class PerPacketRandomPower:
+    """The future-work smart attacker: a fresh power for every packet.
+
+    Violates Assumption 3 on purpose; breaks the Z-score's shift/scale
+    cancellation because the injected variation is *not* constant.
+    """
+
+    low_dbm: float
+    high_dbm: float
+
+    def __post_init__(self) -> None:
+        if self.high_dbm < self.low_dbm:
+            raise ValueError(
+                f"power range is inverted: [{self.low_dbm}, {self.high_dbm}]"
+            )
+
+    def power_dbm(self, t: float, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low_dbm, self.high_dbm))
+
+
+@dataclass(frozen=True)
+class RandomWalkPower:
+    """A gentler smart attacker: power drifts by a bounded step per packet.
+
+    Harder to spot than :class:`PerPacketRandomPower` (the series stays
+    smooth) yet still defeats a constant-offset normalisation — the
+    middle ground the ablations probe.
+    """
+
+    initial_dbm: float
+    step_db: float = 0.5
+    low_dbm: float = 10.0
+    high_dbm: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.step_db < 0:
+            raise ValueError(f"step must be non-negative, got {self.step_db}")
+        if not self.low_dbm <= self.initial_dbm <= self.high_dbm:
+            raise ValueError(
+                f"initial power {self.initial_dbm} outside "
+                f"[{self.low_dbm}, {self.high_dbm}]"
+            )
+
+    def power_dbm(self, t: float, rng: np.random.Generator) -> float:
+        # Deterministic-in-t drift would correlate across identities, so
+        # the walk is re-drawn per call; state lives in the RNG stream.
+        offset = float(rng.uniform(-self.step_db, self.step_db))
+        return float(np.clip(self.initial_dbm + offset, self.low_dbm, self.high_dbm))
+
+
+@dataclass(frozen=True)
+class SybilIdentity:
+    """One fabricated identity.
+
+    Attributes:
+        identity: The forged identifier broadcast in beacons.
+        power: TX power schedule for this identity.
+        claimed_offset: Fabricated position offset relative to the
+            attacker's true position — the claimed location the beacons
+            carry.  The RSSI, of course, keeps matching the *true*
+            position; that mismatch is what position-verification
+            baselines look for, and what the forged offset hides from
+            naive plausibility checks.
+    """
+
+    identity: str
+    power: PowerPolicy
+    claimed_offset: Point
+
+    def claimed_position(self, true_position: Point) -> Point:
+        """The position this identity claims, given the radio's truth."""
+        return (
+            true_position[0] + self.claimed_offset[0],
+            true_position[1] + self.claimed_offset[1],
+        )
+
+
+@dataclass
+class SybilAttacker:
+    """The attack plan of one malicious vehicle.
+
+    Attributes:
+        node_id: The attacker's own (legitimate-looking) identity.
+        own_power: TX power policy for the attacker's own beacons.
+        identities: The fabricated Sybil identities.
+    """
+
+    node_id: str
+    own_power: PowerPolicy
+    identities: List[SybilIdentity] = field(default_factory=list)
+
+    @property
+    def sybil_ids(self) -> Tuple[str, ...]:
+        """The fabricated identifiers (excluding the attacker's own)."""
+        return tuple(s.identity for s in self.identities)
+
+    @property
+    def all_ids(self) -> Tuple[str, ...]:
+        """Every identity this radio transmits under."""
+        return (self.node_id,) + self.sybil_ids
+
+    @classmethod
+    def generate(
+        cls,
+        node_id: str,
+        rng: np.random.Generator,
+        n_sybils_range: Tuple[int, int] = (3, 6),
+        power_range_dbm: Tuple[float, float] = (17.0, 23.0),
+        claimed_offset_range_m: float = 250.0,
+        min_claimed_offset_m: float = 50.0,
+        smart_power: bool = False,
+    ) -> "SybilAttacker":
+        """Roll a paper-style attacker.
+
+        Args:
+            node_id: The attacker's physical identity.
+            rng: Seeded generator (all draws come from it).
+            n_sybils_range: Inclusive range for the Sybil count
+                (paper: 3–6).
+            power_range_dbm: Initial powers are uniform in this range
+                (paper: 17–23 dBm) and then constant — unless
+                ``smart_power``.
+            claimed_offset_range_m: Fabricated positions fall within
+                this longitudinal distance of the attacker.
+            min_claimed_offset_m: Minimum longitudinal stand-off of a
+                fabricated position from the attacker.
+            smart_power: Use the future-work per-packet power-control
+                attack instead of constant powers.
+        """
+        lo, hi = n_sybils_range
+        if not 1 <= lo <= hi:
+            raise ValueError(f"bad Sybil count range: {n_sybils_range}")
+        n = int(rng.integers(lo, hi + 1))
+        own = ConstantPower(float(rng.uniform(*power_range_dbm)))
+        identities = []
+        for index in range(n):
+            if smart_power:
+                power: PowerPolicy = PerPacketRandomPower(*power_range_dbm)
+            else:
+                power = ConstantPower(float(rng.uniform(*power_range_dbm)))
+            # Fabricated positions keep a minimum stand-off from the
+            # attacker: a fake vehicle claiming to sit on the attacker's
+            # roof would defeat the purpose of a distinct identity.
+            magnitude = float(
+                rng.uniform(min_claimed_offset_m, claimed_offset_range_m)
+            )
+            offset_x = magnitude * (1.0 if rng.uniform() < 0.5 else -1.0)
+            offset_y = float(rng.uniform(-3.6, 3.6))
+            identities.append(
+                SybilIdentity(
+                    identity=f"{node_id}#sybil{index + 1}",
+                    power=power,
+                    claimed_offset=(offset_x, offset_y),
+                )
+            )
+        return cls(node_id=node_id, own_power=own, identities=identities)

@@ -1,0 +1,111 @@
+"""Bouassida et al.'s independent RSSI-variation check (IJNS 2009).
+
+The only *independent* RSSI baseline in the paper's Table I: a receiver
+checks whether each identity's successive RSSI variations "fall into a
+reasonable interval".  The reasonable interval follows from physics —
+between two beacons the sender and receiver can close or open at most
+``2 * v_max * dt`` metres, which under the assumed (Friis) model bounds
+how fast the mean RSSI may change; shadowing adds a noise margin.
+
+Identities whose series jump around faster than any physical motion
+could explain — e.g. a Sybil identity whose spoofed power the attacker
+adjusts, or whose claimed trajectory is inconsistent — are flagged.
+The scheme is weak against the paper's attacker (constant per-identity
+power produces physically plausible series), which Table I's comparison
+and our ablation bench make measurable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.timeseries import RSSITimeSeries
+
+__all__ = ["BouassidaConfig", "BouassidaDetector"]
+
+
+@dataclass(frozen=True)
+class BouassidaConfig:
+    """Variation-check parameters.
+
+    Attributes:
+        max_speed_mps: Maximum plausible relative closing speed.
+        path_loss_exponent: Assumed (Friis-like) exponent for converting
+            motion into dB change.
+        min_distance_m: Closest plausible approach; the dB-per-metre
+            slope of a log-distance model diverges at 0, so the bound is
+            evaluated no closer than this.
+        noise_margin_db: Extra allowance per step for fading/shadowing.
+        violation_fraction: Fraction of implausible steps above which an
+            identity is flagged.
+        min_samples: Series shorter than this are not judged.
+    """
+
+    max_speed_mps: float = 60.0
+    path_loss_exponent: float = 2.0
+    min_distance_m: float = 10.0
+    noise_margin_db: float = 6.0
+    violation_fraction: float = 0.05
+    min_samples: int = 10
+
+    def __post_init__(self) -> None:
+        if self.max_speed_mps <= 0:
+            raise ValueError(f"max speed must be positive, got {self.max_speed_mps}")
+        if self.min_distance_m <= 0:
+            raise ValueError(
+                f"min distance must be positive, got {self.min_distance_m}"
+            )
+        if not 0.0 <= self.violation_fraction <= 1.0:
+            raise ValueError(
+                f"violation fraction must be in [0, 1], got {self.violation_fraction}"
+            )
+
+
+class BouassidaDetector:
+    """Flag identities whose RSSI varies faster than physics allows."""
+
+    def __init__(self, config: Optional[BouassidaConfig] = None) -> None:
+        self.config = config or BouassidaConfig()
+
+    def max_step_db(self, dt_s: float) -> float:
+        """Largest plausible RSSI change over ``dt_s`` seconds.
+
+        A relative displacement of ``2 * v_max * dt`` at the closest
+        plausible range changes a log-distance RSSI by at most
+        ``10 * gamma * log10(1 + d_move / d_min)``; the noise margin is
+        added on top.
+        """
+        if dt_s <= 0:
+            raise ValueError(f"dt must be positive, got {dt_s}")
+        config = self.config
+        d_move = 2.0 * config.max_speed_mps * dt_s
+        slope = 10.0 * config.path_loss_exponent * math.log10(
+            1.0 + d_move / config.min_distance_m
+        )
+        return slope + config.noise_margin_db
+
+    def violation_rate(self, series: RSSITimeSeries) -> float:
+        """Fraction of successive steps exceeding the plausible bound."""
+        if len(series) < 2:
+            return 0.0
+        times = series.timestamps
+        values = series.values
+        dts = np.diff(times)
+        steps = np.abs(np.diff(values))
+        violations = 0
+        for dt, step in zip(dts, steps):
+            if dt <= 0:
+                continue
+            if step > self.max_step_db(float(dt)):
+                violations += 1
+        return violations / len(steps)
+
+    def is_sybil(self, series: RSSITimeSeries) -> bool:
+        """Whether one identity's series fails the variation check."""
+        if len(series) < self.config.min_samples:
+            return False
+        return self.violation_rate(series) > self.config.violation_fraction

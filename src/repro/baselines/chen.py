@@ -1,0 +1,91 @@
+"""Chen et al.'s centralised distribution test (IEEE TVT 2010).
+
+A trusted *landmark* (RSU in the VANET setting) records every RSSI it
+measures per identity and runs a two-sample statistical test on each
+identity pair: pairs whose RSSI *distributions* are statistically
+indistinguishable are transmitting from (almost) the same place with
+the same power — Sybil siblings.
+
+We use the two-sample Kolmogorov–Smirnov test.  Note the inverted test
+logic relative to CPVSAD: here a *high* p-value (failure to distinguish
+the distributions) is the attack signal.  The scheme is centralised
+(Table I) — a single observer with global coverage — and assumes a
+static network; its per-window behaviour on moving vehicles is part of
+what the ablation bench contrasts against Voiceprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, Optional, Set, Tuple
+
+from scipy.stats import ks_2samp
+
+from ..core.timeseries import RSSITimeSeries
+
+__all__ = ["ChenConfig", "ChenDetector"]
+
+
+@dataclass(frozen=True)
+class ChenConfig:
+    """Distribution-test parameters.
+
+    Attributes:
+        similarity_pvalue: Pairs whose K–S p-value exceeds this are
+            considered to share a distribution (flagged).
+        min_samples: Minimum samples per identity series.
+    """
+
+    similarity_pvalue: float = 0.2
+    min_samples: int = 20
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.similarity_pvalue < 1.0:
+            raise ValueError(
+                f"similarity p-value must be in (0, 1), got {self.similarity_pvalue}"
+            )
+        if self.min_samples < 2:
+            raise ValueError(f"min_samples must be >= 2, got {self.min_samples}")
+
+
+class ChenDetector:
+    """Landmark-side Sybil detection by RSSI-distribution similarity."""
+
+    def __init__(self, config: Optional[ChenConfig] = None) -> None:
+        self.config = config or ChenConfig()
+
+    def pair_pvalue(
+        self, first: RSSITimeSeries, second: RSSITimeSeries
+    ) -> float:
+        """K–S p-value for 'these two series share a distribution'."""
+        result = ks_2samp(first.values, second.values)
+        return float(result.pvalue)
+
+    def sybil_pairs(
+        self, series_map: Dict[str, RSSITimeSeries]
+    ) -> Set[Tuple[str, str]]:
+        """Identity pairs the landmark cannot statistically tell apart.
+
+        Args:
+            series_map: identity → series, all observed by the landmark
+                over one window.
+        """
+        usable = {
+            identity: series
+            for identity, series in series_map.items()
+            if len(series) >= self.config.min_samples
+        }
+        flagged: Set[Tuple[str, str]] = set()
+        for a, b in combinations(sorted(usable), 2):
+            if self.pair_pvalue(usable[a], usable[b]) > self.config.similarity_pvalue:
+                flagged.add((a, b))
+        return flagged
+
+    def sybil_ids(self, series_map: Dict[str, RSSITimeSeries]) -> Set[str]:
+        """Union of identities appearing in any flagged pair."""
+        return {
+            identity
+            for pair in self.sybil_pairs(series_map)
+            for identity in pair
+        }

@@ -1,0 +1,239 @@
+"""CPVSAD — Cooperative Position Verification based Sybil Attack
+Detection (Yu, Xu & Xiao, JPDC 2013), the paper's Fig. 11 comparator.
+
+CPVSAD verifies each heard identity's *claimed position*: the verifier
+and a set of *witnesses* (neighbouring vehicles holding RSU-issued
+position certificates, selected from the opposite traffic flow) each
+report the mean RSSI they measured for the claimed identity.  Under the
+assumed log-normal shadowing model, the RSSI an observer should see is
+Gaussian around the model prediction at the *claimed* distance; a
+significance test (α = 0.05) on the joint discrepancy rejects
+identities whose claims do not match physics.
+
+The two properties the Fig. 11 comparison depends on fall out directly:
+
+* more witnesses (denser traffic) → more test power → detection rate
+  *rises* with density — opposite to Voiceprint;
+* the test plugs in a *predefined* model; when the true channel departs
+  from it (Fig. 11b's periodic parameter change), predictions go
+  systematically wrong and the detector collapses.
+
+The implementation is simulation-agnostic: callers hand it
+:class:`IdentityClaim` / :class:`WitnessReport` records; the adapter
+that extracts those from a :class:`~repro.sim.simulator.SimulationResult`
+lives in :mod:`repro.eval.experiments`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from scipy.stats import chi2
+
+from ..radio.base import LinkBudget
+from ..radio.shadowing import LogNormalShadowingModel
+
+__all__ = ["WitnessReport", "IdentityClaim", "CpvsadConfig", "CpvsadDetector"]
+
+Point = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class WitnessReport:
+    """One observer's RSSI summary for one claimed identity.
+
+    Attributes:
+        observer_id: Verifier or witness identifier.
+        observer_xy: The observer's (certified) position at the
+            verification instant.
+        mean_rssi_dbm: Mean RSSI the observer measured for the identity
+            over the observation window.
+        n_samples: Number of RSSI samples behind the mean.
+        predicted_mean_dbm: Optional window-averaged model prediction.
+            Vehicles move hundreds of metres during a 10 s window, so a
+            mean RSSI must be tested against the *mean* predicted RSSI
+            along the claimed and observer trajectories; when omitted,
+            the detector falls back to the endpoint-geometry prediction
+            (adequate only for near-static scenes).
+    """
+
+    observer_id: str
+    observer_xy: Point
+    mean_rssi_dbm: float
+    n_samples: int
+    predicted_mean_dbm: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class IdentityClaim:
+    """A claimed identity under verification.
+
+    Attributes:
+        identity: The claimed identifier.
+        claimed_xy: Position the identity's beacons assert.
+    """
+
+    identity: str
+    claimed_xy: Point
+
+
+@dataclass(frozen=True)
+class CpvsadConfig:
+    """CPVSAD tunables (paper Section V-C settings).
+
+    Attributes:
+        sigma_db: Shadowing deviation the detector *assumes* (3.9 dB).
+        significance: Test significance level α (0.05).
+        min_observers: Claims seen by fewer observers are not testable
+            and pass unflagged (the cooperative method's blind spot in
+            sparse traffic).
+        min_samples: Observers with fewer samples are ignored.
+        effective_samples_cap: Shadowing is temporally correlated, so a
+            10 s window does not carry 100 independent RSSI draws; the
+            per-observer sample count is capped here when converting to
+            the test statistic's variance.  The default (2) reflects
+            the ~two independent shadowing states a 10 s window spans
+            at a ~5 s coherence time.
+        power_tolerance_db: Half-width of the legal TX-power range the
+            detector tolerates as a common residual offset (Table V:
+            17–23 dBm around 20 → 3 dB).  A common offset beyond this
+            cannot be explained by power choice and contributes an
+            absolute term to the statistic — the term that makes the
+            test feel a propagation-model change (which shifts *all*
+            predictions together).
+        min_mean_rssi_dbm: Observers whose window mean sits close to
+            the RX sensitivity floor are censored (they only decode the
+            lucky strong packets) and report biased means; they are
+            excluded below this level.
+    """
+
+    sigma_db: float = 3.9
+    significance: float = 0.05
+    min_observers: int = 2
+    min_samples: int = 5
+    effective_samples_cap: int = 2
+    power_tolerance_db: float = 3.0
+    min_mean_rssi_dbm: float = -88.0
+
+    def __post_init__(self) -> None:
+        if self.sigma_db <= 0:
+            raise ValueError(f"sigma must be positive, got {self.sigma_db}")
+        if not 0.0 < self.significance < 1.0:
+            raise ValueError(
+                f"significance must be in (0, 1), got {self.significance}"
+            )
+        if self.min_observers < 1:
+            raise ValueError(f"min_observers must be >= 1, got {self.min_observers}")
+
+
+class CpvsadDetector:
+    """Position-verification Sybil detector with a predefined model.
+
+    Args:
+        assumed_budget: Link budget the detector assumes every sender
+            uses (it cannot know spoofed per-identity powers — one of
+            the scheme's structural weaknesses).
+        assumed_model: The *predefined* propagation model used for RSSI
+            predictions.  Any object with a ``path_loss_db(distance)``
+            method works; pass the initial channel model for the
+            "detector knows the static channel" configuration of
+            Fig. 11a.
+        config: Test parameters.
+    """
+
+    def __init__(
+        self,
+        assumed_budget: LinkBudget,
+        assumed_model=None,
+        config: Optional[CpvsadConfig] = None,
+    ) -> None:
+        self.assumed_budget = assumed_budget
+        self.assumed_model = assumed_model or LogNormalShadowingModel(
+            path_loss_exponent=2.0, sigma_db=3.9
+        )
+        self.config = config or CpvsadConfig()
+
+    # ------------------------------------------------------------------
+    def predicted_rssi(self, distance_m: float) -> float:
+        """Model-predicted mean RSSI at a distance under the assumptions."""
+        distance_m = max(distance_m, 1.0)
+        return self.assumed_budget.received_dbm(
+            self.assumed_model.path_loss_db(distance_m)
+        )
+
+    def claim_statistic(
+        self,
+        claim: IdentityClaim,
+        reports: Sequence[WitnessReport],
+    ) -> Optional[Tuple[float, int]]:
+        """Chi-square statistic of a claim against observer reports.
+
+        Senders may use unknown (possibly spoofed) TX powers, so the
+        raw residual ``r_o = mean_o − predicted_o`` contains a common
+        unknown offset; the test therefore scores the *spread* of the
+        residuals around their mean,
+
+        ``statistic = Σ_o ((r_o − r̄) / (σ / √n_eff))²  ~  χ²_{k−1}``,
+
+        which is invariant to any constant power offset but blows up
+        whenever the claimed position bends the per-observer predictions
+        differently from the truth — or whenever the assumed model
+        diverges from the real channel (Fig. 11b's failure mode).
+
+        Returns:
+            ``(statistic, degrees_of_freedom)`` or ``None`` when too few
+            observers qualify.
+        """
+        config = self.config
+        residuals = []
+        weights = []
+        cx, cy = claim.claimed_xy
+        for report in reports:
+            if report.n_samples < config.min_samples:
+                continue
+            if report.mean_rssi_dbm < config.min_mean_rssi_dbm:
+                continue  # censored near the sensitivity floor
+            if report.predicted_mean_dbm is not None:
+                predicted = report.predicted_mean_dbm
+            else:
+                distance = math.hypot(
+                    report.observer_xy[0] - cx, report.observer_xy[1] - cy
+                )
+                predicted = self.predicted_rssi(distance)
+            n_eff = min(report.n_samples, config.effective_samples_cap)
+            residuals.append(report.mean_rssi_dbm - predicted)
+            weights.append(math.sqrt(n_eff) / config.sigma_db)
+        k = len(residuals)
+        if k < max(config.min_observers, 2):
+            return None
+        mean_residual = sum(residuals) / k
+        statistic = sum(
+            ((r - mean_residual) * w) ** 2 for r, w in zip(residuals, weights)
+        )
+        # Absolute term: a common residual beyond the legal TX-power
+        # spread cannot be explained away and indicts either the claim
+        # or — Fig. 11b's case — the assumed model itself.
+        excess = max(0.0, abs(mean_residual) - config.power_tolerance_db)
+        mean_weight = sum(weights) / k
+        statistic += (excess * mean_weight * math.sqrt(k)) ** 2
+        return statistic, k
+
+    def is_sybil(
+        self,
+        claim: IdentityClaim,
+        reports: Sequence[WitnessReport],
+    ) -> bool:
+        """Whether the claim is rejected at the configured significance.
+
+        Untestable claims (too few observers) are *not* flagged — the
+        scheme cannot accuse without evidence, which is exactly why its
+        detection rate suffers in sparse traffic.
+        """
+        outcome = self.claim_statistic(claim, reports)
+        if outcome is None:
+            return False
+        statistic, dof = outcome
+        p_value = float(chi2.sf(statistic, dof))
+        return p_value < self.config.significance

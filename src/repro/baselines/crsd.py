@@ -1,0 +1,141 @@
+"""Lv et al.'s CRSD — Cooperative RSSI-based Sybil Detection (CIS 2008).
+
+CRSD never computes absolute positions: each cooperating node inverts a
+two-ray-ground model to estimate its *relative distance* to every heard
+identity, groups identities whose estimated distances are suspiciously
+close (a Sybil attacker's streams all come from one radio, so one
+distance), and broadcasts its suspect groups; the final verdict takes
+the intersection of the groups received from all cooperators.
+
+A single node's distance clustering is hopelessly ambiguous — every
+identity on a ring around the receiver shares a distance — which is why
+the *intersection* across observers at different vantage points is the
+scheme's entire substance: only truly co-located transmitters stay
+grouped from every viewpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, Optional, Set, Tuple
+
+from ..core.timeseries import RSSITimeSeries
+from ..radio.base import LinkBudget
+from ..radio.inverse import invert_two_ray
+from ..radio.two_ray import TwoRayGroundModel
+
+__all__ = ["CrsdConfig", "CrsdDetector"]
+
+
+@dataclass(frozen=True)
+class CrsdConfig:
+    """Relative-distance grouping parameters.
+
+    Attributes:
+        distance_tolerance_m: Two identities whose estimated distances
+            differ by less are grouped at one observer.
+        min_samples: Samples needed per (observer, identity) series.
+        min_observers: Observers whose groups must all contain a pair
+            before it is declared Sybil (the intersection).
+    """
+
+    distance_tolerance_m: float = 25.0
+    min_samples: int = 10
+    min_observers: int = 2
+
+    def __post_init__(self) -> None:
+        if self.distance_tolerance_m <= 0:
+            raise ValueError(
+                f"tolerance must be positive, got {self.distance_tolerance_m}"
+            )
+        if self.min_observers < 2:
+            raise ValueError(
+                f"the intersection needs >= 2 observers, got {self.min_observers}"
+            )
+
+
+class CrsdDetector:
+    """Intersection-of-suspect-groups Sybil detection.
+
+    Args:
+        assumed_budget: Link budget assumed for every sender.
+        assumed_model: The predefined two-ray-ground model inverted for
+            relative distances (the scheme's Table I assumption).
+        config: Grouping parameters.
+    """
+
+    def __init__(
+        self,
+        assumed_budget: LinkBudget,
+        assumed_model: Optional[TwoRayGroundModel] = None,
+        config: Optional[CrsdConfig] = None,
+    ) -> None:
+        self.assumed_budget = assumed_budget
+        self.assumed_model = assumed_model or TwoRayGroundModel()
+        self.config = config or CrsdConfig()
+
+    def relative_distance(self, series: RSSITimeSeries) -> Optional[float]:
+        """One observer's distance estimate for one identity."""
+        if len(series) < self.config.min_samples:
+            return None
+        try:
+            return invert_two_ray(
+                series.mean(), self.assumed_budget, self.assumed_model
+            )
+        except ValueError:
+            return None
+
+    def suspect_pairs_at(
+        self, series_map: Dict[str, RSSITimeSeries]
+    ) -> Set[Tuple[str, str]]:
+        """One observer's local suspect groups, as identity pairs."""
+        distances: Dict[str, float] = {}
+        for identity, series in series_map.items():
+            estimate = self.relative_distance(series)
+            if estimate is not None:
+                distances[identity] = estimate
+        return {
+            (a, b)
+            for a, b in combinations(sorted(distances), 2)
+            if abs(distances[a] - distances[b]) <= self.config.distance_tolerance_m
+        }
+
+    def sybil_pairs(
+        self, observations: Dict[str, Dict[str, RSSITimeSeries]]
+    ) -> Set[Tuple[str, str]]:
+        """Pairs suspected by at least ``min_observers`` observers *and*
+        by every observer able to test them (the intersection rule).
+
+        Args:
+            observations: ``receiver → identity → series`` over one
+                window, from the cooperating nodes.
+        """
+        suspected: Dict[Tuple[str, str], int] = {}
+        testable: Dict[Tuple[str, str], int] = {}
+        for receiver, series_map in observations.items():
+            usable = {
+                identity
+                for identity, series in series_map.items()
+                if self.relative_distance(series) is not None
+            }
+            local = self.suspect_pairs_at(series_map)
+            for pair in combinations(sorted(usable), 2):
+                testable[pair] = testable.get(pair, 0) + 1
+                if pair in local:
+                    suspected[pair] = suspected.get(pair, 0) + 1
+        return {
+            pair
+            for pair, count in suspected.items()
+            if count >= self.config.min_observers and count == testable[pair]
+        }
+
+    def sybil_ids(
+        self, observations: Dict[str, Dict[str, RSSITimeSeries]]
+    ) -> Set[str]:
+        """Union of identities appearing in any flagged pair."""
+        return {
+            identity
+            for pair in self.sybil_pairs(observations)
+            for identity in pair
+        }

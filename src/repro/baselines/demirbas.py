@@ -1,0 +1,122 @@
+"""Demirbas & Song's cooperative RSSI-ratio scheme (WOWMOM 2006).
+
+Originally proposed for static sensor networks: a single RSSI value
+depends on unknown TX power, but the *ratio* (dB difference) of the
+RSSIs two receivers measure for the same transmission cancels the TX
+power and depends only on the transmitter's position relative to the
+two receivers.  Two identities whose dB differences match at several
+receiver pairs are therefore transmitting from the same place — a Sybil
+pair.
+
+This is the conceptual ancestor of Voiceprint (compare signals, not
+claims), but it is cooperative (needs multiple receivers' simultaneous
+measurements) and, in a mobile network, the "position fingerprint"
+changes continuously, which is why the original scheme is listed as
+*static-only* in Table I.  We evaluate it over short windows where
+motion is small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.timeseries import RSSITimeSeries
+
+__all__ = ["DemirbasConfig", "DemirbasDetector"]
+
+
+@dataclass(frozen=True)
+class DemirbasConfig:
+    """Ratio-matching parameters.
+
+    Attributes:
+        match_tolerance_db: Two identities whose mean dB differences
+            agree within this tolerance at a receiver pair "match" there.
+        min_matching_pairs: Receiver pairs that must agree before a pair
+            of identities is declared Sybil.
+        min_samples: Minimum samples per (receiver, identity) series.
+    """
+
+    match_tolerance_db: float = 2.0
+    min_matching_pairs: int = 1
+    min_samples: int = 5
+
+    def __post_init__(self) -> None:
+        if self.match_tolerance_db <= 0:
+            raise ValueError(
+                f"tolerance must be positive, got {self.match_tolerance_db}"
+            )
+        if self.min_matching_pairs < 1:
+            raise ValueError(
+                f"min_matching_pairs must be >= 1, got {self.min_matching_pairs}"
+            )
+
+
+class DemirbasDetector:
+    """Flag identity pairs with matching RSSI ratios across receivers."""
+
+    def __init__(self, config: Optional[DemirbasConfig] = None) -> None:
+        self.config = config or DemirbasConfig()
+
+    def _mean_table(
+        self,
+        observations: Dict[str, Dict[str, RSSITimeSeries]],
+    ) -> Dict[str, Dict[str, float]]:
+        """receiver → identity → mean RSSI, filtered by sample count."""
+        table: Dict[str, Dict[str, float]] = {}
+        for receiver, series_map in observations.items():
+            row = {}
+            for identity, series in series_map.items():
+                if len(series) >= self.config.min_samples:
+                    row[identity] = series.mean()
+            table[receiver] = row
+        return table
+
+    def sybil_pairs(
+        self,
+        observations: Dict[str, Dict[str, RSSITimeSeries]],
+    ) -> Set[Tuple[str, str]]:
+        """Identity pairs whose ratios match at enough receiver pairs.
+
+        Args:
+            observations: ``receiver → identity → series`` over one
+                short window (motion within the window blurs the
+                position fingerprint).
+
+        Returns:
+            Unordered identity pairs flagged as co-located.
+        """
+        table = self._mean_table(observations)
+        receivers = sorted(table)
+        matches: Dict[Tuple[str, str], int] = {}
+        testable: Dict[Tuple[str, str], int] = {}
+        for r1, r2 in combinations(receivers, 2):
+            row1, row2 = table[r1], table[r2]
+            common = sorted(set(row1) & set(row2))
+            diffs = {i: row1[i] - row2[i] for i in common}
+            for a, b in combinations(common, 2):
+                key = (a, b)
+                testable[key] = testable.get(key, 0) + 1
+                if abs(diffs[a] - diffs[b]) <= self.config.match_tolerance_db:
+                    matches[key] = matches.get(key, 0) + 1
+        return {
+            pair
+            for pair, count in matches.items()
+            if count >= self.config.min_matching_pairs
+            and count == testable[pair]  # every testable pair must agree
+        }
+
+    def sybil_ids(
+        self,
+        observations: Dict[str, Dict[str, RSSITimeSeries]],
+    ) -> Set[str]:
+        """Union of identities appearing in any flagged pair."""
+        return {
+            identity
+            for pair in self.sybil_pairs(observations)
+            for identity in pair
+        }

@@ -1,0 +1,160 @@
+"""Wang et al.'s Rayleigh-robust RSSI-ratio scheme (WiCOM 2007).
+
+The same idea as Demirbas & Song — the dB difference of the RSSIs two
+receivers measure for one transmission cancels the unknown TX power and
+fingerprints the transmitter's position — but engineered for a Rayleigh
+fading channel, where individual samples swing by tens of dB and a
+plain mean is dominated by deep fades.
+
+Robustifications relative to :class:`~repro.baselines.demirbas.DemirbasDetector`:
+
+* the per-receiver-pair fingerprint is the **median** of per-beacon dB
+  differences over *time-matched* samples (same beacon seen at both
+  receivers), not a difference of window means;
+* the match tolerance accounts for the fading-induced spread of the
+  median (shrinking with the number of matched samples).
+
+Still cooperative and static-world (Table I): the fingerprint is only
+meaningful while the transmitter barely moves, so callers evaluate it
+over short windows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..core.timeseries import RSSITimeSeries
+
+__all__ = ["WangConfig", "WangDetector"]
+
+
+@dataclass(frozen=True)
+class WangConfig:
+    """Rayleigh-robust ratio-matching parameters.
+
+    Attributes:
+        base_tolerance_db: Match tolerance for an infinitely long
+            series; the effective tolerance widens by
+            ``fading_spread_db / sqrt(n_matched)``.
+        fading_spread_db: Assumed per-sample fading deviation feeding
+            the median's standard error (Rayleigh power in dB has
+            ~5.6 dB deviation).
+        min_matched_samples: Time-matched beacons required per
+            (receiver pair, identity).
+        match_window_s: Two samples at different receivers are "the
+            same beacon" when their timestamps differ by less.
+        min_matching_pairs: Receiver pairs that must agree.
+    """
+
+    base_tolerance_db: float = 1.5
+    fading_spread_db: float = 5.6
+    min_matched_samples: int = 10
+    match_window_s: float = 0.02
+    min_matching_pairs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.base_tolerance_db <= 0:
+            raise ValueError(
+                f"tolerance must be positive, got {self.base_tolerance_db}"
+            )
+        if self.min_matched_samples < 2:
+            raise ValueError(
+                f"need >= 2 matched samples, got {self.min_matched_samples}"
+            )
+        if self.match_window_s <= 0:
+            raise ValueError(
+                f"match window must be positive, got {self.match_window_s}"
+            )
+
+    def tolerance_db(self, n_matched: int) -> float:
+        """Effective tolerance after median noise for ``n`` samples."""
+        # Median standard error ~ 1.253 * sigma / sqrt(n).
+        return self.base_tolerance_db + 1.253 * self.fading_spread_db / math.sqrt(
+            max(n_matched, 1)
+        )
+
+
+class WangDetector:
+    """Flag identity pairs whose robust RSSI ratios match everywhere."""
+
+    def __init__(self, config: Optional[WangConfig] = None) -> None:
+        self.config = config or WangConfig()
+
+    def _matched_differences(
+        self, first: RSSITimeSeries, second: RSSITimeSeries
+    ) -> np.ndarray:
+        """dB differences of time-matched samples of one identity at
+        two receivers."""
+        t1, v1 = first.timestamps, first.values
+        t2, v2 = second.timestamps, second.values
+        if t1.size == 0 or t2.size == 0:
+            return np.empty(0)
+        indices = np.searchsorted(t2, t1)
+        diffs: List[float] = []
+        for i, t in enumerate(t1):
+            for j in (indices[i] - 1, indices[i]):
+                if 0 <= j < t2.size and abs(t2[j] - t) <= self.config.match_window_s:
+                    diffs.append(float(v1[i] - v2[j]))
+                    break
+        return np.asarray(diffs)
+
+    def fingerprint(
+        self, first: RSSITimeSeries, second: RSSITimeSeries
+    ) -> Optional[Tuple[float, int]]:
+        """(median dB difference, matched count) for one identity at a
+        receiver pair; ``None`` when too few beacons match."""
+        diffs = self._matched_differences(first, second)
+        if diffs.size < self.config.min_matched_samples:
+            return None
+        return float(np.median(diffs)), int(diffs.size)
+
+    def sybil_pairs(
+        self,
+        observations: Dict[str, Dict[str, RSSITimeSeries]],
+    ) -> Set[Tuple[str, str]]:
+        """Identity pairs whose fingerprints agree at every testable
+        receiver pair (and at least ``min_matching_pairs`` of them).
+
+        Args:
+            observations: ``receiver → identity → series`` over one
+                short window.
+        """
+        receivers = sorted(observations)
+        matches: Dict[Tuple[str, str], int] = {}
+        testable: Dict[Tuple[str, str], int] = {}
+        for r1, r2 in combinations(receivers, 2):
+            map1, map2 = observations[r1], observations[r2]
+            fingerprints: Dict[str, Tuple[float, int]] = {}
+            for identity in set(map1) & set(map2):
+                fp = self.fingerprint(map1[identity], map2[identity])
+                if fp is not None:
+                    fingerprints[identity] = fp
+            for a, b in combinations(sorted(fingerprints), 2):
+                key = (a, b)
+                testable[key] = testable.get(key, 0) + 1
+                median_a, n_a = fingerprints[a]
+                median_b, n_b = fingerprints[b]
+                tolerance = self.config.tolerance_db(min(n_a, n_b))
+                if abs(median_a - median_b) <= tolerance:
+                    matches[key] = matches.get(key, 0) + 1
+        return {
+            pair
+            for pair, count in matches.items()
+            if count >= self.config.min_matching_pairs
+            and count == testable[pair]
+        }
+
+    def sybil_ids(
+        self, observations: Dict[str, Dict[str, RSSITimeSeries]]
+    ) -> Set[str]:
+        """Union of identities appearing in any flagged pair."""
+        return {
+            identity
+            for pair in self.sybil_pairs(observations)
+            for identity in pair
+        }

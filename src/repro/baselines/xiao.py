@@ -1,0 +1,180 @@
+"""Xiao, Yu & Gao's Sybil detection-and-localisation scheme (DIWANS 2006).
+
+The ancestor of CPVSAD: witnesses report the RSSI they measured for a
+claimed identity; the verifier inverts an assumed shadowing model to
+turn each report into a distance estimate, multilaterates the sender's
+*physical* position from those distances, and flags the identity when
+the estimate sits too far from the claimed position.  Unlike CPVSAD's
+hypothesis test, this scheme commits to an explicit position estimate —
+which is also its selling point: a detected Sybil identity comes with a
+localisation of the attacker's radio.
+
+Multilateration here is a Gauss–Newton refinement of the weighted
+centroid seed; with the noisy, model-mismatched distance estimates RSSI
+inversion produces, anything fancier is false precision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..radio.base import LinkBudget
+from ..radio.inverse import invert_log_distance
+from ..radio.shadowing import LogNormalShadowingModel
+from .cpvsad import IdentityClaim, WitnessReport
+
+__all__ = ["XiaoConfig", "XiaoResult", "XiaoDetector"]
+
+Point = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class XiaoConfig:
+    """Localisation-test parameters.
+
+    Attributes:
+        position_tolerance_m: Claims farther than this from the
+            estimated position are flagged.  The tolerance absorbs both
+            the claimant's honest GPS error and the localisation error
+            RSSI inversion leaves behind.
+        min_observers: Multilateration needs at least three distances
+            for a 2-D fix.
+        min_samples: Observers with fewer samples are ignored.
+        gauss_newton_steps: Refinement iterations.
+    """
+
+    position_tolerance_m: float = 120.0
+    min_observers: int = 3
+    min_samples: int = 5
+    gauss_newton_steps: int = 8
+
+    def __post_init__(self) -> None:
+        if self.position_tolerance_m <= 0:
+            raise ValueError(
+                f"tolerance must be positive, got {self.position_tolerance_m}"
+            )
+        if self.min_observers < 3:
+            raise ValueError(
+                f"2-D multilateration needs >= 3 observers, got {self.min_observers}"
+            )
+
+
+@dataclass(frozen=True)
+class XiaoResult:
+    """One claim's verification outcome.
+
+    Attributes:
+        identity: The verified identity.
+        estimated_xy: Multilaterated transmitter position.
+        claimed_xy: The position the beacons asserted.
+        error_m: Distance between estimate and claim.
+        is_sybil: Whether the claim was rejected.
+    """
+
+    identity: str
+    estimated_xy: Point
+    claimed_xy: Point
+    error_m: float
+    is_sybil: bool
+
+
+class XiaoDetector:
+    """Position-estimation Sybil detector (cooperative, model-based).
+
+    Args:
+        assumed_budget: Link budget assumed for every sender.
+        assumed_model: Predefined log-distance model for RSSI→distance.
+        config: Localisation-test parameters.
+    """
+
+    def __init__(
+        self,
+        assumed_budget: LinkBudget,
+        assumed_model: Optional[LogNormalShadowingModel] = None,
+        config: Optional[XiaoConfig] = None,
+    ) -> None:
+        self.assumed_budget = assumed_budget
+        self.assumed_model = assumed_model or LogNormalShadowingModel(
+            path_loss_exponent=2.0, sigma_db=3.9
+        )
+        self.config = config or XiaoConfig()
+
+    # ------------------------------------------------------------------
+    def _distance_estimates(
+        self, reports: Sequence[WitnessReport]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(observer positions (k,2), estimated distances (k,))."""
+        positions: List[Point] = []
+        distances: List[float] = []
+        for report in reports:
+            if report.n_samples < self.config.min_samples:
+                continue
+            try:
+                d = invert_log_distance(
+                    report.mean_rssi_dbm, self.assumed_budget, self.assumed_model
+                )
+            except ValueError:
+                continue
+            positions.append(report.observer_xy)
+            distances.append(d)
+        return np.asarray(positions, dtype=float), np.asarray(distances, dtype=float)
+
+    def localize(
+        self, reports: Sequence[WitnessReport]
+    ) -> Optional[Point]:
+        """Multilaterate the transmitter position from witness reports.
+
+        Returns ``None`` when too few usable reports exist.
+        """
+        positions, distances = self._distance_estimates(reports)
+        if positions.shape[0] < self.config.min_observers:
+            return None
+        # Seed: inverse-distance weighted centroid — closer witnesses
+        # carry more information per dB of noise.
+        weights = 1.0 / np.maximum(distances, 1.0)
+        estimate = (positions * weights[:, None]).sum(axis=0) / weights.sum()
+        for _ in range(self.config.gauss_newton_steps):
+            deltas = estimate[None, :] - positions
+            ranges = np.hypot(deltas[:, 0], deltas[:, 1])
+            ranges = np.maximum(ranges, 1e-6)
+            residuals = ranges - distances
+            jacobian = deltas / ranges[:, None]
+            try:
+                step, *_ = np.linalg.lstsq(jacobian, residuals, rcond=None)
+            except np.linalg.LinAlgError:
+                break
+            estimate = estimate - step
+            if float(np.hypot(step[0], step[1])) < 1e-3:
+                break
+        return (float(estimate[0]), float(estimate[1]))
+
+    def verify(
+        self,
+        claim: IdentityClaim,
+        reports: Sequence[WitnessReport],
+    ) -> Optional[XiaoResult]:
+        """Verify one claim; ``None`` when the claim is untestable."""
+        estimate = self.localize(reports)
+        if estimate is None:
+            return None
+        error = math.hypot(
+            estimate[0] - claim.claimed_xy[0], estimate[1] - claim.claimed_xy[1]
+        )
+        return XiaoResult(
+            identity=claim.identity,
+            estimated_xy=estimate,
+            claimed_xy=claim.claimed_xy,
+            error_m=error,
+            is_sybil=error > self.config.position_tolerance_m,
+        )
+
+    def is_sybil(
+        self, claim: IdentityClaim, reports: Sequence[WitnessReport]
+    ) -> bool:
+        """Boolean verdict (untestable claims pass, as in CPVSAD)."""
+        result = self.verify(claim, reports)
+        return bool(result and result.is_sybil)

@@ -1,0 +1,338 @@
+"""Command-line interface: regenerate any paper artefact from a shell.
+
+Installed as ``voiceprint-repro`` (see ``pyproject.toml``), or run as
+``python -m repro.cli``::
+
+    voiceprint-repro list
+    voiceprint-repro table1
+    voiceprint-repro fig9
+    voiceprint-repro fig13 --duration 300 --period 60
+    voiceprint-repro fig11a --densities 10,40,80 --sim-time 60
+
+Heavyweight experiments accept scale knobs so the CLI is usable both
+for a quick look (default, minutes) and a fuller reproduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .eval import experiments as ex
+from .eval.reporting import render_table
+from .sim.scenario import ScenarioConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def _densities(text: str) -> List[float]:
+    try:
+        values = [float(part) for part in text.split(",") if part.strip()]
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(f"bad density list {text!r}") from error
+    if not values or any(v <= 0 for v in values):
+        raise argparse.ArgumentTypeError(f"bad density list {text!r}")
+    return values
+
+
+def _cmd_list(args: argparse.Namespace) -> str:
+    rows = [
+        ("table1", "Table I — method comparison matrix", "instant"),
+        ("fig5", "Fig. 5 / Observation 1 — ranging errors", "~1 min"),
+        ("table4", "Table IV — dual-slope fits", "~1 min"),
+        ("fig6-7", "Figs. 6-7 / Observation 3 — Sybil voiceprints", "~1 min"),
+        ("fig9", "Fig. 9 — DTW worked example", "instant"),
+        ("fig10", "Fig. 10 — decision boundary training", "minutes"),
+        ("fig11a", "Fig. 11a — Voiceprint vs CPVSAD (static)", "minutes"),
+        ("fig11b", "Fig. 11b — the same under model change", "minutes"),
+        ("fig13", "Fig. 13 — four-environment field test", "~2 min"),
+        ("fig14", "Fig. 14 — red-light false positive", "~2 min"),
+        ("timing", "§VI-B — comparison cost", "~1 min"),
+        ("ablations", "E12 — design ablations", "~2 min"),
+    ]
+    return render_table(
+        ["command", "artefact", "cost"], rows, title="available experiments"
+    )
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    rows = ex.run_table1()
+    return render_table(
+        ["method", "RPM", "C/D", "C/I", "SoI", "mobility", "implemented"],
+        [
+            (
+                r.method,
+                r.propagation_model,
+                r.centralisation,
+                r.cooperation,
+                r.needs_infrastructure,
+                r.mobility,
+                r.implemented,
+            )
+            for r in rows
+        ],
+        title="Table I",
+    )
+
+
+def _cmd_fig5(args: argparse.Namespace) -> str:
+    rows = ex.run_observation1(duration_s=args.duration, seed=args.seed)
+    return render_table(
+        ["period", "n", "mean dBm", "std dB", "true m", "FSPL m", "two-ray m"],
+        [
+            (
+                r.label,
+                r.n_samples,
+                r.mean_dbm,
+                r.std_db,
+                r.true_distance_m,
+                r.fspl_estimate_m,
+                r.trgp_estimate_m,
+            )
+            for r in rows
+        ],
+        title="Fig. 5 / Observation 1",
+    )
+
+
+def _cmd_table4(args: argparse.Namespace) -> str:
+    rows = ex.run_table4(n_samples=args.samples, seed=args.seed)
+    return render_table(
+        ["environment", "dc t/f", "g1 t/f", "g2 t/f", "s1 t/f", "s2 t/f"],
+        [
+            (
+                r.environment,
+                f"{r.dc_true:.0f}/{r.dc_fit:.0f}",
+                f"{r.gamma1_true:.2f}/{r.gamma1_fit:.2f}",
+                f"{r.gamma2_true:.2f}/{r.gamma2_fit:.2f}",
+                f"{r.sigma1_true:.1f}/{r.sigma1_fit:.1f}",
+                f"{r.sigma2_true:.1f}/{r.sigma2_fit:.1f}",
+            )
+            for r in rows
+        ],
+        title="Table IV (true / fitted)",
+    )
+
+
+def _cmd_fig6_7(args: argparse.Namespace) -> str:
+    results = ex.run_observation3(duration_s=args.duration, seed=args.seed)
+    return render_table(
+        ["recorder", "max within-attacker D", "min cross D"],
+        [
+            (r.recorder, r.max_within_sybil(), r.min_cross())
+            for r in results
+        ],
+        title="Figs. 6-7 / Observation 3",
+    )
+
+
+def _cmd_fig9(args: argparse.Namespace) -> str:
+    result = ex.run_dtw_example()
+    return render_table(
+        ["quantity", "value"],
+        [
+            ("DTW (Eqs. 3-6, squared cost)", result.squared_distance),
+            ("DTW (absolute cost)", result.absolute_distance),
+            ("Fig. 9's printed value", result.paper_claimed),
+            ("warp path", " ".join(map(str, result.path))),
+        ],
+        title="Fig. 9",
+    )
+
+
+def _base_config(args: argparse.Namespace) -> ScenarioConfig:
+    return ScenarioConfig(sim_time_s=args.sim_time)
+
+
+def _cmd_fig10(args: argparse.Namespace) -> str:
+    result = ex.run_boundary_training(
+        densities_vhls_per_km=args.densities,
+        base_config=_base_config(args),
+        seed=args.seed,
+    )
+    return render_table(
+        ["quantity", "value"],
+        [
+            ("trained k", result.line.k),
+            ("trained b", result.line.b),
+            ("paper k", result.paper_line[0]),
+            ("paper b", result.paper_line[1]),
+            ("positives", result.n_positive),
+            ("negatives", result.n_negative),
+            ("training TPR", result.training_tpr),
+            ("training FPR", result.training_fpr),
+        ],
+        title="Fig. 10",
+    )
+
+
+def _fig11(args: argparse.Namespace, model_change: bool) -> str:
+    boundary = ex.run_boundary_training(
+        densities_vhls_per_km=args.densities,
+        base_config=_base_config(args),
+        seed=args.seed,
+    ).line
+    rows = ex.run_fig11(
+        boundary,
+        densities_vhls_per_km=args.densities,
+        model_change=model_change,
+        runs_per_density=args.runs,
+        base_config=_base_config(args),
+        seed=args.seed + 1,
+    )
+    return render_table(
+        ["density", "method", "DR", "FPR", "node-periods"],
+        [
+            (
+                r.density_vhls_per_km,
+                r.method,
+                r.detection_rate,
+                r.false_positive_rate,
+                r.n_outcomes,
+            )
+            for r in rows
+        ],
+        title="Fig. 11b" if model_change else "Fig. 11a",
+    )
+
+
+def _cmd_fig13(args: argparse.Namespace) -> str:
+    areas = ex.run_fig13(
+        duration_s=args.duration,
+        detection_period_s=args.period,
+        seed=args.seed,
+    )
+    return render_table(
+        ["environment", "periods", "DR", "FPR", "FP periods"],
+        [
+            (
+                a.environment,
+                len(a.detections),
+                a.detection_rate,
+                a.false_positive_rate,
+                a.n_false_positive_periods,
+            )
+            for a in areas
+        ],
+        title="Fig. 13",
+    )
+
+
+def _cmd_fig14(args: argparse.Namespace) -> str:
+    result = ex.run_fig14(
+        duration_s=args.duration,
+        detection_period_s=args.period,
+        seed=args.seed,
+    )
+    return render_table(
+        ["quantity", "value"],
+        [
+            ("stationary periods", len(result.stationary_periods)),
+            ("moving periods", len(result.moving_periods)),
+            ("D(mal, node2) stationary", result.node2_distance_stationary),
+            ("D(mal, node2) moving", result.node2_distance_moving),
+            ("FP periods (single)", result.false_positives_single),
+            ("FP periods (confirmed)", result.false_positives_confirmed),
+        ],
+        title="Fig. 14",
+    )
+
+
+def _cmd_timing(args: argparse.Namespace) -> str:
+    result = ex.run_timing(seed=args.seed)
+    rows = [("pair (200 samples)", result.pair_ms, result.paper_pair_ms)]
+    for count, ms in zip(result.neighbours, result.full_detection_ms):
+        rows.append((f"{count} neighbours", ms, result.paper_80_ms if count == 80 else None))
+    return render_table(
+        ["operation", "measured ms", "paper ms"], rows, title="§VI-B timing"
+    )
+
+
+def _cmd_ablations(args: argparse.Namespace) -> str:
+    rows = ex.run_ablations(duration_s=args.duration, seed=args.seed)
+    return render_table(
+        ["group", "variant", "sybil max", "other min", "margin", "note"],
+        [
+            (r.group, r.variant, r.sybil_max, r.other_min, r.margin, r.note)
+            for r in rows
+        ],
+        title="E12 ablations",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="voiceprint-repro",
+        description="Regenerate tables and figures of the Voiceprint paper "
+        "(Yao et al., DSN 2017).",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="master RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("table1", help="Table I")
+    sub.add_parser("fig9", help="Fig. 9 DTW example")
+
+    fig5 = sub.add_parser("fig5", help="Fig. 5 / Observation 1")
+    fig5.add_argument("--duration", type=float, default=300.0)
+
+    table4 = sub.add_parser("table4", help="Table IV fits")
+    table4.add_argument("--samples", type=int, default=4000)
+
+    fig67 = sub.add_parser("fig6-7", help="Figs. 6-7 / Observation 3")
+    fig67.add_argument("--duration", type=float, default=120.0)
+
+    for name in ("fig10", "fig11a", "fig11b"):
+        p = sub.add_parser(name, help=f"{name} (highway sweep)")
+        p.add_argument("--densities", type=_densities, default=[10, 40, 80])
+        p.add_argument("--sim-time", type=float, default=60.0)
+        p.add_argument("--runs", type=int, default=1)
+
+    for name in ("fig13", "fig14"):
+        p = sub.add_parser(name, help=f"{name} (field test)")
+        p.add_argument("--duration", type=float, default=300.0)
+        p.add_argument("--period", type=float, default=60.0 if name == "fig13" else 30.0)
+
+    sub.add_parser("timing", help="§VI-B timing")
+
+    ablations = sub.add_parser("ablations", help="E12 ablations")
+    ablations.add_argument("--duration", type=float, default=120.0)
+    return parser
+
+
+_HANDLERS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "list": _cmd_list,
+    "table1": _cmd_table1,
+    "fig5": _cmd_fig5,
+    "table4": _cmd_table4,
+    "fig6-7": _cmd_fig6_7,
+    "fig9": _cmd_fig9,
+    "fig10": _cmd_fig10,
+    "fig11a": lambda args: _fig11(args, model_change=False),
+    "fig11b": lambda args: _fig11(args, model_change=True),
+    "fig13": _cmd_fig13,
+    "fig14": _cmd_fig14,
+    "timing": _cmd_timing,
+    "ablations": _cmd_ablations,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _HANDLERS[args.command]
+    start = time.perf_counter()
+    output = handler(args)
+    elapsed = time.perf_counter() - start
+    print(output)
+    if elapsed > 1.0:
+        print(f"\n[{elapsed:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Multi-period confirmation (paper Section VI-B, closing suggestion).
+
+The field test's one false positive happened while every vehicle sat at
+a red light: with nobody moving, a genuinely nearby normal vehicle is
+indistinguishable from a Sybil identity for *that* period.  The paper
+suggests "making a final determination of the Sybil node after several
+detection periods so as to reduce the false positive rate" — transient
+look-alikes decorrelate as soon as vehicles move again, while a real
+Sybil identity stays glued to its attacker's radio forever.
+
+:class:`MultiPeriodConfirmer` implements that vote: an identity is
+*confirmed* Sybil once it was flagged in at least ``min_flags`` of the
+last ``window`` detection periods.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, FrozenSet, Iterable
+
+from .detector import DetectionReport
+
+__all__ = ["MultiPeriodConfirmer"]
+
+
+class MultiPeriodConfirmer:
+    """Majority vote over a sliding window of detection reports.
+
+    Args:
+        window: Number of most recent detection periods considered.
+        min_flags: Flags required within the window to confirm an
+            identity.  Must satisfy ``1 <= min_flags <= window``; the
+            default is a strict majority.
+    """
+
+    def __init__(self, window: int = 3, min_flags: int = 0) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if min_flags == 0:
+            min_flags = window // 2 + 1
+        if not 1 <= min_flags <= window:
+            raise ValueError(
+                f"min_flags must be in [1, {window}], got {min_flags}"
+            )
+        self.window = window
+        self.min_flags = min_flags
+        self._history: Deque[FrozenSet[str]] = deque(maxlen=window)
+
+    def update(self, report: DetectionReport) -> FrozenSet[str]:
+        """Fold in one period's report and return confirmed identities."""
+        self._history.append(report.sybil_ids)
+        return self.confirmed()
+
+    def update_ids(self, flagged: Iterable[str]) -> FrozenSet[str]:
+        """Fold in a bare set of flagged identities (no report object)."""
+        self._history.append(frozenset(str(i) for i in flagged))
+        return self.confirmed()
+
+    def flag_counts(self) -> Dict[str, int]:
+        """How often each identity was flagged within the window."""
+        counts: Dict[str, int] = {}
+        for flagged in self._history:
+            for identity in flagged:
+                counts[identity] = counts.get(identity, 0) + 1
+        return counts
+
+    def confirmed(self) -> FrozenSet[str]:
+        """Identities flagged at least ``min_flags`` times in the window."""
+        return frozenset(
+            identity
+            for identity, count in self.flag_counts().items()
+            if count >= self.min_flags
+        )
+
+    @property
+    def periods_seen(self) -> int:
+        """Number of reports currently inside the window."""
+        return len(self._history)
+
+    def reset(self) -> None:
+        """Clear the history window."""
+        self._history.clear()

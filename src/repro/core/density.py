@@ -1,0 +1,103 @@
+"""Local traffic-density estimation (paper Eq. 9).
+
+Each vehicle estimates the linear traffic density around it as
+
+.. math::
+
+    den = \\frac{N_{normal}}{2 \\cdot Dist_{max}}
+
+where :math:`N_{normal}` is the number of *legitimate* nodes heard
+during the density-estimation period and :math:`Dist_{max}` the maximum
+transmission range — the denominator being the length of road the radio
+covers in both directions.  On the very first estimate a vehicle cannot
+yet tell legitimate nodes apart, so it uses the total number of heard
+identities (paper Section IV-C-3); subsequent estimates exclude
+identities the detector has already flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Set
+
+__all__ = ["DensityEstimator", "linear_density"]
+
+
+def linear_density(n_nodes: int, max_range_m: float) -> float:
+    """Eq. 9: vehicles per metre of covered road.
+
+    Args:
+        n_nodes: Number of distinct (presumed legitimate) nodes heard.
+        max_range_m: Maximum transmission range in metres.
+
+    Returns:
+        Density in vehicles per metre.  Multiply by 1000 for the
+        vehicles-per-kilometre unit the paper's figures use.
+    """
+    if n_nodes < 0:
+        raise ValueError(f"n_nodes must be non-negative, got {n_nodes}")
+    if max_range_m <= 0:
+        raise ValueError(f"max_range_m must be positive, got {max_range_m}")
+    return n_nodes / (2.0 * max_range_m)
+
+
+@dataclass
+class DensityEstimator:
+    """Rolling density estimator for one vehicle.
+
+    Call :meth:`hear` for every identity heard; call :meth:`estimate`
+    once per density-estimation period (paper default 10 s), then
+    :meth:`reset_period` to start the next period.  Identities the
+    detector has flagged as Sybil are excluded from later estimates via
+    :meth:`mark_illegitimate`.
+
+    Attributes:
+        max_range_m: Maximum transmission range (paper: up to 400 m;
+            Table V scenarios use the radio's effective range).
+    """
+
+    max_range_m: float
+    _heard: Set[str] = field(default_factory=set)
+    _illegitimate: Set[str] = field(default_factory=set)
+    _first_estimate_done: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_range_m <= 0:
+            raise ValueError(
+                f"max_range_m must be positive, got {self.max_range_m}"
+            )
+
+    def hear(self, identity: str) -> None:
+        """Record that a beacon from ``identity`` was received."""
+        self._heard.add(str(identity))
+
+    def hear_all(self, identities: Iterable[str]) -> None:
+        """Record a batch of heard identities."""
+        for identity in identities:
+            self.hear(identity)
+
+    def mark_illegitimate(self, identity: str) -> None:
+        """Exclude a detected Sybil/malicious identity from estimates."""
+        self._illegitimate.add(str(identity))
+
+    @property
+    def heard_count(self) -> int:
+        """Distinct identities heard this period (before filtering)."""
+        return len(self._heard)
+
+    def estimate(self) -> float:
+        """Density estimate (vehicles/m) for the current period.
+
+        The first estimate counts every heard identity; later estimates
+        count only identities not yet flagged (paper Section IV-C-3).
+        """
+        if self._first_estimate_done:
+            counted = len(self._heard - self._illegitimate)
+        else:
+            counted = len(self._heard)
+        self._first_estimate_done = True
+        return linear_density(counted, self.max_range_m)
+
+    def reset_period(self) -> None:
+        """Clear heard identities for the next estimation period."""
+        self._heard.clear()

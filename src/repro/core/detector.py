@@ -1,0 +1,369 @@
+"""The Voiceprint detector (paper Section IV-C, Algorithm 1).
+
+One :class:`VoiceprintDetector` instance runs on one vehicle and is fed
+every beacon that vehicle receives.  It implements the three phases:
+
+* **Collection** — :meth:`VoiceprintDetector.observe` appends
+  ``<ID, RSSI>`` tuples to per-identity buffers; the latest
+  *observation time* seconds are retained.
+* **Comparison** — :meth:`VoiceprintDetector.detect` cuts the current
+  observation window, Z-score-normalises every series (Eq. 7), measures
+  every pairwise FastDTW distance, and min–max-normalises the distances
+  (Eq. 8).
+* **Confirmation** — each pair is checked against the threshold policy
+  ``D <= k * den + b`` (Algorithm 1, line 15); identities in a flagged
+  pair are the suspected Sybil nodes.
+
+The detector is *independent*: it never consumes information reported
+by other vehicles, only its own RSSI observations — the property that
+makes Voiceprint trust-relationship-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import numpy as np
+
+from .fastdtw import DEFAULT_RADIUS, dtw_banded_fast, fastdtw
+from .dtw import dtw
+from .normalization import minmax_distances, zscore
+from .thresholds import LinearThreshold, ThresholdPolicy
+from .timeseries import RSSITimeSeries
+
+__all__ = ["DetectorConfig", "DetectionReport", "VoiceprintDetector"]
+
+Pair = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Tunable parameters of one Voiceprint instance.
+
+    Attributes:
+        observation_time: Length of the RSSI window compared each
+            detection (paper default 20 s).
+        min_samples: Series shorter than this are excluded from the
+            comparison.  The default (60, i.e. ~30 %% of the ~200
+            beacons a full 20 s window carries at 10 Hz) rejects the
+            heavily censored traces of vehicles that spent most of the
+            window out of range — such truncated drive-by sweeps all
+            look alike and are the dominant false-positive source.
+            Skipped identities can still not be *detected*, which is
+            exactly the packet-loss detection-rate penalty the paper
+            describes at high density.
+        band_radius_samples: Sakoe–Chiba band half-width for the
+            pairwise DTW, in samples (1 s at the 10 Hz cadence per 10
+            samples).  A band bounds how much temporal misalignment the
+            warp may forgive: Sybil streams are truly synchronous and
+            live on the diagonal, while coincidentally similar-shaped
+            sweeps from different vehicles need large warps to match
+            and get priced accordingly.  ``None`` disables the band and
+            uses plain FastDTW (the ablation bench measures the gap).
+        fastdtw_radius: FastDTW refinement radius, used only when the
+            band is disabled.
+        sigma_multiplier: Denominator multiplier of the Z-score; the
+            paper's enhanced variant uses 3.
+        scale_mode: How series are scaled after mean-centering.
+            ``"median"`` (default) divides every series by the *same*
+            value — ``sigma_multiplier`` times the median of the
+            compared series' standard deviations.  ``"per-series"`` is
+            the paper's literal Eq. 7, dividing each series by its own
+            deviation.  Mean-centering alone already cancels spoofed
+            constant TX-power offsets (Assumption 3's attack); dividing
+            by a *per-series* sigma additionally rescales each series'
+            noise, which makes per-step DTW costs incomparable across
+            links — a high-dynamic drive-by sweep gets its measurement
+            noise crushed and can look more "Sybil" than an actual
+            Sybil pair.  The common scale keeps costs comparable; the
+            ablation bench (E12) measures both modes.
+        threshold_on: Which distance the confirmation threshold is
+            compared against.  ``"normalized"`` (paper Eq. 8 / default)
+            thresholds the per-report min–max-normalised distances —
+            note that min–max *forces* the most similar pair in every
+            report to 0, so a verifier with no attacker in range always
+            flags its two most similar neighbours.  ``"raw"`` thresholds
+            the per-step DTW cost directly (it is already scale-free
+            after normalisation and path-averaging), which removes that
+            forced false positive; the ablation bench compares both.
+        use_exact_dtw: Replace the banded/FastDTW measure with exact
+            unconstrained DTW (ablations only).
+        normalize_by_path_length: Divide each DTW distance by its warp
+            path length (mean per-step cost) before the min–max step.
+            The paper min–maxes raw sums, which is fine when every pair
+            contributes ~200 samples; under real packet loss, raw sums
+            make *short* series pairs spuriously similar simply because
+            fewer terms are summed.  Path-length normalisation removes
+            that length bias; the ablation bench (E12) measures both.
+    """
+
+    observation_time: float = 20.0
+    min_samples: int = 60
+    band_radius_samples: Optional[int] = 10
+    fastdtw_radius: int = DEFAULT_RADIUS
+    sigma_multiplier: float = 3.0
+    scale_mode: str = "median"
+    threshold_on: str = "normalized"
+    use_exact_dtw: bool = False
+    normalize_by_path_length: bool = True
+
+    def __post_init__(self) -> None:
+        if self.observation_time <= 0:
+            raise ValueError(
+                f"observation_time must be positive, got {self.observation_time}"
+            )
+        if self.min_samples < 2:
+            raise ValueError(f"min_samples must be >= 2, got {self.min_samples}")
+        if self.fastdtw_radius < 0:
+            raise ValueError(
+                f"fastdtw_radius must be non-negative, got {self.fastdtw_radius}"
+            )
+        if self.band_radius_samples is not None and self.band_radius_samples < 0:
+            raise ValueError(
+                f"band_radius_samples must be non-negative, got "
+                f"{self.band_radius_samples}"
+            )
+        if self.sigma_multiplier <= 0:
+            raise ValueError(
+                f"sigma_multiplier must be positive, got {self.sigma_multiplier}"
+            )
+        if self.scale_mode not in ("median", "per-series"):
+            raise ValueError(
+                f"scale_mode must be 'median' or 'per-series', got "
+                f"{self.scale_mode!r}"
+            )
+        if self.threshold_on not in ("normalized", "raw"):
+            raise ValueError(
+                f"threshold_on must be 'normalized' or 'raw', got "
+                f"{self.threshold_on!r}"
+            )
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Result of one detection period on one vehicle.
+
+    Attributes:
+        timestamp: Detection time (end of the observation window).
+        density: Traffic density handed to the threshold policy (the
+            unit must match the policy's ``k``; the paper uses
+            vehicles/km).
+        threshold: The distance threshold applied at that density.
+        raw_distances: Pairwise FastDTW distances before Eq. 8.
+        distances: Pairwise distances after min–max normalisation.
+        sybil_pairs: Pairs whose distance fell below the threshold.
+        sybil_ids: Union of identities appearing in any flagged pair
+            (Algorithm 1's ``SybilIDs``).
+        compared_ids: Identities that had enough samples to compare.
+        skipped_ids: Identities heard but excluded (too few samples).
+    """
+
+    timestamp: float
+    density: float
+    threshold: float
+    raw_distances: Dict[Pair, float]
+    distances: Dict[Pair, float]
+    sybil_pairs: Tuple[Pair, ...]
+    sybil_ids: FrozenSet[str]
+    compared_ids: Tuple[str, ...]
+    skipped_ids: Tuple[str, ...]
+
+    def sybil_clusters(self) -> List[FrozenSet[str]]:
+        """Group flagged identities emitted by the same physical radio.
+
+        Connected components of the flagged-pair graph: if (a, b) and
+        (b, c) are both flagged, {a, b, c} are one presumed attacker.
+        """
+        parent: Dict[str, str] = {}
+
+        def find(x: str) -> str:
+            while parent.get(x, x) != x:
+                parent[x] = parent.get(parent[x], parent[x])
+                x = parent[x]
+            return x
+
+        for a, b in self.sybil_pairs:
+            parent.setdefault(a, a)
+            parent.setdefault(b, b)
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+        clusters: Dict[str, Set[str]] = {}
+        for node in parent:
+            clusters.setdefault(find(node), set()).add(node)
+        return [frozenset(members) for members in clusters.values()]
+
+
+class VoiceprintDetector:
+    """Per-vehicle Voiceprint Sybil detector.
+
+    Args:
+        threshold: Confirmation threshold policy.  Defaults to the
+            paper's trained linear boundary.
+        config: Detector tunables; defaults follow Table V.
+
+    Example:
+        >>> detector = VoiceprintDetector()
+        >>> for t, identity, rssi in beacons:          # doctest: +SKIP
+        ...     detector.observe(identity, t, rssi)
+        >>> report = detector.detect(density=40.0, now=t)  # doctest: +SKIP
+        >>> sorted(report.sybil_ids)                       # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        threshold: Optional[ThresholdPolicy] = None,
+        config: Optional[DetectorConfig] = None,
+    ) -> None:
+        self.threshold: ThresholdPolicy = threshold or LinearThreshold()
+        self.config = config or DetectorConfig()
+        self._buffers: Dict[str, RSSITimeSeries] = {}
+        self._latest: float = float("-inf")
+
+    # ------------------------------------------------------------------
+    # Collection phase
+    # ------------------------------------------------------------------
+    def observe(self, identity: str, timestamp: float, rssi: float) -> None:
+        """Record one received beacon's ``<ID, RSSI>`` tuple.
+
+        Buffers are trimmed lazily to roughly twice the observation
+        time, bounding memory on long runs.
+        """
+        identity = str(identity)
+        buffer = self._buffers.get(identity)
+        if buffer is None:
+            buffer = RSSITimeSeries(identity)
+            self._buffers[identity] = buffer
+        buffer.append(timestamp, rssi)
+        if timestamp > self._latest:
+            self._latest = timestamp
+        horizon = timestamp - 2.0 * self.config.observation_time
+        if buffer.start < horizon:
+            buffer.drop_before(horizon)
+
+    def load_series(self, series: RSSITimeSeries) -> None:
+        """Adopt a pre-collected series as this identity's buffer.
+
+        Batch/offline convenience: replaying a finished simulation
+        sample-by-sample through :meth:`observe` would only rebuild the
+        series objects the simulator already produced.  The series is
+        adopted by reference and replaces any existing buffer for the
+        identity.
+        """
+        self._buffers[series.identity] = series
+        if len(series) and series.end > self._latest:
+            self._latest = series.end
+
+    @property
+    def heard_identities(self) -> Tuple[str, ...]:
+        """All identities with at least one buffered sample."""
+        return tuple(sorted(self._buffers))
+
+    def series_for(self, identity: str) -> Optional[RSSITimeSeries]:
+        """The raw buffered series for one identity, if any."""
+        return self._buffers.get(str(identity))
+
+    def forget(self, identity: str) -> None:
+        """Drop an identity's buffer (e.g. after a node leaves range)."""
+        self._buffers.pop(str(identity), None)
+
+    # ------------------------------------------------------------------
+    # Comparison + confirmation phases
+    # ------------------------------------------------------------------
+    def _pair_distance(self, x: np.ndarray, y: np.ndarray) -> float:
+        if self.config.use_exact_dtw:
+            result = dtw(x, y)
+        elif self.config.band_radius_samples is not None:
+            result = dtw_banded_fast(x, y, self.config.band_radius_samples)
+        else:
+            result = fastdtw(x, y, radius=self.config.fastdtw_radius)
+        if self.config.normalize_by_path_length:
+            return result.distance / len(result.path)
+        return result.distance
+
+    def compare(
+        self, now: Optional[float] = None
+    ) -> Tuple[Dict[Pair, float], Tuple[str, ...], Tuple[str, ...]]:
+        """Run the comparison phase only.
+
+        Returns ``(raw_distances, compared_ids, skipped_ids)`` where the
+        distances are *pre*-min–max FastDTW values on Z-scored series.
+        """
+        if now is None:
+            now = self._latest
+        window_start = now - self.config.observation_time
+        windows: Dict[str, np.ndarray] = {}
+        skipped: List[str] = []
+        for identity, buffer in self._buffers.items():
+            window = buffer.window(window_start, now + 1e-9)
+            if len(window) < self.config.min_samples:
+                skipped.append(identity)
+                continue
+            windows[identity] = window.values
+        normalised: Dict[str, np.ndarray] = {}
+        if self.config.scale_mode == "median" and windows:
+            sigmas = [float(np.std(v)) for v in windows.values()]
+            scale = self.config.sigma_multiplier * max(
+                float(np.median(sigmas)), 1e-9
+            )
+            for identity, values in windows.items():
+                normalised[identity] = (values - float(np.mean(values))) / scale
+        else:
+            for identity, values in windows.items():
+                normalised[identity] = zscore(
+                    values, sigma_multiplier=self.config.sigma_multiplier
+                )
+        compared = tuple(sorted(normalised))
+        raw: Dict[Pair, float] = {}
+        for idx, a in enumerate(compared):
+            for b in compared[idx + 1 :]:
+                raw[(a, b)] = self._pair_distance(normalised[a], normalised[b])
+        return raw, compared, tuple(sorted(skipped))
+
+    def detect(
+        self,
+        density: float,
+        now: Optional[float] = None,
+    ) -> DetectionReport:
+        """Run one full detection period (Algorithm 1).
+
+        Args:
+            density: Locally estimated traffic density, in the unit the
+                threshold policy was trained with (vehicles/km for the
+                paper's boundary).
+            now: End of the observation window; defaults to the latest
+                observed timestamp.
+
+        Returns:
+            A :class:`DetectionReport`; with fewer than two comparable
+            identities the report is empty (nothing to compare).
+        """
+        if density < 0:
+            raise ValueError(f"density must be non-negative, got {density}")
+        if now is None:
+            now = self._latest if self._buffers else 0.0
+        raw, compared, skipped = self.compare(now=now)
+        distances = minmax_distances(raw)
+        cutoff = self.threshold.threshold_at(density)
+        judged = distances if self.config.threshold_on == "normalized" else raw
+        sybil_pairs = tuple(
+            pair for pair, d in sorted(judged.items()) if d <= cutoff
+        )
+        sybil_ids = frozenset(identity for pair in sybil_pairs for identity in pair)
+        return DetectionReport(
+            timestamp=float(now),
+            density=float(density),
+            threshold=float(cutoff),
+            raw_distances=raw,
+            distances=distances,
+            sybil_pairs=sybil_pairs,
+            sybil_ids=sybil_ids,
+            compared_ids=compared,
+            skipped_ids=skipped,
+        )
+
+    def reset(self) -> None:
+        """Drop all collection buffers (fresh start)."""
+        self._buffers.clear()
+        self._latest = float("-inf")

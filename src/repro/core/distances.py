@@ -1,0 +1,100 @@
+"""Point-wise time-series distances (paper Eq. 2).
+
+The classical :math:`L_p` family matches series point-to-point, which
+requires equal lengths.  The paper uses these as the conceptual baseline
+that DTW improves on: packet loss in VANETs routinely yields unequal
+series, and even equal-length series can be temporally shifted, which a
+point-wise metric punishes.  The Euclidean distance (``p = 2``) is kept
+as a named convenience because it is the robust standard the paper cites
+from Wang et al.'s distance-measure study.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "lp_distance",
+    "euclidean_distance",
+    "manhattan_distance",
+    "chebyshev_distance",
+    "squared_cost",
+    "absolute_cost",
+]
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def _as_equal_length_arrays(x: ArrayLike, y: ArrayLike) -> tuple:
+    a = np.asarray(x, dtype=float)
+    b = np.asarray(y, dtype=float)
+    if a.ndim != 1 or b.ndim != 1:
+        raise ValueError(
+            f"expected 1-D series, got shapes {a.shape} and {b.shape}"
+        )
+    if a.shape != b.shape:
+        raise ValueError(
+            "Lp distances require equal-length series "
+            f"(got {a.size} and {b.size}); use DTW for unequal lengths"
+        )
+    return a, b
+
+
+def lp_distance(x: ArrayLike, y: ArrayLike, p: int = 2) -> float:
+    """The :math:`L_p` norm distance between two equal-length series.
+
+    Implements Eq. 2: ``(sum |x_i - y_i|^p)^(1/p)``.
+
+    Args:
+        x: First series.
+        y: Second series (same length as ``x``).
+        p: Positive integer norm order.
+
+    Raises:
+        ValueError: On unequal lengths or non-positive ``p``.
+    """
+    if p < 1:
+        raise ValueError(f"p must be a positive integer, got {p}")
+    a, b = _as_equal_length_arrays(x, y)
+    if a.size == 0:
+        return 0.0
+    return float(np.sum(np.abs(a - b) ** p) ** (1.0 / p))
+
+
+def euclidean_distance(x: ArrayLike, y: ArrayLike) -> float:
+    """The Euclidean distance (:math:`L_2`), the ``p = 2`` special case."""
+    return lp_distance(x, y, p=2)
+
+
+def manhattan_distance(x: ArrayLike, y: ArrayLike) -> float:
+    """The Manhattan distance (:math:`L_1`)."""
+    return lp_distance(x, y, p=1)
+
+
+def chebyshev_distance(x: ArrayLike, y: ArrayLike) -> float:
+    """The Chebyshev distance (:math:`L_\\infty`), the ``p → ∞`` limit."""
+    a, b = _as_equal_length_arrays(x, y)
+    if a.size == 0:
+        return 0.0
+    return float(np.max(np.abs(a - b)))
+
+
+def squared_cost(xi: float, yj: float) -> float:
+    """DTW local cost ``(x_i - y_j)^2`` (paper Eq. 3)."""
+    d = xi - yj
+    return d * d
+
+
+def absolute_cost(xi: float, yj: float) -> float:
+    """Alternative DTW local cost ``|x_i - y_j|``.
+
+    Not the paper's choice, but a common variant; exposed so the
+    ablation benches can quantify how little the local cost matters
+    after min–max normalisation.
+    """
+    return abs(xi - yj)
+
+
+CostFunction = Callable[[float, float], float]

@@ -1,0 +1,288 @@
+"""Dynamic Time Warping (paper Section IV-B, Eqs. 3–6).
+
+DTW finds the minimum-cost monotone alignment between two series of
+possibly different lengths, tolerating the shifting/scaling/warping that
+packet loss and clock offsets introduce into VANET RSSI series.  The
+recursion is exactly the paper's:
+
+.. math::
+
+    c_{i,j} = (x_i - y_j)^2
+
+    D_{i,j} = c_{i,j} + \\min(D_{i-1,j},\\ D_{i,j-1},\\ D_{i-1,j-1})
+
+with :math:`D_{0,0} = 0` and every other border cell :math:`\\infty`;
+the DTW distance is :math:`D_{N,M}`.
+
+This module provides the exact :math:`O(NM)` algorithm, warp-path
+recovery, and a Sakoe–Chiba banded variant.  The windowed variant that
+FastDTW needs lives here too (:func:`dtw_windowed`), operating on an
+explicit set of admissible cells.
+
+Note on the paper's worked example (Fig. 9): for
+``X = {1, 1, 4, 1, 1}``, ``Y = {2, 2, 2, 4, 2, 2}`` this recursion
+yields a distance of **5** with the squared cost of Eq. 3 (and 5 with an
+absolute cost as well), not the 9 printed in the figure.  We implement
+the equations as written; see EXPERIMENTS.md (E4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .distances import CostFunction, squared_cost
+
+__all__ = [
+    "DTWResult",
+    "dtw",
+    "dtw_distance",
+    "dtw_banded",
+    "dtw_windowed",
+    "warp_path_cells",
+]
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+Cell = Tuple[int, int]
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class DTWResult:
+    """Outcome of one DTW alignment.
+
+    Attributes:
+        distance: The total accumulated cost :math:`D_{N,M}` (Eq. 6).
+        path: The optimal warp path as 1-indexed ``(i, j)`` pairs from
+            ``(1, 1)`` to ``(N, M)``, satisfying the monotonicity
+            constraint of Eq. 5.
+    """
+
+    distance: float
+    path: Tuple[Cell, ...]
+
+    def __len__(self) -> int:
+        return len(self.path)
+
+
+def _validate(x: ArrayLike, y: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(x, dtype=float)
+    b = np.asarray(y, dtype=float)
+    if a.ndim != 1 or b.ndim != 1:
+        raise ValueError(f"expected 1-D series, got shapes {a.shape}, {b.shape}")
+    if a.size == 0 or b.size == 0:
+        raise ValueError("DTW is undefined for empty series")
+    if not (np.all(np.isfinite(a)) and np.all(np.isfinite(b))):
+        raise ValueError("DTW requires finite series values")
+    return a, b
+
+
+def _accumulate_full(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Fill the full accumulated-cost matrix with the squared local cost.
+
+    Returns an ``(N+1) x (M+1)`` matrix whose ``[i, j]`` entry is
+    :math:`D_{i,j}` (1-indexed as in the paper; row/column 0 are the
+    infinite borders except ``D[0, 0] = 0``).
+    """
+    n, m = a.size, b.size
+    cost = (a[:, None] - b[None, :]) ** 2
+    acc = np.full((n + 1, m + 1), _INF, dtype=float)
+    acc[0, 0] = 0.0
+    for i in range(1, n + 1):
+        row = acc[i]
+        prev = acc[i - 1]
+        crow = cost[i - 1]
+        for j in range(1, m + 1):
+            best = prev[j - 1]
+            if prev[j] < best:
+                best = prev[j]
+            if row[j - 1] < best:
+                best = row[j - 1]
+            row[j] = crow[j - 1] + best
+    return acc
+
+
+def _traceback(acc: np.ndarray) -> Tuple[Cell, ...]:
+    """Recover the optimal warp path from an accumulated-cost matrix."""
+    i = acc.shape[0] - 1
+    j = acc.shape[1] - 1
+    path: List[Cell] = [(i, j)]
+    while (i, j) != (1, 1):
+        candidates = (
+            (acc[i - 1, j - 1], (i - 1, j - 1)),
+            (acc[i - 1, j], (i - 1, j)),
+            (acc[i, j - 1], (i, j - 1)),
+        )
+        _, (i, j) = min(candidates, key=lambda c: c[0])
+        path.append((i, j))
+    path.reverse()
+    return tuple(path)
+
+
+def dtw(x: ArrayLike, y: ArrayLike) -> DTWResult:
+    """Exact DTW between two series, with warp-path recovery.
+
+    Args:
+        x: First series (length ``N``).
+        y: Second series (length ``M``).
+
+    Returns:
+        :class:`DTWResult` with the distance :math:`D_{N,M}` and the
+        optimal 1-indexed warp path.
+    """
+    a, b = _validate(x, y)
+    acc = _accumulate_full(a, b)
+    return DTWResult(distance=float(acc[-1, -1]), path=_traceback(acc))
+
+
+def dtw_distance(x: ArrayLike, y: ArrayLike) -> float:
+    """Exact DTW distance only (no path), vectorised row-sweep.
+
+    Equivalent to ``dtw(x, y).distance`` but faster because each row
+    relaxation is a single numpy expression.
+    """
+    a, b = _validate(x, y)
+    m = b.size
+    prev = np.full(m + 1, _INF)
+    prev[0] = 0.0
+    curr = np.empty(m + 1)
+    for i in range(a.size):
+        curr[0] = _INF
+        cost = (a[i] - b) ** 2
+        # curr[j] = cost[j-1] + min(prev[j], prev[j-1], curr[j-1]);
+        # the curr[j-1] term forces a left-to-right scan.
+        best_up = np.minimum(prev[1:], prev[:-1])
+        running = _INF
+        for j in range(m):
+            step = best_up[j]
+            if running < step:
+                step = running
+            running = cost[j] + step
+            curr[j + 1] = running
+        prev, curr = curr, prev
+    return float(prev[-1])
+
+
+def dtw_banded(x: ArrayLike, y: ArrayLike, radius: int) -> DTWResult:
+    """DTW restricted to a Sakoe–Chiba band of half-width ``radius``.
+
+    Cells ``(i, j)`` are admissible when the point ``j`` lies within
+    ``radius`` of the diagonal projection of ``i`` (after scaling for
+    unequal lengths).  The band always contains the corners, so a valid
+    path exists for any non-negative radius.
+
+    Args:
+        x: First series.
+        y: Second series.
+        radius: Band half-width in cells (``>= 0``).
+
+    Returns:
+        :class:`DTWResult`; its distance upper-bounds nothing and
+        lower-bounds nothing in general, but equals the exact DTW
+        distance whenever the optimal path fits inside the band.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    a, b = _validate(x, y)
+    n, m = a.size, b.size
+    scale = m / n
+    window: List[Cell] = []
+    for i in range(1, n + 1):
+        centre = i * scale
+        lo = max(1, int(math.floor(centre - radius - scale)))
+        hi = min(m, int(math.ceil(centre + radius)))
+        for j in range(lo, hi + 1):
+            window.append((i, j))
+    return dtw_windowed(a, b, window)
+
+
+def dtw_windowed(
+    x: ArrayLike,
+    y: ArrayLike,
+    window: Iterable[Cell],
+    cost_fn: CostFunction = squared_cost,
+) -> DTWResult:
+    """DTW evaluated only on an explicit set of admissible cells.
+
+    This is the engine underneath both :func:`dtw_banded` and FastDTW's
+    projected-window refinement.  Cells are 1-indexed ``(i, j)`` pairs;
+    the window must contain ``(1, 1)`` and ``(N, M)`` and be connected
+    enough for at least one monotone path to exist, otherwise a
+    ``ValueError`` is raised.
+
+    Args:
+        x: First series (length ``N``).
+        y: Second series (length ``M``).
+        window: Admissible 1-indexed cells.
+        cost_fn: Local cost; defaults to the paper's squared difference.
+
+    Returns:
+        :class:`DTWResult` for the best path inside the window.
+    """
+    a, b = _validate(x, y)
+    n, m = a.size, b.size
+    cells = sorted(set(window))
+    if not cells:
+        raise ValueError("window is empty")
+    for (i, j) in (cells[0], cells[-1]):
+        if not (1 <= i <= n and 1 <= j <= m):
+            raise ValueError(f"window cell ({i}, {j}) outside series bounds")
+    if cells[0] != (1, 1):
+        raise ValueError("window must contain the start cell (1, 1)")
+    if cells[-1] != (n, m):
+        raise ValueError(f"window must contain the end cell ({n}, {m})")
+
+    acc: Dict[Cell, float] = {(0, 0): 0.0}
+    # Cells are sorted lexicographically, so predecessors (i-1, *) and
+    # (i, j-1) are always relaxed before (i, j).
+    for (i, j) in cells:
+        best = min(
+            acc.get((i - 1, j), _INF),
+            acc.get((i, j - 1), _INF),
+            acc.get((i - 1, j - 1), _INF),
+        )
+        if math.isinf(best):
+            continue
+        acc[(i, j)] = cost_fn(float(a[i - 1]), float(b[j - 1])) + best
+
+    end = (n, m)
+    if end not in acc:
+        raise ValueError("window admits no monotone warp path")
+
+    # Traceback through the sparse accumulated map.
+    path: List[Cell] = [end]
+    i, j = end
+    while (i, j) != (1, 1):
+        candidates = [
+            (acc[(pi, pj)], (pi, pj))
+            for (pi, pj) in ((i - 1, j - 1), (i - 1, j), (i, j - 1))
+            if (pi, pj) in acc or (pi, pj) == (0, 0)
+        ]
+        candidates = [(d, c) for d, c in candidates if c != (0, 0)]
+        if not candidates:
+            raise ValueError("traceback escaped the window")
+        _, (i, j) = min(candidates, key=lambda c: c[0])
+        path.append((i, j))
+    path.reverse()
+    return DTWResult(distance=float(acc[end]), path=tuple(path))
+
+
+def warp_path_cells(path: Sequence[Cell]) -> bool:
+    """Check a warp path against the paper's constraints (Eq. 5).
+
+    Returns ``True`` when the path starts at ``(1, 1)``, is monotone
+    with unit steps, and each coordinate advances by at most one per
+    step; ``False`` otherwise.
+    """
+    if not path or path[0] != (1, 1):
+        return False
+    for (i, j), (i2, j2) in zip(path, path[1:]):
+        if not (i <= i2 <= i + 1 and j <= j2 <= j + 1):
+            return False
+        if (i2, j2) == (i, j):
+            return False
+    return True

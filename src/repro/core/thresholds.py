@@ -1,0 +1,93 @@
+"""Confirmation-phase thresholds.
+
+Two threshold policies appear in the paper:
+
+* :class:`LinearThreshold` — the density-adaptive line trained with LDA
+  for the highway simulations (Fig. 10; ``k = 0.00054``, ``b = 0.0483``
+  with density expressed in vehicles/km).
+* :class:`ConstantThreshold` — the fixed value used in the four-vehicle
+  field test, where density barely varies (``0.05046`` at 4 vhls/km,
+  Section VI-A).
+
+Both answer one question: *at this traffic density, how small must a
+normalised DTW distance be before the pair is declared Sybil?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from .lda import DecisionLine
+
+__all__ = [
+    "ThresholdPolicy",
+    "LinearThreshold",
+    "ConstantThreshold",
+    "PAPER_SLOPE",
+    "PAPER_INTERCEPT",
+    "PAPER_FIELD_THRESHOLD",
+]
+
+#: Trained boundary the paper reports (Fig. 10), density in vehicles/km.
+PAPER_SLOPE = 0.00054
+PAPER_INTERCEPT = 0.0483
+#: Constant threshold used in the field test (Section VI-A).
+PAPER_FIELD_THRESHOLD = 0.05046
+
+
+class ThresholdPolicy(Protocol):
+    """Anything that can turn a density into a distance threshold."""
+
+    def threshold_at(self, density: float) -> float:
+        """Distance threshold at the given density (same unit as k·den)."""
+        ...
+
+    def is_sybil_pair(self, density: float, distance: float) -> bool:
+        """Whether a pair at ``distance`` should be flagged."""
+        ...
+
+
+@dataclass(frozen=True)
+class LinearThreshold:
+    """Density-adaptive threshold ``D <= k * den + b``.
+
+    ``density_unit_per_km`` controls whether callers pass density in
+    vehicles/km (paper figures; the default) or vehicles/m (Eq. 9's raw
+    output, pass ``False`` and pre-scaled ``k``).
+    """
+
+    k: float = PAPER_SLOPE
+    b: float = PAPER_INTERCEPT
+
+    @classmethod
+    def from_decision_line(cls, line: DecisionLine) -> "LinearThreshold":
+        """Adopt a boundary trained by :func:`repro.core.lda.fit_decision_line`."""
+        return cls(k=line.k, b=line.b)
+
+    def threshold_at(self, density: float) -> float:
+        if density < 0:
+            raise ValueError(f"density must be non-negative, got {density}")
+        return self.k * density + self.b
+
+    def is_sybil_pair(self, density: float, distance: float) -> bool:
+        return distance <= self.threshold_at(density)
+
+
+@dataclass(frozen=True)
+class ConstantThreshold:
+    """Density-independent threshold, as in the field test."""
+
+    value: float = PAPER_FIELD_THRESHOLD
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError(f"threshold must be non-negative, got {self.value}")
+
+    def threshold_at(self, density: float) -> float:
+        if density < 0:
+            raise ValueError(f"density must be non-negative, got {density}")
+        return self.value
+
+    def is_sybil_pair(self, density: float, distance: float) -> bool:
+        return distance <= self.value

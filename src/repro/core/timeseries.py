@@ -1,0 +1,253 @@
+"""RSSI time-series primitives.
+
+The Voiceprint collection phase stores, per heard identity, a 2-tuple
+``<ID, RSSI>`` for every successfully received beacon (paper Section
+IV-C-1).  :class:`RSSITimeSeries` is the append-only record of those
+tuples together with their reception timestamps, plus the windowing and
+gap bookkeeping the detector needs.
+
+All RSSI values are in dBm.  All timestamps are in seconds (simulation
+time or wall-clock time; the detector only uses them relatively).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["RSSISample", "RSSITimeSeries", "merge_series"]
+
+
+@dataclass(frozen=True, order=True)
+class RSSISample:
+    """A single RSSI measurement from one received beacon.
+
+    Attributes:
+        timestamp: Reception time in seconds.
+        rssi: Received signal strength in dBm.
+    """
+
+    timestamp: float
+    rssi: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.timestamp):
+            raise ValueError(f"timestamp must be finite, got {self.timestamp!r}")
+        if not math.isfinite(self.rssi):
+            raise ValueError(f"rssi must be finite, got {self.rssi!r}")
+
+
+class RSSITimeSeries:
+    """Append-only time series of RSSI measurements for one identity.
+
+    Samples must be appended in non-decreasing timestamp order; the
+    collection phase observes the channel causally, so out-of-order
+    appends indicate a bug in the caller and raise ``ValueError``.
+
+    Args:
+        identity: The claimed identity the samples belong to.
+        samples: Optional initial samples, already time-ordered.
+    """
+
+    __slots__ = ("identity", "_timestamps", "_values")
+
+    def __init__(
+        self,
+        identity: str,
+        samples: Optional[Iterable[RSSISample]] = None,
+    ) -> None:
+        self.identity = str(identity)
+        self._timestamps: List[float] = []
+        self._values: List[float] = []
+        if samples is not None:
+            for sample in samples:
+                self.append(sample.timestamp, sample.rssi)
+
+    # ------------------------------------------------------------------
+    # Construction / mutation
+    # ------------------------------------------------------------------
+    def append(self, timestamp: float, rssi: float) -> None:
+        """Record one received beacon's RSSI.
+
+        Raises:
+            ValueError: If ``timestamp`` precedes the last recorded one
+                or either argument is non-finite.
+        """
+        if not math.isfinite(timestamp) or not math.isfinite(rssi):
+            raise ValueError(
+                f"non-finite sample (timestamp={timestamp!r}, rssi={rssi!r})"
+            )
+        if self._timestamps and timestamp < self._timestamps[-1]:
+            raise ValueError(
+                f"out-of-order append: {timestamp} < {self._timestamps[-1]}"
+            )
+        self._timestamps.append(float(timestamp))
+        self._values.append(float(rssi))
+
+    @classmethod
+    def from_values(
+        cls,
+        identity: str,
+        values: Sequence[float],
+        start: float = 0.0,
+        interval: float = 0.1,
+    ) -> "RSSITimeSeries":
+        """Build a series from raw values at a fixed sampling interval.
+
+        Convenient for tests and for replaying the paper's 10 Hz beacon
+        cadence (``interval=0.1``).
+        """
+        series = cls(identity)
+        for i, value in enumerate(values):
+            series.append(start + i * interval, value)
+        return series
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[RSSISample]:
+        for t, v in zip(self._timestamps, self._values):
+            yield RSSISample(t, v)
+
+    def __repr__(self) -> str:
+        span = f"{self.start:.2f}..{self.end:.2f}s" if self._timestamps else "empty"
+        return (
+            f"RSSITimeSeries(identity={self.identity!r}, "
+            f"n={len(self)}, span={span})"
+        )
+
+    @property
+    def values(self) -> np.ndarray:
+        """RSSI values (dBm) as a float array, in time order."""
+        return np.asarray(self._values, dtype=float)
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Sample timestamps (s) as a float array, in time order."""
+        return np.asarray(self._timestamps, dtype=float)
+
+    @property
+    def start(self) -> float:
+        """Timestamp of the first sample. Raises on an empty series."""
+        if not self._timestamps:
+            raise ValueError("empty series has no start")
+        return self._timestamps[0]
+
+    @property
+    def end(self) -> float:
+        """Timestamp of the last sample. Raises on an empty series."""
+        if not self._timestamps:
+            raise ValueError("empty series has no end")
+        return self._timestamps[-1]
+
+    @property
+    def duration(self) -> float:
+        """Time spanned by the samples (0 for fewer than two samples)."""
+        if len(self._timestamps) < 2:
+            return 0.0
+        return self._timestamps[-1] - self._timestamps[0]
+
+    def mean(self) -> float:
+        """Mean RSSI in dBm. Raises on an empty series."""
+        if not self._values:
+            raise ValueError("empty series has no mean")
+        return float(np.mean(self._values))
+
+    def std(self) -> float:
+        """Population standard deviation of the RSSI values (dBm)."""
+        if not self._values:
+            raise ValueError("empty series has no std")
+        return float(np.std(self._values))
+
+    # ------------------------------------------------------------------
+    # Windowing and loss statistics
+    # ------------------------------------------------------------------
+    def window(self, start: float, end: float) -> "RSSITimeSeries":
+        """Return the sub-series with ``start <= timestamp < end``.
+
+        Used by the detector to cut one observation-time window out of
+        the rolling collection buffer.
+        """
+        if end < start:
+            raise ValueError(f"window end {end} precedes start {start}")
+        ts = self.timestamps
+        lo = int(np.searchsorted(ts, start, side="left"))
+        hi = int(np.searchsorted(ts, end, side="left"))
+        out = RSSITimeSeries(self.identity)
+        out._timestamps = self._timestamps[lo:hi]
+        out._values = self._values[lo:hi]
+        return out
+
+    def tail(self, duration: float) -> "RSSITimeSeries":
+        """Return the most recent ``duration`` seconds of samples."""
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        if not self._timestamps:
+            return RSSITimeSeries(self.identity)
+        cutoff = self._timestamps[-1] - duration
+        # Keep samples with timestamp >= cutoff (inclusive of the edge).
+        ts = self.timestamps
+        lo = int(np.searchsorted(ts, cutoff, side="left"))
+        out = RSSITimeSeries(self.identity)
+        out._timestamps = self._timestamps[lo:]
+        out._values = self._values[lo:]
+        return out
+
+    def drop_before(self, timestamp: float) -> None:
+        """Discard samples strictly older than ``timestamp`` in place.
+
+        Keeps the rolling collection buffer bounded during long runs.
+        """
+        ts = self.timestamps
+        lo = int(np.searchsorted(ts, timestamp, side="left"))
+        if lo:
+            del self._timestamps[:lo]
+            del self._values[:lo]
+
+    def expected_samples(self, beacon_interval: float = 0.1) -> int:
+        """Number of beacons the span *should* contain at a fixed cadence.
+
+        With the DSRC 10 Hz cadence (``beacon_interval=0.1``) a 20 s
+        window should hold about 200 samples; the shortfall versus
+        :func:`len` measures packet loss.
+        """
+        if beacon_interval <= 0:
+            raise ValueError("beacon_interval must be positive")
+        if len(self._timestamps) < 2:
+            return len(self._timestamps)
+        return int(round(self.duration / beacon_interval)) + 1
+
+    def loss_rate(self, beacon_interval: float = 0.1) -> float:
+        """Estimated fraction of beacons lost within the sample span."""
+        expected = self.expected_samples(beacon_interval)
+        if expected <= 0:
+            return 0.0
+        return max(0.0, 1.0 - len(self) / expected)
+
+    def largest_gap(self) -> float:
+        """Longest inter-sample gap in seconds (0 for < 2 samples)."""
+        if len(self._timestamps) < 2:
+            return 0.0
+        return float(np.max(np.diff(self.timestamps)))
+
+
+def merge_series(
+    identity: str, parts: Sequence[RSSITimeSeries]
+) -> RSSITimeSeries:
+    """Merge time-ordered series fragments into one series.
+
+    Fragments may interleave in time; the merged result is globally
+    sorted by timestamp.  Useful when collection is sharded (e.g. one
+    buffer per MAC queue) and the detector wants a single view.
+    """
+    samples = sorted(
+        (sample for part in parts for sample in part),
+        key=lambda s: s.timestamp,
+    )
+    return RSSITimeSeries(identity, samples)

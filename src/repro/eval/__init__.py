@@ -1,0 +1,28 @@
+"""Evaluation harness: metrics, runners, training, experiments."""
+
+from .metrics import PeriodOutcome, average_rates, evaluate_flags
+from .reporting import format_value, render_table
+from .runner import detection_times, heard_in_window, run_cpvsad, run_voiceprint, run_xiao
+from .training import (
+    TrainingCorpus,
+    TrainingPoint,
+    collect_training_corpus,
+    train_boundary,
+)
+
+__all__ = [
+    "PeriodOutcome",
+    "average_rates",
+    "evaluate_flags",
+    "format_value",
+    "render_table",
+    "detection_times",
+    "heard_in_window",
+    "run_cpvsad",
+    "run_voiceprint",
+    "run_xiao",
+    "TrainingCorpus",
+    "TrainingPoint",
+    "collect_training_corpus",
+    "train_boundary",
+]

@@ -1,0 +1,67 @@
+"""Experiment harness: one callable per paper table/figure.
+
+| Experiment | Paper artefact | Entry point |
+|---|---|---|
+| E1 | Fig. 5 / Observation 1 | :func:`run_observation1` |
+| E2 | Table IV | :func:`run_table4` |
+| E3 | Figs. 6–7 / Observation 3 | :func:`run_observation3` |
+| E4 | Fig. 9 (DTW example) | :func:`run_dtw_example` |
+| E5 | Fig. 10 (LDA boundary) | :func:`run_boundary_training` |
+| E6 | Fig. 11a | :func:`run_fig11a` |
+| E7 | Fig. 11b | :func:`run_fig11b` |
+| E8 | Fig. 13 (field test) | :func:`run_fig13` |
+| E9 | Fig. 14 (red-light FP) | :func:`run_fig14` |
+| E10 | §VI-B timing | :func:`run_timing` |
+| E11 | Table I | :func:`run_table1` |
+| E12 | design ablations | :func:`run_ablations` |
+| E13 | future work: SCH beacon rates | :func:`run_beacon_rate_study` |
+"""
+
+from .ablations import AblationRow, run_ablations, separation_margin
+from .beacon_rate import BeaconRateRow, run_beacon_rate_study
+from .boundary import BoundaryResult, run_boundary_training
+from .detection import Fig11Row, run_fig11, run_fig11a, run_fig11b
+from .dtw_example import DtwExampleResult, run_dtw_example
+from .field import (
+    FieldAreaResult,
+    FieldDetection,
+    Fig14Result,
+    run_fig13,
+    run_fig14,
+)
+from .observation1 import Observation1Row, run_observation1
+from .observation3 import Observation3Result, run_observation3
+from .table1 import Table1Row, run_table1
+from .table4 import Table4Row, run_table4
+from .timing import TimingResult, run_timing
+
+__all__ = [
+    "AblationRow",
+    "run_ablations",
+    "separation_margin",
+    "BeaconRateRow",
+    "run_beacon_rate_study",
+    "BoundaryResult",
+    "run_boundary_training",
+    "Fig11Row",
+    "run_fig11",
+    "run_fig11a",
+    "run_fig11b",
+    "DtwExampleResult",
+    "run_dtw_example",
+    "FieldAreaResult",
+    "FieldDetection",
+    "Fig14Result",
+    "run_fig13",
+    "run_fig14",
+    "Observation1Row",
+    "run_observation1",
+    "Observation3Result",
+    "run_observation3",
+    "Table1Row",
+    "run_table1",
+    "Table4Row",
+    "run_table4",
+    "TimingResult",
+    "run_timing",
+]

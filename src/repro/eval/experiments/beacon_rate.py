@@ -1,0 +1,168 @@
+"""E13 — the paper's first future-work item: SCH-boosted beacon rates.
+
+Voiceprint's one operational cost is its observation time: at the CCH's
+10 Hz cap, filling a ~200-sample voiceprint takes 20 s.  The paper's
+conclusion proposes using the Service Channel, which has no strict
+beacon-rate limit, to collect samples faster and shorten detection
+latency.
+
+This experiment quantifies that trade on the field-test scenario: sweep
+(beacon rate × observation time), measure the Sybil/neighbour
+separation margin each combination achieves, and find for each rate the
+shortest observation time with perfect separation.  The expectation —
+and the future-work item's premise — is that sample *count*, not
+elapsed time, carries the voiceprint, so a 5× rate cuts the needed
+window roughly 5×.  (It cannot cut it without limit: with too short a
+window the channel barely evolves and everyone's series look alike —
+the red-light effect in miniature.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...core.fastdtw import dtw_banded_fast
+from ...sim.fieldtest import (
+    FieldTestConfig,
+    MALICIOUS_ID,
+    SYBIL_IDS,
+    run_field_test,
+)
+from .ablations import separation_margin
+
+__all__ = ["BeaconRateRow", "run_beacon_rate_study"]
+
+
+@dataclass(frozen=True)
+class BeaconRateRow:
+    """One (beacon rate, observation time) operating point.
+
+    Attributes:
+        beacon_rate_hz: Sampling rate (CCH: 10 Hz; SCH: higher).
+        observation_time_s: Window length compared.
+        samples_per_series: Median samples a series carries.
+        sybil_max: Largest same-radio pair distance.
+        other_min: Smallest cross pair distance.
+    """
+
+    beacon_rate_hz: float
+    observation_time_s: float
+    samples_per_series: int
+    sybil_max: float
+    other_min: float
+
+    @property
+    def margin(self) -> float:
+        """other_min / sybil_max (> 1 → perfect separation)."""
+        if self.sybil_max <= 0:
+            return float("inf")
+        return self.other_min / self.sybil_max
+
+
+def _window_margin(
+    observations,
+    start: float,
+    end: float,
+    min_samples: int,
+    band: int,
+) -> Optional[Tuple[float, float, int]]:
+    windows: Dict[str, np.ndarray] = {}
+    for identity, series in observations.items():
+        window = series.window(start, end)
+        if len(window) >= min_samples:
+            windows[identity] = window.values
+    if len(windows) < 3:
+        return None
+    sigmas = [float(np.std(v)) for v in windows.values()]
+    scale = 3.0 * max(float(np.median(sigmas)), 1e-9)
+    normalised = {k: (v - v.mean()) / scale for k, v in windows.items()}
+    identities = sorted(normalised)
+    distances = {}
+    for i, a in enumerate(identities):
+        for b in identities[i + 1 :]:
+            result = dtw_banded_fast(normalised[a], normalised[b], band)
+            distances[(a, b)] = result.distance / len(result.path)
+    sybil_group = (MALICIOUS_ID,) + SYBIL_IDS
+    try:
+        sybil_max, other_min = separation_margin(distances, sybil_group)
+    except ValueError:
+        return None
+    median_samples = int(np.median([v.size for v in windows.values()]))
+    return sybil_max, other_min, median_samples
+
+
+def run_beacon_rate_study(
+    beacon_rates_hz: Sequence[float] = (10.0, 20.0, 50.0),
+    observation_times_s: Sequence[float] = (2.0, 5.0, 10.0, 20.0),
+    environment: str = "rural",
+    duration_s: float = 120.0,
+    min_fill: float = 0.3,
+    seed: int = 23,
+) -> List[BeaconRateRow]:
+    """Sweep beacon rate against observation time.
+
+    For each beacon rate, one field-test drive is simulated; every
+    observation time is then evaluated over several windows of that
+    drive (margins are averaged over windows).
+
+    Args:
+        beacon_rates_hz: Sampling rates; 10 Hz is the CCH baseline.
+        observation_times_s: Candidate window lengths.
+        environment: Field-test route (rural: clean, always moving).
+        duration_s: Drive length per rate.
+        min_fill: Minimum fraction of expected samples for a series to
+            be compared (the detector's ``min_samples`` scaled to the
+            window).
+        seed: Base RNG seed.
+
+    Returns:
+        One row per (rate, observation time) combination, rate-major.
+    """
+    if min(observation_times_s) <= 0:
+        raise ValueError("observation times must be positive")
+    rows: List[BeaconRateRow] = []
+    # The DTW band covers the same 1 s of temporal misalignment at
+    # every rate: band = rate * 1 s.
+    for index, rate in enumerate(beacon_rates_hz):
+        drive = run_field_test(
+            FieldTestConfig(
+                environment=environment,
+                duration_s=duration_s,
+                beacon_rate_hz=rate,
+                seed=seed + index,
+            )
+        )
+        observations = drive.observations["3"]
+        band = max(2, int(round(rate * 1.0)))
+        for obs_time in observation_times_s:
+            min_samples = max(4, int(min_fill * rate * obs_time))
+            margins: List[Tuple[float, float, int]] = []
+            starts = np.arange(obs_time, duration_s, obs_time * 2)
+            for start in starts:
+                outcome = _window_margin(
+                    observations,
+                    float(start),
+                    float(start + obs_time),
+                    min_samples,
+                    band,
+                )
+                if outcome is not None:
+                    margins.append(outcome)
+            if not margins:
+                continue
+            sybil_max = float(np.mean([m[0] for m in margins]))
+            other_min = float(np.mean([m[1] for m in margins]))
+            samples = int(np.median([m[2] for m in margins]))
+            rows.append(
+                BeaconRateRow(
+                    beacon_rate_hz=float(rate),
+                    observation_time_s=float(obs_time),
+                    samples_per_series=samples,
+                    sybil_max=sybil_max,
+                    other_min=other_min,
+                )
+            )
+    return rows

@@ -1,0 +1,278 @@
+"""E8/E9 — Fig. 13 (field test) and Fig. 14 (the red-light FP).
+
+Section VI replica: the four-vehicle convoy drives the campus, rural,
+urban and highway routes; normal node 3 runs Voiceprint once per
+detection period with the field test's *constant* threshold
+(k = 0.05046 at ~4 vhls/km).  The paper observed a 100 % detection rate
+and a single false positive — at an urban red light, where all vehicles
+sat still and the side-by-side normal node 2 became indistinguishable
+from the attacker.
+
+``run_fig14`` zooms into that false positive: it runs the urban drive,
+finds detection periods where the convoy was (nearly) stationary, and
+reports node 2's DTW distance to the malicious node inside and outside
+those periods, plus the effect of the paper's suggested multi-period
+confirmation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...core.confirmation import MultiPeriodConfirmer
+from ...core.detector import DetectorConfig, VoiceprintDetector
+from ...core.thresholds import ConstantThreshold, PAPER_FIELD_THRESHOLD
+from ...sim.fieldtest import (
+    FieldTestConfig,
+    FieldTestResult,
+    MALICIOUS_ID,
+    NORMAL_IDS,
+    SYBIL_IDS,
+    run_field_test,
+)
+from ..metrics import PeriodOutcome, average_rates, evaluate_flags
+
+__all__ = [
+    "FieldDetection",
+    "FieldAreaResult",
+    "run_fig13",
+    "Fig14Result",
+    "run_fig14",
+]
+
+
+@dataclass(frozen=True)
+class FieldDetection:
+    """One detection period at the recording node.
+
+    Attributes:
+        time_s: Detection instant.
+        distances: Normalised pairwise DTW distances of the period.
+        flagged: Identities under the threshold.
+        outcome: Confusion counts vs ground truth.
+        convoy_speed_mps: The malicious vehicle's speed at detection —
+            near zero marks the red-light condition of Fig. 14.
+    """
+
+    time_s: float
+    distances: Dict[Tuple[str, str], float]
+    flagged: Tuple[str, ...]
+    outcome: PeriodOutcome
+    convoy_speed_mps: float
+
+
+@dataclass
+class FieldAreaResult:
+    """One environment's drive (one Fig. 13 panel).
+
+    Attributes:
+        environment: Route label.
+        detections: Per-period records.
+        detection_rate: Average DR over the drive.
+        false_positive_rate: Average FPR over the drive.
+    """
+
+    environment: str
+    detections: List[FieldDetection] = field(default_factory=list)
+    detection_rate: Optional[float] = None
+    false_positive_rate: Optional[float] = None
+
+    @property
+    def n_false_positive_periods(self) -> int:
+        """Periods in which any legitimate node was flagged."""
+        return sum(1 for d in self.detections if d.outcome.false_flagged > 0)
+
+
+def _detect_over_drive(
+    result: FieldTestResult,
+    recorder: str,
+    detection_period_s: float,
+    observation_time_s: float,
+    threshold_value: float,
+    min_samples: int,
+) -> List[FieldDetection]:
+    series_map = result.observations[recorder]
+    detector = VoiceprintDetector(
+        threshold=ConstantThreshold(threshold_value),
+        config=DetectorConfig(
+            observation_time=observation_time_s, min_samples=min_samples
+        ),
+    )
+    for series in series_map.values():
+        detector.load_series(series)
+    detections: List[FieldDetection] = []
+    t = observation_time_s
+    period_index = 0
+    duration = result.config.duration_s
+    malicious = result.vehicles[MALICIOUS_ID]
+    while t <= duration + 1e-9:
+        report = detector.detect(density=4.0, now=t)
+        heard = [
+            identity
+            for identity, series in series_map.items()
+            if len(series.window(t - observation_time_s, t)) >= min_samples // 2
+        ]
+        outcome = evaluate_flags(
+            recorder, period_index, report.sybil_ids, heard, result.truth
+        )
+        detections.append(
+            FieldDetection(
+                time_s=t,
+                distances=dict(report.distances),
+                flagged=tuple(sorted(report.sybil_ids)),
+                outcome=outcome,
+                convoy_speed_mps=malicious.trajectory.speed(t),
+            )
+        )
+        period_index += 1
+        t += detection_period_s
+    return detections
+
+
+def run_fig13(
+    environments: Sequence[str] = ("campus", "rural", "urban", "highway"),
+    duration_s: float = 300.0,
+    detection_period_s: float = 60.0,
+    observation_time_s: float = 20.0,
+    threshold: float = PAPER_FIELD_THRESHOLD,
+    recorder: str = "3",
+    min_samples: int = 60,
+    seed: int = 21,
+) -> List[FieldAreaResult]:
+    """Regenerate Fig. 13: per-environment field-test detections.
+
+    The paper's drives lasted 11–35 minutes with a one-minute detection
+    period; the default five-minute drives keep unit economics sane
+    while producing several periods per environment.
+    """
+    results: List[FieldAreaResult] = []
+    for index, env in enumerate(environments):
+        field_result = run_field_test(
+            FieldTestConfig(
+                environment=env, duration_s=duration_s, seed=seed + index
+            )
+        )
+        detections = _detect_over_drive(
+            field_result,
+            recorder=recorder,
+            detection_period_s=detection_period_s,
+            observation_time_s=observation_time_s,
+            threshold_value=threshold,
+            min_samples=min_samples,
+        )
+        area = FieldAreaResult(environment=env, detections=detections)
+        dr, fpr = average_rates([d.outcome for d in detections])
+        area.detection_rate = dr
+        area.false_positive_rate = fpr
+        results.append(area)
+    return results
+
+
+@dataclass(frozen=True)
+class Fig14Result:
+    """The red-light false-positive analysis.
+
+    Attributes:
+        stationary_periods: Detection times with the convoy (nearly)
+            stopped.
+        moving_periods: The rest.
+        node2_distance_stationary: Mean normalised DTW distance between
+            the malicious node and normal node 2 over stationary periods.
+        node2_distance_moving: Same over moving periods.
+        false_positives_single: FP periods under plain per-period
+            detection.
+        false_positives_stationary: FP periods among the stationary ones.
+        false_positives_moving: FP periods among the moving ones.
+        false_positives_confirmed: FP periods surviving the paper's
+            suggested multi-period majority confirmation.
+    """
+
+    stationary_periods: Tuple[float, ...]
+    moving_periods: Tuple[float, ...]
+    node2_distance_stationary: Optional[float]
+    node2_distance_moving: Optional[float]
+    false_positives_single: int
+    false_positives_stationary: int
+    false_positives_moving: int
+    false_positives_confirmed: int
+
+    def fp_rate_stationary(self) -> Optional[float]:
+        """FP-period rate while the convoy is stopped."""
+        if not self.stationary_periods:
+            return None
+        return self.false_positives_stationary / len(self.stationary_periods)
+
+    def fp_rate_moving(self) -> Optional[float]:
+        """FP-period rate while the convoy is moving."""
+        if not self.moving_periods:
+            return None
+        return self.false_positives_moving / len(self.moving_periods)
+
+
+def run_fig14(
+    duration_s: float = 420.0,
+    detection_period_s: float = 30.0,
+    observation_time_s: float = 20.0,
+    threshold: float = PAPER_FIELD_THRESHOLD,
+    confirmation_window: int = 3,
+    seed: int = 33,
+) -> Fig14Result:
+    """Regenerate the Fig. 14 analysis on the urban route.
+
+    The urban route's long red light parks the whole convoy; detection
+    periods inside the dwell should show node 2's series collapsing
+    onto the attacker's (the paper's false positive), and the
+    multi-period confirmation should prune most such transients.
+    """
+    field_result = run_field_test(
+        FieldTestConfig(environment="urban", duration_s=duration_s, seed=seed)
+    )
+    detections = _detect_over_drive(
+        field_result,
+        recorder="3",
+        detection_period_s=detection_period_s,
+        observation_time_s=observation_time_s,
+        threshold_value=threshold,
+        min_samples=60,
+    )
+    stationary: List[float] = []
+    moving: List[float] = []
+    node2_stat: List[float] = []
+    node2_move: List[float] = []
+    confirmer = MultiPeriodConfirmer(window=confirmation_window)
+    fp_single = 0
+    fp_stationary = 0
+    fp_moving = 0
+    fp_confirmed = 0
+    for detection in detections:
+        is_stationary = detection.convoy_speed_mps < 0.5
+        (stationary if is_stationary else moving).append(detection.time_s)
+        pair = tuple(sorted((MALICIOUS_ID, "2")))
+        if pair in detection.distances:
+            (node2_stat if is_stationary else node2_move).append(
+                detection.distances[pair]
+            )
+        if detection.outcome.false_flagged > 0:
+            fp_single += 1
+            if is_stationary:
+                fp_stationary += 1
+            else:
+                fp_moving += 1
+        confirmed = confirmer.update_ids(detection.flagged)
+        if any(identity in field_result.truth.normal_ids for identity in confirmed):
+            fp_confirmed += 1
+    return Fig14Result(
+        stationary_periods=tuple(stationary),
+        moving_periods=tuple(moving),
+        node2_distance_stationary=(
+            float(np.mean(node2_stat)) if node2_stat else None
+        ),
+        node2_distance_moving=(float(np.mean(node2_move)) if node2_move else None),
+        false_positives_single=fp_single,
+        false_positives_stationary=fp_stationary,
+        false_positives_moving=fp_moving,
+        false_positives_confirmed=fp_confirmed,
+    )

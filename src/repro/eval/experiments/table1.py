@@ -1,0 +1,72 @@
+"""E11 — Table I: the RSSI-method comparison matrix.
+
+The paper's Table I compares eight RSSI-based detection schemes along
+five axes: assumed radio propagation model, centralised vs
+decentralised, cooperative vs independent, infrastructure support, and
+mobility class.  We regenerate it from the code's own metadata
+(:data:`repro.baselines.METHOD_MATRIX`) so the bench output documents
+what each implemented baseline assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ...baselines import METHOD_MATRIX
+
+__all__ = ["Table1Row", "run_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One method's assumption profile (one Table I row).
+
+    Attributes:
+        method: The scheme's label (citation key as in the paper).
+        propagation_model: Assumed RPM ("Model-free" for Voiceprint).
+        centralisation: ``"C"`` or ``"D"`` (``"-"`` when n/a).
+        cooperation: ``"C"``ooperative / ``"I"``ndependent.
+        needs_infrastructure: Whether RSU/landmark support is required.
+        mobility: The mobility regime the scheme tolerates.
+        implemented: Whether this repository implements the scheme.
+    """
+
+    method: str
+    propagation_model: str
+    centralisation: str
+    cooperation: str
+    needs_infrastructure: bool
+    mobility: str
+    implemented: bool
+
+
+#: Baselines this repository actually implements.
+_IMPLEMENTED = {
+    "Demirbas [14]",
+    "Wang [15]",
+    "Lv [16]",
+    "Bouassida [17]",
+    "Chen [18]",
+    "Xiao [20]",
+    "Yu [19] (CPVSAD)",
+    "Voiceprint",
+}
+
+
+def run_table1() -> List[Table1Row]:
+    """Regenerate Table I from the baselines' metadata."""
+    rows = []
+    for method, (rpm, cd, ci, soi, mobility) in METHOD_MATRIX.items():
+        rows.append(
+            Table1Row(
+                method=method,
+                propagation_model=rpm,
+                centralisation=cd,
+                cooperation=ci,
+                needs_infrastructure=soi,
+                mobility=mobility,
+                implemented=method in _IMPLEMENTED,
+            )
+        )
+    return rows

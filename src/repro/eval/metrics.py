@@ -1,0 +1,129 @@
+"""Detection metrics (paper Eqs. 10–13).
+
+For one normal node in one detection period:
+
+* **Detection rate** — flagged illegitimate identities over all
+  illegitimate identities among the node's heard neighbours (Eq. 10);
+* **False positive rate** — flagged legitimate identities over all
+  legitimate neighbours (Eq. 11).
+
+The run-level averages (Eqs. 12–13) are plain means over every
+(node, period) outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..sim.simulator import GroundTruth
+
+__all__ = ["PeriodOutcome", "evaluate_flags", "average_rates"]
+
+
+@dataclass(frozen=True)
+class PeriodOutcome:
+    """Confusion counts for one (node, detection period).
+
+    Attributes:
+        node: The detecting normal node.
+        period_index: Which detection period this is.
+        true_flagged: Correctly flagged illegitimate identities
+            (:math:`N_{T,k}`).
+        total_illegitimate: Illegitimate identities among heard
+            neighbours (:math:`N^m_{i,k} + \\sum_j N^s_j`).
+        false_flagged: Wrongly flagged legitimate identities
+            (:math:`N_{F,k}`).
+        total_legitimate: Legitimate heard neighbours (:math:`N^n_{i,k}`).
+    """
+
+    node: str
+    period_index: int
+    true_flagged: int
+    total_illegitimate: int
+    false_flagged: int
+    total_legitimate: int
+
+    def __post_init__(self) -> None:
+        if self.true_flagged > self.total_illegitimate:
+            raise ValueError(
+                f"true flags ({self.true_flagged}) exceed illegitimate "
+                f"population ({self.total_illegitimate})"
+            )
+        if self.false_flagged > self.total_legitimate:
+            raise ValueError(
+                f"false flags ({self.false_flagged}) exceed legitimate "
+                f"population ({self.total_legitimate})"
+            )
+
+    @property
+    def detection_rate(self) -> Optional[float]:
+        """Eq. 10; None when the node heard no illegitimate identities."""
+        if self.total_illegitimate == 0:
+            return None
+        return self.true_flagged / self.total_illegitimate
+
+    @property
+    def false_positive_rate(self) -> Optional[float]:
+        """Eq. 11; None when the node heard no legitimate neighbours."""
+        if self.total_legitimate == 0:
+            return None
+        return self.false_flagged / self.total_legitimate
+
+
+def evaluate_flags(
+    node: str,
+    period_index: int,
+    flagged: Iterable[str],
+    heard: Iterable[str],
+    truth: GroundTruth,
+) -> PeriodOutcome:
+    """Score one detection against ground truth.
+
+    Args:
+        node: The detecting node (excluded from its own populations).
+        period_index: Detection period number.
+        flagged: Identities the detector accused.
+        heard: Every identity the node heard during the window
+            (the neighbour population of Eqs. 10–11).
+        truth: Ground-truth labels from the simulation.
+
+    Returns:
+        The period's confusion counts.
+    """
+    heard_set = {str(i) for i in heard} - {node}
+    flagged_set = {str(i) for i in flagged} & heard_set
+    illegitimate = {i for i in heard_set if i in truth.illegitimate_ids}
+    legitimate = {i for i in heard_set if truth.is_legitimate(i)}
+    return PeriodOutcome(
+        node=node,
+        period_index=period_index,
+        true_flagged=len(flagged_set & illegitimate),
+        total_illegitimate=len(illegitimate),
+        false_flagged=len(flagged_set & legitimate),
+        total_legitimate=len(legitimate),
+    )
+
+
+def average_rates(
+    outcomes: Sequence[PeriodOutcome],
+) -> Tuple[Optional[float], Optional[float]]:
+    """Run-level averages (Eqs. 12–13).
+
+    Periods where a rate is undefined (empty population) are excluded
+    from that rate's mean, mirroring how the paper's per-node averages
+    only cover nodes that actually face the relevant population.
+
+    Returns:
+        ``(mean detection rate, mean false positive rate)``; either may
+        be ``None`` when undefined for every period.
+    """
+    drs = [o.detection_rate for o in outcomes if o.detection_rate is not None]
+    fprs = [
+        o.false_positive_rate
+        for o in outcomes
+        if o.false_positive_rate is not None
+    ]
+    mean_dr = sum(drs) / len(drs) if drs else None
+    mean_fpr = sum(fprs) / len(fprs) if fprs else None
+    return mean_dr, mean_fpr

@@ -1,0 +1,67 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment returns structured rows; benches and examples render
+them with :func:`render_table` so the regenerated tables/figures read
+like the paper's, directly in the terminal or in captured bench logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["render_table", "format_value"]
+
+Cell = Union[str, float, int, None]
+
+
+def format_value(value: Cell, float_format: str = "{:.4g}") -> str:
+    """Render one cell: floats formatted, None as a dash."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Args:
+        headers: Column names.
+        rows: Row cells; each row must match the header length.
+        title: Optional heading line.
+        float_format: Format spec applied to float cells.
+
+    Returns:
+        The table as a single string (no trailing newline).
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        cells = [format_value(cell, float_format) for cell in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but there are {len(headers)} headers"
+            )
+        rendered_rows.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in rendered_rows:
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * width for width in widths))
+    parts.extend(line(cells) for cells in rendered_rows)
+    return "\n".join(parts)

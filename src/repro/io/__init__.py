@@ -1,0 +1,19 @@
+"""Persistence: RSSI trace logs and trained decision boundaries."""
+
+from .boundary import BoundaryRecord, load_boundary, save_boundary
+from .traces import (
+    load_observations,
+    load_trace_csv,
+    save_observations,
+    save_trace_csv,
+)
+
+__all__ = [
+    "BoundaryRecord",
+    "load_boundary",
+    "save_boundary",
+    "load_observations",
+    "load_trace_csv",
+    "save_observations",
+    "save_trace_csv",
+]

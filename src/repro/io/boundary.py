@@ -1,0 +1,71 @@
+"""Decision-boundary persistence.
+
+Training the ``(k, b)`` line takes minutes of simulation (or, in the
+paper's setting, NS-2 runs); the deployed detector only needs the two
+numbers.  These helpers serialise a trained boundary, together with
+enough provenance to know what it was trained on, as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..core.lda import DecisionLine
+
+__all__ = ["BoundaryRecord", "save_boundary", "load_boundary"]
+
+PathLike = Union[str, Path]
+
+#: Format marker; bump on incompatible change.
+FORMAT = "voiceprint-boundary/1"
+
+
+@dataclass(frozen=True)
+class BoundaryRecord:
+    """A trained decision line plus its training provenance.
+
+    Attributes:
+        line: The threshold line.
+        trained_on: Free-form provenance (densities, seeds, channel...).
+    """
+
+    line: DecisionLine
+    trained_on: Dict[str, object] = field(default_factory=dict)
+
+
+def save_boundary(
+    record: BoundaryRecord,
+    target: PathLike,
+) -> None:
+    """Write a boundary record as JSON."""
+    payload = {
+        "format": FORMAT,
+        "k": record.line.k,
+        "b": record.line.b,
+        "trained_on": record.trained_on,
+    }
+    Path(target).write_text(
+        json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+    )
+
+
+def load_boundary(source: PathLike) -> BoundaryRecord:
+    """Read a boundary record written by :func:`save_boundary`.
+
+    Raises:
+        ValueError: On an unknown format marker or missing fields.
+    """
+    payload = json.loads(Path(source).read_text(encoding="utf-8"))
+    if payload.get("format") != FORMAT:
+        raise ValueError(
+            f"unknown boundary format {payload.get('format')!r}; "
+            f"expected {FORMAT!r}"
+        )
+    try:
+        line = DecisionLine(k=float(payload["k"]), b=float(payload["b"]))
+    except KeyError as error:
+        raise ValueError(f"boundary file missing field: {error}") from error
+    return BoundaryRecord(line=line, trained_on=dict(payload.get("trained_on", {})))

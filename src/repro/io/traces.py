@@ -1,0 +1,140 @@
+"""RSSI trace persistence.
+
+Real deployments of Voiceprint log ``(timestamp, identity, RSSI)``
+tuples on the OBU (the paper's laptops recorded exactly this over
+Ethernet); analysis happens offline.  This module round-trips such logs
+in a simple CSV dialect, so recorded drives — synthetic or real — can be
+saved, shared, and replayed through the detector:
+
+* :func:`save_observations` / :func:`load_observations` — one
+  receiver's ``identity → RSSITimeSeries`` mapping.
+* :func:`save_trace_csv` / :func:`load_trace_csv` — a flat beacon log
+  (the on-disk format; the observation helpers are wrappers).
+
+The format is deliberately boring: a header line, then
+``timestamp,identity,rssi_dbm`` rows, UTF-8, ``#`` comments allowed.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Iterable, List, TextIO, Tuple, Union
+
+from ..core.timeseries import RSSITimeSeries
+
+__all__ = [
+    "save_trace_csv",
+    "load_trace_csv",
+    "save_observations",
+    "load_observations",
+]
+
+HEADER = ("timestamp", "identity", "rssi_dbm")
+
+PathLike = Union[str, Path]
+Record = Tuple[float, str, float]
+
+
+def _open_for_write(target: Union[PathLike, TextIO]):
+    if hasattr(target, "write"):
+        return target, False
+    return open(target, "w", newline="", encoding="utf-8"), True
+
+
+def _open_for_read(source: Union[PathLike, TextIO]):
+    if hasattr(source, "read"):
+        return source, False
+    return open(source, "r", newline="", encoding="utf-8"), True
+
+
+def save_trace_csv(
+    records: Iterable[Record],
+    target: Union[PathLike, TextIO],
+) -> int:
+    """Write ``(timestamp, identity, rssi)`` records as CSV.
+
+    Records are written in the order given (a receiver's log is already
+    time-ordered).  Returns the number of rows written.
+    """
+    handle, owned = _open_for_write(target)
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(HEADER)
+        count = 0
+        for timestamp, identity, rssi in records:
+            writer.writerow([f"{float(timestamp):.6f}", str(identity), f"{float(rssi):.3f}"])
+            count += 1
+        return count
+    finally:
+        if owned:
+            handle.close()
+
+
+def load_trace_csv(source: Union[PathLike, TextIO]) -> List[Record]:
+    """Read a beacon log written by :func:`save_trace_csv`.
+
+    Raises:
+        ValueError: On a missing/incorrect header or malformed row.
+    """
+    handle, owned = _open_for_read(source)
+    try:
+        reader = csv.reader(
+            line for line in handle if not line.lstrip().startswith("#")
+        )
+        try:
+            header = tuple(next(reader))
+        except StopIteration:
+            raise ValueError("empty trace file") from None
+        if header != HEADER:
+            raise ValueError(
+                f"unexpected header {header!r}; expected {HEADER!r}"
+            )
+        records: List[Record] = []
+        for row_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 3:
+                raise ValueError(f"malformed row {row_number}: {row!r}")
+            try:
+                records.append((float(row[0]), row[1], float(row[2])))
+            except ValueError as error:
+                raise ValueError(
+                    f"malformed row {row_number}: {row!r}"
+                ) from error
+        return records
+    finally:
+        if owned:
+            handle.close()
+
+
+def save_observations(
+    observations: Dict[str, RSSITimeSeries],
+    target: Union[PathLike, TextIO],
+) -> int:
+    """Persist one receiver's per-identity series as a flat beacon log.
+
+    Samples from all identities are merged into global time order, the
+    shape a real radio log has.
+    """
+    records: List[Record] = []
+    for identity, series in observations.items():
+        for sample in series:
+            records.append((sample.timestamp, identity, sample.rssi))
+    records.sort(key=lambda r: (r[0], r[1]))
+    return save_trace_csv(records, target)
+
+
+def load_observations(
+    source: Union[PathLike, TextIO],
+) -> Dict[str, RSSITimeSeries]:
+    """Rebuild the per-identity series mapping from a beacon log."""
+    observations: Dict[str, RSSITimeSeries] = {}
+    for timestamp, identity, rssi in load_trace_csv(source):
+        series = observations.get(identity)
+        if series is None:
+            series = RSSITimeSeries(identity)
+            observations[identity] = series
+        series.append(timestamp, rssi)
+    return observations

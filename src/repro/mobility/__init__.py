@@ -1,0 +1,35 @@
+"""Mobility substrate: highway geometry, epoch mobility, routes, traces."""
+
+from .epoch_model import EpochMobilityModel, generate_highway_trajectory
+from .highway import HighwayGeometry, LanePosition
+from .routes import (
+    ConvoyLayout,
+    RouteSpec,
+    build_convoy,
+    campus_route,
+    highway_route,
+    polyline_route,
+    route_for_environment,
+    rural_route,
+    urban_route,
+)
+from .trace import PiecewiseLinearTrajectory, Waypoint, distance_between
+
+__all__ = [
+    "EpochMobilityModel",
+    "generate_highway_trajectory",
+    "HighwayGeometry",
+    "LanePosition",
+    "ConvoyLayout",
+    "RouteSpec",
+    "build_convoy",
+    "campus_route",
+    "highway_route",
+    "polyline_route",
+    "route_for_environment",
+    "rural_route",
+    "urban_route",
+    "PiecewiseLinearTrajectory",
+    "Waypoint",
+    "distance_between",
+]

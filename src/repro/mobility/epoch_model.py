@@ -1,0 +1,139 @@
+"""Continuous-time stochastic mobility model (paper Section V-A).
+
+Each vehicle's movement is a sequence of *mobility epochs*: epoch
+lengths are i.i.d. exponential with rate :math:`\\lambda_e`
+(Table V: 0.2 s⁻¹, i.e. mean 5 s); during an epoch the vehicle holds a
+constant speed drawn i.i.d. from :math:`N(\\mu_v, \\sigma_v^2)`
+(Table V: 25 m/s mean, 5 m/s deviation), truncated at zero so nobody
+drives backwards.
+
+:func:`generate_highway_trajectory` rolls the epochs forward on a
+:class:`~repro.mobility.highway.HighwayGeometry`, applying the
+end-of-road re-entry rule, and returns an ordinary
+:class:`~repro.mobility.trace.PiecewiseLinearTrajectory` in plane
+coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .highway import HighwayGeometry, LanePosition
+from .trace import PiecewiseLinearTrajectory, Waypoint
+
+__all__ = ["EpochMobilityModel", "generate_highway_trajectory"]
+
+
+@dataclass(frozen=True)
+class EpochMobilityModel:
+    """Parameters of the epoch mobility process (Table V defaults).
+
+    Attributes:
+        epoch_rate: :math:`\\lambda_e` in 1/s (mean epoch = 1/rate).
+        mean_speed: :math:`\\mu_v` in m/s.
+        speed_std: :math:`\\sigma_v` in m/s.
+    """
+
+    epoch_rate: float = 0.2
+    mean_speed: float = 25.0
+    speed_std: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.epoch_rate <= 0:
+            raise ValueError(f"epoch rate must be positive, got {self.epoch_rate}")
+        if self.mean_speed < 0:
+            raise ValueError(f"mean speed must be non-negative, got {self.mean_speed}")
+        if self.speed_std < 0:
+            raise ValueError(f"speed std must be non-negative, got {self.speed_std}")
+
+    def draw_epoch_length(self, rng: np.random.Generator) -> float:
+        """One exponential epoch length in seconds (floored at 1 ms)."""
+        return max(float(rng.exponential(1.0 / self.epoch_rate)), 1e-3)
+
+    def draw_speed(self, rng: np.random.Generator) -> float:
+        """One truncated-Gaussian epoch speed in m/s."""
+        return max(float(rng.normal(self.mean_speed, self.speed_std)), 0.0)
+
+
+def generate_highway_trajectory(
+    geometry: HighwayGeometry,
+    start: LanePosition,
+    duration_s: float,
+    rng: np.random.Generator,
+    model: Optional[EpochMobilityModel] = None,
+    start_time: float = 0.0,
+) -> PiecewiseLinearTrajectory:
+    """Simulate one vehicle's epoch-by-epoch motion on the highway.
+
+    Lane changes and the direction flip at the road ends are handled by
+    :meth:`HighwayGeometry.advance`; every epoch boundary and every
+    re-entry produces a waypoint, so the returned trajectory is exact
+    (not sampled).
+
+    Args:
+        geometry: The road.
+        start: Initial road position.
+        duration_s: Simulated time span.
+        rng: Seeded random generator (determinism is the caller's job).
+        model: Mobility parameters; Table V defaults if omitted.
+        start_time: Timestamp of the first waypoint.
+
+    Returns:
+        The vehicle's trajectory over ``[start_time, start_time + duration_s]``.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive, got {duration_s}")
+    mobility = model or EpochMobilityModel()
+
+    waypoints: List[Waypoint] = []
+    position = start
+    t = start_time
+    end_time = start_time + duration_s
+
+    x, y = geometry.to_xy(position)
+    waypoints.append(Waypoint(t, x, y))
+
+    while t < end_time:
+        epoch = mobility.draw_epoch_length(rng)
+        speed = mobility.draw_speed(rng)
+        epoch = min(epoch, end_time - t)
+        # Split the epoch at road-end re-entries so the piecewise-linear
+        # interpolation never cuts the wrap corner.
+        remaining = epoch
+        if speed <= 0:
+            t += remaining
+            x, y = geometry.to_xy(position)
+            waypoints.append(Waypoint(t, x, y))
+            continue
+        while remaining > 1e-12:
+            direction = geometry.direction_of_lane(position.lane)
+            to_end = (
+                geometry.length_m - position.x if direction > 0 else position.x
+            )
+            if to_end <= 1e-9:
+                # At the road end: re-enter on the opposite carriageway
+                # (paper's wrap rule) and keep driving the same epoch.
+                position = LanePosition(
+                    x=position.x, lane=geometry.opposite_lane(position.lane)
+                )
+                x, y = geometry.to_xy(position)
+                waypoints.append(Waypoint(t, x, y))
+                continue
+            step = min(remaining, to_end / speed)
+            position = geometry.advance(position, speed * step)
+            t += step
+            remaining -= step
+            x, y = geometry.to_xy(position)
+            waypoints.append(Waypoint(t, x, y))
+    # Deduplicate identical consecutive timestamps introduced by
+    # zero-length steps at exact boundaries.
+    unique: List[Waypoint] = []
+    for waypoint in waypoints:
+        if unique and waypoint.t <= unique[-1].t + 1e-12:
+            unique[-1] = waypoint
+        else:
+            unique.append(waypoint)
+    return PiecewiseLinearTrajectory(unique)

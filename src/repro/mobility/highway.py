@@ -1,0 +1,129 @@
+"""Highway geometry (paper Fig. 10 scenario, Table V).
+
+The simulation road is a 2 km bi-directional highway with two lanes per
+direction, 3.6 m lane width.  A vehicle that reaches the end of its
+direction re-enters at the beginning of the *other* direction (Table V
+note), keeping the vehicle count — and hence the density — constant.
+
+Coordinates: ``x`` runs along the road (0 .. length); ``y`` is the
+lateral lane-centre offset.  Eastbound lanes carry direction ``+1``,
+westbound ``-1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["HighwayGeometry", "LanePosition"]
+
+
+@dataclass(frozen=True)
+class LanePosition:
+    """A position expressed in road coordinates.
+
+    Attributes:
+        x: Longitudinal position along the road, metres.
+        lane: Lane index, 0-based across the full cross-section.
+    """
+
+    x: float
+    lane: int
+
+
+@dataclass(frozen=True)
+class HighwayGeometry:
+    """A straight bi-directional multi-lane highway.
+
+    Attributes:
+        length_m: Road length (paper: 2000 m).
+        lanes_per_direction: Lanes each way (paper: 2).
+        lane_width_m: Lane width (paper: 3.6 m).
+    """
+
+    length_m: float = 2000.0
+    lanes_per_direction: int = 2
+    lane_width_m: float = 3.6
+
+    def __post_init__(self) -> None:
+        if self.length_m <= 0:
+            raise ValueError(f"length must be positive, got {self.length_m}")
+        if self.lanes_per_direction < 1:
+            raise ValueError(
+                f"need at least one lane per direction, got {self.lanes_per_direction}"
+            )
+        if self.lane_width_m <= 0:
+            raise ValueError(f"lane width must be positive, got {self.lane_width_m}")
+
+    @property
+    def total_lanes(self) -> int:
+        """Lanes across the full cross-section (paper: 4)."""
+        return 2 * self.lanes_per_direction
+
+    def direction_of_lane(self, lane: int) -> int:
+        """+1 (eastbound) for the first half of lanes, -1 for the rest."""
+        self._check_lane(lane)
+        return 1 if lane < self.lanes_per_direction else -1
+
+    def lane_center_y(self, lane: int) -> float:
+        """Lateral offset of a lane centre from the median, metres.
+
+        Eastbound lanes sit at positive offsets, westbound at negative,
+        mirroring a median-separated carriageway.
+        """
+        self._check_lane(lane)
+        if lane < self.lanes_per_direction:
+            return (lane + 0.5) * self.lane_width_m
+        west_index = lane - self.lanes_per_direction
+        return -(west_index + 0.5) * self.lane_width_m
+
+    def to_xy(self, position: LanePosition) -> Tuple[float, float]:
+        """Road coordinates → plane coordinates (x along, y lateral)."""
+        if not 0.0 <= position.x <= self.length_m:
+            raise ValueError(
+                f"x={position.x} outside the road [0, {self.length_m}]"
+            )
+        return (position.x, self.lane_center_y(position.lane))
+
+    def opposite_lane(self, lane: int) -> int:
+        """The re-entry lane in the other direction (mirror index)."""
+        self._check_lane(lane)
+        if lane < self.lanes_per_direction:
+            return lane + self.lanes_per_direction
+        return lane - self.lanes_per_direction
+
+    def advance(
+        self, position: LanePosition, distance_m: float
+    ) -> LanePosition:
+        """Move along the lane's direction, re-entering on overflow.
+
+        Implements the paper's wrap rule: travel past either end flips
+        the vehicle to the opposite direction at that end, continuing
+        with any leftover distance.
+
+        Args:
+            position: Current road position.
+            distance_m: Non-negative distance to travel.
+        """
+        if distance_m < 0:
+            raise ValueError(f"distance must be non-negative, got {distance_m}")
+        x = position.x
+        lane = position.lane
+        remaining = distance_m
+        # Each pass consumes the distance to the current end; the loop
+        # terminates because the road has positive length.
+        while True:
+            direction = self.direction_of_lane(lane)
+            to_end = (self.length_m - x) if direction > 0 else x
+            if remaining <= to_end:
+                x += direction * remaining
+                return LanePosition(x=x, lane=lane)
+            remaining -= to_end
+            x = self.length_m if direction > 0 else 0.0
+            lane = self.opposite_lane(lane)
+
+    def _check_lane(self, lane: int) -> None:
+        if not 0 <= lane < self.total_lanes:
+            raise ValueError(
+                f"lane {lane} outside [0, {self.total_lanes})"
+            )

@@ -1,0 +1,256 @@
+"""Field-test routes (paper Section VI, Fig. 12).
+
+The authors drove four vehicles around campus, rural, urban and highway
+routes.  We recreate those drives synthetically: each route is a
+polyline driven at an environment-appropriate speed, the urban route
+including signalised intersections where the whole convoy stops for a
+red light — the exact condition behind the paper's single false
+positive (Fig. 14).
+
+All builders return a lead :class:`PiecewiseLinearTrajectory`; convoys
+for Scenario 3 / the field test are derived from the lead trajectory by
+:func:`build_convoy`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .trace import PiecewiseLinearTrajectory, Waypoint
+
+__all__ = [
+    "RouteSpec",
+    "polyline_route",
+    "campus_route",
+    "rural_route",
+    "urban_route",
+    "highway_route",
+    "route_for_environment",
+    "ConvoyLayout",
+    "build_convoy",
+]
+
+Point = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class RouteSpec:
+    """A drivable route description.
+
+    Attributes:
+        corners: Polyline corner points, metres.
+        speed_mps: Cruise speed along segments.
+        stops: Mapping of corner index → dwell seconds (red lights,
+            stop signs).  A stop at index ``i`` happens on arrival at
+            ``corners[i]``.
+        loop: Whether the route closes back to its first corner and
+            repeats until the duration is filled.
+    """
+
+    corners: Tuple[Point, ...]
+    speed_mps: float
+    stops: Tuple[Tuple[int, float], ...] = ()
+    loop: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.corners) < 2:
+            raise ValueError("a route needs at least two corners")
+        if self.speed_mps <= 0:
+            raise ValueError(f"speed must be positive, got {self.speed_mps}")
+        for index, dwell in self.stops:
+            if not 0 <= index < len(self.corners):
+                raise ValueError(f"stop index {index} outside the corner list")
+            if dwell < 0:
+                raise ValueError(f"dwell must be non-negative, got {dwell}")
+
+
+def polyline_route(
+    spec: RouteSpec,
+    duration_s: float,
+    start_time: float = 0.0,
+) -> PiecewiseLinearTrajectory:
+    """Drive a :class:`RouteSpec` for ``duration_s`` seconds.
+
+    Looping routes repeat until the duration is filled; open routes park
+    at their final corner once reached.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive, got {duration_s}")
+    stops: Dict[int, float] = dict(spec.stops)
+    waypoints: List[Waypoint] = []
+    t = start_time
+    end_time = start_time + duration_s
+
+    def emit(x: float, y: float) -> None:
+        if waypoints and t <= waypoints[-1].t + 1e-12:
+            return
+        waypoints.append(Waypoint(t, x, y))
+
+    cx, cy = spec.corners[0]
+    waypoints.append(Waypoint(t, cx, cy))
+    lap = 0
+    while t < end_time:
+        corner_sequence = list(range(1, len(spec.corners)))
+        if spec.loop:
+            corner_sequence.append(0)
+        progressed = False
+        for idx in corner_sequence:
+            if t >= end_time:
+                break
+            nx, ny = spec.corners[idx]
+            distance = math.hypot(nx - cx, ny - cy)
+            if distance > 0:
+                travel = distance / spec.speed_mps
+                step = min(travel, end_time - t)
+                frac = step / travel
+                cx, cy = cx + frac * (nx - cx), cy + frac * (ny - cy)
+                t += step
+                emit(cx, cy)
+                progressed = True
+                if step < travel:
+                    break
+            # Red lights apply on every lap; a real signal cycles, but a
+            # constant dwell is enough to recreate the stationary window.
+            dwell = stops.get(idx, 0.0)
+            if dwell > 0 and t < end_time:
+                t = min(t + dwell, end_time)
+                emit(cx, cy)
+                progressed = True
+        if not spec.loop:
+            if t < end_time:
+                # Parked at the final corner for the remaining time.
+                t = end_time
+                emit(cx, cy)
+            break
+        if not progressed:
+            raise ValueError("degenerate looping route: no progress made")
+        lap += 1
+    return PiecewiseLinearTrajectory(waypoints)
+
+
+def campus_route(duration_s: float, start_time: float = 0.0) -> PiecewiseLinearTrajectory:
+    """Campus schoolyard loop (~10–15 km/h, Fig. 2b): 400 m × 200 m ring."""
+    spec = RouteSpec(
+        corners=((0.0, 0.0), (400.0, 0.0), (400.0, 200.0), (0.0, 200.0)),
+        speed_mps=3.5,
+        loop=True,
+    )
+    return polyline_route(spec, duration_s, start_time)
+
+
+def rural_route(duration_s: float, start_time: float = 0.0) -> PiecewiseLinearTrajectory:
+    """Rural road: a long, gently bending open route at ~54 km/h."""
+    corners = tuple(
+        (float(i * 500), 120.0 * math.sin(i * 0.7)) for i in range(12)
+    )
+    spec = RouteSpec(corners=corners, speed_mps=15.0, loop=False)
+    return polyline_route(spec, duration_s, start_time)
+
+
+def urban_route(
+    duration_s: float,
+    start_time: float = 0.0,
+    red_light_dwell_s: float = 45.0,
+) -> PiecewiseLinearTrajectory:
+    """Urban grid drive with signalised intersections (~32 km/h).
+
+    Two corners carry red-light dwells; the longer one recreates the
+    all-vehicles-stationary window behind the paper's Fig. 14 false
+    positive.
+    """
+    spec = RouteSpec(
+        corners=(
+            (0.0, 0.0),
+            (300.0, 0.0),
+            (300.0, 250.0),
+            (650.0, 250.0),
+            (650.0, 0.0),
+            (1000.0, 0.0),
+            (1000.0, 250.0),
+            (1350.0, 250.0),
+        ),
+        speed_mps=9.0,
+        stops=((2, red_light_dwell_s), (5, 20.0)),
+        loop=True,
+    )
+    return polyline_route(spec, duration_s, start_time)
+
+
+def highway_route(duration_s: float, start_time: float = 0.0) -> PiecewiseLinearTrajectory:
+    """Straight highway run at ~100 km/h, long enough not to run out."""
+    speed = 28.0
+    length = speed * duration_s + 1000.0
+    spec = RouteSpec(corners=((0.0, 0.0), (length, 0.0)), speed_mps=speed, loop=False)
+    return polyline_route(spec, duration_s, start_time)
+
+
+def route_for_environment(
+    environment: str, duration_s: float, start_time: float = 0.0
+) -> PiecewiseLinearTrajectory:
+    """The lead route matching an environment label.
+
+    Raises:
+        KeyError: For labels other than campus/rural/urban/highway.
+    """
+    builders = {
+        "campus": campus_route,
+        "rural": rural_route,
+        "urban": urban_route,
+        "highway": highway_route,
+    }
+    key = environment.strip().lower()
+    if key not in builders:
+        raise KeyError(
+            f"unknown environment {environment!r}; expected one of {sorted(builders)}"
+        )
+    return builders[key](duration_s, start_time)
+
+
+@dataclass(frozen=True)
+class ConvoyLayout:
+    """Scenario 3 convoy geometry (paper Fig. 4 / Section VI-A).
+
+    Attributes:
+        lead_gap_s: How far ahead (in travel time) normal node 1 drives.
+        trail_gap_s: How far behind normal node 3 drives.
+        side_offset_m: Lateral offset of normal node 2 (side by side
+            with the malicious node; the paper measured 2.75–3.25 m).
+        side_jitter_s: Small time offset for node 2 so its positions
+            never coincide exactly with the malicious node's.
+    """
+
+    lead_gap_s: float = 8.0
+    trail_gap_s: float = 8.0
+    side_offset_m: float = 3.0
+    side_jitter_s: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.lead_gap_s < 0 or self.trail_gap_s < 0:
+            raise ValueError("convoy gaps must be non-negative")
+        if self.side_offset_m <= 0:
+            raise ValueError("side offset must be positive")
+
+
+def build_convoy(
+    lead_route: PiecewiseLinearTrajectory,
+    layout: Optional[ConvoyLayout] = None,
+) -> Dict[str, PiecewiseLinearTrajectory]:
+    """Derive the four Scenario 3 trajectories from one lead route.
+
+    Returns a mapping with keys ``normal1`` (ahead), ``malicious``,
+    ``normal2`` (side by side) and ``normal3`` (behind).  The ahead and
+    behind vehicles follow the same path shifted in time, which keeps
+    the convoy glued to the road through corners and red lights.
+    """
+    layout = layout or ConvoyLayout()
+    malicious = lead_route
+    return {
+        "normal1": malicious.time_shifted(-layout.lead_gap_s),
+        "malicious": malicious,
+        "normal2": malicious.time_shifted(layout.side_jitter_s).shifted(
+            dy=layout.side_offset_m
+        ),
+        "normal3": malicious.time_shifted(layout.trail_gap_s),
+    }

@@ -1,0 +1,21 @@
+"""DSRC network substrate: beacons, radios, CSMA/CA MAC, channel."""
+
+from .channel import Reception, ReceiverState, VANETChannel
+from .mac import CsmaCaMac, ScheduledTransmission, TransmissionRequest
+from .messages import BEACON_INTERVAL_S, BEACON_RATE_HZ, BEACON_SIZE_BYTES, Beacon
+from .radio import IWCU_OBU42, RadioProfile
+
+__all__ = [
+    "Reception",
+    "ReceiverState",
+    "VANETChannel",
+    "CsmaCaMac",
+    "ScheduledTransmission",
+    "TransmissionRequest",
+    "BEACON_INTERVAL_S",
+    "BEACON_RATE_HZ",
+    "BEACON_SIZE_BYTES",
+    "Beacon",
+    "IWCU_OBU42",
+    "RadioProfile",
+]

@@ -1,0 +1,358 @@
+"""The wireless channel: RSSI synthesis and reception decisions.
+
+:class:`VANETChannel` composes three layers, mirroring the structure of
+the paper's measured channel (Section III):
+
+1. **Mean path loss** — the dual-slope empirical model (Eq. 1).  The
+   model object is swappable at runtime, which is how the Fig. 11b
+   experiment changes propagation parameters every 30 s under the
+   detectors' feet.
+2. **Correlated shadowing** — a deterministic
+   :class:`~repro.radio.noise.SpatialNoiseField` scaled by the model's
+   regime deviation.  Because it depends on *positions*, not claimed
+   identities, all of an attacker's Sybil streams share it: this is the
+   physical layer of Observation 3.
+3. **Fast fading** — a second noise field with *short* coherence
+   (half a metre, a fraction of a second).  Coherence is the crux of
+   Observation 3: an attacker's Sybil beacons leave the same antenna
+   milliseconds apart and ride almost the same fade, while a normal
+   vehicle even 3 m away (Scenario 3's node 2) sees an independent
+   fade.  Plain i.i.d. per-packet noise would erase exactly this
+   distinction — it would give Sybil streams independent noise, making
+   them no more alike than strangers.
+4. **Measurement noise + quantisation** — a small i.i.d. residual plus
+   rounding to whole dBm, as real radios report (Fig. 5's histograms
+   are integer-binned).
+
+Reception requires the RSSI to clear the receiver's sensitivity *and*
+the SINR against time-overlapping transmissions (hidden terminals) plus
+the noise floor to clear a capture threshold; a radio that is itself
+transmitting cannot receive (half-duplex).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..radio.dual_slope import DualSlopeModel
+from ..radio.noise import SpatialNoiseField
+from .mac import ScheduledTransmission
+from .radio import RadioProfile
+
+__all__ = ["ReceiverState", "Reception", "VANETChannel"]
+
+Point = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class ReceiverState:
+    """A listening radio during one beacon interval.
+
+    Attributes:
+        node: Physical node identifier.
+        xy: Receiver position, metres.
+        profile: The receiver's radio hardware.
+    """
+
+    node: str
+    xy: Point
+    profile: RadioProfile
+
+
+@dataclass(frozen=True)
+class Reception:
+    """One successfully decoded beacon at one receiver.
+
+    Attributes:
+        receiver: Physical node that decoded the frame.
+        identity: Claimed sender identity from the beacon.
+        rssi_dbm: Measured RSSI.
+        timestamp: On-air start time of the frame.
+        beacon: The full decoded message.
+    """
+
+    receiver: str
+    identity: str
+    rssi_dbm: float
+    timestamp: float
+    beacon: object
+
+
+class VANETChannel:
+    """Stochastic DSRC channel with swappable propagation parameters.
+
+    Args:
+        model: Dual-slope propagation model (the "true" channel).
+        shadowing: Correlated shadowing field; ``None`` disables
+            shadowing entirely (useful in unit tests).
+        fading: Short-coherence fast-fading field; ``None`` disables it.
+            Built automatically (seeded off ``rng``) when left at the
+            sentinel default.
+        fast_fading_sigma_db: Fading deviation in dB.
+        measurement_noise_db: i.i.d. per-sample receiver noise.
+        quantisation_db: RSSI reporting step (real radios report whole
+            dBm); 0 disables rounding.
+        noise_floor_dbm: Thermal noise + receiver noise figure for a
+            10 MHz channel (≈ −104 dBm + 5 dB NF).
+        capture_threshold_db: SINR needed to decode under interference.
+        rng: Random generator for measurement noise and field seeding.
+    """
+
+    #: Sentinel so ``fading=None`` can mean "explicitly disabled".
+    _AUTO = object()
+
+    #: Fading decorrelation scales: ~10 wavelengths in space, a couple
+    #: of beacon intervals in time — Sybil beacons (same antenna, ms
+    #: apart) stay correlated, a 3 m neighbour does not.
+    FADING_CORRELATION_DISTANCE_M = 0.5
+    FADING_CORRELATION_TIME_S = 1.0
+
+    def __init__(
+        self,
+        model: DualSlopeModel,
+        shadowing: Optional[SpatialNoiseField] = None,
+        fading=_AUTO,
+        fast_fading_sigma_db: float = 2.0,
+        measurement_noise_db: float = 0.15,
+        quantisation_db: float = 1.0,
+        noise_floor_dbm: float = -99.0,
+        capture_threshold_db: float = 6.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if fast_fading_sigma_db < 0:
+            raise ValueError(
+                f"fast fading sigma must be non-negative, got {fast_fading_sigma_db}"
+            )
+        if measurement_noise_db < 0:
+            raise ValueError(
+                f"measurement noise must be non-negative, got {measurement_noise_db}"
+            )
+        if quantisation_db < 0:
+            raise ValueError(
+                f"quantisation step must be non-negative, got {quantisation_db}"
+            )
+        self._model = model
+        self.shadowing = shadowing
+        self._rng = rng or np.random.default_rng()
+        if fading is self._AUTO:
+            fading = SpatialNoiseField(
+                seed=int(self._rng.integers(0, 2**62)),
+                correlation_distance_m=self.FADING_CORRELATION_DISTANCE_M,
+                correlation_time_s=self.FADING_CORRELATION_TIME_S,
+            )
+        self.fading: Optional[SpatialNoiseField] = fading
+        self.fast_fading_sigma_db = fast_fading_sigma_db
+        self.measurement_noise_db = measurement_noise_db
+        self.quantisation_db = quantisation_db
+        self.noise_floor_dbm = noise_floor_dbm
+        self.capture_threshold_db = capture_threshold_db
+
+    # ------------------------------------------------------------------
+    # Model management (Fig. 11b's periodic parameter change)
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> DualSlopeModel:
+        """The current propagation model."""
+        return self._model
+
+    def set_model(self, model: DualSlopeModel) -> None:
+        """Swap the propagation parameters mid-run."""
+        self._model = model
+
+    # ------------------------------------------------------------------
+    # RSSI synthesis
+    # ------------------------------------------------------------------
+    def max_range_m(self, eirp_dbm: float, rx_gain_dbi: float, floor_dbm: float) -> float:
+        """Distance at which the *mean* RSSI crosses a floor (bisection)."""
+        lo = self._model.params.reference_distance_m
+        hi = 1e5
+
+        def mean_rssi(d: float) -> float:
+            return eirp_dbm + rx_gain_dbi - self._model.path_loss_db(d)
+
+        if mean_rssi(lo) <= floor_dbm:
+            return lo
+        if mean_rssi(hi) >= floor_dbm:
+            return hi
+        while hi - lo > 0.01:
+            mid = 0.5 * (lo + hi)
+            if mean_rssi(mid) > floor_dbm:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    def rssi_matrix(
+        self,
+        tx_xy: np.ndarray,
+        rx_xy: np.ndarray,
+        eirp_dbm: np.ndarray,
+        rx_gain_dbi: np.ndarray,
+        t: float,
+        tx_times: Optional[np.ndarray] = None,
+        include_noise: bool = True,
+    ) -> np.ndarray:
+        """RSSI of every (transmission, receiver) pair.
+
+        Args:
+            tx_xy: ``(k, 2)`` true transmitter positions.
+            rx_xy: ``(m, 2)`` receiver positions.
+            eirp_dbm: ``(k,)`` radiated powers.
+            rx_gain_dbi: ``(m,)`` receiver antenna gains.
+            t: Shadowing-field evaluation time (one beacon interval is
+                far shorter than the shadowing coherence time, so one
+                instant per interval is accurate).
+            tx_times: ``(k,)`` per-transmission on-air times for the
+                fast-fading field; defaults to ``t`` for all.
+            include_noise: Disable to get the repeatable
+                mean-plus-shadowing component only (no fading, noise or
+                quantisation) — useful for calibration and tests.
+
+        Returns:
+            ``(k, m)`` RSSI in dBm.
+        """
+        tx = np.atleast_2d(np.asarray(tx_xy, dtype=float))
+        rx = np.atleast_2d(np.asarray(rx_xy, dtype=float))
+        eirp = np.asarray(eirp_dbm, dtype=float)
+        gains = np.asarray(rx_gain_dbi, dtype=float)
+        diff = tx[:, None, :] - rx[None, :, :]
+        distances = np.hypot(diff[..., 0], diff[..., 1])
+        rssi = (
+            eirp[:, None]
+            + gains[None, :]
+            - self._model.path_loss_db_array(distances)
+        )
+        if self.shadowing is not None:
+            sigma = self._model.sigma_db_array(distances)
+            rssi = rssi + sigma * self.shadowing.unit_shadowing_matrix(tx, rx, t)
+        if not include_noise:
+            return rssi
+        if self.fading is not None and self.fast_fading_sigma_db > 0:
+            times = (
+                np.full(tx.shape[0], t, dtype=float)
+                if tx_times is None
+                else np.asarray(tx_times, dtype=float)
+            )
+            rssi = rssi + self.fast_fading_sigma_db * self.fading.unit_shadowing_pairs(
+                tx, rx, times
+            )
+        if self.measurement_noise_db > 0:
+            rssi = rssi + self._rng.normal(
+                0.0, self.measurement_noise_db, size=rssi.shape
+            )
+        if self.quantisation_db > 0:
+            rssi = np.round(rssi / self.quantisation_db) * self.quantisation_db
+        return rssi
+
+    def link_rssi(
+        self,
+        tx_xy: Point,
+        rx_xy: Point,
+        eirp_dbm: float,
+        rx_gain_dbi: float,
+        t: float,
+        include_noise: bool = True,
+    ) -> float:
+        """Scalar convenience wrapper around :meth:`rssi_matrix`."""
+        matrix = self.rssi_matrix(
+            np.array([tx_xy]),
+            np.array([rx_xy]),
+            np.array([eirp_dbm]),
+            np.array([rx_gain_dbi]),
+            t,
+            tx_times=np.array([t]),
+            include_noise=include_noise,
+        )
+        return float(matrix[0, 0])
+
+    # ------------------------------------------------------------------
+    # Reception
+    # ------------------------------------------------------------------
+    def deliver(
+        self,
+        transmissions: Sequence[ScheduledTransmission],
+        receivers: Sequence[ReceiverState],
+        t: float,
+    ) -> List[Reception]:
+        """Decide which receivers decode which scheduled transmissions.
+
+        Args:
+            transmissions: MAC-resolved on-air transmissions for one
+                beacon interval (time-sorted or not; sorted internally).
+            receivers: Listening radios, including ones that also
+                transmit this interval (they simply cannot receive
+                during their own airtime).
+            t: Channel time used for the shadowing field (one beacon
+                interval is far shorter than the shadowing coherence
+                time, so a single evaluation instant per interval is
+                accurate).
+
+        Returns:
+            All successful :class:`Reception` events, time-ordered.
+        """
+        if not transmissions or not receivers:
+            return []
+        txs = sorted(transmissions, key=lambda s: s.start_s)
+        k = len(txs)
+        m = len(receivers)
+        tx_xy = np.array([s.request.tx_xy for s in txs], dtype=float)
+        rx_xy = np.array([r.xy for r in receivers], dtype=float)
+        eirp = np.array([s.request.eirp_dbm for s in txs], dtype=float)
+        gains = np.array([r.profile.antenna_gain_dbi for r in receivers], dtype=float)
+        tx_times = np.array([s.start_s for s in txs], dtype=float)
+        rssi = self.rssi_matrix(tx_xy, rx_xy, eirp, gains, t, tx_times=tx_times)
+        power_mw = 10.0 ** (rssi / 10.0)
+        noise_mw = 10.0 ** (self.noise_floor_dbm / 10.0)
+        sensitivity = np.array(
+            [r.profile.rx_sensitivity_dbm for r in receivers], dtype=float
+        )
+        receiver_nodes = [r.node for r in receivers]
+
+        # Half-duplex: a node cannot decode frames overlapping its own
+        # transmissions.  Map node -> list of its on-air windows.
+        own_windows: Dict[str, List[Tuple[float, float]]] = {}
+        for s in txs:
+            own_windows.setdefault(s.tx_node, []).append((s.start_s, s.end_s))
+
+        # Time-overlap sets via a sweep over the sorted starts.
+        overlaps: List[List[int]] = [[] for _ in range(k)]
+        for i in range(k):
+            for j in range(i + 1, k):
+                if txs[j].start_s >= txs[i].end_s:
+                    break
+                overlaps[i].append(j)
+                overlaps[j].append(i)
+
+        receptions: List[Reception] = []
+        capture_linear = 10.0 ** (self.capture_threshold_db / 10.0)
+        for i, s in enumerate(txs):
+            signal = power_mw[i]
+            interference = noise_mw + (
+                power_mw[overlaps[i]].sum(axis=0) if overlaps[i] else 0.0
+            )
+            ok = (rssi[i] >= sensitivity) & (signal / interference >= capture_linear)
+            for r_index in np.nonzero(ok)[0]:
+                node = receiver_nodes[r_index]
+                if node == s.tx_node:
+                    continue
+                busy = any(
+                    start < s.end_s and s.start_s < end
+                    for start, end in own_windows.get(node, ())
+                )
+                if busy:
+                    continue
+                receptions.append(
+                    Reception(
+                        receiver=node,
+                        identity=s.request.beacon.identity,
+                        rssi_dbm=float(rssi[i, r_index]),
+                        timestamp=s.start_s,
+                        beacon=s.request.beacon,
+                    )
+                )
+        receptions.sort(key=lambda r: (r.timestamp, r.receiver, r.identity))
+        return receptions

@@ -1,0 +1,60 @@
+"""DSRC safety messages.
+
+On the Control Channel every identity broadcasts a Basic Safety Message
+10 times per second carrying identity, location, velocity, acceleration
+and direction (paper Section I / Assumption 2).  For Voiceprint only the
+claimed identity matters — the detector deliberately ignores the claimed
+kinematics because the attacker forges them freely — but the baselines
+(CPVSAD and friends) *do* consume the claimed position, so the beacon
+carries the full payload.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["Beacon", "BEACON_SIZE_BYTES", "BEACON_RATE_HZ", "BEACON_INTERVAL_S"]
+
+#: Table III / Table V: 500-byte WSMP broadcasts.
+BEACON_SIZE_BYTES = 500
+#: DSRC CCH safety-message cadence (Assumption 2).
+BEACON_RATE_HZ = 10.0
+#: Convenience: one beacon interval in seconds.
+BEACON_INTERVAL_S = 1.0 / BEACON_RATE_HZ
+
+
+@dataclass(frozen=True)
+class Beacon:
+    """One single-hop CCH broadcast.
+
+    Attributes:
+        identity: Claimed sender identity (forged for Sybil nodes).
+        timestamp: Transmission time, seconds.
+        claimed_position: Claimed (x, y), metres.  For Sybil identities
+            this is the attacker's fabricated location, not the radio's.
+        speed: Claimed speed, m/s.
+        heading: Claimed heading, radians.
+        sequence: Per-identity monotonically increasing counter.
+        size_bytes: Wire size used for airtime accounting.
+    """
+
+    identity: str
+    timestamp: float
+    claimed_position: Tuple[float, float]
+    speed: float = 0.0
+    heading: float = 0.0
+    sequence: int = 0
+    size_bytes: int = BEACON_SIZE_BYTES
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.timestamp):
+            raise ValueError(f"timestamp must be finite, got {self.timestamp!r}")
+        x, y = self.claimed_position
+        if not (math.isfinite(x) and math.isfinite(y)):
+            raise ValueError(f"claimed position must be finite, got {(x, y)!r}")
+        if self.size_bytes <= 0:
+            raise ValueError(f"size must be positive, got {self.size_bytes}")
+        if self.sequence < 0:
+            raise ValueError(f"sequence must be non-negative, got {self.sequence}")

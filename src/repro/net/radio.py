@@ -1,0 +1,82 @@
+"""On-board radio hardware model (paper Tables II–III).
+
+One :class:`RadioProfile` captures everything the channel and MAC need
+to know about an OBU: transmit power, antenna gain, receive sensitivity,
+data rate, and the timing constants of the 802.11p MAC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..radio.base import LinkBudget
+
+__all__ = ["RadioProfile", "IWCU_OBU42"]
+
+
+@dataclass(frozen=True)
+class RadioProfile:
+    """DSRC radio parameters for one on-board unit.
+
+    Attributes:
+        tx_power_dbm: Conducted TX power (paper sims: 17–23 dBm).
+        antenna_gain_dbi: Antenna gain, applied at both TX and RX
+            (paper hardware: 7 dBi omni).
+        rx_sensitivity_dbm: Minimum decodable RSSI (IWCU: −95 dBm).
+        data_rate_bps: PHY data rate (Table III: 3 Mbps).
+        slot_time_s: MAC slot time (Table V: 13 µs).
+        sifs_s: Short inter-frame space (Table V: 32 µs).
+        preamble_s: PHY preamble + header duration (802.11p @10 MHz:
+            40 µs).
+        cw_slots: Contention-window size in slots for broadcast frames
+            (802.11p CCH broadcasts use a fixed CW of 15).
+    """
+
+    tx_power_dbm: float = 20.0
+    antenna_gain_dbi: float = 7.0
+    rx_sensitivity_dbm: float = -95.0
+    data_rate_bps: float = 3e6
+    slot_time_s: float = 13e-6
+    sifs_s: float = 32e-6
+    preamble_s: float = 40e-6
+    cw_slots: int = 15
+
+    def __post_init__(self) -> None:
+        if self.data_rate_bps <= 0:
+            raise ValueError(f"data rate must be positive, got {self.data_rate_bps}")
+        for label, value in (
+            ("slot_time_s", self.slot_time_s),
+            ("sifs_s", self.sifs_s),
+            ("preamble_s", self.preamble_s),
+        ):
+            if value <= 0:
+                raise ValueError(f"{label} must be positive, got {value}")
+        if self.cw_slots < 1:
+            raise ValueError(f"cw_slots must be >= 1, got {self.cw_slots}")
+
+    def airtime_s(self, size_bytes: int) -> float:
+        """On-air duration of a frame: preamble plus payload bits."""
+        if size_bytes <= 0:
+            raise ValueError(f"size must be positive, got {size_bytes}")
+        return self.preamble_s + (size_bytes * 8) / self.data_rate_bps
+
+    def link_budget(self, tx_power_dbm: float = None) -> LinkBudget:  # type: ignore[assignment]
+        """The link budget this radio presents (optionally overriding power).
+
+        The antenna gain counts on both ends because every vehicle in
+        the paper's testbed mounts the same 7 dBi omni.
+        """
+        power = self.tx_power_dbm if tx_power_dbm is None else tx_power_dbm
+        return LinkBudget(
+            tx_power_dbm=power,
+            tx_gain_dbi=self.antenna_gain_dbi,
+            rx_gain_dbi=self.antenna_gain_dbi,
+        )
+
+    def with_tx_power(self, tx_power_dbm: float) -> "RadioProfile":
+        """A copy of this profile at a different TX power."""
+        return replace(self, tx_power_dbm=tx_power_dbm)
+
+
+#: The paper's measurement hardware (Tables II–III).
+IWCU_OBU42 = RadioProfile()

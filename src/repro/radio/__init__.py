@@ -1,0 +1,74 @@
+"""Radio propagation substrate: models, inversion, fitting, noise fields."""
+
+from .base import (
+    DSRC_FREQUENCY_HZ,
+    SPEED_OF_LIGHT,
+    LinkBudget,
+    PropagationModel,
+    db_to_linear,
+    dbm_to_mw,
+    linear_to_db,
+    mw_to_dbm,
+    wavelength,
+)
+from .dual_slope import DualSlopeModel, DualSlopeParameters
+from .environments import (
+    CAMPUS,
+    ENVIRONMENTS,
+    HIGHWAY,
+    RURAL,
+    URBAN,
+    environment,
+    environment_model,
+    environment_names,
+)
+from .fitting import DualSlopeFit, fit_dual_slope
+from .free_space import FreeSpaceModel, FriisModel, fspl_db
+from .inverse import (
+    invert_dual_slope,
+    invert_free_space,
+    invert_log_distance,
+    invert_monotone_model,
+    invert_two_ray,
+)
+from .noise import SpatialNoiseField, ValueNoise3D
+from .rayleigh import RayleighFadingModel
+from .shadowing import LogNormalShadowingModel
+from .two_ray import TwoRayGroundModel
+
+__all__ = [
+    "DSRC_FREQUENCY_HZ",
+    "SPEED_OF_LIGHT",
+    "LinkBudget",
+    "PropagationModel",
+    "db_to_linear",
+    "dbm_to_mw",
+    "linear_to_db",
+    "mw_to_dbm",
+    "wavelength",
+    "DualSlopeModel",
+    "DualSlopeParameters",
+    "CAMPUS",
+    "ENVIRONMENTS",
+    "HIGHWAY",
+    "RURAL",
+    "URBAN",
+    "environment",
+    "environment_model",
+    "environment_names",
+    "DualSlopeFit",
+    "fit_dual_slope",
+    "FreeSpaceModel",
+    "FriisModel",
+    "fspl_db",
+    "invert_dual_slope",
+    "invert_free_space",
+    "invert_log_distance",
+    "invert_monotone_model",
+    "invert_two_ray",
+    "SpatialNoiseField",
+    "ValueNoise3D",
+    "RayleighFadingModel",
+    "LogNormalShadowingModel",
+    "TwoRayGroundModel",
+]

@@ -1,0 +1,151 @@
+"""Radio propagation foundations: units, link budget, model protocol.
+
+Every propagation model in this package answers the same question the
+paper's NS-2 channel answers: *given a transmit power and a distance,
+what RSSI does the receiver measure?*  Deterministic models expose
+``mean_rssi``; stochastic ones add a noise draw in ``sample_rssi``.
+
+Conventions:
+
+* power in dBm, gains in dBi, path loss in dB;
+* distances in metres, frequencies in Hz;
+* DSRC control channel centre frequency 5.890 GHz (paper Table III).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "SPEED_OF_LIGHT",
+    "DSRC_FREQUENCY_HZ",
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "db_to_linear",
+    "linear_to_db",
+    "wavelength",
+    "LinkBudget",
+    "PropagationModel",
+]
+
+SPEED_OF_LIGHT = 299_792_458.0
+#: CCH 178 centre carrier frequency (Table III).
+DSRC_FREQUENCY_HZ = 5.890e9
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert a power level from dBm to milliwatts."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert a power level from milliwatts to dBm."""
+    if mw <= 0:
+        raise ValueError(f"power must be positive, got {mw} mW")
+    return 10.0 * math.log10(mw)
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a ratio from decibels to linear scale."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear ratio to decibels."""
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def wavelength(frequency_hz: float = DSRC_FREQUENCY_HZ) -> float:
+    """Carrier wavelength in metres (~5.09 cm at 5.89 GHz)."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Transmit-side parameters of one link.
+
+    Attributes:
+        tx_power_dbm: Conducted transmit power (paper: 17–23 dBm range,
+            20 dBm default).
+        tx_gain_dbi: Transmit antenna gain (paper hardware: 7 dBi omni).
+        rx_gain_dbi: Receive antenna gain.
+    """
+
+    tx_power_dbm: float = 20.0
+    tx_gain_dbi: float = 0.0
+    rx_gain_dbi: float = 0.0
+
+    @property
+    def eirp_dbm(self) -> float:
+        """Effective isotropic radiated power."""
+        return self.tx_power_dbm + self.tx_gain_dbi
+
+    def received_dbm(self, path_loss_db: float) -> float:
+        """RSSI after subtracting a path loss from the budget."""
+        return self.eirp_dbm + self.rx_gain_dbi - path_loss_db
+
+
+@runtime_checkable
+class PropagationModel(Protocol):
+    """What the channel needs from a propagation model."""
+
+    def path_loss_db(self, distance_m: float) -> float:
+        """Deterministic (mean) path loss at a distance, in dB."""
+        ...
+
+    def mean_rssi(self, distance_m: float, budget: LinkBudget) -> float:
+        """Mean RSSI at a distance for a link budget, in dBm."""
+        ...
+
+    def sample_rssi(
+        self,
+        distance_m: float,
+        budget: LinkBudget,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """One stochastic RSSI draw (mean plus the model's noise)."""
+        ...
+
+
+class DeterministicModelMixin:
+    """Shared plumbing for models defined by their ``path_loss_db``.
+
+    Subclasses implement :meth:`path_loss_db`; the mixin supplies the
+    ``mean_rssi``/``sample_rssi`` pair, with ``sample_rssi`` defaulting
+    to the deterministic mean (no noise term).
+    """
+
+    def path_loss_db(self, distance_m: float) -> float:
+        raise NotImplementedError
+
+    def mean_rssi(self, distance_m: float, budget: LinkBudget) -> float:
+        return budget.received_dbm(self.path_loss_db(distance_m))
+
+    def sample_rssi(
+        self,
+        distance_m: float,
+        budget: LinkBudget,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        return self.mean_rssi(distance_m, budget)
+
+
+def validate_distance(distance_m: float, minimum: float = 0.0) -> float:
+    """Clamp-and-check helper shared by the concrete models.
+
+    Propagation formulas diverge at zero distance; models call this with
+    their reference distance as ``minimum`` so that closer-than-reference
+    queries are evaluated *at* the reference instead of extrapolating
+    into the near field.
+    """
+    if not math.isfinite(distance_m) or distance_m < 0:
+        raise ValueError(f"distance must be finite and non-negative, got {distance_m}")
+    return max(distance_m, minimum)

@@ -1,0 +1,153 @@
+"""Dual-slope piecewise-linear empirical model (paper Eq. 1).
+
+The channel model the paper plugs into NS-2, taken from Cheng et al.'s
+5.9 GHz DSRC measurement campaign: path loss follows exponent
+:math:`\\gamma_1` out to a critical (breakpoint) distance :math:`d_c`
+and a steeper :math:`\\gamma_2` beyond it, each regime with its own
+log-normal shadowing deviation:
+
+.. math::
+
+    P_r(d) = \\begin{cases}
+      P(d_0) - 10\\gamma_1\\log_{10}(d/d_0) + X_{\\sigma_1}, & d_0 \\le d \\le d_c \\\\
+      P(d_0) - 10\\gamma_1\\log_{10}(d_c/d_0)
+             - 10\\gamma_2\\log_{10}(d/d_c) + X_{\\sigma_2}, & d > d_c
+    \\end{cases}
+
+:math:`P(d_0)` is the free-space received power at the reference
+distance.  Table IV's fitted parameter sets for campus / rural / urban
+live in :mod:`repro.radio.environments`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from .base import DSRC_FREQUENCY_HZ, LinkBudget, validate_distance
+from .free_space import fspl_db
+
+__all__ = ["DualSlopeParameters", "DualSlopeModel"]
+
+
+@dataclass(frozen=True)
+class DualSlopeParameters:
+    """Parameter set of the dual-slope model (one row of Table IV).
+
+    Attributes:
+        reference_distance_m: ``d0`` (Table IV: 1 m everywhere).
+        critical_distance_m: Breakpoint ``dc``.
+        gamma1: Near-regime path-loss exponent.
+        gamma2: Far-regime path-loss exponent.
+        sigma1_db: Near-regime shadowing deviation.
+        sigma2_db: Far-regime shadowing deviation.
+        name: Optional label (e.g. the environment).
+    """
+
+    critical_distance_m: float
+    gamma1: float
+    gamma2: float
+    sigma1_db: float
+    sigma2_db: float
+    reference_distance_m: float = 1.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.reference_distance_m <= 0:
+            raise ValueError(
+                f"d0 must be positive, got {self.reference_distance_m}"
+            )
+        if self.critical_distance_m <= self.reference_distance_m:
+            raise ValueError(
+                f"dc ({self.critical_distance_m}) must exceed d0 "
+                f"({self.reference_distance_m})"
+            )
+        if self.gamma1 <= 0 or self.gamma2 <= 0:
+            raise ValueError(
+                f"path-loss exponents must be positive, got "
+                f"({self.gamma1}, {self.gamma2})"
+            )
+        if self.sigma1_db < 0 or self.sigma2_db < 0:
+            raise ValueError(
+                f"shadowing deviations must be non-negative, got "
+                f"({self.sigma1_db}, {self.sigma2_db})"
+            )
+
+    def with_name(self, name: str) -> "DualSlopeParameters":
+        """A copy of the parameters under a new label."""
+        return replace(self, name=name)
+
+
+@dataclass(frozen=True)
+class DualSlopeModel:
+    """The dual-slope model bound to one parameter set.
+
+    Attributes:
+        params: Fitted environment parameters.
+        frequency_hz: Carrier for the reference free-space term.
+    """
+
+    params: DualSlopeParameters
+    frequency_hz: float = DSRC_FREQUENCY_HZ
+
+    def path_loss_db(self, distance_m: float) -> float:
+        """Mean path loss (shadowing excluded) at a distance."""
+        p = self.params
+        d = validate_distance(distance_m, minimum=p.reference_distance_m)
+        reference = fspl_db(p.reference_distance_m, self.frequency_hz)
+        if d <= p.critical_distance_m:
+            return reference + 10.0 * p.gamma1 * math.log10(
+                d / p.reference_distance_m
+            )
+        near = 10.0 * p.gamma1 * math.log10(
+            p.critical_distance_m / p.reference_distance_m
+        )
+        far = 10.0 * p.gamma2 * math.log10(d / p.critical_distance_m)
+        return reference + near + far
+
+    def path_loss_db_array(self, distances_m: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`path_loss_db` over an array of distances."""
+        p = self.params
+        d = np.maximum(np.asarray(distances_m, dtype=float), p.reference_distance_m)
+        reference = fspl_db(p.reference_distance_m, self.frequency_hz)
+        near = reference + 10.0 * p.gamma1 * np.log10(d / p.reference_distance_m)
+        far = (
+            reference
+            + 10.0 * p.gamma1 * math.log10(p.critical_distance_m / p.reference_distance_m)
+            + 10.0 * p.gamma2 * np.log10(d / p.critical_distance_m)
+        )
+        return np.where(d <= p.critical_distance_m, near, far)
+
+    def sigma_db_array(self, distances_m: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`sigma_db` over an array of distances."""
+        p = self.params
+        d = np.maximum(np.asarray(distances_m, dtype=float), p.reference_distance_m)
+        return np.where(d <= p.critical_distance_m, p.sigma1_db, p.sigma2_db)
+
+    def sigma_db(self, distance_m: float) -> float:
+        """Shadowing deviation applicable at a distance."""
+        p = self.params
+        d = validate_distance(distance_m, minimum=p.reference_distance_m)
+        return p.sigma1_db if d <= p.critical_distance_m else p.sigma2_db
+
+    def mean_rssi(self, distance_m: float, budget: LinkBudget) -> float:
+        """Mean RSSI at a distance for a link budget."""
+        return budget.received_dbm(self.path_loss_db(distance_m))
+
+    def sample_rssi(
+        self,
+        distance_m: float,
+        budget: LinkBudget,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Mean RSSI plus one regime-appropriate shadowing draw."""
+        mean = self.mean_rssi(distance_m, budget)
+        if rng is None:
+            return mean
+        sigma = self.sigma_db(distance_m)
+        if sigma == 0:
+            return mean
+        return mean + float(rng.normal(0.0, sigma))

@@ -1,0 +1,76 @@
+"""Free-space (Friis) path loss.
+
+The model assumed by Demirbas & Song's RSSI-ratio scheme and by
+Bouassida's variation check, and the paper's yardstick for Observation 1:
+with the measured campus RSSI, free-space inversion estimates the
+140 m inter-vehicle distance as 281.5 m / 171.2 m — wildly off, which is
+the motivation for going model-free.
+
+Friis in dB form:
+
+.. math::
+
+    PL(d) = 20 \\log_{10}(d) + 20 \\log_{10}(f) - 147.55
+
+with ``d`` in metres and ``f`` in Hz.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .base import (
+    DSRC_FREQUENCY_HZ,
+    DeterministicModelMixin,
+    validate_distance,
+)
+
+__all__ = ["FreeSpaceModel", "FriisModel", "fspl_db"]
+
+#: 20*log10(4*pi/c); the constant term of Friis in (metre, Hz) units.
+_FSPL_CONSTANT = 20.0 * math.log10(4.0 * math.pi / 299_792_458.0)
+
+
+def fspl_db(distance_m: float, frequency_hz: float = DSRC_FREQUENCY_HZ) -> float:
+    """Free-space path loss in dB at a distance and carrier frequency."""
+    if distance_m <= 0:
+        raise ValueError(f"distance must be positive, got {distance_m}")
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return (
+        20.0 * math.log10(distance_m)
+        + 20.0 * math.log10(frequency_hz)
+        + _FSPL_CONSTANT
+    )
+
+
+@dataclass(frozen=True)
+class FreeSpaceModel(DeterministicModelMixin):
+    """Deterministic free-space propagation.
+
+    Attributes:
+        frequency_hz: Carrier frequency (default: DSRC CCH, 5.89 GHz).
+        reference_distance_m: Distances below this are evaluated at it,
+            keeping the model out of the near field.
+    """
+
+    frequency_hz: float = DSRC_FREQUENCY_HZ
+    reference_distance_m: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.frequency_hz}")
+        if self.reference_distance_m <= 0:
+            raise ValueError(
+                f"reference distance must be positive, got {self.reference_distance_m}"
+            )
+
+    def path_loss_db(self, distance_m: float) -> float:
+        d = validate_distance(distance_m, minimum=self.reference_distance_m)
+        return fspl_db(d, self.frequency_hz)
+
+
+#: Friis and free-space are the same model under our conventions; both
+#: names appear in the paper's Table I, so both are exported.
+FriisModel = FreeSpaceModel

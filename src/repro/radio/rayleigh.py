@@ -1,0 +1,77 @@
+"""Rayleigh small-scale fading over a log-distance mean.
+
+The model behind Wang et al.'s baseline assumption.  Received *power* in
+a Rayleigh channel is exponentially distributed around its local mean;
+in dB that is the mean RSSI plus :math:`10 \\log_{10} E` with
+:math:`E \\sim \\mathrm{Exp}(1)` — a left-skewed fluctuation with deep
+fades, quite unlike the Gaussian shadowing other baselines assume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .base import DSRC_FREQUENCY_HZ, LinkBudget, validate_distance
+from .free_space import fspl_db
+
+__all__ = ["RayleighFadingModel"]
+
+#: -10*log10(e) * EulerGamma: the mean of 10*log10(Exp(1)) in dB,
+#: i.e. the (negative) bias Rayleigh fading adds to the dB-domain mean.
+RAYLEIGH_DB_MEAN = -10.0 * math.log10(math.e) * 0.5772156649015329
+
+
+@dataclass(frozen=True)
+class RayleighFadingModel:
+    """Log-distance mean path loss with multiplicative Rayleigh fading.
+
+    Attributes:
+        path_loss_exponent: Mean-loss slope.
+        reference_distance_m: Reference distance (free-space loss there).
+        frequency_hz: Carrier frequency for the reference loss.
+    """
+
+    path_loss_exponent: float = 2.0
+    reference_distance_m: float = 1.0
+    frequency_hz: float = DSRC_FREQUENCY_HZ
+
+    def __post_init__(self) -> None:
+        if self.path_loss_exponent <= 0:
+            raise ValueError(
+                f"path-loss exponent must be positive, got {self.path_loss_exponent}"
+            )
+        if self.reference_distance_m <= 0:
+            raise ValueError(
+                f"reference distance must be positive, got {self.reference_distance_m}"
+            )
+
+    def path_loss_db(self, distance_m: float) -> float:
+        """Mean path loss (before fading) at a distance."""
+        d = validate_distance(distance_m, minimum=self.reference_distance_m)
+        return fspl_db(
+            self.reference_distance_m, self.frequency_hz
+        ) + 10.0 * self.path_loss_exponent * math.log10(d / self.reference_distance_m)
+
+    def mean_rssi(self, distance_m: float, budget: LinkBudget) -> float:
+        """RSSI at the *mean power* (the dB average sits lower; see
+        :data:`RAYLEIGH_DB_MEAN`)."""
+        return budget.received_dbm(self.path_loss_db(distance_m))
+
+    def sample_rssi(
+        self,
+        distance_m: float,
+        budget: LinkBudget,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """One faded RSSI draw (exponential power around the mean)."""
+        mean = self.mean_rssi(distance_m, budget)
+        if rng is None:
+            return mean
+        power_factor = float(rng.exponential(1.0))
+        # An exact zero draw would be -inf dB; floor it at a 60 dB fade.
+        power_factor = max(power_factor, 1e-6)
+        return mean + 10.0 * math.log10(power_factor)

@@ -1,0 +1,93 @@
+"""Log-distance path loss with log-normal shadowing.
+
+The model assumed by the Chen, Xiao and Yu baselines — and hence by our
+CPVSAD reimplementation.  Mean loss follows a single path-loss exponent
+from a reference distance; a zero-mean Gaussian term in dB models
+shadowing:
+
+.. math::
+
+    PL(d) = PL(d_0) + 10 \\gamma \\log_{10}(d / d_0) + X_\\sigma
+
+CPVSAD's statistical test assumes :math:`X_\\sigma` has a *known*
+standard deviation (the paper sets 3.9 dB); Fig. 11b shows what happens
+to it when reality disagrees.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .base import (
+    DSRC_FREQUENCY_HZ,
+    LinkBudget,
+    validate_distance,
+)
+from .free_space import fspl_db
+
+__all__ = ["LogNormalShadowingModel"]
+
+
+@dataclass(frozen=True)
+class LogNormalShadowingModel:
+    """Single-slope log-distance model with Gaussian shadowing.
+
+    Attributes:
+        path_loss_exponent: The slope ``gamma`` (free space: 2).
+        sigma_db: Shadowing standard deviation in dB.
+        reference_distance_m: ``d0``; reference loss is free-space there.
+        frequency_hz: Carrier frequency used for the reference loss.
+    """
+
+    path_loss_exponent: float = 2.0
+    sigma_db: float = 3.9
+    reference_distance_m: float = 1.0
+    frequency_hz: float = DSRC_FREQUENCY_HZ
+
+    def __post_init__(self) -> None:
+        if self.path_loss_exponent <= 0:
+            raise ValueError(
+                f"path-loss exponent must be positive, got {self.path_loss_exponent}"
+            )
+        if self.sigma_db < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma_db}")
+        if self.reference_distance_m <= 0:
+            raise ValueError(
+                f"reference distance must be positive, got {self.reference_distance_m}"
+            )
+
+    @property
+    def reference_loss_db(self) -> float:
+        """Free-space loss at the reference distance ``d0``."""
+        return fspl_db(self.reference_distance_m, self.frequency_hz)
+
+    def path_loss_db(self, distance_m: float) -> float:
+        """Mean (shadowing-free) path loss at a distance."""
+        d = validate_distance(distance_m, minimum=self.reference_distance_m)
+        return self.reference_loss_db + 10.0 * self.path_loss_exponent * math.log10(
+            d / self.reference_distance_m
+        )
+
+    def mean_rssi(self, distance_m: float, budget: LinkBudget) -> float:
+        """Mean RSSI at a distance (dBm)."""
+        return budget.received_dbm(self.path_loss_db(distance_m))
+
+    def sample_rssi(
+        self,
+        distance_m: float,
+        budget: LinkBudget,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Mean RSSI plus one shadowing draw."""
+        mean = self.mean_rssi(distance_m, budget)
+        if rng is None or self.sigma_db == 0:
+            return mean
+        return mean + float(rng.normal(0.0, self.sigma_db))
+
+    def rssi_std_db(self) -> float:
+        """Standard deviation of the RSSI the model predicts (dB)."""
+        return self.sigma_db

@@ -1,0 +1,79 @@
+"""Two-ray ground-reflection path loss.
+
+The model behind Lv et al.'s CRSD baseline, and the second yardstick in
+Observation 1 (it estimates the real 140 m campus distance as
+263.9 m / 205.8 m).  Beyond a crossover distance the direct and
+ground-reflected rays interfere destructively and power falls as
+:math:`d^4`:
+
+.. math::
+
+    PL(d) = 40 \\log_{10}(d) - 20 \\log_{10}(h_t h_r), \\quad d > d_{cross}
+
+Below the crossover we fall back to free space, the standard NS-2
+behaviour the authors' simulator inherits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .base import (
+    DSRC_FREQUENCY_HZ,
+    DeterministicModelMixin,
+    validate_distance,
+    wavelength,
+)
+from .free_space import fspl_db
+
+__all__ = ["TwoRayGroundModel"]
+
+
+@dataclass(frozen=True)
+class TwoRayGroundModel(DeterministicModelMixin):
+    """Two-ray ground reflection with a free-space near region.
+
+    Attributes:
+        tx_height_m: Transmit antenna height (roof-mounted, ~1.5 m).
+        rx_height_m: Receive antenna height.
+        frequency_hz: Carrier frequency for the near-field Friis part.
+        reference_distance_m: Near-field guard distance.
+    """
+
+    tx_height_m: float = 1.5
+    rx_height_m: float = 1.5
+    frequency_hz: float = DSRC_FREQUENCY_HZ
+    reference_distance_m: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.tx_height_m <= 0 or self.rx_height_m <= 0:
+            raise ValueError(
+                "antenna heights must be positive, got "
+                f"({self.tx_height_m}, {self.rx_height_m})"
+            )
+        if self.frequency_hz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.frequency_hz}")
+        if self.reference_distance_m <= 0:
+            raise ValueError(
+                f"reference distance must be positive, got {self.reference_distance_m}"
+            )
+
+    @property
+    def crossover_distance_m(self) -> float:
+        """Distance where the d^4 regime takes over: 4*pi*ht*hr/lambda."""
+        return (
+            4.0
+            * math.pi
+            * self.tx_height_m
+            * self.rx_height_m
+            / wavelength(self.frequency_hz)
+        )
+
+    def path_loss_db(self, distance_m: float) -> float:
+        d = validate_distance(distance_m, minimum=self.reference_distance_m)
+        if d <= self.crossover_distance_m:
+            return fspl_db(d, self.frequency_hz)
+        return 40.0 * math.log10(d) - 20.0 * math.log10(
+            self.tx_height_m * self.rx_height_m
+        )

@@ -1,0 +1,28 @@
+"""Simulation substrate: event engine, scenarios, nodes, simulators."""
+
+from .engine import EventHandle, SimulationEngine
+from .fieldtest import FieldTestConfig, FieldTestResult, run_field_test
+from .nodes import Vehicle
+from .observations import (
+    moving_pair_measurement,
+    ranging_measurement,
+    stationary_pair_measurement,
+)
+from .scenario import ScenarioConfig
+from .simulator import GroundTruth, HighwaySimulator, SimulationResult
+
+__all__ = [
+    "EventHandle",
+    "SimulationEngine",
+    "FieldTestConfig",
+    "FieldTestResult",
+    "run_field_test",
+    "Vehicle",
+    "moving_pair_measurement",
+    "ranging_measurement",
+    "stationary_pair_measurement",
+    "ScenarioConfig",
+    "GroundTruth",
+    "HighwaySimulator",
+    "SimulationResult",
+]

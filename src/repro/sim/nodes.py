@@ -1,0 +1,119 @@
+"""Simulated vehicles: normal nodes and malicious (Sybil) nodes.
+
+A :class:`Vehicle` ties together a physical trajectory, a radio profile
+and — for attackers — a :class:`~repro.attack.sybil.SybilAttacker` plan.
+Its job each beacon interval is to emit the
+:class:`~repro.net.mac.TransmissionRequest` list for every identity it
+broadcasts under: one for a normal node, ``1 + n_sybils`` for an
+attacker, all transmitted from the *same* antenna at the *same* true
+position (Assumption 2) — the physical constraint Voiceprint exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..attack.sybil import SybilAttacker
+from ..mobility.trace import PiecewiseLinearTrajectory
+from ..net.mac import TransmissionRequest
+from ..net.messages import Beacon
+from ..net.radio import RadioProfile
+
+__all__ = ["Vehicle"]
+
+Point = Tuple[float, float]
+
+
+@dataclass
+class Vehicle:
+    """One physical vehicle in the simulation.
+
+    Attributes:
+        node_id: The vehicle's legitimate identity.
+        trajectory: Its true motion.
+        profile: Radio hardware (TX power here is the vehicle's own
+            beacons' power; Sybil identities carry per-identity powers).
+        attacker: The Sybil plan, or ``None`` for a normal node.
+    """
+
+    node_id: str
+    trajectory: PiecewiseLinearTrajectory
+    profile: RadioProfile
+    attacker: Optional[SybilAttacker] = None
+    _sequence: int = field(default=0, repr=False)
+
+    @property
+    def is_malicious(self) -> bool:
+        """Whether this vehicle fabricates Sybil identities."""
+        return self.attacker is not None
+
+    @property
+    def identities(self) -> Tuple[str, ...]:
+        """Every identity this radio broadcasts under."""
+        if self.attacker is None:
+            return (self.node_id,)
+        return self.attacker.all_ids
+
+    def position(self, t: float) -> Point:
+        """True position at time ``t``."""
+        return self.trajectory.position(t)
+
+    def beacon_requests(
+        self,
+        t: float,
+        interval_s: float,
+        rng: np.random.Generator,
+    ) -> List[TransmissionRequest]:
+        """Build this interval's transmission requests.
+
+        Each identity gets one beacon with an independent random desired
+        offset inside the interval (the application-layer jitter real
+        DSRC stacks add to avoid synchronised beacons).  The malicious
+        node sends ``10n`` packets per second for ``n`` identities, as
+        the paper prescribes — all from its true position.
+
+        Args:
+            t: Interval start time.
+            interval_s: Beacon interval length (0.1 s at 10 Hz).
+            rng: Random generator for offsets and power policies.
+        """
+        true_xy = self.position(t)
+        speed = self.trajectory.speed(t)
+        heading = self.trajectory.heading(t)
+        requests: List[TransmissionRequest] = []
+
+        def make(identity: str, claimed: Point, eirp: float) -> TransmissionRequest:
+            beacon = Beacon(
+                identity=identity,
+                timestamp=t,
+                claimed_position=claimed,
+                speed=speed,
+                heading=heading,
+                sequence=self._sequence,
+            )
+            return TransmissionRequest(
+                beacon=beacon,
+                tx_node=self.node_id,
+                tx_xy=true_xy,
+                eirp_dbm=eirp,
+                desired_offset_s=float(rng.uniform(0.0, interval_s)),
+            )
+
+        if self.attacker is None:
+            requests.append(make(self.node_id, true_xy, self.profile.tx_power_dbm))
+        else:
+            own_power = self.attacker.own_power.power_dbm(t, rng)
+            requests.append(make(self.node_id, true_xy, own_power))
+            for sybil in self.attacker.identities:
+                requests.append(
+                    make(
+                        sybil.identity,
+                        sybil.claimed_position(true_xy),
+                        sybil.power.power_dbm(t, rng),
+                    )
+                )
+        self._sequence += 1
+        return requests

@@ -1,0 +1,126 @@
+"""Scenario configuration (paper Table V defaults).
+
+One :class:`ScenarioConfig` captures everything needed to reproduce an
+individual highway simulation run: road geometry, traffic density,
+attacker population, radio/MAC parameters, mobility parameters, and the
+detection cadence.  Defaults follow Table V; experiments override the
+fields they sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+__all__ = ["ScenarioConfig"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Parameters of one highway simulation run (Table V defaults).
+
+    Attributes:
+        highway_length_m: Road length (2 km).
+        lanes_per_direction: Lanes each way (Table V: 4 lanes total).
+        lane_width_m: Lane width (3.6 m).
+        density_vhls_per_km: Traffic density; Table V sweeps 10–100.
+        malicious_fraction: Share of vehicles that are attackers (5 %).
+        n_sybils_range: Sybil identities per attacker (3–6).
+        tx_power_range_dbm: Initial TX powers (17–23 dBm, then constant).
+        beacon_rate_hz: CCH beacon cadence (10 Hz).
+        packet_size_bytes: Beacon size (500 B).
+        data_rate_bps: PHY rate (3 Mbps).
+        slot_time_s: MAC slot (13 µs).
+        sifs_s: SIFS (32 µs).
+        epoch_rate: Mobility epoch rate λe (0.2 s⁻¹).
+        mean_speed_mps: Mean epoch speed µv (25 m/s).
+        speed_std_mps: Epoch speed deviation σv (5 m/s).
+        observation_time_s: Voiceprint observation window (20 s).
+        detection_period_s: Time between detections (20 s).
+        density_estimate_period_s: Density estimation period (10 s).
+        model_change_period_s: Propagation-parameter change period
+            (30 s); only applied when ``model_change_enabled``.
+        model_change_enabled: Fig. 11b's switch.
+        sim_time_s: Total simulated time (100 s).
+        environment: Propagation environment preset label.
+        smart_power_attackers: Give attackers the future-work power-
+            control strategy (ablations).
+        seed: Master RNG seed for the run.
+    """
+
+    highway_length_m: float = 2000.0
+    lanes_per_direction: int = 2
+    lane_width_m: float = 3.6
+    density_vhls_per_km: float = 50.0
+    malicious_fraction: float = 0.05
+    n_sybils_range: Tuple[int, int] = (3, 6)
+    tx_power_range_dbm: Tuple[float, float] = (17.0, 23.0)
+    beacon_rate_hz: float = 10.0
+    packet_size_bytes: int = 500
+    data_rate_bps: float = 3e6
+    slot_time_s: float = 13e-6
+    sifs_s: float = 32e-6
+    epoch_rate: float = 0.2
+    mean_speed_mps: float = 25.0
+    speed_std_mps: float = 5.0
+    observation_time_s: float = 20.0
+    detection_period_s: float = 20.0
+    density_estimate_period_s: float = 10.0
+    model_change_period_s: float = 30.0
+    model_change_enabled: bool = False
+    sim_time_s: float = 100.0
+    environment: str = "highway"
+    smart_power_attackers: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.highway_length_m <= 0:
+            raise ValueError(f"highway length must be positive, got {self.highway_length_m}")
+        if self.density_vhls_per_km <= 0:
+            raise ValueError(f"density must be positive, got {self.density_vhls_per_km}")
+        if not 0.0 <= self.malicious_fraction <= 1.0:
+            raise ValueError(
+                f"malicious fraction must be in [0, 1], got {self.malicious_fraction}"
+            )
+        lo, hi = self.n_sybils_range
+        if not 1 <= lo <= hi:
+            raise ValueError(f"bad Sybil count range: {self.n_sybils_range}")
+        plo, phi = self.tx_power_range_dbm
+        if phi < plo:
+            raise ValueError(f"bad TX power range: {self.tx_power_range_dbm}")
+        if self.beacon_rate_hz <= 0:
+            raise ValueError(f"beacon rate must be positive, got {self.beacon_rate_hz}")
+        if self.sim_time_s <= 0:
+            raise ValueError(f"sim time must be positive, got {self.sim_time_s}")
+        if self.observation_time_s <= 0 or self.detection_period_s <= 0:
+            raise ValueError("observation/detection periods must be positive")
+        if self.sim_time_s < self.observation_time_s:
+            raise ValueError(
+                "simulation shorter than one observation window "
+                f"({self.sim_time_s} < {self.observation_time_s})"
+            )
+
+    @property
+    def n_vehicles(self) -> int:
+        """Total vehicle count implied by density and road length."""
+        return max(2, round(self.density_vhls_per_km * self.highway_length_m / 1000.0))
+
+    @property
+    def n_malicious(self) -> int:
+        """Attacker count (at least one whenever the fraction is > 0)."""
+        if self.malicious_fraction == 0:
+            return 0
+        return max(1, round(self.n_vehicles * self.malicious_fraction))
+
+    @property
+    def beacon_interval_s(self) -> float:
+        """Seconds between beacons of one identity."""
+        return 1.0 / self.beacon_rate_hz
+
+    def with_density(self, density_vhls_per_km: float) -> "ScenarioConfig":
+        """A copy at a different traffic density (sweep helper)."""
+        return replace(self, density_vhls_per_km=density_vhls_per_km)
+
+    def with_seed(self, seed: int) -> "ScenarioConfig":
+        """A copy with a different RNG seed (repetition helper)."""
+        return replace(self, seed=seed)

@@ -1,0 +1,101 @@
+"""Unit tests for the Sybil attack models."""
+
+import numpy as np
+import pytest
+
+from repro.attack.sybil import (
+    ConstantPower,
+    PerPacketRandomPower,
+    RandomWalkPower,
+    SybilAttacker,
+    SybilIdentity,
+)
+
+
+class TestPowerPolicies:
+    def test_constant(self):
+        rng = np.random.default_rng(0)
+        policy = ConstantPower(21.5)
+        assert policy.power_dbm(0.0, rng) == 21.5
+        assert policy.power_dbm(99.0, rng) == 21.5
+
+    def test_per_packet_random_in_range(self):
+        rng = np.random.default_rng(1)
+        policy = PerPacketRandomPower(17.0, 23.0)
+        draws = [policy.power_dbm(t, rng) for t in range(200)]
+        assert all(17.0 <= d <= 23.0 for d in draws)
+        assert np.std(draws) > 1.0  # actually varies
+
+    def test_per_packet_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            PerPacketRandomPower(23.0, 17.0)
+
+    def test_random_walk_bounded(self):
+        rng = np.random.default_rng(2)
+        policy = RandomWalkPower(initial_dbm=20.0, step_db=2.0, low_dbm=18.0, high_dbm=22.0)
+        draws = [policy.power_dbm(t, rng) for t in range(100)]
+        assert all(18.0 <= d <= 22.0 for d in draws)
+
+    def test_random_walk_validation(self):
+        with pytest.raises(ValueError):
+            RandomWalkPower(initial_dbm=50.0)
+        with pytest.raises(ValueError):
+            RandomWalkPower(initial_dbm=20.0, step_db=-1.0)
+
+
+class TestSybilIdentity:
+    def test_claimed_position_offset(self):
+        identity = SybilIdentity("s", ConstantPower(20.0), (50.0, -2.0))
+        assert identity.claimed_position((100.0, 3.0)) == (150.0, 1.0)
+
+
+class TestSybilAttacker:
+    def test_generate_count_in_range(self):
+        for seed in range(12):
+            attacker = SybilAttacker.generate(
+                "mal", np.random.default_rng(seed), n_sybils_range=(3, 6)
+            )
+            assert 3 <= len(attacker.identities) <= 6
+
+    def test_identities_unique(self):
+        attacker = SybilAttacker.generate("mal", np.random.default_rng(0))
+        assert len(set(attacker.all_ids)) == len(attacker.all_ids)
+
+    def test_all_ids_include_own(self):
+        attacker = SybilAttacker.generate("mal", np.random.default_rng(1))
+        assert attacker.all_ids[0] == "mal"
+        assert set(attacker.sybil_ids) == set(attacker.all_ids[1:])
+
+    def test_powers_in_range(self):
+        rng = np.random.default_rng(3)
+        attacker = SybilAttacker.generate(
+            "mal", rng, power_range_dbm=(17.0, 23.0)
+        )
+        for sybil in attacker.identities:
+            power = sybil.power.power_dbm(0.0, rng)
+            assert 17.0 <= power <= 23.0
+
+    def test_claimed_offsets_respect_standoff(self):
+        rng = np.random.default_rng(4)
+        attacker = SybilAttacker.generate(
+            "mal",
+            rng,
+            claimed_offset_range_m=150.0,
+            min_claimed_offset_m=30.0,
+        )
+        for sybil in attacker.identities:
+            assert 30.0 <= abs(sybil.claimed_offset[0]) <= 150.0
+
+    def test_smart_power_uses_per_packet_policy(self):
+        attacker = SybilAttacker.generate(
+            "mal", np.random.default_rng(5), smart_power=True
+        )
+        assert all(
+            isinstance(s.power, PerPacketRandomPower) for s in attacker.identities
+        )
+
+    def test_rejects_bad_count_range(self):
+        with pytest.raises(ValueError):
+            SybilAttacker.generate(
+                "mal", np.random.default_rng(6), n_sybils_range=(0, 2)
+            )

@@ -1,0 +1,281 @@
+"""Unit tests for the baseline detectors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import METHOD_MATRIX
+from repro.baselines.bouassida import BouassidaConfig, BouassidaDetector
+from repro.baselines.chen import ChenConfig, ChenDetector
+from repro.baselines.cpvsad import (
+    CpvsadConfig,
+    CpvsadDetector,
+    IdentityClaim,
+    WitnessReport,
+)
+from repro.baselines.demirbas import DemirbasConfig, DemirbasDetector
+from repro.core.timeseries import RSSITimeSeries
+from repro.radio.base import LinkBudget
+from repro.radio.shadowing import LogNormalShadowingModel
+
+
+class TestCpvsad:
+    def _detector(self, sigma=3.9):
+        return CpvsadDetector(
+            assumed_budget=LinkBudget(tx_power_dbm=20.0),
+            assumed_model=LogNormalShadowingModel(
+                path_loss_exponent=2.0, sigma_db=sigma
+            ),
+            config=CpvsadConfig(sigma_db=sigma),
+        )
+
+    def _reports_for(self, detector, true_xy, observers, rng, power_offset=0.0):
+        reports = []
+        for index, obs_xy in enumerate(observers):
+            d = np.hypot(true_xy[0] - obs_xy[0], true_xy[1] - obs_xy[1])
+            rssi = detector.predicted_rssi(d) + power_offset + rng.normal(0, 2.0)
+            reports.append(
+                WitnessReport(f"w{index}", obs_xy, float(rssi), n_samples=50)
+            )
+        return reports
+
+    def test_truthful_claim_passes(self):
+        rng = np.random.default_rng(0)
+        detector = self._detector()
+        observers = [(0.0, 0.0), (300.0, 0.0), (600.0, 0.0), (150.0, 50.0)]
+        true_xy = (200.0, 0.0)
+        passes = 0
+        for _ in range(30):
+            reports = self._reports_for(detector, true_xy, observers, rng)
+            claim = IdentityClaim("honest", true_xy)
+            if not detector.is_sybil(claim, reports):
+                passes += 1
+        assert passes >= 25
+
+    def test_spoofed_position_rejected(self):
+        rng = np.random.default_rng(1)
+        detector = self._detector()
+        observers = [(0.0, 0.0), (300.0, 0.0), (600.0, 0.0), (150.0, 50.0)]
+        true_xy = (200.0, 0.0)
+        claimed_xy = (500.0, 0.0)  # 300 m position lie
+        rejections = 0
+        for _ in range(30):
+            reports = self._reports_for(detector, true_xy, observers, rng)
+            claim = IdentityClaim("sybil", claimed_xy)
+            if detector.is_sybil(claim, reports):
+                rejections += 1
+        assert rejections >= 20
+
+    def test_power_offset_invariance_within_legal_range(self):
+        """A TX power inside the legal range must not trigger rejection."""
+        rng = np.random.default_rng(2)
+        detector = self._detector()
+        observers = [(0.0, 0.0), (300.0, 0.0), (600.0, 0.0)]
+        true_xy = (200.0, 0.0)
+        rejections = 0
+        for _ in range(30):
+            reports = self._reports_for(
+                detector, true_xy, observers, rng, power_offset=+2.5
+            )
+            if detector.is_sybil(IdentityClaim("loud", true_xy), reports):
+                rejections += 1
+        assert rejections <= 4
+
+    def test_power_outside_legal_range_flagged(self):
+        """A common offset beyond the tolerance is itself suspicious."""
+        rng = np.random.default_rng(2)
+        detector = self._detector()
+        observers = [(0.0, 0.0), (300.0, 0.0), (600.0, 0.0)]
+        true_xy = (200.0, 0.0)
+        rejections = 0
+        for _ in range(30):
+            reports = self._reports_for(
+                detector, true_xy, observers, rng, power_offset=+12.0
+            )
+            if detector.is_sybil(IdentityClaim("blaster", true_xy), reports):
+                rejections += 1
+        assert rejections >= 25
+
+    def test_untestable_claim_not_flagged(self):
+        detector = self._detector()
+        claim = IdentityClaim("lonely", (100.0, 0.0))
+        report = WitnessReport("w0", (0.0, 0.0), -70.0, n_samples=50)
+        assert not detector.is_sybil(claim, [report])
+
+    def test_more_witnesses_more_power(self):
+        """The cooperative property: witness count drives detection."""
+        rng = np.random.default_rng(3)
+        detector = self._detector()
+        true_xy = (200.0, 0.0)
+        claimed_xy = (252.0, 0.0)  # subtle 52 m lie
+
+        def rejection_rate(n_observers):
+            observers = [
+                (float(x), 0.0) for x in np.linspace(0, 700, n_observers)
+            ]
+            hits = 0
+            for _ in range(60):
+                reports = self._reports_for(detector, true_xy, observers, rng)
+                if detector.is_sybil(IdentityClaim("s", claimed_xy), reports):
+                    hits += 1
+            return hits / 60
+
+        assert rejection_rate(10) > rejection_rate(3)
+
+    def test_model_mismatch_breaks_the_test(self):
+        """Fig. 11b's mechanism: wrong assumed exponent -> chaos."""
+        rng = np.random.default_rng(4)
+        detector = self._detector()
+        # Reality has a steeper exponent than the detector assumes (the
+        # geometry keeps means above the censoring filter).
+        reality = LogNormalShadowingModel(path_loss_exponent=2.5, sigma_db=2.0)
+        budget = LinkBudget(tx_power_dbm=20.0)
+        observers = [(50.0, 0.0), (120.0, 0.0), (200.0, 0.0), (260.0, 0.0)]
+        true_xy = (150.0, 20.0)
+        false_alarms = 0
+        for _ in range(30):
+            reports = []
+            for index, obs_xy in enumerate(observers):
+                d = max(np.hypot(true_xy[0] - obs_xy[0], true_xy[1] - obs_xy[1]), 1.0)
+                rssi = reality.mean_rssi(d, budget) + rng.normal(0, 2.0)
+                reports.append(
+                    WitnessReport(f"w{index}", obs_xy, float(rssi), n_samples=50)
+                )
+            if detector.is_sybil(IdentityClaim("honest", true_xy), reports):
+                false_alarms += 1
+        # A healthy test would false-alarm ~5% of the time (alpha);
+        # under model mismatch it condemns honest vehicles far oftener.
+        assert false_alarms >= 8
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CpvsadConfig(sigma_db=0.0)
+        with pytest.raises(ValueError):
+            CpvsadConfig(significance=1.5)
+        with pytest.raises(ValueError):
+            CpvsadConfig(min_observers=0)
+
+
+class TestBouassida:
+    def test_physically_plausible_series_passes(self):
+        rng = np.random.default_rng(0)
+        values = -70 + np.cumsum(rng.normal(0, 0.5, 100))
+        series = RSSITimeSeries.from_values("ok", values)
+        assert not BouassidaDetector().is_sybil(series)
+
+    def test_teleporting_series_flagged(self):
+        rng = np.random.default_rng(1)
+        values = np.where(rng.uniform(size=100) < 0.5, -50.0, -90.0)
+        series = RSSITimeSeries.from_values("jumpy", values)
+        assert BouassidaDetector().is_sybil(series)
+
+    def test_short_series_not_judged(self):
+        series = RSSITimeSeries.from_values("short", [-50, -90, -50])
+        assert not BouassidaDetector().is_sybil(series)
+
+    def test_max_step_grows_with_dt(self):
+        detector = BouassidaDetector()
+        assert detector.max_step_db(1.0) > detector.max_step_db(0.1)
+
+    def test_violation_rate_bounds(self):
+        rng = np.random.default_rng(2)
+        series = RSSITimeSeries.from_values("x", rng.normal(-70, 1, 50))
+        rate = BouassidaDetector().violation_rate(series)
+        assert 0.0 <= rate <= 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BouassidaConfig(max_speed_mps=0.0)
+        with pytest.raises(ValueError):
+            BouassidaConfig(violation_fraction=2.0)
+        with pytest.raises(ValueError):
+            BouassidaDetector().max_step_db(0.0)
+
+
+class TestDemirbas:
+    def _observations(self, rng, sybil_offset=6.0):
+        """Two receivers, one co-located identity pair + one distinct."""
+
+        def series(level):
+            return RSSITimeSeries.from_values(
+                "x", level + rng.normal(0, 0.5, 50)
+            )
+
+        return {
+            "r1": {
+                "mal": series(-60.0),
+                "syb": series(-60.0 + sybil_offset),
+                "other": series(-75.0),
+            },
+            "r2": {
+                "mal": series(-80.0),
+                "syb": series(-80.0 + sybil_offset),
+                "other": series(-65.0),
+            },
+        }
+
+    def test_colocated_pair_flagged(self):
+        rng = np.random.default_rng(0)
+        detector = DemirbasDetector()
+        pairs = detector.sybil_pairs(self._observations(rng))
+        assert ("mal", "syb") in pairs
+
+    def test_distinct_node_not_flagged(self):
+        rng = np.random.default_rng(1)
+        detector = DemirbasDetector()
+        ids = detector.sybil_ids(self._observations(rng))
+        assert "other" not in ids
+
+    def test_single_receiver_cannot_test(self):
+        rng = np.random.default_rng(2)
+        observations = {"r1": self._observations(rng)["r1"]}
+        assert DemirbasDetector().sybil_pairs(observations) == set()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DemirbasConfig(match_tolerance_db=0.0)
+        with pytest.raises(ValueError):
+            DemirbasConfig(min_matching_pairs=0)
+
+
+class TestChen:
+    def test_same_distribution_flagged(self):
+        rng = np.random.default_rng(0)
+        a = RSSITimeSeries.from_values("a", rng.normal(-70, 3, 200))
+        b = RSSITimeSeries.from_values("b", rng.normal(-70, 3, 200))
+        c = RSSITimeSeries.from_values("c", rng.normal(-85, 3, 200))
+        detector = ChenDetector()
+        pairs = detector.sybil_pairs({"a": a, "b": b, "c": c})
+        assert ("a", "b") in pairs
+        assert ("a", "c") not in pairs
+
+    def test_short_series_ignored(self):
+        rng = np.random.default_rng(1)
+        a = RSSITimeSeries.from_values("a", rng.normal(-70, 3, 5))
+        b = RSSITimeSeries.from_values("b", rng.normal(-70, 3, 200))
+        assert ChenDetector().sybil_pairs({"a": a, "b": b}) == set()
+
+    def test_pvalue_range(self):
+        rng = np.random.default_rng(2)
+        a = RSSITimeSeries.from_values("a", rng.normal(-70, 3, 100))
+        b = RSSITimeSeries.from_values("b", rng.normal(-70, 3, 100))
+        assert 0.0 <= ChenDetector().pair_pvalue(a, b) <= 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ChenConfig(similarity_pvalue=0.0)
+        with pytest.raises(ValueError):
+            ChenConfig(min_samples=1)
+
+
+class TestMethodMatrix:
+    def test_table1_rows_present(self):
+        assert "Voiceprint" in METHOD_MATRIX
+        assert len(METHOD_MATRIX) == 8
+
+    def test_voiceprint_properties(self):
+        rpm, cd, ci, soi, mobility = METHOD_MATRIX["Voiceprint"]
+        assert rpm == "Model-free"
+        assert cd == "D"
+        assert ci == "I"
+        assert soi is False
+        assert mobility == "High mobility"

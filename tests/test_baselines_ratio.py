@@ -1,0 +1,163 @@
+"""Tests for the Wang (Rayleigh-ratio) and CRSD baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.crsd import CrsdConfig, CrsdDetector
+from repro.baselines.wang import WangConfig, WangDetector
+from repro.core.timeseries import RSSITimeSeries
+from repro.radio.base import LinkBudget
+from repro.radio.two_ray import TwoRayGroundModel
+
+
+def _series(level, rng, n=60, fading_db=5.0, start=0.0):
+    """One identity's series at one receiver under heavy fading."""
+    # Rayleigh-ish: dB values with deep negative excursions.
+    power = rng.exponential(1.0, size=n)
+    values = level + 10 * np.log10(np.maximum(power, 1e-3)) * (fading_db / 5.6)
+    return RSSITimeSeries.from_values("x", values, start=start)
+
+
+class TestWang:
+    def _observations(self, rng, sybil_offset=7.0, fading_db=5.0):
+        """Two receivers; 'mal' and 'syb' are co-located, 'other' is not."""
+        return {
+            "r1": {
+                "mal": _series(-60.0, rng, fading_db=fading_db),
+                "syb": _series(-60.0 + sybil_offset, rng, fading_db=fading_db),
+                "other": _series(-75.0, rng, fading_db=fading_db),
+            },
+            "r2": {
+                "mal": _series(-80.0, rng, fading_db=fading_db),
+                "syb": _series(-80.0 + sybil_offset, rng, fading_db=fading_db),
+                "other": _series(-62.0, rng, fading_db=fading_db),
+            },
+        }
+
+    def test_colocated_pair_survives_fading(self):
+        rng = np.random.default_rng(0)
+        detector = WangDetector()
+        pairs = detector.sybil_pairs(self._observations(rng))
+        assert ("mal", "syb") in pairs
+
+    def test_distinct_node_not_flagged(self):
+        rng = np.random.default_rng(1)
+        detector = WangDetector()
+        ids = detector.sybil_ids(self._observations(rng))
+        assert "other" not in ids
+
+    def test_fingerprint_needs_matched_samples(self):
+        rng = np.random.default_rng(2)
+        detector = WangDetector()
+        a = _series(-60.0, rng, n=5)
+        b = _series(-80.0, rng, n=5)
+        assert detector.fingerprint(a, b) is None
+
+    def test_fingerprint_matches_offset(self):
+        rng = np.random.default_rng(3)
+        detector = WangDetector(WangConfig(fading_spread_db=0.1))
+        base = _series(-60.0, rng, n=100, fading_db=0.5)
+        shifted = RSSITimeSeries.from_values(
+            "x", base.values - 15.0, start=0.0
+        )
+        fp = detector.fingerprint(base, shifted)
+        assert fp is not None
+        median, n = fp
+        assert median == pytest.approx(15.0, abs=0.5)
+        assert n == 100
+
+    def test_tolerance_shrinks_with_samples(self):
+        config = WangConfig()
+        assert config.tolerance_db(100) < config.tolerance_db(10)
+
+    def test_unmatched_timestamps_yield_nothing(self):
+        rng = np.random.default_rng(4)
+        detector = WangDetector()
+        a = _series(-60.0, rng, n=50, start=0.0)
+        b = _series(-60.0, rng, n=50, start=1000.0)
+        assert detector.fingerprint(a, b) is None
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WangConfig(base_tolerance_db=0.0)
+        with pytest.raises(ValueError):
+            WangConfig(min_matched_samples=1)
+        with pytest.raises(ValueError):
+            WangConfig(match_window_s=0.0)
+
+
+class TestCrsd:
+    def _detector(self, tolerance=25.0):
+        return CrsdDetector(
+            assumed_budget=LinkBudget(tx_power_dbm=20.0),
+            assumed_model=TwoRayGroundModel(),
+            config=CrsdConfig(distance_tolerance_m=tolerance),
+        )
+
+    def _observations(self, rng, noise_db=0.5):
+        """Two observers at different vantage points.
+
+        'mal'/'syb' share one radio (same distance at *both* observers);
+        'ring' matches mal's distance at r1 only (the ring ambiguity).
+        """
+        detector = self._detector()
+        model = detector.assumed_model
+        budget = detector.assumed_budget
+
+        def series_at(distance):
+            mean = budget.received_dbm(model.path_loss_db(distance))
+            return RSSITimeSeries.from_values(
+                "x", mean + rng.normal(0, noise_db, 40)
+            )
+
+        return {
+            "r1": {
+                "mal": series_at(200.0),
+                "syb": series_at(200.0),
+                "ring": series_at(205.0),  # same distance from r1 ...
+            },
+            "r2": {
+                "mal": series_at(400.0),
+                "syb": series_at(400.0),
+                "ring": series_at(150.0),  # ... but not from r2
+            },
+        }
+
+    def test_colocated_pair_flagged(self):
+        rng = np.random.default_rng(0)
+        detector = self._detector()
+        pairs = detector.sybil_pairs(self._observations(rng))
+        assert ("mal", "syb") in pairs
+
+    def test_ring_ambiguity_resolved_by_intersection(self):
+        """The scheme's whole point: one observer's grouping is
+        ambiguous; the cross-observer intersection prunes it."""
+        rng = np.random.default_rng(1)
+        detector = self._detector()
+        observations = self._observations(rng)
+        local_r1 = detector.suspect_pairs_at(observations["r1"])
+        assert ("mal", "ring") in local_r1  # locally suspicious ...
+        final = detector.sybil_pairs(observations)
+        assert ("mal", "ring") not in final  # ... globally cleared
+
+    def test_relative_distance_inversion(self):
+        rng = np.random.default_rng(2)
+        detector = self._detector()
+        model = detector.assumed_model
+        budget = detector.assumed_budget
+        truth = 300.0
+        mean = budget.received_dbm(model.path_loss_db(truth))
+        series = RSSITimeSeries.from_values("x", [mean] * 20)
+        estimate = detector.relative_distance(series)
+        assert estimate == pytest.approx(truth, rel=0.05)
+
+    def test_short_series_unusable(self):
+        detector = self._detector()
+        series = RSSITimeSeries.from_values("x", [-70.0] * 3)
+        assert detector.relative_distance(series) is None
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CrsdConfig(distance_tolerance_m=0.0)
+        with pytest.raises(ValueError):
+            CrsdConfig(min_observers=1)

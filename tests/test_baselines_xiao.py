@@ -1,0 +1,138 @@
+"""Tests for the Xiao detection-and-localisation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpvsad import IdentityClaim, WitnessReport
+from repro.baselines.xiao import XiaoConfig, XiaoDetector
+from repro.radio.base import LinkBudget
+from repro.radio.shadowing import LogNormalShadowingModel
+
+
+def _detector(tolerance=120.0):
+    return XiaoDetector(
+        assumed_budget=LinkBudget(tx_power_dbm=20.0),
+        assumed_model=LogNormalShadowingModel(path_loss_exponent=2.0, sigma_db=3.9),
+        config=XiaoConfig(position_tolerance_m=tolerance),
+    )
+
+
+def _reports(detector, true_xy, observers, rng, noise_db=2.0):
+    reports = []
+    model = detector.assumed_model
+    budget = detector.assumed_budget
+    for index, obs_xy in enumerate(observers):
+        d = max(np.hypot(true_xy[0] - obs_xy[0], true_xy[1] - obs_xy[1]), 1.0)
+        rssi = model.mean_rssi(d, budget) + rng.normal(0, noise_db)
+        reports.append(WitnessReport(f"w{index}", obs_xy, float(rssi), n_samples=50))
+    return reports
+
+
+OBSERVERS = [(0.0, 0.0), (400.0, 0.0), (200.0, 300.0), (200.0, -250.0)]
+
+
+class TestLocalization:
+    def test_localizes_transmitter(self):
+        rng = np.random.default_rng(0)
+        detector = _detector()
+        true_xy = (180.0, 40.0)
+        errors = []
+        for _ in range(20):
+            reports = _reports(detector, true_xy, OBSERVERS, rng)
+            estimate = detector.localize(reports)
+            assert estimate is not None
+            errors.append(np.hypot(estimate[0] - true_xy[0], estimate[1] - true_xy[1]))
+        assert np.median(errors) < 100.0
+
+    def test_needs_three_observers(self):
+        rng = np.random.default_rng(1)
+        detector = _detector()
+        reports = _reports(detector, (100.0, 0.0), OBSERVERS[:2], rng)
+        assert detector.localize(reports) is None
+
+    def test_short_reports_ignored(self):
+        rng = np.random.default_rng(2)
+        detector = _detector()
+        reports = _reports(detector, (100.0, 0.0), OBSERVERS, rng)
+        starved = [
+            WitnessReport(r.observer_id, r.observer_xy, r.mean_rssi_dbm, 1)
+            for r in reports
+        ]
+        assert detector.localize(starved) is None
+
+
+class TestVerification:
+    def test_truthful_claim_passes(self):
+        rng = np.random.default_rng(3)
+        detector = _detector()
+        true_xy = (180.0, 40.0)
+        passes = sum(
+            not detector.is_sybil(
+                IdentityClaim("honest", true_xy),
+                _reports(detector, true_xy, OBSERVERS, rng),
+            )
+            for _ in range(20)
+        )
+        assert passes >= 15
+
+    def test_big_position_lie_rejected(self):
+        rng = np.random.default_rng(4)
+        detector = _detector()
+        true_xy = (180.0, 40.0)
+        claimed = (180.0 + 400.0, 40.0)
+        rejections = sum(
+            detector.is_sybil(
+                IdentityClaim("sybil", claimed),
+                _reports(detector, true_xy, OBSERVERS, rng),
+            )
+            for _ in range(20)
+        )
+        assert rejections >= 18
+
+    def test_result_reports_error(self):
+        rng = np.random.default_rng(5)
+        detector = _detector()
+        true_xy = (180.0, 40.0)
+        claimed = (500.0, 40.0)
+        result = detector.verify(
+            IdentityClaim("s", claimed),
+            _reports(detector, true_xy, OBSERVERS, rng),
+        )
+        assert result is not None
+        assert result.error_m > 100.0
+        assert result.is_sybil
+
+    def test_untestable_claim_none(self):
+        detector = _detector()
+        assert detector.verify(IdentityClaim("x", (0.0, 0.0)), []) is None
+        assert not detector.is_sybil(IdentityClaim("x", (0.0, 0.0)), [])
+
+    def test_model_mismatch_breaks_localization(self):
+        """Fig. 11b's mechanism, localisation flavour: a wrong exponent
+        biases every distance estimate and the honest claim drifts out
+        of tolerance."""
+        rng = np.random.default_rng(6)
+        detector = _detector(tolerance=80.0)
+        reality = LogNormalShadowingModel(path_loss_exponent=3.2, sigma_db=2.0)
+        budget = LinkBudget(tx_power_dbm=20.0)
+        true_xy = (180.0, 40.0)
+        rejections = 0
+        for _ in range(20):
+            reports = []
+            for index, obs_xy in enumerate(OBSERVERS):
+                d = max(np.hypot(true_xy[0] - obs_xy[0], true_xy[1] - obs_xy[1]), 1.0)
+                rssi = reality.mean_rssi(d, budget) + rng.normal(0, 2.0)
+                reports.append(
+                    WitnessReport(f"w{index}", obs_xy, float(rssi), n_samples=50)
+                )
+            if detector.is_sybil(IdentityClaim("honest", true_xy), reports):
+                rejections += 1
+        assert rejections >= 10
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            XiaoConfig(position_tolerance_m=0.0)
+        with pytest.raises(ValueError):
+            XiaoConfig(min_observers=2)

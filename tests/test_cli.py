@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["list"],
+            ["table1"],
+            ["fig9"],
+            ["fig5", "--duration", "60"],
+            ["table4", "--samples", "500"],
+            ["fig6-7", "--duration", "60"],
+            ["fig10", "--densities", "10,40", "--sim-time", "45"],
+            ["fig11a", "--densities", "20", "--runs", "2"],
+            ["fig13", "--duration", "120", "--period", "40"],
+            ["timing"],
+            ["ablations", "--duration", "60"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_densities_parsing(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig10", "--densities", "10,40,80"])
+        assert args.densities == [10.0, 40.0, 80.0]
+
+    def test_bad_densities_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig10", "--densities", "ten"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig10", "--densities", "-5"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11a" in out
+        assert "fig13" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Voiceprint" in out
+        assert "Model-free" in out
+
+    def test_fig9(self, capsys):
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "5" in out
+        assert "warp path" in out
+
+    def test_fig5_small(self, capsys):
+        assert main(["fig5", "--duration", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "stationary session 1" in out
+
+    def test_fig13_small(self, capsys):
+        assert main(["fig13", "--duration", "90", "--period", "45"]) == 0
+        out = capsys.readouterr().out
+        assert "campus" in out
+        assert "highway" in out

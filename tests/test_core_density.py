@@ -1,0 +1,60 @@
+"""Unit tests for repro.core.density (Eq. 9)."""
+
+import pytest
+
+from repro.core.density import DensityEstimator, linear_density
+
+
+class TestLinearDensity:
+    def test_eq9(self):
+        # 90 nodes over 2 * 450 m of covered road = 0.1 vehicles/m.
+        assert linear_density(90, 450.0) == pytest.approx(0.1)
+
+    def test_zero_nodes(self):
+        assert linear_density(0, 400.0) == 0.0
+
+    def test_per_km_conversion(self):
+        # 100 vehicles/km scenario: Eq. 9 should recover itself.
+        assert linear_density(80, 400.0) * 1000.0 == pytest.approx(100.0)
+
+    def test_rejects_negative_nodes(self):
+        with pytest.raises(ValueError):
+            linear_density(-1, 400.0)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            linear_density(5, 0.0)
+
+
+class TestDensityEstimator:
+    def test_first_estimate_counts_everyone(self):
+        estimator = DensityEstimator(max_range_m=500.0)
+        estimator.hear_all(["a", "b", "sybil"])
+        estimator.mark_illegitimate("sybil")
+        # Paper: the first estimate cannot yet exclude anyone.
+        assert estimator.estimate() == pytest.approx(3 / 1000.0)
+
+    def test_later_estimates_exclude_flagged(self):
+        estimator = DensityEstimator(max_range_m=500.0)
+        estimator.hear_all(["a", "b", "sybil"])
+        estimator.estimate()
+        estimator.mark_illegitimate("sybil")
+        estimator.reset_period()
+        estimator.hear_all(["a", "b", "sybil"])
+        assert estimator.estimate() == pytest.approx(2 / 1000.0)
+
+    def test_reset_period_clears_heard(self):
+        estimator = DensityEstimator(max_range_m=500.0)
+        estimator.hear("a")
+        estimator.reset_period()
+        assert estimator.heard_count == 0
+
+    def test_duplicate_hears_counted_once(self):
+        estimator = DensityEstimator(max_range_m=500.0)
+        estimator.hear("a")
+        estimator.hear("a")
+        assert estimator.heard_count == 1
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            DensityEstimator(max_range_m=0.0)

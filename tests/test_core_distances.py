@@ -1,0 +1,81 @@
+"""Unit tests for repro.core.distances (Lp norms, Eq. 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.distances import (
+    absolute_cost,
+    chebyshev_distance,
+    euclidean_distance,
+    lp_distance,
+    manhattan_distance,
+    squared_cost,
+)
+
+
+class TestLpDistance:
+    def test_euclidean_known_value(self):
+        assert euclidean_distance([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_manhattan_known_value(self):
+        assert manhattan_distance([0, 0], [3, 4]) == pytest.approx(7.0)
+
+    def test_chebyshev_known_value(self):
+        assert chebyshev_distance([0, 0], [3, 4]) == pytest.approx(4.0)
+
+    def test_p1_equals_manhattan(self):
+        x, y = [1.0, 2.0, 3.0], [2.0, 0.0, 5.0]
+        assert lp_distance(x, y, p=1) == manhattan_distance(x, y)
+
+    def test_identity(self):
+        x = [1.0, -2.0, 3.0]
+        for p in (1, 2, 3):
+            assert lp_distance(x, x, p=p) == 0.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=10), rng.normal(size=10)
+        assert lp_distance(x, y) == pytest.approx(lp_distance(y, x))
+
+    def test_triangle_inequality_euclidean(self):
+        rng = np.random.default_rng(1)
+        x, y, z = (rng.normal(size=8) for _ in range(3))
+        assert euclidean_distance(x, z) <= (
+            euclidean_distance(x, y) + euclidean_distance(y, z) + 1e-12
+        )
+
+    def test_higher_p_never_larger(self):
+        rng = np.random.default_rng(2)
+        x, y = rng.normal(size=12), rng.normal(size=12)
+        assert lp_distance(x, y, 1) >= lp_distance(x, y, 2) >= lp_distance(x, y, 4)
+
+    def test_empty_series(self):
+        assert euclidean_distance([], []) == 0.0
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            euclidean_distance([1.0], [1.0, 2.0])
+
+    def test_bad_p_rejected(self):
+        with pytest.raises(ValueError):
+            lp_distance([1.0], [1.0], p=0)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            euclidean_distance(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestPointCosts:
+    def test_squared_cost(self):
+        assert squared_cost(1.0, 4.0) == 9.0
+        assert squared_cost(4.0, 1.0) == 9.0
+
+    def test_absolute_cost(self):
+        assert absolute_cost(1.0, 4.0) == 3.0
+        assert absolute_cost(-1.0, 1.0) == 2.0
+
+    def test_zero_at_equal_points(self):
+        assert squared_cost(2.5, 2.5) == 0.0
+        assert absolute_cost(2.5, 2.5) == 0.0

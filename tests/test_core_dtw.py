@@ -1,0 +1,167 @@
+"""Unit tests for repro.core.dtw (exact DTW, Eqs. 3-6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distances import absolute_cost
+from repro.core.dtw import (
+    DTWResult,
+    dtw,
+    dtw_banded,
+    dtw_distance,
+    dtw_windowed,
+    warp_path_cells,
+)
+
+
+class TestPaperExample:
+    """Fig. 9's worked example, as discussed in DESIGN.md (E4)."""
+
+    X = [1.0, 1.0, 4.0, 1.0, 1.0]
+    Y = [2.0, 2.0, 2.0, 4.0, 2.0, 2.0]
+
+    def test_distance_under_squared_cost(self):
+        # Eqs. 3-6 verbatim give 5, not the figure's printed 9.
+        assert dtw(self.X, self.Y).distance == 5.0
+
+    def test_distance_under_absolute_cost(self):
+        window = [(i, j) for i in range(1, 6) for j in range(1, 7)]
+        result = dtw_windowed(self.X, self.Y, window, cost_fn=absolute_cost)
+        assert result.distance == 5.0
+
+    def test_path_endpoints(self):
+        path = dtw(self.X, self.Y).path
+        assert path[0] == (1, 1)
+        assert path[-1] == (5, 6)
+
+    def test_path_satisfies_monotonicity(self):
+        assert warp_path_cells(dtw(self.X, self.Y).path)
+
+
+class TestBasicProperties:
+    def test_identity_is_zero(self):
+        x = np.array([1.0, 2.0, 3.0, 2.0])
+        assert dtw(x, x).distance == 0.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=20), rng.normal(size=25)
+        assert dtw(x, y).distance == pytest.approx(dtw(y, x).distance)
+
+    def test_single_elements(self):
+        result = dtw([3.0], [5.0])
+        assert result.distance == 4.0
+        assert result.path == ((1, 1),)
+
+    def test_unequal_lengths_supported(self):
+        assert dtw([1.0, 2.0], [1.0, 1.5, 2.0]).distance >= 0.0
+
+    def test_constant_shift_costs(self):
+        # series differing by a constant c: every matched pair costs c^2
+        x = np.zeros(5)
+        y = np.ones(5) * 2.0
+        assert dtw(x, y).distance == pytest.approx(4.0 * 5)
+
+    def test_warping_absorbs_time_shift(self):
+        x = np.array([0, 0, 1, 5, 1, 0, 0], dtype=float)
+        y = np.array([0, 1, 5, 1, 0, 0, 0], dtype=float)
+        assert dtw(x, y).distance == 0.0
+        n = x.size
+        from repro.core.distances import euclidean_distance
+
+        assert euclidean_distance(x, y) > 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            dtw([], [1.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            dtw([float("nan")], [1.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            dtw(np.zeros((2, 2)), [1.0])
+
+
+class TestDtwDistanceFastPath:
+    def test_matches_full_dtw(self):
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            n, m = rng.integers(2, 30, size=2)
+            x, y = rng.normal(size=n), rng.normal(size=m)
+            assert dtw_distance(x, y) == pytest.approx(dtw(x, y).distance)
+
+
+class TestBanded:
+    def test_full_band_equals_exact(self):
+        rng = np.random.default_rng(5)
+        x, y = rng.normal(size=15), rng.normal(size=18)
+        banded = dtw_banded(x, y, radius=20)
+        assert banded.distance == pytest.approx(dtw(x, y).distance)
+
+    def test_band_is_upper_bound(self):
+        rng = np.random.default_rng(6)
+        x, y = rng.normal(size=30), rng.normal(size=30)
+        exact = dtw(x, y).distance
+        for radius in (0, 1, 3, 8):
+            assert dtw_banded(x, y, radius).distance >= exact - 1e-12
+
+    def test_band_shrinks_monotonically(self):
+        rng = np.random.default_rng(7)
+        x, y = rng.normal(size=25), rng.normal(size=25)
+        distances = [dtw_banded(x, y, r).distance for r in (0, 2, 5, 10, 25)]
+        assert all(a >= b - 1e-12 for a, b in zip(distances, distances[1:]))
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            dtw_banded([1.0], [1.0], radius=-1)
+
+
+class TestWindowed:
+    def test_requires_corner_cells(self):
+        with pytest.raises(ValueError):
+            dtw_windowed([1.0, 2.0], [1.0, 2.0], [(2, 2)])
+        with pytest.raises(ValueError):
+            dtw_windowed([1.0, 2.0], [1.0, 2.0], [(1, 1)])
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_windowed([1.0], [1.0], [])
+
+    def test_disconnected_window_rejected(self):
+        # (1,1) and (3,3) with nothing joining them.
+        with pytest.raises(ValueError):
+            dtw_windowed([1.0, 2.0, 3.0], [1.0, 2.0, 3.0], [(1, 1), (3, 3)])
+
+    def test_full_window_matches_exact(self):
+        rng = np.random.default_rng(8)
+        x, y = rng.normal(size=10), rng.normal(size=12)
+        window = [(i, j) for i in range(1, 11) for j in range(1, 13)]
+        assert dtw_windowed(x, y, window).distance == pytest.approx(
+            dtw(x, y).distance
+        )
+
+    def test_out_of_bounds_cell_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_windowed([1.0], [1.0], [(0, 1), (1, 1)])
+
+
+class TestWarpPathValidation:
+    def test_valid_path(self):
+        assert warp_path_cells(((1, 1), (2, 2), (2, 3), (3, 3)))
+
+    def test_must_start_at_origin(self):
+        assert not warp_path_cells(((2, 2), (3, 3)))
+
+    def test_no_backwards_steps(self):
+        assert not warp_path_cells(((1, 1), (2, 2), (1, 3)))
+
+    def test_no_repeats(self):
+        assert not warp_path_cells(((1, 1), (1, 1)))
+
+    def test_no_jumps(self):
+        assert not warp_path_cells(((1, 1), (3, 2)))
+
+    def test_empty_invalid(self):
+        assert not warp_path_cells(())

@@ -1,0 +1,162 @@
+"""Unit tests for repro.core.lda (LDA + the decision line fit)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lda import DecisionLine, LDAModel, fit_decision_line, fit_lda
+
+
+def _clouds(rng, n=400):
+    """Separable clouds mimicking Fig. 10's structure."""
+    densities = rng.uniform(10, 100, size=n)
+    # Sybil pairs: small distances growing mildly with density.
+    pos_dist = rng.normal(0.02, 0.008, size=n) + densities * 1e-4
+    # Other pairs: large distances.
+    neg_dist = rng.uniform(0.15, 1.0, size=n)
+    positives = np.column_stack([densities, np.abs(pos_dist)])
+    negatives = np.column_stack([densities, neg_dist])
+    return negatives, positives
+
+
+class TestFitLda:
+    def test_separates_comparable_variance_clouds(self):
+        # LDA's sweet spot: two Gaussians with similar covariances.
+        rng = np.random.default_rng(0)
+        densities = rng.uniform(10, 100, size=400)
+        positives = np.column_stack(
+            [densities, rng.normal(0.1, 0.05, size=400)]
+        )
+        negatives = np.column_stack(
+            [densities, rng.normal(0.6, 0.05, size=400)]
+        )
+        model = fit_lda(negatives, positives)
+        correct = sum(model.predict(p) == 1 for p in positives) + sum(
+            model.predict(n) == 0 for n in negatives
+        )
+        assert correct / (len(positives) + len(negatives)) > 0.98
+
+    def test_unequal_variances_degrade_gracefully(self):
+        # Fig. 10's actual structure (tight positives, broad negatives)
+        # violates the pooled-covariance assumption; accuracy drops but
+        # the discriminant direction stays usable — this is exactly why
+        # fit_decision_line does not use the raw LDA boundary.
+        rng = np.random.default_rng(0)
+        negatives, positives = _clouds(rng)
+        model = fit_lda(negatives, positives)
+        correct = sum(model.predict(p) == 1 for p in positives) + sum(
+            model.predict(n) == 0 for n in negatives
+        )
+        assert correct / (len(positives) + len(negatives)) > 0.85
+
+    def test_score_sign_matches_prediction(self):
+        rng = np.random.default_rng(1)
+        negatives, positives = _clouds(rng, n=50)
+        model = fit_lda(negatives, positives)
+        for point in np.vstack([negatives[:5], positives[:5]]):
+            assert (model.score(point) > 0) == (model.predict(point) == 1)
+
+    def test_means_recorded(self):
+        rng = np.random.default_rng(2)
+        negatives, positives = _clouds(rng, n=100)
+        model = fit_lda(negatives, positives)
+        assert model.mean_positive[1] < model.mean_negative[1]
+
+    def test_rejects_empty_class(self):
+        with pytest.raises(ValueError):
+            fit_lda(np.zeros((0, 2)), np.ones((3, 2)))
+
+    def test_rejects_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_lda(np.zeros((3, 2)), np.ones((3, 3)))
+
+    def test_degenerate_covariance_survives(self):
+        # All points at one density: ridge keeps the solve alive.
+        negatives = np.column_stack([np.full(20, 50.0), np.linspace(0.5, 1, 20)])
+        positives = np.column_stack([np.full(20, 50.0), np.linspace(0.0, 0.1, 20)])
+        model = fit_lda(negatives, positives)
+        assert model.predict([50.0, 0.05]) == 1
+        assert model.predict([50.0, 0.9]) == 0
+
+    def test_score_dimension_check(self):
+        rng = np.random.default_rng(3)
+        negatives, positives = _clouds(rng, n=30)
+        model = fit_lda(negatives, positives)
+        with pytest.raises(ValueError):
+            model.score([1.0, 2.0, 3.0])
+
+
+class TestDecisionLine:
+    def test_threshold_at(self):
+        line = DecisionLine(k=0.001, b=0.05)
+        assert line.threshold_at(100.0) == pytest.approx(0.15)
+
+    def test_is_sybil_pair(self):
+        line = DecisionLine(k=0.0, b=0.1)
+        assert line.is_sybil_pair(50.0, 0.05)
+        assert not line.is_sybil_pair(50.0, 0.2)
+
+    def test_rejects_negative_density(self):
+        with pytest.raises(ValueError):
+            DecisionLine(k=0.0, b=0.1).threshold_at(-1.0)
+
+
+class TestFitDecisionLine:
+    def test_separable_clouds_yield_working_line(self):
+        rng = np.random.default_rng(4)
+        negatives, positives = _clouds(rng)
+        line = fit_decision_line(negatives, positives)
+        tpr = np.mean(
+            [line.is_sybil_pair(d, dist) for d, dist in positives]
+        )
+        fpr = np.mean(
+            [line.is_sybil_pair(d, dist) for d, dist in negatives]
+        )
+        assert tpr > 0.9
+        assert fpr < 0.05
+
+    def test_respects_fpr_budget(self):
+        rng = np.random.default_rng(5)
+        negatives, positives = _clouds(rng, n=2000)
+        line = fit_decision_line(negatives, positives, max_pair_fpr=0.001)
+        fpr = np.mean([line.is_sybil_pair(d, dist) for d, dist in negatives])
+        assert fpr <= 0.01
+
+    def test_threshold_positive_over_training_range(self):
+        rng = np.random.default_rng(6)
+        negatives, positives = _clouds(rng)
+        line = fit_decision_line(negatives, positives)
+        for density in (10, 50, 100):
+            assert line.threshold_at(density) > 0.0
+
+    def test_slope_tracks_density_dependence(self):
+        # The NP threshold tracks the negatives' lower tail; when that
+        # tail rises with density, so must the fitted line.
+        rng = np.random.default_rng(7)
+        n = 3000
+        densities = rng.uniform(10, 100, size=n)
+        positives = np.column_stack(
+            [densities, np.abs(rng.normal(0, 0.003, n))]
+        )
+        neg_floor = 0.1 + 0.004 * densities
+        negatives = np.column_stack(
+            [densities, neg_floor + rng.uniform(0, 0.5, n)]
+        )
+        line = fit_decision_line(negatives, positives)
+        assert line.k > 0.001
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fit_decision_line(np.zeros((0, 2)), np.ones((5, 2)))
+
+    def test_rejects_bad_fpr(self):
+        rng = np.random.default_rng(8)
+        negatives, positives = _clouds(rng, n=50)
+        with pytest.raises(ValueError):
+            fit_decision_line(negatives, positives, max_pair_fpr=1.5)
+
+    def test_single_density_gives_constant_line(self):
+        negatives = np.column_stack([np.full(50, 40.0), np.linspace(0.3, 1, 50)])
+        positives = np.column_stack([np.full(50, 40.0), np.linspace(0, 0.05, 50)])
+        line = fit_decision_line(negatives, positives)
+        assert line.k == 0.0
+        assert 0.0 < line.b < 0.3

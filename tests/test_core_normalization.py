@@ -1,0 +1,108 @@
+"""Unit tests for repro.core.normalization."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import (
+    enhanced_zscore,
+    minmax,
+    minmax_distances,
+    zscore,
+    zscore_series,
+)
+from repro.core.timeseries import RSSITimeSeries
+
+
+class TestZScore:
+    def test_zero_mean(self):
+        values = np.array([-70.0, -75.0, -80.0, -72.0])
+        out = zscore(values)
+        assert np.mean(out) == pytest.approx(0.0, abs=1e-12)
+
+    def test_unit_sigma_with_multiplier_one(self):
+        rng = np.random.default_rng(0)
+        out = zscore(rng.normal(-70, 5, size=500), sigma_multiplier=1.0)
+        assert np.std(out) == pytest.approx(1.0, abs=1e-9)
+
+    def test_enhanced_divides_by_three_sigma(self):
+        values = np.array([-70.0, -75.0, -80.0])
+        assert np.allclose(enhanced_zscore(values) * 3.0, zscore(values, 1.0))
+
+    def test_enhanced_bounds_gaussianlike_data(self):
+        rng = np.random.default_rng(1)
+        out = enhanced_zscore(rng.normal(-70, 3, size=1000))
+        assert np.mean(np.abs(out) < 1.0) > 0.99
+
+    def test_constant_series_maps_to_zero(self):
+        out = zscore(np.full(10, -80.0))
+        assert np.all(out == 0.0)
+
+    def test_empty_input(self):
+        assert zscore(np.array([])).size == 0
+
+    def test_shift_invariance(self):
+        """The property Eq. 7 exists for: constant power offsets vanish."""
+        rng = np.random.default_rng(2)
+        base = rng.normal(-70, 4, size=100)
+        assert np.allclose(enhanced_zscore(base), enhanced_zscore(base + 6.0))
+
+    def test_scale_invariance(self):
+        rng = np.random.default_rng(3)
+        base = rng.normal(0, 4, size=100)
+        assert np.allclose(zscore(base), zscore(base * 2.5))
+
+    def test_rejects_bad_multiplier(self):
+        with pytest.raises(ValueError):
+            zscore(np.array([1.0, 2.0]), sigma_multiplier=0.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            zscore(np.zeros((2, 2)))
+
+
+class TestZScoreSeries:
+    def test_preserves_timestamps_and_identity(self):
+        series = RSSITimeSeries.from_values("id7", [-70, -75, -80])
+        out = zscore_series(series)
+        assert out.identity == "id7"
+        assert np.allclose(out.timestamps, series.timestamps)
+        assert np.mean(out.values) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestMinMax:
+    def test_range(self):
+        out = minmax(np.array([3.0, 1.0, 2.0]))
+        assert out.min() == 0.0
+        assert out.max() == 1.0
+
+    def test_order_preserved(self):
+        values = np.array([5.0, 1.0, 3.0])
+        out = minmax(values)
+        assert np.all(np.argsort(out) == np.argsort(values))
+
+    def test_constant_maps_to_zero(self):
+        assert np.all(minmax(np.full(4, 2.0)) == 0.0)
+
+    def test_empty(self):
+        assert minmax(np.array([])).size == 0
+
+    def test_single_value(self):
+        assert minmax(np.array([7.0]))[0] == 0.0
+
+
+class TestMinMaxDistances:
+    def test_mapping_normalised(self):
+        distances = {("a", "b"): 2.0, ("a", "c"): 6.0, ("b", "c"): 4.0}
+        out = minmax_distances(distances)
+        assert out[("a", "b")] == 0.0
+        assert out[("a", "c")] == 1.0
+        assert out[("b", "c")] == pytest.approx(0.5)
+
+    def test_empty_mapping(self):
+        assert minmax_distances({}) == {}
+
+    def test_forced_zero_property(self):
+        """Eq. 8 always maps the most similar pair to exactly 0."""
+        distances = {("a", "b"): 0.9, ("a", "c"): 1.1}
+        out = minmax_distances(distances)
+        assert min(out.values()) == 0.0

@@ -1,0 +1,126 @@
+"""Tests for the online Voiceprint pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConstantThreshold, DetectorConfig
+from repro.core.pipeline import OnlineVoiceprint, OnlineVoiceprintConfig
+from repro.sim import FieldTestConfig, run_field_test
+
+
+@pytest.fixture(scope="module")
+def drive():
+    return run_field_test(
+        FieldTestConfig(environment="rural", duration_s=120.0, seed=31)
+    )
+
+
+def _beacon_stream(observations):
+    """All (t, identity, rssi) tuples in global time order."""
+    records = []
+    for identity, series in observations.items():
+        for sample in series:
+            records.append((sample.timestamp, identity, sample.rssi))
+    records.sort(key=lambda r: (r[0], r[1]))
+    return records
+
+
+def _pipeline(**kwargs):
+    return OnlineVoiceprint(
+        max_range_m=500.0,
+        threshold=ConstantThreshold(0.05046),
+        detector_config=DetectorConfig(observation_time=20.0),
+        **kwargs,
+    )
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"detection_period_s": 0.0},
+            {"density_period_s": -1.0},
+            {"warmup_s": -1.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            OnlineVoiceprintConfig(**kwargs)
+
+
+class TestScheduling:
+    def test_periodic_reports(self, drive):
+        pipeline = _pipeline()
+        reports = []
+        for t, identity, rssi in _beacon_stream(drive.observations["3"]):
+            report = pipeline.on_beacon(identity, t, rssi)
+            if report is not None:
+                reports.append(report)
+        # 120 s drive, first detection after 20 s warmup, then every 20 s.
+        assert 4 <= len(reports) <= 6
+        times = [r.timestamp for r in reports]
+        deltas = np.diff(times)
+        assert np.allclose(deltas, 20.0, atol=0.5)
+
+    def test_no_detection_during_warmup(self, drive):
+        pipeline = _pipeline()
+        for t, identity, rssi in _beacon_stream(drive.observations["3"]):
+            if t > 15.0:
+                break
+            assert pipeline.on_beacon(identity, t, rssi) is None
+
+    def test_density_estimated(self, drive):
+        pipeline = _pipeline()
+        for t, identity, rssi in _beacon_stream(drive.observations["3"]):
+            pipeline.on_beacon(identity, t, rssi)
+        # 5 physical identities + 2 sybils heard within 500 m coverage.
+        assert pipeline.current_density_vhls_per_km > 0.0
+
+
+class TestVerdicts:
+    def test_attacker_confirmed(self, drive):
+        pipeline = _pipeline()
+        for t, identity, rssi in _beacon_stream(drive.observations["3"]):
+            pipeline.on_beacon(identity, t, rssi)
+        assert {"1", "101", "102"} <= set(pipeline.confirmed_sybils)
+
+    def test_normal_nodes_not_confirmed(self, drive):
+        pipeline = _pipeline()
+        for t, identity, rssi in _beacon_stream(drive.observations["3"]):
+            pipeline.on_beacon(identity, t, rssi)
+        assert "2" not in pipeline.confirmed_sybils
+        assert "4" not in pipeline.confirmed_sybils
+
+    def test_confirmation_debounces_single_flag(self):
+        """One noisy period must not confirm anyone."""
+        pipeline = _pipeline(
+            config=OnlineVoiceprintConfig(confirmation_window=3)
+        )
+        rng = np.random.default_rng(0)
+        # Two honest-but-similar streams for 25 s: the forced min-max
+        # zero flags them in the first (and only) period.
+        base = np.cumsum(rng.normal(0, 1.0, 250))
+        for i in range(250):
+            t = i * 0.1
+            pipeline.on_beacon("a", t, float(-70 + base[i] + rng.normal(0, 0.3)))
+            pipeline.on_beacon("b", t, float(-72 + base[i] + rng.normal(0, 0.3)))
+            pipeline.on_beacon("c", t, float(-80 + 5 * np.sin(t) + rng.normal(0, 1)))
+        assert pipeline.reports  # at least one period fired
+        assert pipeline.confirmed_sybils == frozenset()
+
+    def test_force_detection(self, drive):
+        pipeline = _pipeline()
+        stream = _beacon_stream(drive.observations["3"])
+        for t, identity, rssi in stream[:3000]:
+            pipeline.on_beacon(identity, t, rssi)
+        report = pipeline.force_detection(now=stream[2999][0])
+        assert report is pipeline.last_report
+
+    def test_reset(self, drive):
+        pipeline = _pipeline()
+        for t, identity, rssi in _beacon_stream(drive.observations["3"])[:2000]:
+            pipeline.on_beacon(identity, t, rssi)
+        pipeline.reset()
+        assert pipeline.reports == []
+        assert pipeline.confirmed_sybils == frozenset()
+        assert pipeline.last_report is None

@@ -1,0 +1,119 @@
+"""Unit tests for repro.core.thresholds and confirmation."""
+
+import pytest
+
+from repro.core.confirmation import MultiPeriodConfirmer
+from repro.core.detector import DetectionReport
+from repro.core.lda import DecisionLine
+from repro.core.thresholds import (
+    PAPER_FIELD_THRESHOLD,
+    PAPER_INTERCEPT,
+    PAPER_SLOPE,
+    ConstantThreshold,
+    LinearThreshold,
+)
+
+
+class TestLinearThreshold:
+    def test_paper_defaults(self):
+        threshold = LinearThreshold()
+        assert threshold.k == PAPER_SLOPE
+        assert threshold.b == PAPER_INTERCEPT
+        assert threshold.threshold_at(10.0) == pytest.approx(0.0537)
+
+    def test_is_sybil_pair(self):
+        threshold = LinearThreshold(k=0.001, b=0.05)
+        assert threshold.is_sybil_pair(50.0, 0.09)
+        assert not threshold.is_sybil_pair(50.0, 0.11)
+
+    def test_from_decision_line(self):
+        line = DecisionLine(k=0.002, b=0.01)
+        threshold = LinearThreshold.from_decision_line(line)
+        assert threshold.k == 0.002
+        assert threshold.b == 0.01
+
+    def test_rejects_negative_density(self):
+        with pytest.raises(ValueError):
+            LinearThreshold().threshold_at(-5.0)
+
+
+class TestConstantThreshold:
+    def test_field_test_default(self):
+        assert ConstantThreshold().value == PAPER_FIELD_THRESHOLD
+
+    def test_density_independent(self):
+        threshold = ConstantThreshold(0.1)
+        assert threshold.threshold_at(0.0) == threshold.threshold_at(1000.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantThreshold(-0.1)
+
+    def test_rejects_negative_density(self):
+        with pytest.raises(ValueError):
+            ConstantThreshold(0.1).threshold_at(-1.0)
+
+
+def _report(flagged):
+    return DetectionReport(
+        timestamp=0.0,
+        density=10.0,
+        threshold=0.05,
+        raw_distances={},
+        distances={},
+        sybil_pairs=(),
+        sybil_ids=frozenset(flagged),
+        compared_ids=(),
+        skipped_ids=(),
+    )
+
+
+class TestMultiPeriodConfirmer:
+    def test_majority_default(self):
+        confirmer = MultiPeriodConfirmer(window=3)
+        assert confirmer.min_flags == 2
+
+    def test_persistent_id_confirmed(self):
+        confirmer = MultiPeriodConfirmer(window=3)
+        confirmer.update(_report({"sybil"}))
+        confirmed = confirmer.update(_report({"sybil"}))
+        assert "sybil" in confirmed
+
+    def test_transient_id_pruned(self):
+        confirmer = MultiPeriodConfirmer(window=3)
+        confirmer.update(_report({"innocent"}))
+        confirmed = confirmer.update(_report(set()))
+        assert "innocent" not in confirmed
+
+    def test_sliding_window_forgets(self):
+        confirmer = MultiPeriodConfirmer(window=2, min_flags=2)
+        confirmer.update(_report({"x"}))
+        confirmer.update(_report({"x"}))
+        assert "x" in confirmer.confirmed()
+        confirmer.update(_report(set()))
+        assert "x" not in confirmer.confirmed()
+
+    def test_flag_counts(self):
+        confirmer = MultiPeriodConfirmer(window=5, min_flags=3)
+        for _ in range(2):
+            confirmer.update_ids({"a", "b"})
+        confirmer.update_ids({"a"})
+        counts = confirmer.flag_counts()
+        assert counts["a"] == 3
+        assert counts["b"] == 2
+        assert confirmer.confirmed() == frozenset({"a"})
+
+    def test_reset(self):
+        confirmer = MultiPeriodConfirmer(window=2, min_flags=1)
+        confirmer.update_ids({"a"})
+        confirmer.reset()
+        assert confirmer.periods_seen == 0
+        assert confirmer.confirmed() == frozenset()
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            MultiPeriodConfirmer(window=0)
+
+    def test_rejects_bad_min_flags(self):
+        with pytest.raises(ValueError):
+            MultiPeriodConfirmer(window=2, min_flags=3)

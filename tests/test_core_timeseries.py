@@ -1,0 +1,186 @@
+"""Unit tests for repro.core.timeseries."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.timeseries import RSSISample, RSSITimeSeries, merge_series
+
+
+class TestRSSISample:
+    def test_fields(self):
+        sample = RSSISample(1.5, -70.0)
+        assert sample.timestamp == 1.5
+        assert sample.rssi == -70.0
+
+    def test_ordering_by_timestamp(self):
+        assert RSSISample(1.0, -50.0) < RSSISample(2.0, -90.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_rejects_non_finite_timestamp(self, bad):
+        with pytest.raises(ValueError):
+            RSSISample(bad, -70.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("-inf")])
+    def test_rejects_non_finite_rssi(self, bad):
+        with pytest.raises(ValueError):
+            RSSISample(0.0, bad)
+
+
+class TestAppend:
+    def test_append_and_len(self):
+        series = RSSITimeSeries("a")
+        series.append(0.0, -70.0)
+        series.append(0.1, -71.0)
+        assert len(series) == 2
+
+    def test_rejects_out_of_order(self):
+        series = RSSITimeSeries("a")
+        series.append(1.0, -70.0)
+        with pytest.raises(ValueError, match="out-of-order"):
+            series.append(0.5, -70.0)
+
+    def test_allows_equal_timestamps(self):
+        series = RSSITimeSeries("a")
+        series.append(1.0, -70.0)
+        series.append(1.0, -72.0)
+        assert len(series) == 2
+
+    def test_rejects_non_finite(self):
+        series = RSSITimeSeries("a")
+        with pytest.raises(ValueError):
+            series.append(float("nan"), -70.0)
+        with pytest.raises(ValueError):
+            series.append(0.0, float("inf"))
+
+    def test_from_values_cadence(self):
+        series = RSSITimeSeries.from_values("a", [-70, -71, -72], interval=0.1)
+        assert np.allclose(series.timestamps, [0.0, 0.1, 0.2])
+        assert np.allclose(series.values, [-70, -71, -72])
+
+
+class TestAccessors:
+    def _series(self):
+        return RSSITimeSeries.from_values("x", [-70.0, -72.0, -74.0, -76.0])
+
+    def test_values_and_timestamps_are_arrays(self):
+        series = self._series()
+        assert isinstance(series.values, np.ndarray)
+        assert series.values.dtype == float
+
+    def test_start_end_duration(self):
+        series = self._series()
+        assert series.start == 0.0
+        assert series.end == pytest.approx(0.3)
+        assert series.duration == pytest.approx(0.3)
+
+    def test_empty_raises(self):
+        empty = RSSITimeSeries("e")
+        with pytest.raises(ValueError):
+            _ = empty.start
+        with pytest.raises(ValueError):
+            _ = empty.end
+        with pytest.raises(ValueError):
+            empty.mean()
+        with pytest.raises(ValueError):
+            empty.std()
+
+    def test_mean_std(self):
+        series = self._series()
+        assert series.mean() == pytest.approx(-73.0)
+        assert series.std() == pytest.approx(np.std([-70, -72, -74, -76]))
+
+    def test_iteration_yields_samples(self):
+        samples = list(self._series())
+        assert all(isinstance(s, RSSISample) for s in samples)
+        assert samples[0].rssi == -70.0
+
+    def test_repr_mentions_identity(self):
+        assert "x" in repr(self._series())
+
+
+class TestWindowing:
+    def _series(self):
+        return RSSITimeSeries.from_values("w", list(range(-100, -80)), interval=1.0)
+
+    def test_window_half_open(self):
+        series = self._series()
+        window = series.window(5.0, 10.0)
+        assert len(window) == 5
+        assert window.start == 5.0
+        assert window.end == 9.0
+
+    def test_window_empty_range(self):
+        assert len(self._series().window(100.0, 200.0)) == 0
+
+    def test_window_inverted_raises(self):
+        with pytest.raises(ValueError):
+            self._series().window(10.0, 5.0)
+
+    def test_window_preserves_identity(self):
+        assert self._series().window(0, 3).identity == "w"
+
+    def test_tail(self):
+        series = self._series()
+        tail = series.tail(4.0)
+        assert len(tail) == 5  # inclusive of the cutoff edge
+        assert tail.end == series.end
+
+    def test_tail_zero(self):
+        tail = self._series().tail(0.0)
+        assert len(tail) == 1
+
+    def test_tail_negative_raises(self):
+        with pytest.raises(ValueError):
+            self._series().tail(-1.0)
+
+    def test_drop_before(self):
+        series = self._series()
+        series.drop_before(15.0)
+        assert series.start == 15.0
+        assert len(series) == 5
+
+
+class TestLossStatistics:
+    def test_expected_samples_full(self):
+        series = RSSITimeSeries.from_values("a", [-70] * 11, interval=0.1)
+        assert series.expected_samples(0.1) == 11
+        assert series.loss_rate(0.1) == 0.0
+
+    def test_loss_rate_with_gaps(self):
+        series = RSSITimeSeries("a")
+        for i in range(0, 20, 2):  # every second sample missing
+            series.append(i * 0.1, -70.0)
+        assert series.loss_rate(0.1) == pytest.approx(0.5, abs=0.06)
+
+    def test_largest_gap(self):
+        series = RSSITimeSeries("a")
+        series.append(0.0, -70)
+        series.append(0.1, -70)
+        series.append(5.0, -70)
+        assert series.largest_gap() == pytest.approx(4.9)
+
+    def test_largest_gap_short_series(self):
+        series = RSSITimeSeries("a")
+        assert series.largest_gap() == 0.0
+        series.append(0.0, -70)
+        assert series.largest_gap() == 0.0
+
+    def test_expected_samples_bad_interval(self):
+        series = RSSITimeSeries.from_values("a", [-70, -70])
+        with pytest.raises(ValueError):
+            series.expected_samples(0.0)
+
+
+class TestMerge:
+    def test_merge_interleaved(self):
+        a = RSSITimeSeries("m", [RSSISample(0.0, -70), RSSISample(0.2, -71)])
+        b = RSSITimeSeries("m", [RSSISample(0.1, -72), RSSISample(0.3, -73)])
+        merged = merge_series("m", [a, b])
+        assert len(merged) == 4
+        assert np.all(np.diff(merged.timestamps) >= 0)
+
+    def test_merge_empty(self):
+        merged = merge_series("m", [])
+        assert len(merged) == 0

@@ -1,0 +1,116 @@
+"""Unit tests for the evaluation metrics (Eqs. 10-13) and reporting."""
+
+import pytest
+
+from repro.eval.metrics import PeriodOutcome, average_rates, evaluate_flags
+from repro.eval.reporting import format_value, render_table
+from repro.sim.simulator import GroundTruth
+
+
+TRUTH = GroundTruth(
+    normal_ids=frozenset({"n1", "n2", "n3"}),
+    malicious_ids=frozenset({"m1"}),
+    sybil_to_attacker={"s1": "m1", "s2": "m1"},
+)
+
+
+class TestEvaluateFlags:
+    def test_perfect_detection(self):
+        outcome = evaluate_flags(
+            "n1", 0, {"m1", "s1", "s2"}, {"n2", "n3", "m1", "s1", "s2"}, TRUTH
+        )
+        assert outcome.detection_rate == 1.0
+        assert outcome.false_positive_rate == 0.0
+
+    def test_eq10_partial_detection(self):
+        outcome = evaluate_flags(
+            "n1", 0, {"s1"}, {"n2", "m1", "s1", "s2"}, TRUTH
+        )
+        # 1 of 3 illegitimate neighbours detected.
+        assert outcome.detection_rate == pytest.approx(1 / 3)
+
+    def test_eq11_false_positives(self):
+        outcome = evaluate_flags(
+            "n1", 0, {"n2"}, {"n2", "n3", "m1"}, TRUTH
+        )
+        assert outcome.false_positive_rate == pytest.approx(1 / 2)
+
+    def test_detector_excluded_from_populations(self):
+        outcome = evaluate_flags("n1", 0, set(), {"n1", "n2"}, TRUTH)
+        assert outcome.total_legitimate == 1  # only n2
+
+    def test_flags_outside_heard_ignored(self):
+        outcome = evaluate_flags("n1", 0, {"s1"}, {"n2"}, TRUTH)
+        assert outcome.true_flagged == 0
+
+    def test_no_illegitimate_heard_rate_undefined(self):
+        outcome = evaluate_flags("n1", 0, set(), {"n2", "n3"}, TRUTH)
+        assert outcome.detection_rate is None
+        assert outcome.false_positive_rate == 0.0
+
+    def test_no_legitimate_heard_fpr_undefined(self):
+        outcome = evaluate_flags("n1", 0, set(), {"m1", "s1"}, TRUTH)
+        assert outcome.false_positive_rate is None
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodOutcome("n1", 0, 5, 3, 0, 2)
+        with pytest.raises(ValueError):
+            PeriodOutcome("n1", 0, 0, 3, 4, 2)
+
+
+class TestAverageRates:
+    def test_eq12_eq13(self):
+        outcomes = [
+            PeriodOutcome("a", 0, 2, 2, 0, 4),  # DR 1.0, FPR 0
+            PeriodOutcome("b", 0, 1, 2, 1, 4),  # DR 0.5, FPR 0.25
+        ]
+        dr, fpr = average_rates(outcomes)
+        assert dr == pytest.approx(0.75)
+        assert fpr == pytest.approx(0.125)
+
+    def test_undefined_rates_excluded(self):
+        outcomes = [
+            PeriodOutcome("a", 0, 0, 0, 0, 4),  # DR undefined
+            PeriodOutcome("b", 0, 2, 2, 0, 4),
+        ]
+        dr, fpr = average_rates(outcomes)
+        assert dr == 1.0
+        assert fpr == 0.0
+
+    def test_all_undefined(self):
+        outcomes = [PeriodOutcome("a", 0, 0, 0, 0, 0)]
+        dr, fpr = average_rates(outcomes)
+        assert dr is None
+        assert fpr is None
+
+    def test_empty(self):
+        assert average_rates([]) == (None, None)
+
+
+class TestReporting:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(0.123456) == "0.1235"
+        assert format_value("text") == "text"
+
+    def test_render_table_alignment(self):
+        table = render_table(
+            ["name", "value"],
+            [("alpha", 1.0), ("b", 22.5)],
+            title="demo",
+        )
+        lines = table.split("\n")
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_render_table_row_length_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [("only-one",)])
+
+    def test_render_table_empty_rows(self):
+        table = render_table(["a"], [])
+        assert "a" in table

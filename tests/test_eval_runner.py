@@ -1,0 +1,163 @@
+"""Tests for the detection runners and training pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpvsad import CpvsadConfig, CpvsadDetector
+from repro.core import ConstantThreshold, DetectorConfig, LinearThreshold
+from repro.core.timeseries import RSSITimeSeries
+from repro.eval.runner import (
+    detection_times,
+    heard_in_window,
+    run_cpvsad,
+    run_voiceprint,
+)
+from repro.eval.training import collect_training_corpus, train_boundary
+from repro.radio.base import LinkBudget
+from repro.radio.dual_slope import DualSlopeModel
+from repro.radio.environments import environment
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.simulator import HighwaySimulator
+
+
+CONFIG = ScenarioConfig(density_vhls_per_km=25, sim_time_s=45.0, seed=11)
+
+
+@pytest.fixture(scope="module")
+def run():
+    return HighwaySimulator(CONFIG, recorded_nodes=5).run()
+
+
+class TestDetectionTimes:
+    def test_schedule(self):
+        assert detection_times(100.0, 20.0, 20.0) == [20.0, 40.0, 60.0, 80.0, 100.0]
+
+    def test_short_sim(self):
+        assert detection_times(10.0, 20.0, 20.0) == []
+
+    def test_single_detection(self):
+        assert detection_times(25.0, 20.0, 20.0) == [20.0]
+
+
+class TestHeardInWindow:
+    def test_filters_by_samples(self):
+        series_map = {
+            "a": RSSITimeSeries.from_values("a", [-70.0] * 50),
+            "b": RSSITimeSeries.from_values("b", [-70.0] * 3),
+        }
+        assert heard_in_window(series_map, 0.0, 10.0, min_samples=10) == ["a"]
+
+    def test_window_bounds(self):
+        series_map = {"a": RSSITimeSeries.from_values("a", [-70.0] * 100)}
+        assert heard_in_window(series_map, 50.0, 60.0, min_samples=1) == []
+
+
+class TestRunVoiceprint:
+    def test_produces_outcomes_per_verifier_period(self, run):
+        outcomes = run_voiceprint(run, ConstantThreshold(0.01))
+        times = detection_times(45.0, 20.0, 20.0)
+        assert len(outcomes) == len(run.recorded_nodes) * len(times)
+
+    def test_outcome_populations_consistent(self, run):
+        outcomes = run_voiceprint(run, ConstantThreshold(0.01))
+        for outcome in outcomes:
+            assert outcome.true_flagged <= outcome.total_illegitimate
+            assert outcome.false_flagged <= outcome.total_legitimate
+
+    def test_verifier_subset(self, run):
+        subset = run.recorded_nodes[:2]
+        outcomes = run_voiceprint(run, ConstantThreshold(0.01), verifiers=subset)
+        assert {o.node for o in outcomes} == set(subset)
+
+    def test_zero_threshold_flags_minimum_pair_only(self, run):
+        """Eq. 8 forces the min pair to 0, so threshold 0 still flags it."""
+        outcomes = run_voiceprint(run, ConstantThreshold(0.0))
+        flagged_any = sum(o.true_flagged + o.false_flagged for o in outcomes)
+        assert flagged_any >= 1
+
+    def test_detector_config_respected(self, run):
+        # More samples than a 20 s window can contain: nothing compares,
+        # so nothing can be flagged even at a huge threshold.
+        config = DetectorConfig(min_samples=250)
+        outcomes = run_voiceprint(
+            run, ConstantThreshold(0.5), detector_config=config
+        )
+        assert all(o.true_flagged + o.false_flagged == 0 for o in outcomes)
+
+
+class TestRunCpvsad:
+    def test_produces_outcomes(self, run):
+        detector = CpvsadDetector(
+            assumed_budget=LinkBudget(tx_power_dbm=20.0),
+            assumed_model=DualSlopeModel(environment("highway")),
+            config=CpvsadConfig(),
+        )
+        outcomes = run_cpvsad(run, detector, verifiers=run.recorded_nodes[:2])
+        assert outcomes
+        for outcome in outcomes:
+            assert outcome.true_flagged <= outcome.total_illegitimate
+
+    def test_detects_some_sybils_with_correct_model(self, run):
+        detector = CpvsadDetector(
+            assumed_budget=LinkBudget(tx_power_dbm=20.0),
+            assumed_model=DualSlopeModel(environment("highway")),
+            config=CpvsadConfig(),
+        )
+        outcomes = run_cpvsad(run, detector)
+        assert sum(o.true_flagged for o in outcomes) > 0
+
+
+class TestTraining:
+    def test_corpus_and_boundary(self):
+        corpus = collect_training_corpus(
+            [20.0, 60.0],
+            base_config=ScenarioConfig(sim_time_s=45.0),
+            runs_per_density=1,
+            verifiers_per_run=2,
+            recorded_nodes=4,
+            seed=50,
+        )
+        assert len(corpus.points) > 50
+        positives = corpus.positives()
+        negatives = corpus.negatives()
+        assert positives.shape[0] > 0
+        assert negatives.shape[0] > positives.shape[0]
+        # Sybil pairs concentrate at low distances (Fig. 10's structure).
+        assert np.median(positives[:, 1]) < np.median(negatives[:, 1])
+
+        line = train_boundary(corpus)
+        assert line.threshold_at(20.0) > 0.0
+        raw_line = train_boundary(corpus, on="raw")
+        assert raw_line.threshold_at(20.0) > 0.0
+
+    def test_train_boundary_validates_mode(self):
+        corpus = collect_training_corpus(
+            [20.0],
+            base_config=ScenarioConfig(sim_time_s=45.0),
+            runs_per_density=1,
+            verifiers_per_run=1,
+            recorded_nodes=2,
+            seed=60,
+        )
+        with pytest.raises(ValueError):
+            train_boundary(corpus, on="bogus")
+
+
+class TestRunXiao:
+    def test_produces_outcomes(self, run):
+        from repro.baselines.xiao import XiaoConfig, XiaoDetector
+        from repro.eval.runner import run_xiao
+        from repro.radio.shadowing import LogNormalShadowingModel
+
+        detector = XiaoDetector(
+            assumed_budget=LinkBudget(tx_power_dbm=20.0),
+            assumed_model=LogNormalShadowingModel(
+                path_loss_exponent=2.0, sigma_db=3.9
+            ),
+            config=XiaoConfig(),
+        )
+        outcomes = run_xiao(run, detector, verifiers=run.recorded_nodes[:2])
+        assert outcomes
+        for outcome in outcomes:
+            assert outcome.true_flagged <= outcome.total_illegitimate
+            assert outcome.false_flagged <= outcome.total_legitimate

@@ -1,0 +1,199 @@
+"""Smoke tests for the experiment harness (small parameterisations)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import (
+    run_ablations,
+    run_boundary_training,
+    run_dtw_example,
+    run_fig13,
+    run_fig14,
+    run_observation1,
+    run_observation3,
+    run_table1,
+    run_table4,
+    run_timing,
+)
+
+
+class TestObservation1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_observation1(duration_s=60.0, n_moving_segments=2)
+
+    def test_row_count(self, rows):
+        assert len(rows) == 4  # 2 stationary + 2 moving
+
+    def test_stationary_sample_counts(self, rows):
+        assert rows[0].n_samples == 600
+
+    def test_ranging_error_is_gross(self, rows):
+        """Observation 1: model inversion misses the true distance."""
+        for row in rows[:2]:
+            assert row.fspl_error_m / row.true_distance_m > 0.2
+
+    def test_sessions_differ(self, rows):
+        assert rows[0].mean_dbm != rows[1].mean_dbm
+
+
+class TestTable4:
+    def test_fit_recovers_paper_parameters(self):
+        rows = run_table4(environments=("campus",), n_samples=2500)
+        row = rows[0]
+        assert row.gamma1_fit == pytest.approx(row.gamma1_true, abs=0.25)
+        assert row.gamma2_fit == pytest.approx(row.gamma2_true, abs=0.6)
+        assert row.dc_fit == pytest.approx(row.dc_true, rel=0.3)
+
+
+class TestObservation3:
+    def test_sybil_streams_most_similar(self):
+        results = run_observation3(duration_s=60.0)
+        assert len(results) == 2
+        for result in results:
+            # Observation 3: within-attacker similarity beats everything
+            # crossing the attacker boundary.
+            assert result.max_within_sybil() < result.min_cross()
+
+
+class TestDtwExample:
+    def test_equations_yield_five(self):
+        result = run_dtw_example()
+        assert result.squared_distance == 5.0
+        assert result.absolute_distance == 5.0
+        assert result.paper_claimed == 9.0
+        assert not result.matches_paper
+
+    def test_path_reported(self):
+        result = run_dtw_example()
+        assert result.path[0] == (1, 1)
+        assert result.path[-1] == (5, 6)
+
+
+class TestBoundaryTraining:
+    def test_small_sweep_trains_line(self):
+        from repro.sim.scenario import ScenarioConfig
+
+        result = run_boundary_training(
+            densities_vhls_per_km=(15, 45),
+            base_config=ScenarioConfig(sim_time_s=45.0),
+            seed=77,
+        )
+        assert result.n_positive > 0
+        assert result.n_negative > result.n_positive
+        assert result.training_tpr > 0.2
+        assert result.training_fpr < 0.05
+        assert result.line.threshold_at(15.0) > 0.0
+
+
+class TestField:
+    def test_fig13_smoke(self):
+        areas = run_fig13(
+            environments=("rural",), duration_s=90.0, detection_period_s=30.0
+        )
+        assert len(areas) == 1
+        area = areas[0]
+        assert area.detections
+        assert area.detection_rate is not None
+        assert area.detection_rate > 0.5
+
+    def test_fig14_finds_stationary_periods(self):
+        result = run_fig14(duration_s=180.0, detection_period_s=30.0)
+        assert len(result.stationary_periods) + len(result.moving_periods) > 0
+        assert result.false_positives_confirmed <= result.false_positives_single
+
+
+class TestTiming:
+    def test_reports_scaling(self):
+        result = run_timing(neighbour_counts=(5, 10), pair_repeats=5)
+        assert result.pair_ms > 0.0
+        assert len(result.full_detection_ms) == 2
+        # Pairs grow quadratically: 10 ids ~ 45 pairs vs 5 ids ~ 10.
+        assert result.full_detection_ms[1] > result.full_detection_ms[0]
+        assert result.within_detection_period(20.0)
+
+
+class TestTable1:
+    def test_eight_methods(self):
+        rows = run_table1()
+        assert len(rows) == 8
+        voiceprint = [r for r in rows if r.method == "Voiceprint"][0]
+        assert voiceprint.propagation_model == "Model-free"
+        assert voiceprint.implemented
+
+    def test_implemented_flags(self):
+        rows = run_table1()
+        assert sum(r.implemented for r in rows) == 8
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_ablations(duration_s=80.0)
+
+    def test_groups_present(self, rows):
+        groups = {row.group for row in rows}
+        assert {"normalisation", "dtw-band", "measure", "smart-attacker"} <= groups
+
+    def test_normalisation_matters_under_spoofing(self, rows):
+        by_variant = {r.variant: r for r in rows if r.group == "normalisation"}
+        # Raw series: spoofed powers separate the Sybil streams.
+        # Any centering restores the similarity.
+        assert by_variant["none"].margin < by_variant["center-only"].margin
+
+    def test_centering_restores_separation(self, rows):
+        by_variant = {r.variant: r for r in rows if r.group == "normalisation"}
+        assert by_variant["common-scale z-score"].margin > 1.0
+
+    def test_smart_attacker_collapses_margin(self, rows):
+        smart = [r for r in rows if r.group == "smart-attacker"][0]
+        best_normalised = max(
+            r.margin for r in rows if r.group == "normalisation"
+        )
+        assert smart.margin < best_normalised
+
+
+class TestFig11Smoke:
+    def test_single_density_both_methods(self):
+        from repro.core.lda import DecisionLine
+        from repro.eval.experiments import run_fig11
+        from repro.sim.scenario import ScenarioConfig
+
+        rows = run_fig11(
+            DecisionLine(k=0.0, b=0.002),
+            densities_vhls_per_km=(20,),
+            runs_per_density=1,
+            base_config=ScenarioConfig(sim_time_s=45.0),
+            recorded_nodes=5,
+            verifiers_per_run=2,
+            seed=900,
+        )
+        assert {r.method for r in rows} == {"voiceprint", "cpvsad"}
+        for row in rows:
+            assert row.n_outcomes > 0
+            assert not row.model_change
+
+
+class TestBeaconRate:
+    def test_rate_sweep_structure(self):
+        from repro.eval.experiments import run_beacon_rate_study
+
+        rows = run_beacon_rate_study(
+            beacon_rates_hz=(10.0,),
+            observation_times_s=(5.0, 20.0),
+            duration_s=60.0,
+        )
+        assert rows
+        by_time = {r.observation_time_s: r for r in rows}
+        # Sample counts scale with the window at a fixed rate.
+        assert by_time[20.0].samples_per_series > by_time[5.0].samples_per_series
+
+    def test_validation(self):
+        import pytest as _pytest
+
+        from repro.eval.experiments import run_beacon_rate_study
+
+        with _pytest.raises(ValueError):
+            run_beacon_rate_study(observation_times_s=(0.0,))

@@ -1,0 +1,170 @@
+"""Failure-injection tests: the detector under hostile inputs.
+
+A production detector sits on a lossy, adversarial channel; these tests
+inject the failure modes a real deployment meets and assert the
+detector degrades safely (no crashes, no wild verdicts) rather than
+optimally.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ConstantThreshold, DetectorConfig, VoiceprintDetector
+from repro.core.pipeline import OnlineVoiceprint
+from repro.core.timeseries import RSSITimeSeries
+
+
+def _sybil_scene(rng, n=200, loss_mask=None):
+    """Attacker + 2 Sybil ids + 2 normal ids, optional loss pattern."""
+    t = np.arange(n) * 0.1
+    shared = -70 + 4 * np.sin(2 * np.pi * t / 13) + np.cumsum(rng.normal(0, 0.4, n))
+    streams = {
+        "mal": shared + rng.normal(0, 0.3, n),
+        "syb1": shared + 3.0 + rng.normal(0, 0.3, n),
+        "syb2": shared - 2.0 + rng.normal(0, 0.3, n),
+    }
+    for name in ("n1", "n2"):
+        streams[name] = (
+            -74
+            + 5 * np.sin(2 * np.pi * t / 9 + rng.uniform(0, 6))
+            + np.cumsum(rng.normal(0, 0.5, n))
+        )
+    series = {}
+    for name, values in streams.items():
+        keep = np.ones(n, dtype=bool) if loss_mask is None else loss_mask(name, n, rng)
+        s = RSSITimeSeries(name)
+        for i in np.nonzero(keep)[0]:
+            s.append(t[i], float(values[i]))
+        series[name] = s
+    return series
+
+
+def _detect(series_map, threshold=0.1, **config):
+    detector = VoiceprintDetector(
+        threshold=ConstantThreshold(threshold),
+        config=DetectorConfig(min_samples=40, **config),
+    )
+    for series in series_map.values():
+        detector.load_series(series)
+    return detector.detect(density=10.0)
+
+
+class TestBurstLoss:
+    def test_random_burst_loss_keeps_detection(self):
+        rng = np.random.default_rng(0)
+
+        def bursty(name, n, rng_):
+            keep = np.ones(n, dtype=bool)
+            for _ in range(4):  # four 1.5 s outages at random spots
+                start = int(rng_.integers(0, n - 15))
+                keep[start : start + 15] = False
+            return keep
+
+        report = _detect(_sybil_scene(rng, loss_mask=bursty))
+        assert {"mal", "syb1", "syb2"} <= set(report.sybil_ids)
+
+    def test_asymmetric_loss_between_sybil_streams(self):
+        """Different packets lost per Sybil stream (the real pattern)."""
+        rng = np.random.default_rng(1)
+
+        def independent(name, n, rng_):
+            return rng_.uniform(size=n) > 0.25
+
+        report = _detect(_sybil_scene(rng, loss_mask=independent))
+        flagged = set(report.sybil_ids)
+        assert "mal" in flagged or "syb1" in flagged  # attack still visible
+
+    def test_total_blackout_of_one_identity(self):
+        rng = np.random.default_rng(2)
+
+        def blackout(name, n, rng_):
+            if name == "syb2":
+                keep = np.zeros(n, dtype=bool)
+                keep[:30] = True  # below min_samples
+                return keep
+            return np.ones(n, dtype=bool)
+
+        report = _detect(_sybil_scene(rng, loss_mask=blackout))
+        assert "syb2" in report.skipped_ids
+        assert {"mal", "syb1"} <= set(report.sybil_ids)
+
+
+class TestDegenerateSeries:
+    def test_constant_series_handled(self):
+        rng = np.random.default_rng(3)
+        scene = _sybil_scene(rng)
+        scene["flat"] = RSSITimeSeries.from_values("flat", [-95.0] * 200)
+        report = _detect(scene)
+        assert "flat" in report.compared_ids  # compared, not crashed
+
+    def test_two_constant_series_do_not_crash(self):
+        scene = {
+            "flat1": RSSITimeSeries.from_values("flat1", [-95.0] * 200),
+            "flat2": RSSITimeSeries.from_values("flat2", [-95.0] * 200),
+        }
+        report = _detect(scene)
+        assert ("flat1", "flat2") in report.distances
+
+    def test_single_sample_identity_skipped(self):
+        rng = np.random.default_rng(4)
+        scene = _sybil_scene(rng)
+        scene["blip"] = RSSITimeSeries.from_values("blip", [-80.0], start=10.0)
+        report = _detect(scene)
+        assert "blip" in report.skipped_ids
+
+    def test_extreme_rssi_values(self):
+        rng = np.random.default_rng(5)
+        scene = _sybil_scene(rng)
+        # A buggy driver reporting absurd values must not break anything.
+        scene["weird"] = RSSITimeSeries.from_values(
+            "weird", list(rng.uniform(-200, 50, 200))
+        )
+        report = _detect(scene)
+        assert "weird" in report.compared_ids
+
+
+class TestAdversarialTiming:
+    def test_identities_with_offset_clocks(self):
+        """Sybil streams offset by a second still cluster (band covers it)."""
+        rng = np.random.default_rng(6)
+        scene = _sybil_scene(rng)
+        shifted = RSSITimeSeries("syb1")
+        for sample in scene["syb1"]:
+            shifted.append(sample.timestamp + 0.4, sample.rssi)
+        scene["syb1"] = shifted
+        report = _detect(scene)
+        assert {"mal", "syb1", "syb2"} <= set(report.sybil_ids)
+
+    def test_out_of_order_beacons_rejected_loudly(self):
+        detector = VoiceprintDetector()
+        detector.observe("a", 5.0, -70.0)
+        with pytest.raises(ValueError, match="out-of-order"):
+            detector.observe("a", 4.0, -70.0)
+
+
+class TestOnlinePipelineRobustness:
+    def test_silence_then_burst(self):
+        """A pipeline that hears nothing for minutes must not misfire."""
+        pipeline = OnlineVoiceprint(
+            max_range_m=500.0, threshold=ConstantThreshold(0.05)
+        )
+        rng = np.random.default_rng(7)
+        # One beacon, silence, then a normal stream much later.
+        pipeline.on_beacon("a", 0.0, -70.0)
+        values = -70 + np.cumsum(rng.normal(0, 0.5, 400))
+        for i in range(400):
+            pipeline.on_beacon("a", 300.0 + i * 0.1, float(values[i]))
+        assert pipeline.confirmed_sybils == frozenset()
+
+    def test_identity_churn(self):
+        """Hundreds of one-shot identities (e.g. passing traffic) are
+        buffered and skipped without unbounded growth."""
+        pipeline = OnlineVoiceprint(
+            max_range_m=500.0, threshold=ConstantThreshold(0.05)
+        )
+        rng = np.random.default_rng(8)
+        for i in range(3000):
+            t = i * 0.01
+            pipeline.on_beacon(f"ghost{i}", t, float(rng.uniform(-95, -60)))
+        # No verdicts from single-beacon ghosts.
+        assert pipeline.confirmed_sybils == frozenset()

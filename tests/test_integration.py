@@ -1,0 +1,145 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConstantThreshold, DetectorConfig, LinearThreshold
+from repro.core.pipeline import OnlineVoiceprint
+from repro.eval.metrics import average_rates
+from repro.eval.runner import run_voiceprint
+from repro.eval.training import collect_training_corpus, train_boundary
+from repro.io import (
+    BoundaryRecord,
+    load_boundary,
+    load_observations,
+    save_boundary,
+    save_observations,
+)
+from repro.sim import (
+    FieldTestConfig,
+    HighwaySimulator,
+    ScenarioConfig,
+    run_field_test,
+)
+
+
+class TestTrainDetectRoundTrip:
+    """The full deployment story: train offline, persist, detect online."""
+
+    def test_boundary_survives_disk_and_detects(self, tmp_path):
+        # 1. Train on a small sweep.
+        corpus = collect_training_corpus(
+            [20.0, 60.0],
+            base_config=ScenarioConfig(sim_time_s=45.0),
+            runs_per_density=1,
+            verifiers_per_run=2,
+            recorded_nodes=4,
+            seed=321,
+        )
+        line = train_boundary(corpus)
+
+        # 2. Persist with provenance; reload.
+        path = tmp_path / "boundary.json"
+        save_boundary(
+            BoundaryRecord(line=line, trained_on={"densities": [20, 60]}), path
+        )
+        loaded = load_boundary(path).line
+
+        # 3. Detect on a fresh, unseen run.
+        config = ScenarioConfig(density_vhls_per_km=30, sim_time_s=45.0, seed=99)
+        result = HighwaySimulator(config, recorded_nodes=4).run()
+        outcomes = run_voiceprint(
+            result, LinearThreshold.from_decision_line(loaded)
+        )
+        dr, fpr = average_rates(outcomes)
+        assert dr is not None and dr > 0.3
+        assert fpr is not None and fpr < 0.4
+
+    def test_field_traces_survive_disk_and_confirm(self, tmp_path):
+        drive = run_field_test(
+            FieldTestConfig(environment="highway", duration_s=90.0, seed=55)
+        )
+        path = tmp_path / "drive.csv"
+        save_observations(drive.observations["3"], path)
+
+        pipeline = OnlineVoiceprint(
+            max_range_m=500.0,
+            threshold=ConstantThreshold(0.05046),
+            detector_config=DetectorConfig(observation_time=20.0),
+        )
+        beacons = sorted(
+            (sample.timestamp, identity, sample.rssi)
+            for identity, series in load_observations(path).items()
+            for sample in series
+        )
+        for timestamp, identity, rssi in beacons:
+            pipeline.on_beacon(identity, timestamp, rssi)
+        assert {"1", "101", "102"} <= set(pipeline.confirmed_sybils)
+        assert not ({"2", "4"} & set(pipeline.confirmed_sybils))
+
+
+class TestCrossMethodConsistency:
+    """Voiceprint and the cooperative baselines on the same run."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        return HighwaySimulator(
+            ScenarioConfig(density_vhls_per_km=30, sim_time_s=45.0, seed=77),
+            recorded_nodes=6,
+        ).run()
+
+    def test_all_methods_beat_chance(self, run):
+        from repro.baselines.cpvsad import CpvsadConfig, CpvsadDetector
+        from repro.baselines.xiao import XiaoConfig, XiaoDetector
+        from repro.eval.runner import run_cpvsad, run_xiao
+        from repro.radio.base import LinkBudget
+        from repro.radio.dual_slope import DualSlopeModel
+        from repro.radio.environments import environment
+
+        budget = LinkBudget(tx_power_dbm=20.0)
+        model = DualSlopeModel(environment("highway"))
+        vp = run_voiceprint(run, ConstantThreshold(0.01))
+        cp = run_cpvsad(run, CpvsadDetector(budget, model, CpvsadConfig()))
+        from repro.radio.shadowing import LogNormalShadowingModel
+
+        xiao = run_xiao(
+            run,
+            XiaoDetector(
+                budget,
+                LogNormalShadowingModel(path_loss_exponent=2.0, sigma_db=3.9),
+                XiaoConfig(position_tolerance_m=150.0),
+            ),
+        )
+        for name, outcomes in (("voiceprint", vp), ("cpvsad", cp), ("xiao", xiao)):
+            dr, fpr = average_rates(outcomes)
+            assert dr is not None, name
+            assert dr > 0.1, name
+
+    def test_voiceprint_needs_no_other_vehicle_data(self, run):
+        """The independence property: detection from one node's log only."""
+        node = run.recorded_nodes[0]
+        from repro.core import VoiceprintDetector
+
+        detector = VoiceprintDetector(threshold=ConstantThreshold(0.01))
+        for series in run.series_at(node).values():
+            detector.load_series(series)
+        report = detector.detect(density=30.0)
+        # At least some of the attack visible from one vantage point.
+        assert report.compared_ids
+
+
+class TestDeterminism:
+    def test_whole_stack_deterministic(self):
+        """Same seeds, same verdicts — end to end."""
+        def verdicts():
+            config = ScenarioConfig(
+                density_vhls_per_km=20, sim_time_s=45.0, seed=13
+            )
+            result = HighwaySimulator(config, recorded_nodes=3).run()
+            outcomes = run_voiceprint(result, ConstantThreshold(0.01))
+            return [
+                (o.node, o.period_index, o.true_flagged, o.false_flagged)
+                for o in outcomes
+            ]
+
+        assert verdicts() == verdicts()

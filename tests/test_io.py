@@ -1,0 +1,127 @@
+"""Tests for trace and boundary persistence."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.lda import DecisionLine
+from repro.core.timeseries import RSSITimeSeries
+from repro.io import (
+    BoundaryRecord,
+    load_boundary,
+    load_observations,
+    load_trace_csv,
+    save_boundary,
+    save_observations,
+    save_trace_csv,
+)
+
+
+class TestTraceCsv:
+    def test_roundtrip(self, tmp_path):
+        records = [(0.1, "a", -70.0), (0.2, "b", -81.5), (0.3, "a", -70.5)]
+        path = tmp_path / "trace.csv"
+        assert save_trace_csv(records, path) == 3
+        assert load_trace_csv(path) == records
+
+    def test_roundtrip_via_stream(self):
+        records = [(1.0, "x", -60.0)]
+        buffer = io.StringIO()
+        save_trace_csv(records, buffer)
+        buffer.seek(0)
+        assert load_trace_csv(buffer) == records
+
+    def test_comments_skipped(self):
+        text = "timestamp,identity,rssi_dbm\n# comment\n1.0,a,-70.0\n"
+        assert load_trace_csv(io.StringIO(text)) == [(1.0, "a", -70.0)]
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            load_trace_csv(io.StringIO(""))
+
+    def test_wrong_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            load_trace_csv(io.StringIO("t,i,r\n1.0,a,-70\n"))
+
+    def test_malformed_row_rejected(self):
+        text = "timestamp,identity,rssi_dbm\n1.0,a\n"
+        with pytest.raises(ValueError, match="malformed"):
+            load_trace_csv(io.StringIO(text))
+
+    def test_non_numeric_rejected(self):
+        text = "timestamp,identity,rssi_dbm\nnot-a-number,a,-70\n"
+        with pytest.raises(ValueError, match="malformed"):
+            load_trace_csv(io.StringIO(text))
+
+
+class TestObservations:
+    def test_roundtrip(self, tmp_path):
+        observations = {
+            "a": RSSITimeSeries.from_values("a", [-70.0, -71.0, -69.0]),
+            "b": RSSITimeSeries.from_values("b", [-80.0, -82.0], start=0.05),
+        }
+        path = tmp_path / "obs.csv"
+        save_observations(observations, path)
+        loaded = load_observations(path)
+        assert set(loaded) == {"a", "b"}
+        for identity in observations:
+            assert np.allclose(
+                loaded[identity].values, observations[identity].values
+            )
+            assert np.allclose(
+                loaded[identity].timestamps, observations[identity].timestamps
+            )
+
+    def test_merged_log_is_time_ordered(self):
+        observations = {
+            "a": RSSITimeSeries.from_values("a", [-70.0] * 5),
+            "b": RSSITimeSeries.from_values("b", [-80.0] * 5, start=0.05),
+        }
+        buffer = io.StringIO()
+        save_observations(observations, buffer)
+        buffer.seek(0)
+        records = load_trace_csv(buffer)
+        times = [r[0] for r in records]
+        assert times == sorted(times)
+
+    def test_detector_replay(self, tmp_path):
+        """A saved drive can be replayed through the detector."""
+        from repro.core import ConstantThreshold, VoiceprintDetector
+        from repro.sim import FieldTestConfig, run_field_test
+
+        drive = run_field_test(
+            FieldTestConfig(environment="rural", duration_s=40.0, seed=9)
+        )
+        path = tmp_path / "drive.csv"
+        save_observations(drive.observations["3"], path)
+        detector = VoiceprintDetector(threshold=ConstantThreshold(0.05))
+        for identity, series in load_observations(path).items():
+            detector.load_series(series)
+        report = detector.detect(density=4.0)
+        assert "101" in report.sybil_ids
+
+
+class TestBoundary:
+    def test_roundtrip(self, tmp_path):
+        record = BoundaryRecord(
+            line=DecisionLine(k=0.0005, b=0.048),
+            trained_on={"densities": [10, 40, 80], "seed": 7},
+        )
+        path = tmp_path / "boundary.json"
+        save_boundary(record, path)
+        loaded = load_boundary(path)
+        assert loaded.line == record.line
+        assert loaded.trained_on["seed"] == 7
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "other/9", "k": 1, "b": 2}')
+        with pytest.raises(ValueError, match="format"):
+            load_boundary(path)
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "voiceprint-boundary/1", "k": 1}')
+        with pytest.raises(ValueError, match="missing"):
+            load_boundary(path)

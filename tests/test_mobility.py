@@ -1,0 +1,273 @@
+"""Unit tests for the mobility substrate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mobility.epoch_model import EpochMobilityModel, generate_highway_trajectory
+from repro.mobility.highway import HighwayGeometry, LanePosition
+from repro.mobility.routes import (
+    ConvoyLayout,
+    RouteSpec,
+    build_convoy,
+    campus_route,
+    highway_route,
+    polyline_route,
+    route_for_environment,
+    rural_route,
+    urban_route,
+)
+from repro.mobility.trace import PiecewiseLinearTrajectory, Waypoint, distance_between
+
+
+class TestWaypoint:
+    def test_xy(self):
+        assert Waypoint(0.0, 1.0, 2.0).xy == (1.0, 2.0)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            Waypoint(float("nan"), 0.0, 0.0)
+
+
+class TestTrajectory:
+    def _traj(self):
+        return PiecewiseLinearTrajectory(
+            [Waypoint(0.0, 0.0, 0.0), Waypoint(10.0, 100.0, 0.0), Waypoint(20.0, 100.0, 50.0)]
+        )
+
+    def test_interpolation(self):
+        traj = self._traj()
+        assert traj.position(5.0) == (50.0, 0.0)
+        assert traj.position(15.0) == (100.0, 25.0)
+
+    def test_clamping_outside_span(self):
+        traj = self._traj()
+        assert traj.position(-5.0) == (0.0, 0.0)
+        assert traj.position(99.0) == (100.0, 50.0)
+
+    def test_velocity_and_speed(self):
+        traj = self._traj()
+        assert traj.velocity(5.0) == (10.0, 0.0)
+        assert traj.speed(15.0) == pytest.approx(5.0)
+        assert traj.speed(99.0) == 0.0
+
+    def test_heading(self):
+        traj = self._traj()
+        assert traj.heading(5.0) == pytest.approx(0.0)
+        assert traj.heading(15.0) == pytest.approx(math.pi / 2)
+
+    def test_path_length(self):
+        assert self._traj().path_length() == pytest.approx(150.0)
+
+    def test_shifted(self):
+        shifted = self._traj().shifted(dy=3.0)
+        assert shifted.position(5.0) == (50.0, 3.0)
+
+    def test_time_shifted(self):
+        delayed = self._traj().time_shifted(2.0)
+        assert delayed.position(7.0) == self._traj().position(5.0)
+
+    def test_sample_positions_shape(self):
+        assert self._traj().sample_positions([0, 5, 10]).shape == (3, 2)
+
+    def test_requires_increasing_times(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearTrajectory(
+                [Waypoint(1.0, 0, 0), Waypoint(1.0, 1, 1)]
+            )
+
+    def test_requires_waypoints(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearTrajectory([])
+
+    def test_distance_between(self):
+        a = self._traj()
+        b = a.shifted(dy=30.0)
+        assert distance_between(a, b, 5.0) == pytest.approx(30.0)
+
+
+class TestHighwayGeometry:
+    def test_table_v_defaults(self):
+        geometry = HighwayGeometry()
+        assert geometry.length_m == 2000.0
+        assert geometry.total_lanes == 4
+        assert geometry.lane_width_m == 3.6
+
+    def test_direction_of_lane(self):
+        geometry = HighwayGeometry()
+        assert geometry.direction_of_lane(0) == 1
+        assert geometry.direction_of_lane(1) == 1
+        assert geometry.direction_of_lane(2) == -1
+        assert geometry.direction_of_lane(3) == -1
+
+    def test_lane_centres_mirror(self):
+        geometry = HighwayGeometry()
+        assert geometry.lane_center_y(0) == pytest.approx(1.8)
+        assert geometry.lane_center_y(2) == pytest.approx(-1.8)
+
+    def test_advance_simple(self):
+        geometry = HighwayGeometry()
+        out = geometry.advance(LanePosition(100.0, 0), 50.0)
+        assert out.x == 150.0 and out.lane == 0
+
+    def test_advance_westbound(self):
+        geometry = HighwayGeometry()
+        out = geometry.advance(LanePosition(100.0, 2), 50.0)
+        assert out.x == 50.0 and out.lane == 2
+
+    def test_wrap_at_east_end(self):
+        geometry = HighwayGeometry()
+        out = geometry.advance(LanePosition(1990.0, 0), 30.0)
+        assert out.lane == 2  # re-entered westbound
+        assert out.x == pytest.approx(1980.0)
+
+    def test_wrap_at_west_end(self):
+        geometry = HighwayGeometry()
+        out = geometry.advance(LanePosition(10.0, 3), 30.0)
+        assert out.lane == 1
+        assert out.x == pytest.approx(20.0)
+
+    def test_double_wrap(self):
+        geometry = HighwayGeometry(length_m=100.0)
+        out = geometry.advance(LanePosition(50.0, 0), 230.0)
+        # 50 to east end, 100 back west, 80 east again.
+        assert out.lane == 0
+        assert out.x == pytest.approx(80.0)
+
+    def test_invalid_lane_rejected(self):
+        with pytest.raises(ValueError):
+            HighwayGeometry().direction_of_lane(7)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            HighwayGeometry().advance(LanePosition(0.0, 0), -1.0)
+
+
+class TestEpochMobility:
+    def test_table_v_defaults(self):
+        model = EpochMobilityModel()
+        assert model.epoch_rate == 0.2
+        assert model.mean_speed == 25.0
+        assert model.speed_std == 5.0
+
+    def test_trajectory_spans_duration(self):
+        rng = np.random.default_rng(0)
+        geometry = HighwayGeometry()
+        traj = generate_highway_trajectory(
+            geometry, LanePosition(500.0, 0), 60.0, rng
+        )
+        assert traj.start_time == 0.0
+        assert traj.end_time == pytest.approx(60.0)
+
+    def test_positions_stay_on_road(self):
+        rng = np.random.default_rng(1)
+        geometry = HighwayGeometry()
+        traj = generate_highway_trajectory(
+            geometry, LanePosition(1900.0, 0), 120.0, rng
+        )
+        for t in np.linspace(0, 120, 200):
+            x, y = traj.position(float(t))
+            assert -0.5 <= x <= geometry.length_m + 0.5
+            assert abs(y) <= geometry.lanes_per_direction * geometry.lane_width_m
+
+    def test_average_speed_near_mean(self):
+        rng = np.random.default_rng(2)
+        geometry = HighwayGeometry(length_m=100000.0)  # no wrap
+        traj = generate_highway_trajectory(
+            geometry, LanePosition(0.0, 0), 200.0, rng
+        )
+        assert traj.path_length() / 200.0 == pytest.approx(25.0, rel=0.2)
+
+    def test_deterministic_for_seed(self):
+        geometry = HighwayGeometry()
+        t1 = generate_highway_trajectory(
+            geometry, LanePosition(100.0, 1), 30.0, np.random.default_rng(5)
+        )
+        t2 = generate_highway_trajectory(
+            geometry, LanePosition(100.0, 1), 30.0, np.random.default_rng(5)
+        )
+        assert t1.position(17.3) == t2.position(17.3)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            generate_highway_trajectory(
+                HighwayGeometry(), LanePosition(0.0, 0), 0.0, np.random.default_rng(0)
+            )
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            EpochMobilityModel(epoch_rate=0.0)
+        with pytest.raises(ValueError):
+            EpochMobilityModel(speed_std=-1.0)
+
+
+class TestRoutes:
+    def test_campus_route_loops(self):
+        route = campus_route(600.0)
+        assert route.end_time >= 599.0
+        # Loop: returns near the start area repeatedly.
+        assert route.path_length() > 1000.0
+
+    def test_urban_route_has_stops(self):
+        route = urban_route(300.0)
+        speeds = [route.speed(t) for t in np.linspace(1, 299, 400)]
+        assert min(speeds) == 0.0  # red light
+        assert max(speeds) > 8.0
+
+    def test_highway_route_constant_speed(self):
+        route = highway_route(100.0)
+        speeds = {round(route.speed(t), 3) for t in (10.0, 50.0, 90.0)}
+        assert speeds == {28.0}
+
+    def test_rural_route_runs(self):
+        route = rural_route(200.0)
+        assert route.path_length() > 1000.0
+
+    def test_route_for_environment_dispatch(self):
+        for name in ("campus", "rural", "urban", "highway"):
+            assert route_for_environment(name, 60.0).end_time >= 59.0
+        with pytest.raises(KeyError):
+            route_for_environment("moon", 60.0)
+
+    def test_polyline_route_validation(self):
+        with pytest.raises(ValueError):
+            RouteSpec(corners=((0.0, 0.0),), speed_mps=5.0)
+        with pytest.raises(ValueError):
+            RouteSpec(corners=((0.0, 0.0), (1.0, 0.0)), speed_mps=0.0)
+        with pytest.raises(ValueError):
+            RouteSpec(
+                corners=((0.0, 0.0), (1.0, 0.0)), speed_mps=5.0, stops=((7, 5.0),)
+            )
+
+    def test_polyline_route_bad_duration(self):
+        spec = RouteSpec(corners=((0.0, 0.0), (10.0, 0.0)), speed_mps=5.0)
+        with pytest.raises(ValueError):
+            polyline_route(spec, 0.0)
+
+
+class TestConvoy:
+    def test_convoy_members(self):
+        convoy = build_convoy(highway_route(100.0))
+        assert set(convoy) == {"normal1", "malicious", "normal2", "normal3"}
+
+    def test_side_by_side_distance(self):
+        layout = ConvoyLayout(side_offset_m=3.0, side_jitter_s=0.0)
+        convoy = build_convoy(highway_route(100.0), layout)
+        d = distance_between(convoy["malicious"], convoy["normal2"], 50.0)
+        assert d == pytest.approx(3.0, abs=0.1)
+
+    def test_lead_is_ahead(self):
+        convoy = build_convoy(highway_route(100.0))
+        # normal1 (time-shifted earlier) is further along the +x route.
+        assert convoy["normal1"].position(50.0)[0] > convoy["malicious"].position(50.0)[0]
+
+    def test_trail_is_behind(self):
+        convoy = build_convoy(highway_route(100.0))
+        assert convoy["normal3"].position(50.0)[0] < convoy["malicious"].position(50.0)[0]
+
+    def test_layout_validation(self):
+        with pytest.raises(ValueError):
+            ConvoyLayout(lead_gap_s=-1.0)
+        with pytest.raises(ValueError):
+            ConvoyLayout(side_offset_m=0.0)

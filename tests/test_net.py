@@ -1,0 +1,328 @@
+"""Unit tests for the DSRC network substrate (messages, radio, MAC, channel)."""
+
+import numpy as np
+import pytest
+
+from repro.net.channel import ReceiverState, Reception, VANETChannel
+from repro.net.mac import (
+    CellularCsmaMac,
+    CsmaCaMac,
+    ScheduledTransmission,
+    TransmissionRequest,
+)
+from repro.net.messages import BEACON_INTERVAL_S, BEACON_RATE_HZ, Beacon
+from repro.net.radio import IWCU_OBU42, RadioProfile
+from repro.radio.dual_slope import DualSlopeModel
+from repro.radio.environments import environment
+from repro.radio.noise import SpatialNoiseField
+
+
+class TestBeacon:
+    def test_constants(self):
+        assert BEACON_RATE_HZ == 10.0
+        assert BEACON_INTERVAL_S == 0.1
+
+    def test_valid_beacon(self):
+        beacon = Beacon("v1", 1.0, (10.0, 2.0), speed=25.0)
+        assert beacon.size_bytes == 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Beacon("v1", float("nan"), (0.0, 0.0))
+        with pytest.raises(ValueError):
+            Beacon("v1", 0.0, (float("inf"), 0.0))
+        with pytest.raises(ValueError):
+            Beacon("v1", 0.0, (0.0, 0.0), size_bytes=0)
+        with pytest.raises(ValueError):
+            Beacon("v1", 0.0, (0.0, 0.0), sequence=-1)
+
+
+class TestRadioProfile:
+    def test_iwcu_defaults(self):
+        assert IWCU_OBU42.rx_sensitivity_dbm == -95.0
+        assert IWCU_OBU42.antenna_gain_dbi == 7.0
+        assert IWCU_OBU42.data_rate_bps == 3e6
+
+    def test_airtime_500b_at_3mbps(self):
+        # 40 us preamble + 4000 bits / 3 Mbps = ~1.373 ms.
+        assert IWCU_OBU42.airtime_s(500) == pytest.approx(1.373e-3, rel=1e-3)
+
+    def test_airtime_monotone_in_size(self):
+        assert IWCU_OBU42.airtime_s(1000) > IWCU_OBU42.airtime_s(100)
+
+    def test_link_budget_double_gain(self):
+        budget = IWCU_OBU42.link_budget()
+        assert budget.eirp_dbm == 27.0
+        assert budget.rx_gain_dbi == 7.0
+
+    def test_with_tx_power(self):
+        assert IWCU_OBU42.with_tx_power(17.0).tx_power_dbm == 17.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadioProfile(data_rate_bps=0.0)
+        with pytest.raises(ValueError):
+            RadioProfile(cw_slots=0)
+        with pytest.raises(ValueError):
+            IWCU_OBU42.airtime_s(0)
+
+
+def _request(identity, node, x, offset, eirp=20.0):
+    return TransmissionRequest(
+        beacon=Beacon(identity, 0.0, (x, 0.0)),
+        tx_node=node,
+        tx_xy=(x, 0.0),
+        eirp_dbm=eirp,
+        desired_offset_s=offset,
+    )
+
+
+class TestCsmaCaMac:
+    def _mac(self, cs_range=300.0, seed=0):
+        return CsmaCaMac(
+            profile=RadioProfile(antenna_gain_dbi=0.0),
+            carrier_sense_range_m=cs_range,
+            rng=np.random.default_rng(seed),
+        )
+
+    def test_in_range_transmitters_serialise(self):
+        mac = self._mac()
+        requests = [
+            _request("a", "a", 0.0, 0.01),
+            _request("b", "b", 50.0, 0.01),
+        ]
+        scheduled, dropped = mac.schedule_interval(requests, 0.0, 0.1)
+        assert not dropped
+        assert not scheduled[0].overlaps(scheduled[1])
+
+    def test_out_of_range_transmitters_overlap(self):
+        mac = self._mac(cs_range=100.0)
+        requests = [
+            _request("a", "a", 0.0, 0.01),
+            _request("b", "b", 1000.0, 0.01),
+        ]
+        scheduled, _ = mac.schedule_interval(requests, 0.0, 0.1)
+        assert scheduled[0].overlaps(scheduled[1])
+
+    def test_same_radio_always_serialises(self):
+        """Assumption 2: one antenna per vehicle."""
+        mac = self._mac(cs_range=1.0)
+        requests = [
+            _request("mal", "mal", 0.0, 0.01),
+            _request("sybil1", "mal", 0.0, 0.01),
+            _request("sybil2", "mal", 0.0, 0.01),
+        ]
+        scheduled, dropped = mac.schedule_interval(requests, 0.0, 0.1)
+        assert not dropped
+        for i, a in enumerate(scheduled):
+            for b in scheduled[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_saturation_drops(self):
+        mac = self._mac()
+        # Way more airtime than one interval can hold.
+        requests = [
+            _request(f"n{i}", f"n{i}", 0.0, 0.099) for i in range(100)
+        ]
+        scheduled, dropped = mac.schedule_interval(requests, 0.0, 0.1)
+        assert dropped
+        assert len(scheduled) + len(dropped) == 100
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            self._mac().schedule_interval([], 1.0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CsmaCaMac(RadioProfile(), 0.0, np.random.default_rng(0))
+
+
+class TestCellularCsmaMac:
+    def _mac(self, cs_range=300.0, seed=0):
+        return CellularCsmaMac(
+            profile=RadioProfile(antenna_gain_dbi=0.0),
+            carrier_sense_range_m=cs_range,
+            rng=np.random.default_rng(seed),
+        )
+
+    def test_nearby_serialise(self):
+        mac = self._mac()
+        scheduled, dropped = mac.schedule_interval(
+            [_request("a", "a", 0.0, 0.01), _request("b", "b", 10.0, 0.01)],
+            0.0,
+            0.1,
+        )
+        assert not dropped
+        assert not scheduled[0].overlaps(scheduled[1])
+
+    def test_far_apart_overlap(self):
+        mac = self._mac(cs_range=100.0)
+        scheduled, _ = mac.schedule_interval(
+            [_request("a", "a", 0.0, 0.01), _request("b", "b", 2000.0, 0.01)],
+            0.0,
+            0.1,
+        )
+        assert scheduled[0].overlaps(scheduled[1])
+
+    def test_same_radio_serialises(self):
+        mac = self._mac(cs_range=100.0)
+        scheduled, dropped = mac.schedule_interval(
+            [
+                _request("mal", "mal", 0.0, 0.05),
+                _request("sybil", "mal", 0.0, 0.05),
+            ],
+            0.0,
+            0.1,
+        )
+        assert not dropped
+        assert not scheduled[0].overlaps(scheduled[1])
+
+    def test_saturation_drops(self):
+        mac = self._mac()
+        requests = [_request(f"n{i}", f"n{i}", 5.0, 0.09) for i in range(100)]
+        scheduled, dropped = mac.schedule_interval(requests, 0.0, 0.1)
+        assert dropped
+
+    def test_capacity_reasonable(self):
+        """One CS region fits ~60-72 beacons per 100 ms at 3 Mbps."""
+        mac = self._mac(cs_range=300.0, seed=1)
+        requests = [
+            _request(f"n{i}", f"n{i}", float(i % 50), i / 1000.0)
+            for i in range(80)
+        ]
+        scheduled, dropped = mac.schedule_interval(requests, 0.0, 0.1)
+        assert 50 <= len(scheduled) <= 75
+
+
+class TestChannel:
+    def _channel(self, seed=0, **kwargs):
+        rng = np.random.default_rng(seed)
+        return VANETChannel(
+            model=DualSlopeModel(environment("highway")),
+            shadowing=SpatialNoiseField(seed=7),
+            rng=rng,
+            **kwargs,
+        )
+
+    def test_rssi_decreases_with_distance(self):
+        channel = self._channel()
+        near = channel.link_rssi((0, 0), (50, 0), 20.0, 0.0, 0.0, include_noise=False)
+        far = channel.link_rssi((0, 0), (500, 0), 20.0, 0.0, 0.0, include_noise=False)
+        assert near > far
+
+    def test_quantisation(self):
+        channel = self._channel(quantisation_db=1.0)
+        value = channel.link_rssi((0, 0), (100, 0), 20.0, 0.0, 3.3)
+        assert value == round(value)
+
+    def test_sybil_streams_share_channel(self):
+        """Two same-position same-time transmissions: near-identical RSSI
+        (only measurement noise and quantisation differ)."""
+        channel = self._channel(measurement_noise_db=0.0, quantisation_db=0.0)
+        tx = np.array([[0.0, 0.0], [0.0, 0.0]])
+        rx = np.array([[200.0, 3.0]])
+        rssi = channel.rssi_matrix(
+            tx, rx, np.array([20.0, 20.0]), np.array([0.0]), 5.0,
+            tx_times=np.array([5.01, 5.02]),
+        )
+        assert abs(rssi[0, 0] - rssi[1, 0]) < 0.5
+
+    def test_distinct_positions_differ(self):
+        channel = self._channel(measurement_noise_db=0.0, quantisation_db=0.0)
+        tx = np.array([[0.0, 0.0], [3.0, 0.0]])
+        rx = np.array([[200.0, 3.0]])
+        rssi = channel.rssi_matrix(
+            tx, rx, np.array([20.0, 20.0]), np.array([0.0]), 5.0,
+            tx_times=np.array([5.01, 5.02]),
+        )
+        assert abs(rssi[0, 0] - rssi[1, 0]) > 0.01
+
+    def test_max_range(self):
+        channel = self._channel()
+        channel.shadowing = None  # range is defined on the mean RSSI
+        r = channel.max_range_m(20.0, 0.0, -95.0)
+        rssi = channel.link_rssi((0, 0), (r, 0), 20.0, 0.0, 0.0, include_noise=False)
+        assert rssi == pytest.approx(-95.0, abs=0.5)
+
+    def test_set_model_changes_predictions(self):
+        channel = self._channel()
+        before = channel.link_rssi((0, 0), (300, 0), 20.0, 0.0, 0.0, include_noise=False)
+        channel.set_model(DualSlopeModel(environment("urban")))
+        after = channel.link_rssi((0, 0), (300, 0), 20.0, 0.0, 0.0, include_noise=False)
+        assert before != after
+
+    def test_deliver_respects_sensitivity(self):
+        channel = self._channel()
+        profile = RadioProfile(antenna_gain_dbi=0.0)
+        tx = ScheduledTransmission(
+            request=_request("far", "far", 0.0, 0.0), start_s=0.0, end_s=0.0014
+        )
+        receivers = [
+            ReceiverState("near", (100.0, 0.0), profile),
+            ReceiverState("toofar", (5000.0, 0.0), profile),
+        ]
+        receptions = channel.deliver([tx], receivers, 0.0)
+        receivers_hit = {r.receiver for r in receptions}
+        assert "near" in receivers_hit
+        assert "toofar" not in receivers_hit
+
+    def test_deliver_half_duplex(self):
+        channel = self._channel()
+        profile = RadioProfile(antenna_gain_dbi=0.0)
+        t1 = ScheduledTransmission(
+            request=_request("a", "a", 0.0, 0.0), start_s=0.0, end_s=0.0014
+        )
+        t2 = ScheduledTransmission(
+            request=_request("b", "b", 50.0, 0.0), start_s=0.0005, end_s=0.0019
+        )
+        receivers = [
+            ReceiverState("a", (0.0, 0.0), profile),
+            ReceiverState("b", (50.0, 0.0), profile),
+            ReceiverState("c", (100.0, 0.0), profile),
+        ]
+        receptions = channel.deliver([t1, t2], receivers, 0.0)
+        # a cannot hear b (overlapping with its own tx) and vice versa.
+        got = {(r.receiver, r.identity) for r in receptions}
+        assert ("a", "b") not in got
+        assert ("b", "a") not in got
+
+    def test_deliver_no_self_reception(self):
+        channel = self._channel()
+        profile = RadioProfile(antenna_gain_dbi=0.0)
+        tx = ScheduledTransmission(
+            request=_request("a", "a", 0.0, 0.0), start_s=0.0, end_s=0.0014
+        )
+        receptions = channel.deliver(
+            [tx], [ReceiverState("a", (0.0, 0.0), profile)], 0.0
+        )
+        assert receptions == []
+
+    def test_hidden_terminal_collision(self):
+        """Equal-power overlapping frames at one receiver: SINR ~ 0 dB
+        is below the capture threshold, so both frames die."""
+        channel = self._channel(
+            measurement_noise_db=0.0, quantisation_db=0.0, fading=None,
+        )
+        channel.shadowing = None
+        profile = RadioProfile(antenna_gain_dbi=0.0)
+        t1 = ScheduledTransmission(
+            request=_request("left", "left", -100.0, 0.0), start_s=0.0, end_s=0.0014
+        )
+        t2 = ScheduledTransmission(
+            request=_request("right", "right", 100.0, 0.0), start_s=0.0005, end_s=0.0019
+        )
+        receiver = [ReceiverState("mid", (0.0, 0.0), profile)]
+        receptions = channel.deliver([t1, t2], receiver, 0.0)
+        assert receptions == []
+
+    def test_deliver_empty(self):
+        channel = self._channel()
+        assert channel.deliver([], [], 0.0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._channel(fast_fading_sigma_db=-1.0)
+        with pytest.raises(ValueError):
+            self._channel(measurement_noise_db=-0.1)
+        with pytest.raises(ValueError):
+            self._channel(quantisation_db=-0.1)

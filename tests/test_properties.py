@@ -1,0 +1,218 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.distances import euclidean_distance, lp_distance
+from repro.core.dtw import dtw, dtw_banded, dtw_distance, warp_path_cells
+from repro.core.fastdtw import coarsen, dtw_banded_fast, fastdtw
+from repro.core.normalization import minmax, zscore
+from repro.core.timeseries import RSSITimeSeries
+from repro.mobility.highway import HighwayGeometry, LanePosition
+from repro.radio.dual_slope import DualSlopeModel
+from repro.radio.environments import CAMPUS, RURAL, URBAN
+from repro.radio.noise import ValueNoise3D
+from repro.sim.engine import SimulationEngine
+
+finite_series = arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 40),
+    elements=st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+)
+
+small_series = arrays(
+    dtype=np.float64,
+    shape=st.integers(2, 25),
+    elements=st.floats(-50, 50, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestDtwProperties:
+    @given(x=small_series, y=small_series)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, x, y):
+        assert dtw(x, y).distance == pytest.approx(dtw(y, x).distance)
+
+    @given(x=small_series)
+    @settings(max_examples=40, deadline=None)
+    def test_identity(self, x):
+        assert dtw(x, x).distance == 0.0
+
+    @given(x=small_series, y=small_series)
+    @settings(max_examples=60, deadline=None)
+    def test_non_negative(self, x, y):
+        assert dtw(x, y).distance >= 0.0
+
+    @given(x=small_series, y=small_series)
+    @settings(max_examples=40, deadline=None)
+    def test_path_valid(self, x, y):
+        result = dtw(x, y)
+        assert warp_path_cells(result.path)
+        assert result.path[-1] == (len(x), len(y))
+
+    @given(x=small_series, y=small_series)
+    @settings(max_examples=40, deadline=None)
+    def test_fast_distance_matches_full(self, x, y):
+        assert dtw_distance(x, y) == pytest.approx(dtw(x, y).distance)
+
+    @given(x=small_series, y=small_series, radius=st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_banded_upper_bounds_exact(self, x, y, radius):
+        exact = dtw(x, y).distance
+        assert dtw_banded(x, y, radius).distance >= exact - 1e-9
+        assert dtw_banded_fast(x, y, radius).distance >= exact - 1e-9
+
+    @given(x=small_series, y=small_series, radius=st.integers(0, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_fastdtw_upper_bounds_exact(self, x, y, radius):
+        exact = dtw(x, y).distance
+        assert fastdtw(x, y, radius).distance >= exact - 1e-9
+
+    @given(x=small_series)
+    @settings(max_examples=30, deadline=None)
+    def test_coarsen_halves_length(self, x):
+        out = coarsen(x)
+        assert out.size == (x.size + 1) // 2
+
+    @given(x=small_series)
+    @settings(max_examples=30, deadline=None)
+    def test_coarsen_preserves_mean(self, x):
+        assume(x.size % 2 == 0)
+        assert np.mean(coarsen(x)) == pytest.approx(np.mean(x), abs=1e-9)
+
+
+class TestNormalizationProperties:
+    @given(x=finite_series, shift=st.floats(-50, 50, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_zscore_shift_invariant(self, x, shift):
+        np.testing.assert_allclose(
+            zscore(x), zscore(x + shift), atol=1e-6
+        )
+
+    @given(x=finite_series, scale=st.floats(0.1, 20.0))
+    @settings(max_examples=60, deadline=None)
+    def test_zscore_scale_invariant(self, x, scale):
+        np.testing.assert_allclose(
+            zscore(x), zscore(x * scale), atol=1e-6
+        )
+
+    @given(x=finite_series)
+    @settings(max_examples=60, deadline=None)
+    def test_minmax_in_unit_interval(self, x):
+        out = minmax(x)
+        assert np.all(out >= 0.0)
+        assert np.all(out <= 1.0)
+
+    @given(x=finite_series)
+    @settings(max_examples=60, deadline=None)
+    def test_minmax_order_preserving(self, x):
+        out = minmax(x)
+        for i in range(len(x) - 1):
+            if x[i] < x[i + 1]:
+                assert out[i] <= out[i + 1]
+
+
+class TestLpProperties:
+    @given(x=small_series, y=small_series, z=small_series)
+    @settings(max_examples=50, deadline=None)
+    def test_triangle_inequality(self, x, y, z):
+        n = min(x.size, y.size, z.size)
+        x, y, z = x[:n], y[:n], z[:n]
+        assert euclidean_distance(x, z) <= (
+            euclidean_distance(x, y) + euclidean_distance(y, z) + 1e-9
+        )
+
+    @given(x=small_series, p=st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_identity_of_indiscernibles(self, x, p):
+        assert lp_distance(x, x, p) == 0.0
+
+
+class TestTimeSeriesProperties:
+    @given(
+        values=st.lists(
+            st.floats(-120, 0, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_window_subset(self, values):
+        series = RSSITimeSeries.from_values("p", values)
+        window = series.window(0.05, 0.25)
+        assert len(window) <= len(series)
+        for sample in window:
+            assert 0.05 <= sample.timestamp < 0.25
+
+    @given(
+        values=st.lists(
+            st.floats(-120, 0, allow_nan=False, allow_infinity=False),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mean_between_min_max(self, values):
+        series = RSSITimeSeries.from_values("p", values)
+        assert min(values) - 1e-9 <= series.mean() <= max(values) + 1e-9
+
+
+class TestRadioProperties:
+    @given(
+        d1=st.floats(1.0, 5000.0),
+        d2=st.floats(1.0, 5000.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dual_slope_monotone(self, d1, d2):
+        assume(d1 < d2)
+        for params in (CAMPUS, RURAL, URBAN):
+            model = DualSlopeModel(params)
+            assert model.path_loss_db(d1) <= model.path_loss_db(d2) + 1e-9
+
+    @given(
+        x=st.floats(-1e4, 1e4),
+        y=st.floats(-1e4, 1e4),
+        t=st.floats(0, 1e4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_noise_field_deterministic_and_finite(self, x, y, t):
+        field = ValueNoise3D(seed=99)
+        value = field.value(x, y, t)
+        assert math.isfinite(value)
+        assert value == field.value(x, y, t)
+
+
+class TestHighwayProperties:
+    @given(
+        x=st.floats(0.0, 2000.0),
+        lane=st.integers(0, 3),
+        distance=st.floats(0.0, 10000.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_advance_stays_on_road(self, x, lane, distance):
+        geometry = HighwayGeometry()
+        out = geometry.advance(LanePosition(x, lane), distance)
+        assert 0.0 <= out.x <= geometry.length_m
+        assert 0 <= out.lane < geometry.total_lanes
+
+
+class TestEngineProperties:
+    @given(
+        times=st.lists(
+            st.floats(0.01, 100.0, allow_nan=False), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_events_fire_in_nondecreasing_order(self, times):
+        engine = SimulationEngine()
+        fired = []
+        for when in times:
+            engine.schedule_at(when, fired.append)
+        engine.run_until(101.0)
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)

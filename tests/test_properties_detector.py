@@ -1,0 +1,137 @@
+"""Property-based tests on detector-level invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConstantThreshold, DetectorConfig, VoiceprintDetector
+from repro.core.timeseries import RSSITimeSeries
+from repro.net.channel import VANETChannel
+from repro.radio.dual_slope import DualSlopeModel
+from repro.radio.environments import environment
+from repro.radio.noise import SpatialNoiseField
+
+
+def _detector_with_streams(values_list, threshold=0.1):
+    detector = VoiceprintDetector(
+        threshold=ConstantThreshold(threshold),
+        config=DetectorConfig(min_samples=5),
+    )
+    for index, values in enumerate(values_list):
+        detector.load_series(
+            RSSITimeSeries.from_values(f"id{index}", values)
+        )
+    return detector
+
+
+stream = st.lists(
+    st.floats(-95, -40, allow_nan=False, allow_infinity=False),
+    min_size=8,
+    max_size=40,
+)
+
+
+class TestReportInvariants:
+    @given(streams=st.lists(stream, min_size=2, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_distances_in_unit_interval(self, streams):
+        report = _detector_with_streams(streams).detect(density=10.0)
+        for value in report.distances.values():
+            assert 0.0 <= value <= 1.0
+
+    @given(streams=st.lists(stream, min_size=2, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_sybil_ids_subset_of_compared(self, streams):
+        report = _detector_with_streams(streams).detect(density=10.0)
+        assert set(report.sybil_ids) <= set(report.compared_ids)
+
+    @given(streams=st.lists(stream, min_size=2, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_pairs_cover_all_compared(self, streams):
+        report = _detector_with_streams(streams).detect(density=10.0)
+        n = len(report.compared_ids)
+        assert len(report.distances) == n * (n - 1) // 2
+
+    @given(
+        streams=st.lists(stream, min_size=2, max_size=4),
+        low=st.floats(0.0, 0.3),
+        high=st.floats(0.5, 1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_threshold_monotone_in_flags(self, streams, low, high):
+        """A larger threshold can only flag more pairs."""
+        report_low = _detector_with_streams(streams, low).detect(density=10.0)
+        report_high = _detector_with_streams(streams, high).detect(density=10.0)
+        assert set(report_low.sybil_pairs) <= set(report_high.sybil_pairs)
+
+    @given(streams=st.lists(stream, min_size=2, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_raw_distances_symmetric_keys(self, streams):
+        report = _detector_with_streams(streams).detect(density=10.0)
+        for (a, b) in report.raw_distances:
+            assert a < b  # canonical ordering, no duplicates
+
+    @given(
+        streams=st.lists(stream, min_size=2, max_size=4),
+        offset=st.floats(-20, 20, allow_nan=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_power_offset_invariance_property(self, streams, offset):
+        """Shifting one stream by a constant changes nothing (Eq. 7)."""
+        report_a = _detector_with_streams(streams).detect(density=10.0)
+        shifted = [np.asarray(streams[0]) + offset] + [
+            np.asarray(s) for s in streams[1:]
+        ]
+        report_b = _detector_with_streams(shifted).detect(density=10.0)
+        for pair, value in report_a.raw_distances.items():
+            assert report_b.raw_distances[pair] == pytest.approx(
+                value, abs=1e-9
+            )
+
+
+class TestChannelInvariants:
+    @given(
+        d1=st.floats(5.0, 2000.0),
+        d2=st.floats(5.0, 2000.0),
+        t=st.floats(0.0, 100.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mean_rssi_monotone_in_distance(self, d1, d2, t):
+        channel = VANETChannel(
+            model=DualSlopeModel(environment("highway")),
+            shadowing=None,
+            fading=None,
+            measurement_noise_db=0.0,
+            quantisation_db=0.0,
+            rng=np.random.default_rng(0),
+        )
+        near, far = sorted((d1, d2))
+        rssi_near = channel.link_rssi((0, 0), (near, 0), 20.0, 0.0, t)
+        rssi_far = channel.link_rssi((0, 0), (far, 0), 20.0, 0.0, t)
+        assert rssi_near >= rssi_far - 1e-9
+
+    @given(
+        x=st.floats(0.0, 2000.0),
+        y=st.floats(-10.0, 10.0),
+        t=st.floats(0.0, 100.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_channel_deterministic_given_geometry(self, x, y, t):
+        """Identity-independent physics: two calls with identical
+        geometry at identical times agree exactly (the Sybil signature),
+        regardless of RNG state, when per-sample noise is off."""
+        channel = VANETChannel(
+            model=DualSlopeModel(environment("highway")),
+            shadowing=SpatialNoiseField(seed=5),
+            fading=SpatialNoiseField(
+                seed=6, correlation_distance_m=0.5, correlation_time_s=1.0
+            ),
+            measurement_noise_db=0.0,
+            quantisation_db=0.0,
+            rng=np.random.default_rng(1),
+        )
+        rx = (x + 150.0, y)
+        a = channel.link_rssi((x, y), rx, 20.0, 0.0, t)
+        b = channel.link_rssi((x, y), rx, 20.0, 0.0, t)
+        assert a == b

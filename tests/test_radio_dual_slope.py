@@ -1,0 +1,235 @@
+"""Unit tests for the dual-slope model, environments, inversion, fitting."""
+
+import numpy as np
+import pytest
+
+from repro.radio.base import LinkBudget
+from repro.radio.dual_slope import DualSlopeModel, DualSlopeParameters
+from repro.radio.environments import (
+    CAMPUS,
+    ENVIRONMENTS,
+    RURAL,
+    URBAN,
+    environment,
+    environment_model,
+    environment_names,
+)
+from repro.radio.fitting import fit_dual_slope
+from repro.radio.free_space import fspl_db
+from repro.radio.inverse import (
+    invert_dual_slope,
+    invert_free_space,
+    invert_log_distance,
+    invert_monotone_model,
+    invert_two_ray,
+)
+from repro.radio.shadowing import LogNormalShadowingModel
+
+
+class TestDualSlopeParameters:
+    def test_table_iv_campus_values(self):
+        assert CAMPUS.critical_distance_m == 218.0
+        assert CAMPUS.gamma1 == 1.66
+        assert CAMPUS.gamma2 == 5.53
+        assert CAMPUS.sigma1_db == 2.8
+        assert CAMPUS.sigma2_db == 3.2
+
+    def test_table_iv_rural_values(self):
+        assert (RURAL.critical_distance_m, RURAL.gamma1, RURAL.gamma2) == (
+            182.0,
+            1.89,
+            5.86,
+        )
+
+    def test_table_iv_urban_values(self):
+        assert (URBAN.critical_distance_m, URBAN.gamma1, URBAN.gamma2) == (
+            102.0,
+            2.56,
+            6.34,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DualSlopeParameters(0.5, 2.0, 5.0, 3.0, 3.0)  # dc <= d0
+        with pytest.raises(ValueError):
+            DualSlopeParameters(100.0, -1.0, 5.0, 3.0, 3.0)
+        with pytest.raises(ValueError):
+            DualSlopeParameters(100.0, 2.0, 5.0, -3.0, 3.0)
+
+    def test_with_name(self):
+        assert CAMPUS.with_name("x").name == "x"
+
+
+class TestDualSlopeModel:
+    def test_near_regime_slope(self):
+        model = DualSlopeModel(CAMPUS)
+        got = model.path_loss_db(100.0) - model.path_loss_db(10.0)
+        assert got == pytest.approx(10 * CAMPUS.gamma1)
+
+    def test_far_regime_slope(self):
+        model = DualSlopeModel(CAMPUS)
+        d1, d2 = 300.0, 3000.0
+        got = model.path_loss_db(d2) - model.path_loss_db(d1)
+        assert got == pytest.approx(10 * CAMPUS.gamma2)
+
+    def test_continuity_at_breakpoint(self):
+        model = DualSlopeModel(CAMPUS)
+        dc = CAMPUS.critical_distance_m
+        assert model.path_loss_db(dc * 0.999) == pytest.approx(
+            model.path_loss_db(dc * 1.001), abs=0.1
+        )
+
+    def test_reference_is_free_space(self):
+        model = DualSlopeModel(CAMPUS)
+        assert model.path_loss_db(1.0) == pytest.approx(fspl_db(1.0))
+
+    def test_sigma_by_regime(self):
+        model = DualSlopeModel(CAMPUS)
+        assert model.sigma_db(50.0) == CAMPUS.sigma1_db
+        assert model.sigma_db(500.0) == CAMPUS.sigma2_db
+
+    def test_vectorised_matches_scalar(self):
+        model = DualSlopeModel(URBAN)
+        distances = np.array([1.0, 50.0, 102.0, 150.0, 1000.0])
+        vector = model.path_loss_db_array(distances)
+        scalar = [model.path_loss_db(float(d)) for d in distances]
+        assert np.allclose(vector, scalar)
+        assert np.allclose(
+            model.sigma_db_array(distances),
+            [model.sigma_db(float(d)) for d in distances],
+        )
+
+    def test_sampling_statistics(self):
+        model = DualSlopeModel(CAMPUS)
+        budget = LinkBudget()
+        rng = np.random.default_rng(0)
+        samples = [model.sample_rssi(400.0, budget, rng) for _ in range(2000)]
+        assert np.std(samples) == pytest.approx(CAMPUS.sigma2_db, abs=0.3)
+
+
+class TestEnvironments:
+    def test_all_four_present(self):
+        assert set(environment_names()) == {"campus", "rural", "urban", "highway"}
+        assert set(ENVIRONMENTS) == set(environment_names())
+
+    def test_lookup_case_insensitive(self):
+        assert environment("Campus") is CAMPUS
+        assert environment(" URBAN ") is URBAN
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            environment("orbit")
+
+    def test_environment_model(self):
+        model = environment_model("rural")
+        assert model.params is RURAL
+
+    def test_urban_breaks_earliest(self):
+        # Observation 2: denser obstacles -> shorter breakpoint.
+        assert (
+            URBAN.critical_distance_m
+            < RURAL.critical_distance_m
+            < CAMPUS.critical_distance_m
+        )
+
+    def test_urban_shadows_hardest(self):
+        assert URBAN.sigma2_db > RURAL.sigma2_db > CAMPUS.sigma2_db
+
+
+class TestInversion:
+    BUDGET = LinkBudget(tx_power_dbm=20.0, rx_gain_dbi=7.0)
+
+    def test_free_space_roundtrip(self):
+        from repro.radio.free_space import FreeSpaceModel
+
+        model = FreeSpaceModel()
+        for d in (10.0, 140.0, 500.0):
+            rssi = model.mean_rssi(d, self.BUDGET)
+            assert invert_free_space(rssi, self.BUDGET) == pytest.approx(d, rel=1e-6)
+
+    def test_two_ray_roundtrip(self):
+        from repro.radio.two_ray import TwoRayGroundModel
+
+        model = TwoRayGroundModel()
+        for d in (50.0, 400.0, 1000.0):
+            rssi = model.mean_rssi(d, self.BUDGET)
+            assert invert_two_ray(rssi, self.BUDGET, model) == pytest.approx(
+                d, rel=1e-3
+            )
+
+    def test_log_distance_roundtrip(self):
+        model = LogNormalShadowingModel(path_loss_exponent=2.4)
+        for d in (20.0, 300.0):
+            rssi = model.mean_rssi(d, self.BUDGET)
+            assert invert_log_distance(rssi, self.BUDGET, model) == pytest.approx(
+                d, rel=1e-6
+            )
+
+    def test_dual_slope_roundtrip(self):
+        model = DualSlopeModel(CAMPUS)
+        for d in (15.0, 218.0, 600.0):
+            rssi = model.mean_rssi(d, self.BUDGET)
+            assert invert_dual_slope(rssi, self.BUDGET, model) == pytest.approx(
+                d, rel=1e-4
+            )
+
+    def test_observation1_wrong_model_misranges(self):
+        """The paper's core point: inverting the wrong model errs badly.
+
+        The paper's hardware measured *over*-estimates (281.5 m for a
+        140 m truth); our synthetic campus channel (gamma1 = 1.66 < 2)
+        produces *under*-estimates.  Either way the relative error is
+        gross, which is what motivates going model-free.
+        """
+        truth = DualSlopeModel(CAMPUS)
+        true_distance = 140.0
+        rssi = truth.mean_rssi(true_distance, self.BUDGET)
+        fspl_estimate = invert_free_space(rssi, self.BUDGET)
+        relative_error = abs(fspl_estimate - true_distance) / true_distance
+        assert relative_error > 0.3
+
+    def test_impossible_rssi_raises(self):
+        with pytest.raises(ValueError):
+            invert_free_space(+50.0, self.BUDGET)
+
+    def test_monotone_inverter_generic(self):
+        model = DualSlopeModel(URBAN)
+        rssi = model.mean_rssi(333.0, self.BUDGET)
+        got = invert_monotone_model(rssi, self.BUDGET, model.path_loss_db)
+        assert got == pytest.approx(333.0, abs=0.01)
+
+
+class TestFitting:
+    def test_recovers_generating_parameters(self):
+        rng = np.random.default_rng(7)
+        budget = LinkBudget(tx_power_dbm=20.0, rx_gain_dbi=7.0)
+        model = DualSlopeModel(RURAL)
+        distances = np.exp(rng.uniform(np.log(2), np.log(600), size=4000))
+        rssi = np.array(
+            [model.sample_rssi(float(d), budget, rng) for d in distances]
+        )
+        fit = fit_dual_slope(distances, rssi, budget)
+        assert fit.params.gamma1 == pytest.approx(RURAL.gamma1, abs=0.15)
+        assert fit.params.gamma2 == pytest.approx(RURAL.gamma2, abs=0.4)
+        assert fit.params.critical_distance_m == pytest.approx(
+            RURAL.critical_distance_m, rel=0.25
+        )
+        assert fit.params.sigma1_db == pytest.approx(RURAL.sigma1_db, abs=0.7)
+        assert fit.params.sigma2_db == pytest.approx(RURAL.sigma2_db, abs=0.9)
+
+    def test_requires_enough_samples(self):
+        budget = LinkBudget()
+        with pytest.raises(ValueError):
+            fit_dual_slope([10.0] * 4, [-70.0] * 4, budget)
+
+    def test_requires_matching_shapes(self):
+        budget = LinkBudget()
+        with pytest.raises(ValueError):
+            fit_dual_slope([10.0] * 10, [-70.0] * 9, budget)
+
+    def test_rejects_subreference_distances(self):
+        budget = LinkBudget()
+        with pytest.raises(ValueError):
+            fit_dual_slope(
+                [0.5] + [10.0] * 9, [-60.0] * 10, budget, reference_distance_m=1.0
+            )

@@ -1,0 +1,180 @@
+"""Unit tests for the radio propagation models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.radio.base import (
+    DSRC_FREQUENCY_HZ,
+    LinkBudget,
+    db_to_linear,
+    dbm_to_mw,
+    linear_to_db,
+    mw_to_dbm,
+    wavelength,
+)
+from repro.radio.free_space import FreeSpaceModel, FriisModel, fspl_db
+from repro.radio.rayleigh import RayleighFadingModel
+from repro.radio.shadowing import LogNormalShadowingModel
+from repro.radio.two_ray import TwoRayGroundModel
+
+
+class TestUnits:
+    def test_dbm_mw_roundtrip(self):
+        for dbm in (-95.0, 0.0, 20.0):
+            assert mw_to_dbm(dbm_to_mw(dbm)) == pytest.approx(dbm)
+
+    def test_known_values(self):
+        assert dbm_to_mw(0.0) == 1.0
+        assert dbm_to_mw(20.0) == pytest.approx(100.0)
+        assert db_to_linear(3.0) == pytest.approx(1.995, abs=0.01)
+        assert linear_to_db(10.0) == pytest.approx(10.0)
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(ValueError):
+            mw_to_dbm(0.0)
+        with pytest.raises(ValueError):
+            linear_to_db(-1.0)
+
+    def test_wavelength_dsrc(self):
+        # ~5.1 cm at 5.89 GHz.
+        assert wavelength() == pytest.approx(0.0509, abs=0.0005)
+
+    def test_wavelength_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            wavelength(0.0)
+
+
+class TestLinkBudget:
+    def test_eirp(self):
+        budget = LinkBudget(tx_power_dbm=20.0, tx_gain_dbi=7.0, rx_gain_dbi=7.0)
+        assert budget.eirp_dbm == 27.0
+
+    def test_received(self):
+        budget = LinkBudget(tx_power_dbm=20.0, rx_gain_dbi=7.0)
+        assert budget.received_dbm(100.0) == pytest.approx(-73.0)
+
+
+class TestFreeSpace:
+    def test_fspl_20db_per_decade(self):
+        assert fspl_db(100.0) - fspl_db(10.0) == pytest.approx(20.0)
+
+    def test_fspl_frequency_dependence(self):
+        assert fspl_db(100.0, 5.9e9) > fspl_db(100.0, 2.4e9)
+
+    def test_reference_value(self):
+        # FSPL at 1 km, 5.89 GHz ~ 107.8 dB.
+        assert fspl_db(1000.0, 5.89e9) == pytest.approx(107.85, abs=0.2)
+
+    def test_friis_alias(self):
+        assert FriisModel is FreeSpaceModel
+
+    def test_near_field_clamp(self):
+        model = FreeSpaceModel(reference_distance_m=1.0)
+        assert model.path_loss_db(0.01) == model.path_loss_db(1.0)
+
+    def test_monotone_in_distance(self):
+        model = FreeSpaceModel()
+        distances = np.linspace(1, 1000, 50)
+        losses = [model.path_loss_db(d) for d in distances]
+        assert all(a < b for a, b in zip(losses, losses[1:]))
+
+    def test_sample_equals_mean(self):
+        model = FreeSpaceModel()
+        budget = LinkBudget()
+        rng = np.random.default_rng(0)
+        assert model.sample_rssi(100.0, budget, rng) == model.mean_rssi(100.0, budget)
+
+    def test_rejects_bad_distance(self):
+        with pytest.raises(ValueError):
+            fspl_db(0.0)
+        with pytest.raises(ValueError):
+            FreeSpaceModel().path_loss_db(-1.0)
+
+
+class TestTwoRay:
+    def test_crossover_distance(self):
+        model = TwoRayGroundModel(tx_height_m=1.5, rx_height_m=1.5)
+        expected = 4 * math.pi * 1.5 * 1.5 / wavelength()
+        assert model.crossover_distance_m == pytest.approx(expected)
+
+    def test_matches_friis_below_crossover(self):
+        model = TwoRayGroundModel()
+        d = model.crossover_distance_m / 2.0
+        assert model.path_loss_db(d) == pytest.approx(fspl_db(d))
+
+    def test_40db_per_decade_beyond_crossover(self):
+        model = TwoRayGroundModel()
+        d = model.crossover_distance_m * 2.0
+        assert model.path_loss_db(10 * d) - model.path_loss_db(d) == pytest.approx(
+            40.0
+        )
+
+    def test_continuity_near_crossover(self):
+        model = TwoRayGroundModel()
+        d = model.crossover_distance_m
+        jump = abs(model.path_loss_db(d * 1.001) - model.path_loss_db(d * 0.999))
+        assert jump < 1.0
+
+    def test_rejects_bad_heights(self):
+        with pytest.raises(ValueError):
+            TwoRayGroundModel(tx_height_m=0.0)
+
+
+class TestShadowing:
+    def test_mean_path_loss_slope(self):
+        model = LogNormalShadowingModel(path_loss_exponent=3.0)
+        assert model.path_loss_db(100.0) - model.path_loss_db(10.0) == pytest.approx(
+            30.0
+        )
+
+    def test_samples_scatter_around_mean(self):
+        model = LogNormalShadowingModel(path_loss_exponent=2.0, sigma_db=4.0)
+        budget = LinkBudget()
+        rng = np.random.default_rng(1)
+        samples = [model.sample_rssi(200.0, budget, rng) for _ in range(2000)]
+        assert np.mean(samples) == pytest.approx(
+            model.mean_rssi(200.0, budget), abs=0.3
+        )
+        assert np.std(samples) == pytest.approx(4.0, abs=0.3)
+
+    def test_no_rng_gives_mean(self):
+        model = LogNormalShadowingModel(sigma_db=4.0)
+        budget = LinkBudget()
+        assert model.sample_rssi(100.0, budget) == model.mean_rssi(100.0, budget)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LogNormalShadowingModel(path_loss_exponent=0.0)
+        with pytest.raises(ValueError):
+            LogNormalShadowingModel(sigma_db=-1.0)
+
+
+class TestRayleigh:
+    def test_mean_power_preserved(self):
+        model = RayleighFadingModel(path_loss_exponent=2.0)
+        budget = LinkBudget()
+        rng = np.random.default_rng(2)
+        mean_rssi = model.mean_rssi(100.0, budget)
+        samples = np.array(
+            [model.sample_rssi(100.0, budget, rng) for _ in range(5000)]
+        )
+        # Power average (linear) should match the mean, dB average sits lower.
+        mean_power_db = 10 * np.log10(np.mean(10 ** (samples / 10)))
+        assert mean_power_db == pytest.approx(mean_rssi, abs=0.3)
+        assert np.mean(samples) < mean_rssi
+
+    def test_deep_fades_occur(self):
+        model = RayleighFadingModel()
+        budget = LinkBudget()
+        rng = np.random.default_rng(3)
+        samples = np.array(
+            [model.sample_rssi(100.0, budget, rng) for _ in range(3000)]
+        )
+        mean = model.mean_rssi(100.0, budget)
+        assert np.min(samples) < mean - 15.0
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            RayleighFadingModel(path_loss_exponent=-1.0)

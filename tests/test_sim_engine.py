@@ -1,0 +1,147 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_one_shot_fires_at_time(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(2.5, fired.append)
+        engine.run_until(10.0)
+        assert fired == [2.5]
+
+    def test_schedule_after(self):
+        engine = SimulationEngine(start_time=5.0)
+        fired = []
+        engine.schedule_after(1.5, fired.append)
+        engine.run_until(10.0)
+        assert fired == [6.5]
+
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(3.0, lambda t: fired.append("late"))
+        engine.schedule_at(1.0, lambda t: fired.append("early"))
+        engine.run_until(5.0)
+        assert fired == ["early", "late"]
+
+    def test_simultaneous_events_fifo(self):
+        engine = SimulationEngine()
+        fired = []
+        for name in ("first", "second", "third"):
+            engine.schedule_at(1.0, lambda t, n=name: fired.append(n))
+        engine.run_until(2.0)
+        assert fired == ["first", "second", "third"]
+
+    def test_cannot_schedule_in_past(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, lambda t: None)
+        engine.run_until(5.0)
+        with pytest.raises(ValueError):
+            engine.schedule_at(2.0, lambda t: None)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            SimulationEngine().schedule_after(-1.0, lambda t: None)
+
+    def test_rejects_non_finite_time(self):
+        with pytest.raises(ValueError):
+            SimulationEngine().schedule_at(float("inf"), lambda t: None)
+
+    def test_callback_can_schedule_more(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def chain(t):
+            fired.append(t)
+            if t < 3.0:
+                engine.schedule_at(t + 1.0, chain)
+
+        engine.schedule_at(1.0, chain)
+        engine.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestPeriodic:
+    def test_periodic_cadence(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_periodic(0.5, fired.append, first_at=0.0)
+        engine.run_until(2.0)
+        assert fired == [0.0, 0.5, 1.0, 1.5, 2.0]
+
+    def test_default_first_firing_after_one_period(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_periodic(1.0, fired.append)
+        engine.run_until(2.5)
+        assert fired == [1.0, 2.0]
+
+    def test_cancel_stops_repetition(self):
+        engine = SimulationEngine()
+        fired = []
+        handle = engine.schedule_periodic(1.0, fired.append, first_at=0.0)
+        engine.run_until(2.0)
+        handle.cancel()
+        engine.run_until(10.0)
+        assert fired == [0.0, 1.0, 2.0]
+
+    def test_cancel_from_inside_callback(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def callback(t):
+            fired.append(t)
+            if len(fired) == 2:
+                handle.cancel()
+
+        handle = engine.schedule_periodic(1.0, callback, first_at=0.0)
+        engine.run_until(10.0)
+        assert fired == [0.0, 1.0]
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            SimulationEngine().schedule_periodic(0.0, lambda t: None)
+
+    def test_resumable(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_periodic(1.0, fired.append, first_at=0.0)
+        engine.run_until(1.0)
+        assert fired == [0.0, 1.0]
+        engine.run_until(3.0)
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestClock:
+    def test_now_advances_to_end(self):
+        engine = SimulationEngine()
+        engine.run_until(7.0)
+        assert engine.now == 7.0
+
+    def test_now_during_callbacks(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule_at(2.0, lambda t: seen.append(engine.now))
+        engine.run_until(5.0)
+        assert seen == [2.0]
+
+    def test_cannot_run_backwards(self):
+        engine = SimulationEngine()
+        engine.run_until(5.0)
+        with pytest.raises(ValueError):
+            engine.run_until(1.0)
+
+    def test_step_returns_false_when_empty(self):
+        assert SimulationEngine().step() is False
+
+    def test_run_drains_queue(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(1.0, fired.append)
+        engine.schedule_at(2.0, fired.append)
+        engine.run()
+        assert fired == [1.0, 2.0]

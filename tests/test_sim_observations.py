@@ -1,0 +1,135 @@
+"""Unit tests for the measurement-scenario replicas and vehicle nodes."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.routes import highway_route
+from repro.net.radio import RadioProfile
+from repro.sim.nodes import Vehicle
+from repro.sim.observations import (
+    moving_pair_measurement,
+    ranging_measurement,
+    stationary_pair_measurement,
+)
+from repro.attack.sybil import ConstantPower, SybilAttacker, SybilIdentity
+
+
+class TestStationaryPair:
+    def test_sample_count(self):
+        series = stationary_pair_measurement(duration_s=30.0, seed=1)
+        assert len(series) == 300
+
+    def test_values_plausible(self):
+        series = stationary_pair_measurement(duration_s=30.0, seed=1)
+        assert -110 < series.mean() < -40
+
+    def test_different_sessions_differ(self):
+        """Observation 1: the channel drifts between sessions."""
+        a = stationary_pair_measurement(duration_s=60.0, seed=1, start_time=0.0)
+        b = stationary_pair_measurement(duration_s=60.0, seed=1, start_time=3600.0)
+        assert abs(a.mean() - b.mean()) > 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stationary_pair_measurement(distance_m=0.0)
+        with pytest.raises(ValueError):
+            stationary_pair_measurement(duration_s=0.0)
+
+
+class TestMovingPair:
+    def test_moving_variance_exceeds_stationary(self):
+        """Observation 1: motion makes the series far more dynamic."""
+        stationary = stationary_pair_measurement(duration_s=60.0, seed=2)
+        moving = moving_pair_measurement(duration_s=60.0, seed=2)
+        assert moving.std() > stationary.std()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            moving_pair_measurement(duration_s=-1.0)
+
+
+class TestRanging:
+    def test_shapes(self):
+        d, r = ranging_measurement("campus", n_samples=100, seed=3)
+        assert d.shape == (100,)
+        assert r.shape == (100,)
+
+    def test_distance_range_respected(self):
+        d, _ = ranging_measurement(
+            "rural", n_samples=200, min_distance_m=5.0, max_distance_m=50.0, seed=3
+        )
+        assert d.min() >= 5.0
+        assert d.max() <= 50.0
+
+    def test_rssi_decreases_with_distance_on_average(self):
+        d, r = ranging_measurement("urban", n_samples=1500, seed=4)
+        near = r[d < 50]
+        far = r[d > 300]
+        assert near.mean() > far.mean() + 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ranging_measurement("campus", n_samples=3)
+        with pytest.raises(ValueError):
+            ranging_measurement("campus", min_distance_m=10.0, max_distance_m=5.0)
+
+
+class TestVehicle:
+    def _vehicle(self, attacker=None):
+        return Vehicle(
+            node_id="v0",
+            trajectory=highway_route(60.0),
+            profile=RadioProfile(antenna_gain_dbi=0.0),
+            attacker=attacker,
+        )
+
+    def test_normal_single_identity(self):
+        vehicle = self._vehicle()
+        assert vehicle.identities == ("v0",)
+        assert not vehicle.is_malicious
+
+    def test_normal_one_request_per_interval(self):
+        vehicle = self._vehicle()
+        rng = np.random.default_rng(0)
+        requests = vehicle.beacon_requests(1.0, 0.1, rng)
+        assert len(requests) == 1
+        assert requests[0].beacon.identity == "v0"
+        assert requests[0].tx_node == "v0"
+
+    def test_malicious_requests_per_identity(self):
+        attacker = SybilAttacker(
+            node_id="v0",
+            own_power=ConstantPower(20.0),
+            identities=[
+                SybilIdentity("s1", ConstantPower(17.0), (50.0, 0.0)),
+                SybilIdentity("s2", ConstantPower(23.0), (-50.0, 0.0)),
+            ],
+        )
+        vehicle = self._vehicle(attacker)
+        rng = np.random.default_rng(1)
+        requests = vehicle.beacon_requests(1.0, 0.1, rng)
+        assert len(requests) == 3
+        # All from the same radio at the same true position.
+        assert {r.tx_node for r in requests} == {"v0"}
+        assert len({r.tx_xy for r in requests}) == 1
+        # Claimed positions differ.
+        claimed = {r.beacon.claimed_position for r in requests}
+        assert len(claimed) == 3
+        # Per-identity powers honoured.
+        powers = {r.beacon.identity: r.eirp_dbm for r in requests}
+        assert powers["s1"] == 17.0
+        assert powers["s2"] == 23.0
+
+    def test_offsets_within_interval(self):
+        vehicle = self._vehicle()
+        rng = np.random.default_rng(2)
+        for t in (0.0, 5.0):
+            for request in vehicle.beacon_requests(t, 0.1, rng):
+                assert 0.0 <= request.desired_offset_s < 0.1
+
+    def test_sequence_increments(self):
+        vehicle = self._vehicle()
+        rng = np.random.default_rng(3)
+        first = vehicle.beacon_requests(0.0, 0.1, rng)[0].beacon.sequence
+        second = vehicle.beacon_requests(0.1, 0.1, rng)[0].beacon.sequence
+        assert second == first + 1

@@ -1,0 +1,233 @@
+"""Integration-level tests for the highway simulator and field test."""
+
+import numpy as np
+import pytest
+
+from repro.attack.sybil import ConstantPower, PerPacketRandomPower, SybilAttacker, SybilIdentity
+from repro.sim.fieldtest import (
+    FieldTestConfig,
+    MALICIOUS_ID,
+    NORMAL_IDS,
+    SYBIL_IDS,
+    run_field_test,
+)
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.simulator import GroundTruth, HighwaySimulator
+
+
+SMALL = ScenarioConfig(density_vhls_per_km=15, sim_time_s=25.0, seed=2)
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    return HighwaySimulator(SMALL, recorded_nodes=4).run()
+
+
+class TestScenarioConfig:
+    def test_table_v_defaults(self):
+        config = ScenarioConfig()
+        assert config.highway_length_m == 2000.0
+        assert config.lanes_per_direction == 2
+        assert config.lane_width_m == 3.6
+        assert config.malicious_fraction == 0.05
+        assert config.n_sybils_range == (3, 6)
+        assert config.tx_power_range_dbm == (17.0, 23.0)
+        assert config.beacon_rate_hz == 10.0
+        assert config.packet_size_bytes == 500
+        assert config.epoch_rate == 0.2
+        assert config.mean_speed_mps == 25.0
+        assert config.speed_std_mps == 5.0
+        assert config.observation_time_s == 20.0
+        assert config.model_change_period_s == 30.0
+        assert config.sim_time_s == 100.0
+
+    def test_vehicle_count_from_density(self):
+        assert ScenarioConfig(density_vhls_per_km=50).n_vehicles == 100
+        assert ScenarioConfig(density_vhls_per_km=10).n_vehicles == 20
+
+    def test_at_least_one_attacker(self):
+        assert ScenarioConfig(density_vhls_per_km=10).n_malicious == 1
+
+    def test_no_attackers_when_fraction_zero(self):
+        assert ScenarioConfig(malicious_fraction=0.0).n_malicious == 0
+
+    def test_with_density_and_seed(self):
+        config = ScenarioConfig().with_density(30.0).with_seed(9)
+        assert config.density_vhls_per_km == 30.0
+        assert config.seed == 9
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"highway_length_m": 0.0},
+            {"density_vhls_per_km": 0.0},
+            {"malicious_fraction": 1.5},
+            {"n_sybils_range": (0, 3)},
+            {"tx_power_range_dbm": (23.0, 17.0)},
+            {"sim_time_s": 10.0},  # shorter than observation time
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ScenarioConfig(**kwargs)
+
+
+class TestGroundTruth:
+    def test_partitions(self, small_run):
+        truth = small_run.truth
+        assert not (truth.normal_ids & truth.malicious_ids)
+        assert not (truth.normal_ids & truth.sybil_ids)
+        for sybil, attacker in truth.sybil_to_attacker.items():
+            assert attacker in truth.malicious_ids
+
+    def test_attacker_of(self, small_run):
+        truth = small_run.truth
+        for sybil, attacker in truth.sybil_to_attacker.items():
+            assert truth.attacker_of(sybil) == attacker
+            assert truth.attacker_of(attacker) == attacker
+        normal = next(iter(truth.normal_ids))
+        assert truth.attacker_of(normal) is None
+
+    def test_sybil_counts_in_paper_range(self, small_run):
+        truth = small_run.truth
+        for attacker in truth.malicious_ids:
+            count = sum(
+                1 for a in truth.sybil_to_attacker.values() if a == attacker
+            )
+            assert 3 <= count <= 6
+
+
+class TestHighwaySimulator:
+    def test_recorded_nodes_are_normal(self, small_run):
+        for node in small_run.recorded_nodes:
+            assert node in small_run.truth.normal_ids
+
+    def test_observations_only_for_recorded(self, small_run):
+        assert set(small_run.observations) == set(small_run.recorded_nodes)
+
+    def test_series_are_time_ordered(self, small_run):
+        for node in small_run.recorded_nodes:
+            for series in small_run.series_at(node).values():
+                times = series.timestamps
+                assert np.all(np.diff(times) >= 0)
+
+    def test_rssi_values_above_sensitivity(self, small_run):
+        for node in small_run.recorded_nodes:
+            for series in small_run.series_at(node).values():
+                assert np.all(series.values >= -95.0 - 0.5)
+
+    def test_sybil_identities_heard(self, small_run):
+        heard = set()
+        for node in small_run.recorded_nodes:
+            heard |= set(small_run.series_at(node))
+        assert heard & small_run.truth.sybil_ids
+
+    def test_no_self_observation(self, small_run):
+        for node in small_run.recorded_nodes:
+            assert node not in small_run.series_at(node)
+
+    def test_deterministic_for_seed(self):
+        a = HighwaySimulator(SMALL, recorded_nodes=2).run()
+        b = HighwaySimulator(SMALL, recorded_nodes=2).run()
+        assert a.recorded_nodes == b.recorded_nodes
+        node = a.recorded_nodes[0]
+        for identity in a.series_at(node):
+            assert np.allclose(
+                a.series_at(node)[identity].values,
+                b.series_at(node)[identity].values,
+            )
+
+    def test_claimed_vs_true_position_for_sybil(self, small_run):
+        truth = small_run.truth
+        sybil = next(iter(truth.sybil_ids))
+        claimed = small_run.claimed_position(sybil, 10.0)
+        true = small_run.true_position(sybil, 10.0)
+        assert np.hypot(claimed[0] - true[0], claimed[1] - true[1]) >= 25.0
+
+    def test_claimed_equals_true_for_normal(self, small_run):
+        normal = small_run.recorded_nodes[0]
+        assert small_run.claimed_position(normal, 5.0) == small_run.true_position(
+            normal, 5.0
+        )
+
+    def test_unknown_identity_raises(self, small_run):
+        with pytest.raises(KeyError):
+            small_run.claimed_position("ghost", 1.0)
+        with pytest.raises(KeyError):
+            small_run.series_at("ghost")
+
+    def test_model_change_recorded(self):
+        from dataclasses import replace
+
+        config = replace(SMALL, model_change_enabled=True, sim_time_s=65.0)
+        result = HighwaySimulator(config, recorded_nodes=2).run()
+        # Initial model + changes at 30 s and 60 s.
+        assert len(result.model_timeline) == 3
+
+    def test_static_model_single_entry(self, small_run):
+        assert len(small_run.model_timeline) == 1
+
+    def test_loss_rate_bounded(self, small_run):
+        assert 0.0 <= small_run.loss_rate < 1.0
+
+
+class TestFieldTest:
+    @pytest.fixture(scope="class")
+    def drive(self):
+        return run_field_test(
+            FieldTestConfig(environment="campus", duration_s=60.0, seed=3)
+        )
+
+    def test_observers_are_normal_nodes(self, drive):
+        assert set(drive.observations) == set(NORMAL_IDS)
+
+    def test_six_identities_on_air(self, drive):
+        heard = set()
+        for node in NORMAL_IDS:
+            heard |= set(drive.observations[node])
+        assert MALICIOUS_ID in heard
+        assert set(SYBIL_IDS) <= heard
+
+    def test_truth_structure(self, drive):
+        assert drive.truth.malicious_ids == {MALICIOUS_ID}
+        assert drive.truth.sybil_ids == set(SYBIL_IDS)
+
+    def test_sybil_series_track_malicious(self, drive):
+        """Observation 3 at the signal level: same-radio streams are
+        strongly correlated at a recording node."""
+        series_map = drive.observations["3"]
+        mal = series_map[MALICIOUS_ID]
+        syb = series_map[SYBIL_IDS[0]]
+        n = min(len(mal), len(syb))
+        assert n > 100
+        corr = np.corrcoef(mal.values[:n], syb.values[:n])[0, 1]
+        assert corr > 0.5
+
+    def test_custom_attacker(self):
+        attacker = SybilAttacker(
+            node_id=MALICIOUS_ID,
+            own_power=ConstantPower(20.0),
+            identities=[
+                SybilIdentity("666", PerPacketRandomPower(14, 26), (40.0, 0.0))
+            ],
+        )
+        result = run_field_test(
+            FieldTestConfig(environment="campus", duration_s=30.0, seed=4),
+            attacker=attacker,
+        )
+        assert result.truth.sybil_ids == {"666"}
+
+    def test_custom_attacker_wrong_id_rejected(self):
+        attacker = SybilAttacker(
+            node_id="999", own_power=ConstantPower(20.0), identities=[]
+        )
+        with pytest.raises(ValueError):
+            run_field_test(
+                FieldTestConfig(duration_s=30.0), attacker=attacker
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FieldTestConfig(duration_s=0.0)
+        with pytest.raises(ValueError):
+            FieldTestConfig(sybil_powers_dbm=(20.0,))
