@@ -45,12 +45,8 @@ def main() -> None:
         report = pipeline.on_beacon(identity, timestamp, rssi)
         if report is None:
             continue
-        flagged = ", ".join(sorted(report.sybil_ids)) or "(none)"
         confirmed = ", ".join(sorted(pipeline.confirmed_sybils)) or "(none)"
-        print(
-            f"t={report.timestamp:6.1f}s  density={report.density:5.1f}/km  "
-            f"flagged this period: {flagged:<18} confirmed: {confirmed}"
-        )
+        print(f"{report.summary()}  confirmed: {confirmed}")
 
     print()
     truth = ", ".join(sorted(drive.truth.illegitimate_ids))

@@ -21,6 +21,7 @@ See ``examples/`` for runnable end-to-end scenarios and DESIGN.md for
 the system inventory.
 """
 
+from . import obs
 from .core import (
     ConstantThreshold,
     DecisionLine,
@@ -47,6 +48,7 @@ from .sim import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "obs",
     "ConstantThreshold",
     "DecisionLine",
     "DetectionReport",

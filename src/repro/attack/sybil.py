@@ -15,9 +15,8 @@ implements that smart attacker so the limitation can be measured
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, Sequence, Tuple
+from typing import List, Protocol, Tuple
 
 import numpy as np
 

@@ -20,9 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
-import numpy as np
 
 from ..core.timeseries import RSSITimeSeries
 

@@ -11,6 +11,17 @@ Installed as ``voiceprint-repro`` (see ``pyproject.toml``), or run as
 
 Heavyweight experiments accept scale knobs so the CLI is usable both
 for a quick look (default, minutes) and a fuller reproduction.
+
+Observability (``repro.obs``) is wired in globally — the flags are
+accepted before or after the subcommand::
+
+    voiceprint-repro fig13 --metrics-out m.jsonl --trace-out t.jsonl
+    voiceprint-repro --log-level DEBUG fig9
+
+``--metrics-out`` enables the metrics layer, writes one JSON line per
+instrument, and prints an end-of-run summary; ``--trace-out`` streams
+every finished span (one detection = one root span with its phase
+children) as JSONL.
 """
 
 from __future__ import annotations
@@ -20,6 +31,7 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
+from . import obs
 from .eval import experiments as ex
 from .eval.reporting import render_table
 from .sim.scenario import ScenarioConfig
@@ -262,6 +274,38 @@ def _cmd_ablations(args: argparse.Namespace) -> str:
     )
 
 
+def _add_obs_arguments(
+    parser: argparse.ArgumentParser, suppress_defaults: bool
+) -> None:
+    """The global observability flags.
+
+    They are installed twice: on the main parser with real defaults,
+    and on every subparser with ``SUPPRESS`` defaults — so they parse
+    both before and after the subcommand without the subparser's
+    defaults clobbering values parsed by the main parser.
+    """
+    suppressed = argparse.SUPPRESS
+    parser.add_argument(
+        "--log-level",
+        default=suppressed if suppress_defaults else None,
+        choices=["DEBUG", "INFO", "WARNING", "ERROR"],
+        help="enable structured key=value logging at this level (stderr)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=suppressed if suppress_defaults else None,
+        help="enable metrics; write one JSON line per instrument to PATH "
+        "and print an end-of-run summary",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=suppressed if suppress_defaults else None,
+        help="enable span tracing; stream finished spans as JSONL to PATH",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -270,35 +314,41 @@ def build_parser() -> argparse.ArgumentParser:
         "(Yao et al., DSN 2017).",
     )
     parser.add_argument("--seed", type=int, default=7, help="master RNG seed")
+    _add_obs_arguments(parser, suppress_defaults=False)
+    obs_parent = argparse.ArgumentParser(add_help=False)
+    _add_obs_arguments(obs_parent, suppress_defaults=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available experiments")
-    sub.add_parser("table1", help="Table I")
-    sub.add_parser("fig9", help="Fig. 9 DTW example")
+    def add_parser(name: str, help: str) -> argparse.ArgumentParser:
+        return sub.add_parser(name, help=help, parents=[obs_parent])
 
-    fig5 = sub.add_parser("fig5", help="Fig. 5 / Observation 1")
+    add_parser("list", help="list available experiments")
+    add_parser("table1", help="Table I")
+    add_parser("fig9", help="Fig. 9 DTW example")
+
+    fig5 = add_parser("fig5", help="Fig. 5 / Observation 1")
     fig5.add_argument("--duration", type=float, default=300.0)
 
-    table4 = sub.add_parser("table4", help="Table IV fits")
+    table4 = add_parser("table4", help="Table IV fits")
     table4.add_argument("--samples", type=int, default=4000)
 
-    fig67 = sub.add_parser("fig6-7", help="Figs. 6-7 / Observation 3")
+    fig67 = add_parser("fig6-7", help="Figs. 6-7 / Observation 3")
     fig67.add_argument("--duration", type=float, default=120.0)
 
     for name in ("fig10", "fig11a", "fig11b"):
-        p = sub.add_parser(name, help=f"{name} (highway sweep)")
+        p = add_parser(name, help=f"{name} (highway sweep)")
         p.add_argument("--densities", type=_densities, default=[10, 40, 80])
         p.add_argument("--sim-time", type=float, default=60.0)
         p.add_argument("--runs", type=int, default=1)
 
     for name in ("fig13", "fig14"):
-        p = sub.add_parser(name, help=f"{name} (field test)")
+        p = add_parser(name, help=f"{name} (field test)")
         p.add_argument("--duration", type=float, default=300.0)
         p.add_argument("--period", type=float, default=60.0 if name == "fig13" else 30.0)
 
-    sub.add_parser("timing", help="§VI-B timing")
+    add_parser("timing", help="§VI-B timing")
 
-    ablations = sub.add_parser("ablations", help="E12 ablations")
+    ablations = add_parser("ablations", help="E12 ablations")
     ablations.add_argument("--duration", type=float, default=120.0)
     return parser
 
@@ -320,17 +370,70 @@ _HANDLERS: Dict[str, Callable[[argparse.Namespace], str]] = {
 }
 
 
+def _metrics_summary(registry: "obs.MetricsRegistry") -> str:
+    """Compact end-of-run rendering of everything the run recorded."""
+    snapshot = registry.to_dict()
+    rows = []
+    for name, value in snapshot["counters"].items():
+        rows.append((name, "counter", f"{value:g}"))
+    for name, value in snapshot["gauges"].items():
+        rendered = "-" if value is None else f"{value:g}"
+        rows.append((name, "gauge", rendered))
+    for name, summary in snapshot["histograms"].items():
+        if summary["count"]:
+            rendered = (
+                f"n={summary['count']} p50={summary['p50']:.3g} "
+                f"p95={summary['p95']:.3g} max={summary['max']:.3g}"
+            )
+        else:
+            rendered = "n=0"
+        rows.append((name, "histogram", rendered))
+    if not rows:
+        return "metrics summary: (nothing recorded)"
+    return render_table(["metric", "kind", "value"], rows, title="metrics summary")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     handler = _HANDLERS[args.command]
-    start = time.perf_counter()
-    output = handler(args)
-    elapsed = time.perf_counter() - start
-    print(output)
-    if elapsed > 1.0:
-        print(f"\n[{elapsed:.1f}s]")
+
+    # Open both output files up front so a bad path fails before the
+    # (potentially long) run instead of after it.
+    metrics_file = (
+        open(args.metrics_out, "w", encoding="utf-8")
+        if args.metrics_out
+        else None
+    )
+    trace_exporter = (
+        obs.JsonlSpanExporter(args.trace_out) if args.trace_out else None
+    )
+    obs.configure(
+        log_level=args.log_level,
+        metrics=bool(args.metrics_out),
+        trace_exporter=trace_exporter,
+    )
+    registry = obs.default_registry()
+    try:
+        start = time.perf_counter()
+        output = handler(args)
+        elapsed = time.perf_counter() - start
+        print(output)
+        if metrics_file is not None:
+            print()
+            print(_metrics_summary(registry))
+            n_records = registry.write_jsonl(metrics_file)
+            print(f"[{n_records} metric records -> {args.metrics_out}]")
+        if args.trace_out:
+            print(f"[spans -> {args.trace_out}]")
+        if elapsed > 1.0:
+            print(f"\n[{elapsed:.1f}s]")
+    finally:
+        obs.shutdown()
+        if metrics_file is not None:
+            metrics_file.close()
+            registry.reset()
     return 0
 
 

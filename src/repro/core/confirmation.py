@@ -16,7 +16,6 @@ last ``window`` detection periods.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Deque, Dict, FrozenSet, Iterable
 
 from .detector import DetectionReport

@@ -18,7 +18,7 @@ identities the detector has already flagged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Set
+from typing import FrozenSet, Iterable, Set
 
 __all__ = ["DensityEstimator", "linear_density"]
 
@@ -101,3 +101,15 @@ class DensityEstimator:
     def reset_period(self) -> None:
         """Clear heard identities for the next estimation period."""
         self._heard.clear()
+
+    def reset(self) -> None:
+        """Forget everything — heard identities, Sybil verdicts, and the
+        first-estimate bootstrap state (a new trip starts from scratch)."""
+        self._heard.clear()
+        self._illegitimate.clear()
+        self._first_estimate_done = False
+
+    @property
+    def illegitimate_ids(self) -> FrozenSet[str]:
+        """Identities currently excluded from estimates."""
+        return frozenset(self._illegitimate)

@@ -26,6 +26,10 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..obs.logging import get_logger
+from ..obs.metrics import MetricsRegistry, default_registry
+from ..obs.timers import Stopwatch
+from ..obs.trace import Tracer, default_tracer
 from .fastdtw import DEFAULT_RADIUS, dtw_banded_fast, fastdtw
 from .dtw import dtw
 from .normalization import minmax_distances, zscore
@@ -33,6 +37,8 @@ from .thresholds import LinearThreshold, ThresholdPolicy
 from .timeseries import RSSITimeSeries
 
 __all__ = ["DetectorConfig", "DetectionReport", "VoiceprintDetector"]
+
+_log = get_logger("core.detector")
 
 Pair = Tuple[str, str]
 
@@ -169,6 +175,21 @@ class DetectionReport:
     compared_ids: Tuple[str, ...]
     skipped_ids: Tuple[str, ...]
 
+    def summary(self) -> str:
+        """One-line human-readable digest of the period.
+
+        Example::
+
+            t=40.0s density=4.0/km thr=0.0505 compared=5 pairs=10 skipped=1 flagged=[101,102]
+        """
+        flagged = ",".join(sorted(self.sybil_ids)) or "none"
+        return (
+            f"t={self.timestamp:.1f}s density={self.density:.1f}/km "
+            f"thr={self.threshold:.4g} compared={len(self.compared_ids)} "
+            f"pairs={len(self.raw_distances)} skipped={len(self.skipped_ids)} "
+            f"flagged=[{flagged}]"
+        )
+
     def sybil_clusters(self) -> List[FrozenSet[str]]:
         """Group flagged identities emitted by the same physical radio.
 
@@ -202,6 +223,12 @@ class VoiceprintDetector:
         threshold: Confirmation threshold policy.  Defaults to the
             paper's trained linear boundary.
         config: Detector tunables; defaults follow Table V.
+        registry: Metrics registry instrumentation records into;
+            defaults to the process-global one (disabled unless
+            observability is configured, in which case every
+            instrumented call is a cheap no-op).
+        tracer: Span tracer for per-detection phase traces; defaults to
+            the process-global one.
 
     Example:
         >>> detector = VoiceprintDetector()
@@ -215,11 +242,20 @@ class VoiceprintDetector:
         self,
         threshold: Optional[ThresholdPolicy] = None,
         config: Optional[DetectorConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.threshold: ThresholdPolicy = threshold or LinearThreshold()
         self.config = config or DetectorConfig()
         self._buffers: Dict[str, RSSITimeSeries] = {}
         self._latest: float = float("-inf")
+        metrics = registry if registry is not None else default_registry()
+        self._tracer = tracer if tracer is not None else default_tracer()
+        self._c_beacons = metrics.counter("detector.beacons_observed")
+        self._c_evictions = metrics.counter("detector.series_evictions")
+        self._c_pairs = metrics.counter("detector.pairs_compared")
+        self._c_cells = metrics.counter("detector.dtw_cells")
+        self._h_detect_ms = metrics.histogram("detector.detect_ms")
 
     # ------------------------------------------------------------------
     # Collection phase
@@ -236,11 +272,13 @@ class VoiceprintDetector:
             buffer = RSSITimeSeries(identity)
             self._buffers[identity] = buffer
         buffer.append(timestamp, rssi)
+        self._c_beacons.inc()
         if timestamp > self._latest:
             self._latest = timestamp
         horizon = timestamp - 2.0 * self.config.observation_time
         if buffer.start < horizon:
             buffer.drop_before(horizon)
+            self._c_evictions.inc()
 
     def load_series(self, series: RSSITimeSeries) -> None:
         """Adopt a pre-collected series as this identity's buffer.
@@ -278,6 +316,8 @@ class VoiceprintDetector:
             result = dtw_banded_fast(x, y, self.config.band_radius_samples)
         else:
             result = fastdtw(x, y, radius=self.config.fastdtw_radius)
+        self._c_pairs.inc()
+        self._c_cells.inc(result.cells)
         if self.config.normalize_by_path_length:
             return result.distance / len(result.path)
         return result.distance
@@ -292,33 +332,40 @@ class VoiceprintDetector:
         """
         if now is None:
             now = self._latest
-        window_start = now - self.config.observation_time
-        windows: Dict[str, np.ndarray] = {}
-        skipped: List[str] = []
-        for identity, buffer in self._buffers.items():
-            window = buffer.window(window_start, now + 1e-9)
-            if len(window) < self.config.min_samples:
-                skipped.append(identity)
-                continue
-            windows[identity] = window.values
-        normalised: Dict[str, np.ndarray] = {}
-        if self.config.scale_mode == "median" and windows:
-            sigmas = [float(np.std(v)) for v in windows.values()]
-            scale = self.config.sigma_multiplier * max(
-                float(np.median(sigmas)), 1e-9
-            )
-            for identity, values in windows.items():
-                normalised[identity] = (values - float(np.mean(values))) / scale
-        else:
-            for identity, values in windows.items():
-                normalised[identity] = zscore(
-                    values, sigma_multiplier=self.config.sigma_multiplier
+        with self._tracer.span("normalise") as span:
+            window_start = now - self.config.observation_time
+            windows: Dict[str, np.ndarray] = {}
+            skipped: List[str] = []
+            for identity, buffer in self._buffers.items():
+                window = buffer.window(window_start, now + 1e-9)
+                if len(window) < self.config.min_samples:
+                    skipped.append(identity)
+                    continue
+                windows[identity] = window.values
+            normalised: Dict[str, np.ndarray] = {}
+            if self.config.scale_mode == "median" and windows:
+                sigmas = [float(np.std(v)) for v in windows.values()]
+                scale = self.config.sigma_multiplier * max(
+                    float(np.median(sigmas)), 1e-9
                 )
-        compared = tuple(sorted(normalised))
-        raw: Dict[Pair, float] = {}
-        for idx, a in enumerate(compared):
-            for b in compared[idx + 1 :]:
-                raw[(a, b)] = self._pair_distance(normalised[a], normalised[b])
+                for identity, values in windows.items():
+                    normalised[identity] = (values - float(np.mean(values))) / scale
+            else:
+                for identity, values in windows.items():
+                    normalised[identity] = zscore(
+                        values, sigma_multiplier=self.config.sigma_multiplier
+                    )
+            span.set_attribute("series", len(normalised))
+            span.set_attribute("skipped", len(skipped))
+        with self._tracer.span("pairwise_dtw") as span:
+            compared = tuple(sorted(normalised))
+            raw: Dict[Pair, float] = {}
+            cells_before = self._c_cells.value
+            for idx, a in enumerate(compared):
+                for b in compared[idx + 1 :]:
+                    raw[(a, b)] = self._pair_distance(normalised[a], normalised[b])
+            span.set_attribute("pairs", len(raw))
+            span.set_attribute("cells", int(self._c_cells.value - cells_before))
         return raw, compared, tuple(sorted(skipped))
 
     def detect(
@@ -343,15 +390,27 @@ class VoiceprintDetector:
             raise ValueError(f"density must be non-negative, got {density}")
         if now is None:
             now = self._latest if self._buffers else 0.0
-        raw, compared, skipped = self.compare(now=now)
-        distances = minmax_distances(raw)
-        cutoff = self.threshold.threshold_at(density)
-        judged = distances if self.config.threshold_on == "normalized" else raw
-        sybil_pairs = tuple(
-            pair for pair, d in sorted(judged.items()) if d <= cutoff
-        )
-        sybil_ids = frozenset(identity for pair in sybil_pairs for identity in pair)
-        return DetectionReport(
+        with self._tracer.span("detection", density=float(density)) as root, \
+                Stopwatch(self._h_detect_ms):
+            raw, compared, skipped = self.compare(now=now)
+            with self._tracer.span("minmax"):
+                distances = minmax_distances(raw)
+            with self._tracer.span("threshold") as span:
+                cutoff = self.threshold.threshold_at(density)
+                judged = (
+                    distances if self.config.threshold_on == "normalized" else raw
+                )
+                sybil_pairs = tuple(
+                    pair for pair, d in sorted(judged.items()) if d <= cutoff
+                )
+                sybil_ids = frozenset(
+                    identity for pair in sybil_pairs for identity in pair
+                )
+                span.set_attribute("threshold", float(cutoff))
+                span.set_attribute("flagged", len(sybil_ids))
+            root.set_attribute("compared", len(compared))
+            root.set_attribute("flagged", len(sybil_ids))
+        report = DetectionReport(
             timestamp=float(now),
             density=float(density),
             threshold=float(cutoff),
@@ -362,6 +421,9 @@ class VoiceprintDetector:
             compared_ids=compared,
             skipped_ids=skipped,
         )
+        if _log.isEnabledFor(10):  # DEBUG: skip summary() cost otherwise
+            _log.debug("detection complete", extra={"report": report.summary()})
+        return report
 
     def reset(self) -> None:
         """Drop all collection buffers (fresh start)."""

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -60,10 +60,15 @@ class DTWResult:
         path: The optimal warp path as 1-indexed ``(i, j)`` pairs from
             ``(1, 1)`` to ``(N, M)``, satisfying the monotonicity
             constraint of Eq. 5.
+        cells: Number of cost-matrix cells evaluated to produce this
+            result — the work metric the observability layer aggregates
+            (``N * M`` for exact DTW, the window size for banded /
+            FastDTW variants; 0 when the producer predates the field).
     """
 
     distance: float
     path: Tuple[Cell, ...]
+    cells: int = 0
 
     def __len__(self) -> int:
         return len(self.path)
@@ -136,7 +141,11 @@ def dtw(x: ArrayLike, y: ArrayLike) -> DTWResult:
     """
     a, b = _validate(x, y)
     acc = _accumulate_full(a, b)
-    return DTWResult(distance=float(acc[-1, -1]), path=_traceback(acc))
+    return DTWResult(
+        distance=float(acc[-1, -1]),
+        path=_traceback(acc),
+        cells=a.size * b.size,
+    )
 
 
 def dtw_distance(x: ArrayLike, y: ArrayLike) -> float:
@@ -268,7 +277,9 @@ def dtw_windowed(
         _, (i, j) = min(candidates, key=lambda c: c[0])
         path.append((i, j))
     path.reverse()
-    return DTWResult(distance=float(acc[end]), path=tuple(path))
+    return DTWResult(
+        distance=float(acc[end]), path=tuple(path), cells=len(cells)
+    )
 
 
 def warp_path_cells(path: Sequence[Cell]) -> bool:

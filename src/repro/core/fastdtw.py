@@ -28,7 +28,7 @@ comparisons) tractable.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Set, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -159,11 +159,12 @@ def _dp_intervals(
     y_list: List[float],
     lo: List[int],
     hi: List[int],
-) -> Tuple[float, List[Cell]]:
+) -> Tuple[float, List[Cell], int]:
     """Windowed DTW over per-row column intervals (paper Eqs. 3–4).
 
     Runs on plain Python lists for speed; returns the accumulated
-    distance and the optimal 1-indexed warp path.
+    distance, the optimal 1-indexed warp path, and the number of window
+    cells evaluated (the DP's work, reported via ``DTWResult.cells``).
     """
     n = len(x_list)
     m = len(y_list)
@@ -225,24 +226,26 @@ def _dp_intervals(
         i, j = best_cell
         path.append(best_cell)
     path.reverse()
-    return end_value, path
+    n_cells = sum(hi[i] - lo[i] + 1 for i in range(1, n + 1))
+    return end_value, path, n_cells
 
 
 def _fastdtw_recursive(
     a: np.ndarray,
     b: np.ndarray,
     radius: int,
-) -> Tuple[float, List[Cell]]:
+) -> Tuple[float, List[Cell], int]:
     min_size = radius + 2
     if a.size <= min_size or b.size <= min_size:
         result = dtw(a, b)
-        return result.distance, list(result.path)
-    coarse_distance, coarse_path = _fastdtw_recursive(
+        return result.distance, list(result.path), result.cells
+    coarse_distance, coarse_path, coarse_cells = _fastdtw_recursive(
         coarsen(a), coarsen(b), radius
     )
     del coarse_distance
     lo, hi = _project_intervals(coarse_path, a.size, b.size, radius)
-    return _dp_intervals(a.tolist(), b.tolist(), lo, hi)
+    distance, path, n_cells = _dp_intervals(a.tolist(), b.tolist(), lo, hi)
+    return distance, path, n_cells + coarse_cells
 
 
 def fastdtw(
@@ -269,8 +272,8 @@ def fastdtw(
         raise ValueError(f"expected 1-D series, got shapes {a.shape}, {b.shape}")
     if a.size == 0 or b.size == 0:
         raise ValueError("FastDTW is undefined for empty series")
-    distance, path = _fastdtw_recursive(a, b, radius)
-    return DTWResult(distance=float(distance), path=tuple(path))
+    distance, path, cells = _fastdtw_recursive(a, b, radius)
+    return DTWResult(distance=float(distance), path=tuple(path), cells=cells)
 
 
 def fastdtw_distance(
@@ -331,5 +334,5 @@ def dtw_banded_fast(
             lo[i] = hi[i - 1] + 1
         if hi[i] < hi[i - 1]:
             hi[i] = hi[i - 1]
-    distance, path = _dp_intervals(a.tolist(), b.tolist(), lo, hi)
-    return DTWResult(distance=float(distance), path=tuple(path))
+    distance, path, cells = _dp_intervals(a.tolist(), b.tolist(), lo, hi)
+    return DTWResult(distance=float(distance), path=tuple(path), cells=cells)

@@ -24,12 +24,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, List, Optional
 
+from ..obs.logging import get_logger
+from ..obs.metrics import MetricsRegistry, default_registry
+from ..obs.trace import Tracer, default_tracer
 from .confirmation import MultiPeriodConfirmer
 from .density import DensityEstimator
 from .detector import DetectionReport, DetectorConfig, VoiceprintDetector
 from .thresholds import LinearThreshold, ThresholdPolicy
 
 __all__ = ["OnlineVoiceprintConfig", "OnlineVoiceprint"]
+
+_log = get_logger("core.pipeline")
 
 
 @dataclass(frozen=True)
@@ -74,6 +79,9 @@ class OnlineVoiceprint:
         threshold: Confirmation threshold policy (trained line).
         detector_config: Comparison-phase tunables.
         config: Scheduling and confirmation parameters.
+        registry: Metrics registry (default: the process-global one,
+            a no-op until observability is configured).
+        tracer: Span tracer, forwarded to the detector.
     """
 
     def __init__(
@@ -82,11 +90,20 @@ class OnlineVoiceprint:
         threshold: Optional[ThresholdPolicy] = None,
         detector_config: Optional[DetectorConfig] = None,
         config: Optional[OnlineVoiceprintConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.config = config or OnlineVoiceprintConfig()
+        metrics = registry if registry is not None else default_registry()
+        self._c_periods = metrics.counter("pipeline.detection_periods")
+        self._g_density = metrics.gauge("pipeline.density_vhls_per_km")
+        self._g_confirmed = metrics.gauge("pipeline.confirmed_sybils")
+        self._tracer = tracer if tracer is not None else default_tracer()
         self.detector = VoiceprintDetector(
             threshold=threshold or LinearThreshold(),
             config=detector_config,
+            registry=metrics,
+            tracer=self._tracer,
         )
         self.estimator = DensityEstimator(max_range_m=max_range_m)
         self.confirmer = MultiPeriodConfirmer(
@@ -151,6 +168,7 @@ class OnlineVoiceprint:
         assert self._next_density_t is not None
         while timestamp >= self._next_density_t:
             self._density_per_km = self.estimator.estimate() * 1000.0
+            self._g_density.set(self._density_per_km)
             self.estimator.reset_period()
             self._next_density_t += self.config.density_period_s
 
@@ -170,9 +188,21 @@ class OnlineVoiceprint:
             self.estimator.reset_period()
         report = self.detector.detect(density=density, now=now)
         self._reports.append(report)
-        self._confirmed = self.confirmer.update(report)
+        with self._tracer.span("confirmation") as span:
+            self._confirmed = self.confirmer.update(report)
+            span.set_attribute("confirmed", len(self._confirmed))
         for identity in report.sybil_ids:
             self.estimator.mark_illegitimate(identity)
+        self._c_periods.inc()
+        self._g_confirmed.set(len(self._confirmed))
+        if self._confirmed:
+            _log.info(
+                "sybil identities confirmed",
+                extra={
+                    "t": report.timestamp,
+                    "confirmed": ",".join(sorted(self._confirmed)),
+                },
+            )
         return report
 
     def force_detection(self, now: float) -> DetectionReport:
@@ -180,10 +210,16 @@ class OnlineVoiceprint:
         return self._detect(now)
 
     def reset(self) -> None:
-        """Forget everything (new trip)."""
+        """Forget everything (new trip).
+
+        Everything includes the density estimator's illegitimate-identity
+        set and its first-estimate bootstrap flag: verdicts from the
+        previous trip must not silently bias the new trip's density
+        estimates.
+        """
         self.detector.reset()
         self.confirmer.reset()
-        self.estimator.reset_period()
+        self.estimator.reset()
         self._first_beacon_t = None
         self._next_detection_t = None
         self._next_density_t = None

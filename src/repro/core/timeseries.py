@@ -13,8 +13,8 @@ time or wall-clock time; the detector only uses them relatively).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 

@@ -23,13 +23,12 @@ that scenario).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
 from ...attack.sybil import ConstantPower, PerPacketRandomPower, SybilAttacker, SybilIdentity
 from ...core.distances import euclidean_distance
-from ...core.dtw import dtw
 from ...core.fastdtw import dtw_banded_fast, fastdtw
 from ...core.normalization import zscore
 from ...sim.fieldtest import (

@@ -25,14 +25,7 @@ import numpy as np
 from ...core.confirmation import MultiPeriodConfirmer
 from ...core.detector import DetectorConfig, VoiceprintDetector
 from ...core.thresholds import ConstantThreshold, PAPER_FIELD_THRESHOLD
-from ...sim.fieldtest import (
-    FieldTestConfig,
-    FieldTestResult,
-    MALICIOUS_ID,
-    NORMAL_IDS,
-    SYBIL_IDS,
-    run_field_test,
-)
+from ...sim.fieldtest import FieldTestConfig, FieldTestResult, MALICIOUS_ID, run_field_test
 from ..metrics import PeriodOutcome, average_rates, evaluate_flags
 
 __all__ = [

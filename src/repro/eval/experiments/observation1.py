@@ -12,14 +12,12 @@ TRGP across its two sessions).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List
 
 import numpy as np
 
 from ...radio.base import LinkBudget
-from ...radio.free_space import FreeSpaceModel
 from ...radio.inverse import invert_free_space, invert_two_ray
-from ...radio.two_ray import TwoRayGroundModel
 from ...sim.observations import (
     moving_pair_measurement,
     stationary_pair_measurement,

@@ -14,7 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-import numpy as np
 
 from ...core.fastdtw import dtw_banded_fast
 from ...core.normalization import zscore

@@ -12,7 +12,6 @@ detection period — is what must hold.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -21,6 +20,8 @@ import numpy as np
 from ...core.detector import DetectorConfig, VoiceprintDetector
 from ...core.thresholds import ConstantThreshold
 from ...core.timeseries import RSSITimeSeries
+from ...obs.metrics import MetricsRegistry
+from ...obs.timers import Stopwatch
 
 __all__ = ["TimingResult", "run_timing"]
 
@@ -39,6 +40,9 @@ class TimingResult:
         full_detection_ms: Wall time of a full detection per count.
         paper_pair_ms: The paper's per-pair figure.
         paper_80_ms: The paper's 80-neighbour figure.
+        pair_summary: Full histogram summary of the per-pair timings
+            (count/sum/mean/min/max/p50/p95/p99) so Fig. 12 numbers and
+            the metrics layer agree on one measurement path.
     """
 
     pair_ms: float
@@ -46,6 +50,7 @@ class TimingResult:
     full_detection_ms: Tuple[float, ...]
     paper_pair_ms: float = PAPER_PAIR_MS
     paper_80_ms: float = PAPER_80_NEIGHBOURS_MS
+    pair_summary: Optional[dict] = None
 
     def within_detection_period(self, period_s: float = 20.0) -> bool:
         """Whether the largest measured detection fits in one period."""
@@ -88,28 +93,40 @@ def run_timing(
     """
     rng = np.random.default_rng(seed)
     config = detector_config or DetectorConfig()
-    detector = VoiceprintDetector(threshold=ConstantThreshold(0.05), config=config)
+    # A private, always-enabled registry: the experiment's numbers come
+    # from the same Stopwatch/histogram machinery the rest of the
+    # system reports through, without touching the process-global state.
+    registry = MetricsRegistry()
+    pair_hist = registry.histogram("timing.pair_ms")
+    detect_hist = registry.histogram("timing.detect_ms")
+
+    detector = VoiceprintDetector(
+        threshold=ConstantThreshold(0.05), config=config, registry=registry
+    )
     pair = _synthetic_neighbourhood(2, n_samples, rng)
     x = pair[0].values
     y = pair[1].values
-    start = time.perf_counter()
     for _ in range(pair_repeats):
-        detector._pair_distance(x, y)
-    pair_ms = (time.perf_counter() - start) / pair_repeats * 1000.0
+        with Stopwatch(pair_hist):
+            detector._pair_distance(x, y)
+    pair_ms = pair_hist.summary()["mean"]
+    assert pair_ms is not None
 
     detection_ms: List[float] = []
     for count in neighbour_counts:
         neighbourhood = _synthetic_neighbourhood(count, n_samples, rng)
         detector = VoiceprintDetector(
-            threshold=ConstantThreshold(0.05), config=config
+            threshold=ConstantThreshold(0.05), config=config, registry=registry
         )
         for series in neighbourhood:
             detector.load_series(series)
-        start = time.perf_counter()
-        detector.detect(density=count / 0.9)
-        detection_ms.append((time.perf_counter() - start) * 1000.0)
+        with Stopwatch(detect_hist) as watch:
+            detector.detect(density=count / 0.9)
+        assert watch.elapsed_ms is not None
+        detection_ms.append(watch.elapsed_ms)
     return TimingResult(
         pair_ms=pair_ms,
         neighbours=tuple(neighbour_counts),
         full_detection_ms=tuple(detection_ms),
+        pair_summary=pair_hist.summary(),
     )

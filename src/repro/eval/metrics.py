@@ -14,7 +14,7 @@ The run-level averages (Eqs. 12–13) are plain means over every
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 from ..sim.simulator import GroundTruth
 

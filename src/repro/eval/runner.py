@@ -19,8 +19,13 @@ from ..core.density import DensityEstimator
 from ..core.detector import DetectorConfig, VoiceprintDetector
 from ..core.thresholds import ThresholdPolicy
 from ..core.timeseries import RSSITimeSeries
+from ..obs.logging import get_logger
+from ..obs.metrics import default_registry
+from ..obs.timers import Stopwatch
 from ..sim.simulator import SimulationResult
 from .metrics import PeriodOutcome, evaluate_flags
+
+_log = get_logger("eval.runner")
 
 __all__ = [
     "detection_times",
@@ -95,37 +100,48 @@ def run_voiceprint(
     times = detection_times(
         config.sim_time_s, det_config.observation_time, config.detection_period_s
     )
+    metrics = default_registry()
+    c_periods = metrics.counter("eval.periods_evaluated")
+    h_verifier_ms = metrics.histogram("eval.verifier_replay_ms")
     outcomes: List[PeriodOutcome] = []
     for node in nodes:
-        series_map = result.series_at(node)
-        detector = VoiceprintDetector(threshold=threshold, config=det_config)
-        for series in series_map.values():
-            detector.load_series(series)
-        estimator = DensityEstimator(max_range_m=result.max_range_m)
-        for period_index, t in enumerate(times):
-            estimator.reset_period()
-            estimator.hear_all(
-                heard_in_window(
-                    series_map, t - config.density_estimate_period_s, t
+        with Stopwatch(h_verifier_ms):
+            series_map = result.series_at(node)
+            detector = VoiceprintDetector(threshold=threshold, config=det_config)
+            for series in series_map.values():
+                detector.load_series(series)
+            estimator = DensityEstimator(max_range_m=result.max_range_m)
+            for period_index, t in enumerate(times):
+                estimator.reset_period()
+                estimator.hear_all(
+                    heard_in_window(
+                        series_map, t - config.density_estimate_period_s, t
+                    )
                 )
-            )
-            density_per_km = estimator.estimate() * 1000.0
-            report = detector.detect(density=density_per_km, now=t)
-            # "Neighbouring vehicles" (Eqs. 10-11's populations) are the
-            # identities heard with some regularity — half the detector's
-            # comparison floor; identities with a stray packet or two are
-            # fringe traffic, not neighbours.
-            heard = heard_in_window(
-                series_map,
-                t - det_config.observation_time,
-                t,
-                min_samples=max(2, det_config.min_samples // 2),
-            )
-            outcomes.append(
-                evaluate_flags(node, period_index, report.sybil_ids, heard, result.truth)
-            )
-            for identity in report.sybil_ids:
-                estimator.mark_illegitimate(identity)
+                density_per_km = estimator.estimate() * 1000.0
+                report = detector.detect(density=density_per_km, now=t)
+                # "Neighbouring vehicles" (Eqs. 10-11's populations) are
+                # the identities heard with some regularity — half the
+                # detector's comparison floor; identities with a stray
+                # packet or two are fringe traffic, not neighbours.
+                heard = heard_in_window(
+                    series_map,
+                    t - det_config.observation_time,
+                    t,
+                    min_samples=max(2, det_config.min_samples // 2),
+                )
+                outcomes.append(
+                    evaluate_flags(
+                        node, period_index, report.sybil_ids, heard, result.truth
+                    )
+                )
+                for identity in report.sybil_ids:
+                    estimator.mark_illegitimate(identity)
+        c_periods.inc(len(times))
+    _log.debug(
+        "voiceprint replay complete",
+        extra={"verifiers": len(nodes), "outcomes": len(outcomes)},
+    )
     return outcomes
 
 

@@ -12,7 +12,7 @@ LDA on those two clouds gives the line; the paper reports
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -9,9 +9,9 @@ enough provenance to know what it was trained on, as JSON.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Union
 
 from ..core.lda import DecisionLine
 

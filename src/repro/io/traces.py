@@ -18,7 +18,6 @@ The format is deliberately boring: a header line, then
 from __future__ import annotations
 
 import csv
-import io
 from pathlib import Path
 from typing import Dict, Iterable, List, TextIO, Tuple, Union
 

@@ -32,7 +32,6 @@ transmitting cannot receive (half-duplex).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 

@@ -1,0 +1,112 @@
+"""``repro.obs`` — metrics, span tracing, and structured logging.
+
+One zero-dependency observability layer threaded through the detection
+pipeline, the simulators, and the evaluation harness:
+
+* :mod:`repro.obs.metrics` — thread-safe counters / gauges / histograms
+  in a :class:`MetricsRegistry` with JSON-lines export.
+* :mod:`repro.obs.timers` — :class:`Stopwatch`, a context-manager /
+  decorator that records durations into histograms.
+* :mod:`repro.obs.trace` — nested spans tracing one detection end to
+  end (normalise → pairwise FastDTW → min-max → threshold), exported
+  as JSONL.
+* :mod:`repro.obs.logging` — structured ``key=value`` stdlib logging.
+
+Everything is **off by default**: the process-global registry and
+tracer start disabled, and disabled instruments drop calls after a
+single boolean check, so library users who never call :func:`configure`
+pay (almost) nothing.  Components also accept injected registries and
+tracers for isolated observation in tests.
+
+Typical wiring (what the CLI's ``--log-level`` / ``--metrics-out`` /
+``--trace-out`` flags do)::
+
+    from repro import obs
+
+    obs.configure(log_level="INFO", metrics=True,
+                  trace_exporter=obs.JsonlSpanExporter("trace.jsonl"))
+    ... run detections ...
+    obs.default_registry().write_jsonl("metrics.jsonl")
+    obs.shutdown()
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .logging import KeyValueFormatter, configure as configure_logging, get_logger
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from .timers import Stopwatch
+from .trace import (
+    InMemorySpanExporter,
+    JsonlSpanExporter,
+    Span,
+    SpanExporter,
+    Tracer,
+    default_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Stopwatch",
+    "Span",
+    "SpanExporter",
+    "InMemorySpanExporter",
+    "JsonlSpanExporter",
+    "Tracer",
+    "KeyValueFormatter",
+    "get_logger",
+    "configure_logging",
+    "default_registry",
+    "default_tracer",
+    "configure",
+    "disable",
+    "shutdown",
+]
+
+
+def configure(
+    log_level: Optional[Union[int, str]] = None,
+    metrics: bool = True,
+    trace_exporter: Optional[SpanExporter] = None,
+) -> None:
+    """Switch process-global observability on.
+
+    Args:
+        log_level: When given, installs the structured handler on the
+            ``repro`` logger at this level (see
+            :func:`repro.obs.logging.configure`).
+        metrics: Enable the process-global metrics registry.
+        trace_exporter: When given, enables the process-global tracer
+            and routes finished spans to this exporter.
+    """
+    if log_level is not None:
+        configure_logging(level=log_level)
+    if metrics:
+        default_registry().enable()
+    if trace_exporter is not None:
+        default_tracer().enable(trace_exporter)
+
+
+def disable() -> None:
+    """Switch the process-global registry and tracer back off."""
+    default_registry().disable()
+    default_tracer().disable()
+
+
+def shutdown() -> None:
+    """Disable global observability and close the tracer's exporter."""
+    disable()
+    tracer = default_tracer()
+    if tracer.exporter is not None:
+        tracer.exporter.close()
+        tracer.exporter = None

@@ -1,0 +1,112 @@
+"""Structured logging for the repro package.
+
+Thin layer over the stdlib: :func:`get_logger` names loggers under the
+``repro`` hierarchy, and :func:`configure` installs one stream handler
+with a ``key=value`` formatter on the root ``repro`` logger.  Anything
+passed via ``extra=`` shows up as trailing ``key=value`` pairs::
+
+    log = get_logger("core.detector")
+    log.info("detection complete", extra={"pairs": 28, "flagged": 2})
+    # 2026-08-06T12:00:00 INFO repro.core.detector msg="detection complete" pairs=28 flagged=2
+
+Until :func:`configure` is called the ``repro`` logger has no handler of
+its own and follows normal stdlib propagation, so embedding applications
+keep full control.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional, Union
+
+__all__ = ["KeyValueFormatter", "get_logger", "configure"]
+
+ROOT_LOGGER = "repro"
+
+#: Attribute names every LogRecord carries; anything else came from
+#: ``extra=`` and is rendered as a key=value pair.
+_STANDARD_ATTRS = frozenset(
+    vars(
+        logging.LogRecord("x", logging.INFO, "x", 0, "x", None, None)
+    )
+) | {"message", "asctime", "taskName"}
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``ts level logger msg="..." key=value ...`` single-line records."""
+
+    default_time_format = "%Y-%m-%dT%H:%M:%S"
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage()
+        parts = [
+            f"ts={self.formatTime(record)}",
+            f"level={record.levelname}",
+            f"logger={record.name}",
+            f'msg="{message}"',
+        ]
+        for key in sorted(vars(record)):
+            if key in _STANDARD_ATTRS or key.startswith("_"):
+                continue
+            value = getattr(record, key)
+            if isinstance(value, float):
+                rendered = f"{value:.6g}"
+            elif isinstance(value, str) and (" " in value or not value):
+                rendered = f'"{value}"'
+            else:
+                rendered = str(value)
+            parts.append(f"{key}={rendered}")
+        if record.exc_info:
+            parts.append(f'exc="{self.formatException(record.exc_info)}"')
+        return " ".join(parts)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    ``get_logger("core.detector")`` and ``get_logger("repro.core.detector")``
+    both return ``repro.core.detector``; the empty string returns the
+    package root logger.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure(
+    level: Union[int, str] = "INFO",
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Install the structured handler on the ``repro`` root logger.
+
+    Safe to call repeatedly (e.g. once per CLI invocation): the
+    previously installed handler is replaced, never duplicated.
+
+    Args:
+        level: Threshold for the whole ``repro`` hierarchy (name or
+            numeric constant).
+        stream: Destination stream; defaults to ``sys.stderr`` so
+            log lines never pollute the CLI's stdout tables.
+
+    Returns:
+        The configured root ``repro`` logger.
+    """
+    if isinstance(level, str):
+        parsed = logging.getLevelName(level.upper())
+        if not isinstance(parsed, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = parsed
+    root = logging.getLogger(ROOT_LOGGER)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(KeyValueFormatter())
+    handler.set_name("repro-obs")
+    for existing in list(root.handlers):
+        if existing.get_name() == "repro-obs":
+            root.removeHandler(existing)
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root

@@ -1,0 +1,306 @@
+"""Thread-safe in-process metrics: counters, gauges, histograms.
+
+The registry is the one place runtime behaviour is aggregated: the
+detector counts pairwise comparisons and DTW cells, the simulator counts
+dispatched events and delivered beacons, and every latency-sensitive
+stage records into a histogram (via :class:`repro.obs.timers.Stopwatch`).
+
+Two usage modes:
+
+* **Process-global** — instrumented modules default to
+  :func:`default_registry`, which starts *disabled* so the library costs
+  nothing unless observability is switched on (``repro.obs.configure``
+  or the CLI's ``--metrics-out``).
+* **Injected** — components accept a ``registry`` argument, so tests and
+  embedders can observe one component in isolation with a private,
+  always-enabled :class:`MetricsRegistry`.
+
+Disabled instruments keep accepting calls and drop them after a single
+boolean check, so call sites never need their own guards.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, IO, Iterator, List, Optional, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+]
+
+
+class Counter:
+    """Monotonically increasing counter (events, beacons, pairs, cells)."""
+
+    __slots__ = ("name", "_registry", "_value")
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self._registry = registry
+        self._value = 0.0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        registry = self._registry
+        if not registry._enabled:
+            return
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        with registry._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current accumulated count."""
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, value={self._value})"
+
+
+class Gauge:
+    """Last-written value (density estimate, confirmed-Sybil count)."""
+
+    __slots__ = ("name", "_registry", "_value")
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self._registry = registry
+        self._value: Optional[float] = None
+
+    def set(self, value: Union[int, float]) -> None:
+        """Overwrite the gauge with the latest observation."""
+        registry = self._registry
+        if not registry._enabled:
+            return
+        with registry._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> Optional[float]:
+        """Most recently set value, or None if never set."""
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, value={self._value})"
+
+
+class Histogram:
+    """Sample distribution with count/sum/min/max and percentile summaries.
+
+    Samples are kept raw (these registries live for one run, not a
+    server lifetime), so percentiles are exact.  The nearest-rank rule
+    is used: ``p50`` of a single sample is that sample.
+    """
+
+    __slots__ = ("name", "_registry", "_values")
+
+    #: Percentiles included in :meth:`summary`.
+    PERCENTILES = (50.0, 95.0, 99.0)
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self._registry = registry
+        self._values: List[float] = []
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Record one sample."""
+        registry = self._registry
+        if not registry._enabled:
+            return
+        with registry._lock:
+            self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self._values)
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile ``q`` in [0, 100]; None when empty."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._registry._lock:
+            values = sorted(self._values)
+        if not values:
+            return None
+        rank = max(1, -(-int(q * len(values)) // 100))  # ceil(q*n/100), >= 1
+        return values[min(rank, len(values)) - 1]
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        """count/sum/mean/min/max plus p50/p95/p99 (None when empty)."""
+        with self._registry._lock:
+            values = sorted(self._values)
+        if not values:
+            return {
+                "count": 0,
+                "sum": 0.0,
+                "mean": None,
+                "min": None,
+                "max": None,
+                "p50": None,
+                "p95": None,
+                "p99": None,
+            }
+        total = sum(values)
+        n = len(values)
+
+        def rank(q: float) -> float:
+            r = max(1, -(-int(q * n) // 100))
+            return values[min(r, n) - 1]
+
+        return {
+            "count": n,
+            "sum": total,
+            "mean": total / n,
+            "min": values[0],
+            "max": values[-1],
+            "p50": rank(50.0),
+            "p95": rank(95.0),
+            "p99": rank(99.0),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, count={len(self._values)})"
+
+
+class MetricsRegistry:
+    """Named collection of counters, gauges, and histograms.
+
+    Instruments are created on first use and shared thereafter; asking
+    for an existing name with a different instrument kind raises.  All
+    mutation goes through one re-entrant lock, which is plenty for the
+    call rates involved (the hot loops spend their time in DTW, not in
+    counter bumps).
+
+    Args:
+        enabled: When False every instrument is a no-op until
+            :meth:`enable` is called.  Explicitly constructed registries
+            default to enabled; the process-global one starts disabled.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._enabled = bool(enabled)
+        self._lock = threading.RLock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether instruments currently record anything."""
+        return self._enabled
+
+    def enable(self) -> None:
+        """Start recording."""
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Stop recording (existing values are kept)."""
+        self._enabled = False
+
+    def reset(self) -> None:
+        """Drop every instrument and its data (for test isolation)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # -- instrument access ---------------------------------------------
+    def _check_unique(self, name: str, kind: str) -> None:
+        owners = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for other_kind, table in owners.items():
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {other_kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                self._check_unique(name, "counter")
+                instrument = Counter(name, self)
+                self._counters[name] = instrument
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                self._check_unique(name, "gauge")
+                instrument = Gauge(name, self)
+                self._gauges[name] = instrument
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                self._check_unique(name, "histogram")
+                instrument = Histogram(name, self)
+                self._histograms[name] = instrument
+            return instrument
+
+    # -- export --------------------------------------------------------
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        """Snapshot of everything recorded, JSON-serialisable."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: g.value for name, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: h.summary()
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
+
+    def iter_records(self) -> Iterator[Dict[str, object]]:
+        """One flat record per instrument (the JSONL row format)."""
+        snapshot = self.to_dict()
+        for name, value in snapshot["counters"].items():
+            yield {"type": "counter", "name": name, "value": value}
+        for name, value in snapshot["gauges"].items():
+            yield {"type": "gauge", "name": name, "value": value}
+        for name, summary in snapshot["histograms"].items():
+            yield {"type": "histogram", "name": name, **summary}
+
+    def write_jsonl(self, destination: Union[str, IO[str]]) -> int:
+        """Write one JSON line per instrument; returns lines written."""
+        records = list(self.iter_records())
+        if hasattr(destination, "write"):
+            for record in records:
+                destination.write(json.dumps(record) + "\n")  # type: ignore[union-attr]
+        else:
+            with open(destination, "w", encoding="utf-8") as handle:
+                for record in records:
+                    handle.write(json.dumps(record) + "\n")
+        return len(records)
+
+
+#: The process-global registry instrumented modules default to.  It
+#: starts disabled so that importing/using the library records nothing
+#: until observability is explicitly configured.
+_DEFAULT = MetricsRegistry(enabled=False)
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry (disabled until configured)."""
+    return _DEFAULT

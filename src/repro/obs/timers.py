@@ -1,0 +1,72 @@
+"""Stopwatch timing that records straight into metrics histograms.
+
+One primitive covers every timing need in the repo::
+
+    with Stopwatch(registry.histogram("detector.detect_ms")):
+        detector.detect(density=40.0)
+
+    @Stopwatch(registry.histogram("eval.run_ms"))
+    def run(): ...
+
+    sw = Stopwatch()            # no histogram: just measure
+    with sw:
+        work()
+    print(sw.elapsed_ms)
+
+Durations are measured with ``time.perf_counter`` and recorded in
+milliseconds — the unit the paper's Section VI-B timing discussion uses.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Callable, Optional, TypeVar
+
+from .metrics import Histogram
+
+__all__ = ["Stopwatch"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+class Stopwatch:
+    """Context manager / decorator measuring wall time in milliseconds.
+
+    Args:
+        histogram: Optional histogram each measured duration is recorded
+            into.  Omit it to use the stopwatch purely for reading
+            :attr:`elapsed_ms`.
+
+    The same instance may be reused; each ``with`` block records one
+    sample and overwrites :attr:`elapsed_ms`.
+    """
+
+    __slots__ = ("histogram", "_start", "elapsed_ms")
+
+    def __init__(self, histogram: Optional[Histogram] = None) -> None:
+        self.histogram = histogram
+        self._start: Optional[float] = None
+        #: Duration of the most recently completed measurement (ms).
+        self.elapsed_ms: Optional[float] = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        assert self._start is not None, "Stopwatch exited without entering"
+        self.elapsed_ms = (time.perf_counter() - self._start) * 1000.0
+        self._start = None
+        if self.histogram is not None:
+            self.histogram.observe(self.elapsed_ms)
+
+    def __call__(self, fn: F) -> F:
+        """Use the stopwatch as a decorator timing every call of ``fn``."""
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with self:
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]

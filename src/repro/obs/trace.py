@@ -1,0 +1,268 @@
+"""Lightweight nested spans for tracing one detection end-to-end.
+
+A :class:`Tracer` hands out :class:`Span` context managers; spans opened
+while another span is active become its children, so the detector's
+phases nest naturally::
+
+    with tracer.span("detection", density=40.0):
+        with tracer.span("normalise"): ...
+        with tracer.span("pairwise_dtw"): ...
+        with tracer.span("minmax"): ...
+        with tracer.span("threshold"): ...
+
+Each finished span is handed to the tracer's exporter as a flat dict
+(name, trace/span/parent ids, wall-clock start, duration in ms,
+attributes).  :class:`JsonlSpanExporter` appends one JSON line per span;
+:class:`InMemorySpanExporter` collects them for tests.
+
+The current-span stack is thread-local, so concurrent detectors on
+worker threads trace independently.  A disabled tracer returns one
+shared no-op span, keeping the off-by-default cost to a boolean check.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from typing import Any, Dict, IO, List, Optional, Union
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "SpanExporter",
+    "InMemorySpanExporter",
+    "JsonlSpanExporter",
+    "default_tracer",
+]
+
+_ids = itertools.count(1)
+
+
+class SpanExporter:
+    """Receives one record per finished span.  Subclass and override."""
+
+    def export(self, record: Dict[str, Any]) -> None:
+        """Handle one finished span's flat record."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release any underlying resource (default: nothing)."""
+
+
+class InMemorySpanExporter(SpanExporter):
+    """Keeps every exported record in a list (test helper)."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def export(self, record: Dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def roots(self) -> List[Dict[str, Any]]:
+        """Exported records with no parent."""
+        return [r for r in self.records if r["parent_id"] is None]
+
+    def children_of(self, span_id: str) -> List[Dict[str, Any]]:
+        """Exported records whose parent is ``span_id``."""
+        return [r for r in self.records if r["parent_id"] == span_id]
+
+
+class JsonlSpanExporter(SpanExporter):
+    """Appends one JSON line per finished span to a file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+
+    def export(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            if self._handle is None:
+                raise ValueError(f"exporter for {self.path!r} is closed")
+            self._handle.write(json.dumps(record) + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+class Span:
+    """One timed operation; context manager handed out by the tracer."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "attributes",
+        "start_unix_s",
+        "duration_ms",
+        "_tracer",
+        "_start",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        tracer: "Tracer",
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        attributes: Dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attributes = attributes
+        self.start_unix_s: Optional[float] = None
+        self.duration_ms: Optional[float] = None
+        self._tracer = tracer
+        self._start: Optional[float] = None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach one key/value to the span."""
+        self.attributes[key] = value
+
+    def __enter__(self) -> "Span":
+        self.start_unix_s = time.time()
+        self._start = time.perf_counter()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        assert self._start is not None
+        self.duration_ms = (time.perf_counter() - self._start) * 1000.0
+        if exc_type is not None:
+            self.attributes["error"] = getattr(exc_type, "__name__", str(exc_type))
+        self._tracer._pop(self)
+
+    def to_record(self) -> Dict[str, Any]:
+        """Flat, JSON-serialisable view of the finished span."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_unix_s": self.start_unix_s,
+            "duration_ms": self.duration_ms,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id})"
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Hands out spans and routes finished ones to an exporter.
+
+    Args:
+        enabled: Disabled tracers hand out a shared no-op span.
+        exporter: Destination for finished spans; without one, spans
+            still nest and time but vanish on exit (use
+            :class:`InMemorySpanExporter` to keep them).
+    """
+
+    def __init__(
+        self, enabled: bool = True, exporter: Optional[SpanExporter] = None
+    ) -> None:
+        self._enabled = bool(enabled)
+        self.exporter = exporter
+        self._local = threading.local()
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether spans are currently being recorded."""
+        return self._enabled
+
+    def enable(self, exporter: Optional[SpanExporter] = None) -> None:
+        """Start recording, optionally swapping in an exporter."""
+        if exporter is not None:
+            self.exporter = exporter
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Stop recording (the exporter is kept but not closed)."""
+        self._enabled = False
+
+    # -- span management -----------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def span(
+        self, name: str, **attributes: Any
+    ) -> Union[Span, _NullSpan]:
+        """Create a span context manager; nests under the current span."""
+        if not self._enabled:
+            return _NULL_SPAN
+        parent = self.current_span
+        span_id = f"{next(_ids):x}"
+        if parent is None:
+            trace_id, parent_id = f"t{span_id}", None
+        else:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        return Span(
+            name,
+            tracer=self,
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent_id,
+            attributes=dict(attributes),
+        )
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # unbalanced exits: drop down to the span
+            while stack and stack[-1] is not span:
+                stack.pop()
+            if stack:
+                stack.pop()
+        if self.exporter is not None:
+            self.exporter.export(span.to_record())
+
+
+#: Process-global tracer; disabled until observability is configured.
+_DEFAULT = Tracer(enabled=False)
+
+
+def default_tracer() -> Tracer:
+    """The process-global tracer (disabled until configured)."""
+    return _DEFAULT

@@ -16,7 +16,7 @@ from typing import Callable
 
 from .base import DSRC_FREQUENCY_HZ, LinkBudget
 from .dual_slope import DualSlopeModel
-from .free_space import FreeSpaceModel, fspl_db
+from .free_space import fspl_db
 from .shadowing import LogNormalShadowingModel
 from .two_ray import TwoRayGroundModel
 

@@ -13,8 +13,10 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
+
+from ..obs.metrics import MetricsRegistry, default_registry
 
 __all__ = ["EventHandle", "SimulationEngine"]
 
@@ -52,10 +54,16 @@ class SimulationEngine:
         [1.0]
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._now = float(start_time)
         self._queue: List[Tuple[float, int, EventHandle, Callback]] = []
         self._sequence = itertools.count()
+        metrics = registry if registry is not None else default_registry()
+        self._c_dispatched = metrics.counter("sim.events_dispatched")
 
     @property
     def now(self) -> float:
@@ -129,6 +137,7 @@ class SimulationEngine:
             if handle.cancelled:
                 continue
             self._now = when
+            self._c_dispatched.inc()
             callback(when)
             return True
         return False

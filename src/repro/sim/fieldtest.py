@@ -17,11 +17,14 @@ side), ``3`` (behind — the vehicle whose recordings Fig. 13 plots) and
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple  # noqa: F401
 
 import numpy as np
 
+from ..obs.logging import get_logger
+from ..obs.metrics import default_registry
 from ..attack.sybil import ConstantPower, SybilAttacker, SybilIdentity
 from ..core.timeseries import RSSITimeSeries
 from ..mobility.routes import ConvoyLayout, build_convoy, route_for_environment
@@ -48,6 +51,8 @@ __all__ = [
 MALICIOUS_ID = "1"
 NORMAL_IDS = ("2", "3", "4")
 SYBIL_IDS = ("101", "102")
+
+_log = get_logger("sim.fieldtest")
 
 
 @dataclass(frozen=True)
@@ -149,6 +154,7 @@ def run_field_test(
             attacker of the ablations); the paper's Section VI plan if
             omitted.  Must use ``node_id == "1"``.
     """
+    wall_start = time.perf_counter()
     rng = np.random.default_rng(config.seed)
     lead = route_for_environment(config.environment, config.duration_s)
     convoy = build_convoy(lead, config.convoy)
@@ -244,4 +250,21 @@ def run_field_test(
 
     engine.schedule_periodic(interval, beacon_interval, first_at=0.0)
     engine.run_until(config.duration_s)
+
+    metrics = default_registry()
+    metrics.counter("sim.beacons_transmitted").inc(result.transmitted)
+    metrics.counter("sim.beacons_delivered").inc(result.delivered)
+    wall_s = time.perf_counter() - wall_start
+    if wall_s > 0.0:
+        metrics.gauge("sim.time_ratio").set(config.duration_s / wall_s)
+    _log.info(
+        "field-test drive complete",
+        extra={
+            "environment": config.environment,
+            "sim_time_s": config.duration_s,
+            "wall_s": wall_s,
+            "transmitted": result.transmitted,
+            "delivered": result.delivered,
+        },
+    )
     return result

@@ -16,8 +16,7 @@ bypass the MAC and sample the channel directly at the beacon cadence.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -9,8 +9,8 @@ fields they sweep.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Tuple
 
 __all__ = ["ScenarioConfig"]
 

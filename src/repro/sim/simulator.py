@@ -18,12 +18,14 @@ verifier set.
 
 from __future__ import annotations
 
-import math
+import time
 from dataclasses import dataclass, field as dataclass_field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.logging import get_logger
+from ..obs.metrics import default_registry
 from ..attack.sybil import SybilAttacker
 from ..core.timeseries import RSSITimeSeries
 from ..mobility.epoch_model import EpochMobilityModel, generate_highway_trajectory
@@ -41,6 +43,8 @@ from .scenario import ScenarioConfig
 __all__ = ["GroundTruth", "SimulationResult", "HighwaySimulator"]
 
 Point = Tuple[float, float]
+
+_log = get_logger("sim.simulator")
 
 
 @dataclass(frozen=True)
@@ -278,6 +282,7 @@ class HighwaySimulator:
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Simulate the configured scenario and return its result."""
+        wall_start = time.perf_counter()
         config = self.config
         geometry = HighwayGeometry(
             length_m=config.highway_length_m,
@@ -379,4 +384,23 @@ class HighwaySimulator:
             engine.schedule_periodic(config.model_change_period_s, change_model)
 
         engine.run_until(config.sim_time_s)
+
+        metrics = default_registry()
+        metrics.counter("sim.beacons_transmitted").inc(result.transmitted)
+        metrics.counter("sim.beacons_dropped").inc(result.dropped)
+        metrics.counter("sim.beacons_delivered").inc(result.delivered)
+        wall_s = time.perf_counter() - wall_start
+        if wall_s > 0.0:
+            metrics.gauge("sim.time_ratio").set(config.sim_time_s / wall_s)
+        _log.info(
+            "highway run complete",
+            extra={
+                "sim_time_s": config.sim_time_s,
+                "wall_s": wall_s,
+                "vehicles": len(vehicles),
+                "transmitted": result.transmitted,
+                "dropped": result.dropped,
+                "delivered": result.delivered,
+            },
+        )
         return result

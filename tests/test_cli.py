@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -70,3 +72,75 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "campus" in out
         assert "highway" in out
+
+
+class TestObservabilityFlags:
+    def test_flags_parse_before_and_after_subcommand(self):
+        parser = build_parser()
+        before = parser.parse_args(["--metrics-out", "m.jsonl", "fig13"])
+        after = parser.parse_args(["fig13", "--metrics-out", "m.jsonl"])
+        assert before.metrics_out == after.metrics_out == "m.jsonl"
+        assert before.command == after.command == "fig13"
+
+    def test_flags_default_to_off(self):
+        args = build_parser().parse_args(["list"])
+        assert args.metrics_out is None
+        assert args.trace_out is None
+        assert args.log_level is None
+
+    def test_bad_log_level_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["list", "--log-level", "LOUD"])
+
+    def test_metrics_out_writes_valid_jsonl(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.jsonl"
+        assert (
+            main(
+                [
+                    "fig13",
+                    "--duration", "60",
+                    "--period", "30",
+                    "--metrics-out", str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        records = [
+            json.loads(line)
+            for line in metrics_path.read_text().splitlines()
+        ]
+        assert records, "metrics file must not be empty"
+        names = {r["name"] for r in records}
+        assert "detector.pairs_compared" in names
+        assert "detector.dtw_cells" in names
+        assert "sim.events_dispatched" in names
+        by_name = {r["name"]: r for r in records}
+        detect_ms = by_name["detector.detect_ms"]
+        assert detect_ms["type"] == "histogram"
+        assert detect_ms["count"] > 0
+        # The end-of-run summary table is printed to stdout.
+        out = capsys.readouterr().out
+        assert "detector.pairs_compared" in out
+
+    def test_trace_out_writes_detection_spans(self, tmp_path):
+        trace_path = tmp_path / "t.jsonl"
+        assert (
+            main(
+                [
+                    "fig13",
+                    "--duration", "60",
+                    "--period", "30",
+                    "--trace-out", str(trace_path),
+                ]
+            )
+            == 0
+        )
+        records = [
+            json.loads(line) for line in trace_path.read_text().splitlines()
+        ]
+        roots = [r for r in records if r["parent_id"] is None]
+        assert roots and all(r["name"] == "detection" for r in roots)
+        children = [
+            r for r in records if r["parent_id"] == roots[0]["span_id"]
+        ]
+        assert len(children) >= 3

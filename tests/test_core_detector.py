@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.detector import DetectionReport, DetectorConfig, VoiceprintDetector
+from repro.core.detector import DetectorConfig, VoiceprintDetector
 from repro.core.thresholds import ConstantThreshold, LinearThreshold
 from repro.core.timeseries import RSSITimeSeries
 

@@ -1,6 +1,5 @@
 """Unit tests for repro.core.distances (Lp norms, Eq. 2)."""
 
-import math
 
 import numpy as np
 import pytest

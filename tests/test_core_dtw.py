@@ -4,14 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.distances import absolute_cost
-from repro.core.dtw import (
-    DTWResult,
-    dtw,
-    dtw_banded,
-    dtw_distance,
-    dtw_windowed,
-    warp_path_cells,
-)
+from repro.core.dtw import dtw, dtw_banded, dtw_distance, dtw_windowed, warp_path_cells
 
 
 class TestPaperExample:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.lda import DecisionLine, LDAModel, fit_decision_line, fit_lda
+from repro.core.lda import DecisionLine, fit_decision_line, fit_lda
 
 
 def _clouds(rng, n=400):

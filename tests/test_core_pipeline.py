@@ -124,3 +124,31 @@ class TestVerdicts:
         assert pipeline.reports == []
         assert pipeline.confirmed_sybils == frozenset()
         assert pipeline.last_report is None
+
+    def test_reset_clears_estimator_illegitimate_set(self, drive):
+        """Regression: reset() used to keep the density estimator's
+        illegitimate-identity set, so verdicts from the previous trip
+        silently deflated the next trip's density estimates."""
+        pipeline = _pipeline()
+        for t, identity, rssi in _beacon_stream(drive.observations["3"]):
+            pipeline.on_beacon(identity, t, rssi)
+        assert pipeline.confirmed_sybils  # attacker caught on trip one
+        assert pipeline.estimator.illegitimate_ids
+        pipeline.reset()
+        assert pipeline.estimator.illegitimate_ids == frozenset()
+
+    def test_density_unbiased_after_reset(self, drive):
+        """A fresh trip after reset() must count identities like a brand
+        new pipeline would — nobody starts the trip pre-convicted."""
+        recycled = _pipeline()
+        for t, identity, rssi in _beacon_stream(drive.observations["3"]):
+            recycled.on_beacon(identity, t, rssi)
+        recycled.reset()
+        fresh = _pipeline()
+        for t, identity, rssi in _beacon_stream(drive.observations["3"]):
+            recycled.on_beacon(identity, t, rssi)
+            fresh.on_beacon(identity, t, rssi)
+        assert (
+            recycled.current_density_vhls_per_km
+            == fresh.current_density_vhls_per_km
+        )

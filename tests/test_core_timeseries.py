@@ -1,6 +1,5 @@
 """Unit tests for repro.core.timeseries."""
 
-import math
 
 import numpy as np
 import pytest

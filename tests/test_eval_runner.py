@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.baselines.cpvsad import CpvsadConfig, CpvsadDetector
-from repro.core import ConstantThreshold, DetectorConfig, LinearThreshold
+from repro.core import ConstantThreshold, DetectorConfig
 from repro.core.timeseries import RSSITimeSeries
 from repro.eval.runner import (
     detection_times,

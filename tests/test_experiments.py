@@ -1,8 +1,6 @@
 """Smoke tests for the experiment harness (small parameterisations)."""
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.eval.experiments import (

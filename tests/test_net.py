@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.net.channel import ReceiverState, Reception, VANETChannel
+from repro.net.channel import ReceiverState, VANETChannel
 from repro.net.mac import (
     CellularCsmaMac,
     CsmaCaMac,

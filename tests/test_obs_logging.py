@@ -1,0 +1,91 @@
+"""Tests for repro.obs.logging — key=value formatter and configure()."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.logging import KeyValueFormatter, configure, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _clean_repro_logger():
+    """Leave the 'repro' logger exactly as we found it."""
+    root = logging.getLogger("repro")
+    saved = (list(root.handlers), root.level, root.propagate)
+    yield
+    root.handlers, root.level, root.propagate = saved[0], saved[1], saved[2]
+
+
+class TestGetLogger:
+    def test_prefixes_names(self):
+        assert get_logger("core.detector").name == "repro.core.detector"
+
+    def test_accepts_full_names(self):
+        assert get_logger("repro.sim").name == "repro.sim"
+
+    def test_empty_name_is_package_root(self):
+        assert get_logger().name == "repro"
+
+
+class TestFormatter:
+    def _format(self, msg, extra=None):
+        record = logging.LogRecord(
+            "repro.test", logging.INFO, __file__, 1, msg, None, None
+        )
+        for key, value in (extra or {}).items():
+            setattr(record, key, value)
+        return KeyValueFormatter().format(record)
+
+    def test_core_fields_present(self):
+        line = self._format("hello")
+        assert "level=INFO" in line
+        assert "logger=repro.test" in line
+        assert 'msg="hello"' in line
+        assert line.startswith("ts=")
+
+    def test_extra_fields_rendered_as_key_value(self):
+        line = self._format("detect", extra={"pairs": 28, "flagged": 2})
+        assert "pairs=28" in line
+        assert "flagged=2" in line
+
+    def test_strings_with_spaces_are_quoted(self):
+        line = self._format("x", extra={"env": "urban canyon"})
+        assert 'env="urban canyon"' in line
+
+    def test_floats_are_compact(self):
+        line = self._format("x", extra={"ratio": 22.144532419705328})
+        assert "ratio=22.1445" in line
+
+    def test_single_line_output(self):
+        line = self._format("x", extra={"n": 1})
+        assert "\n" not in line
+
+
+class TestConfigure:
+    def test_installs_handler_and_level(self):
+        stream = io.StringIO()
+        root = configure(level="DEBUG", stream=stream)
+        get_logger("test").debug("visible")
+        assert root.level == logging.DEBUG
+        assert 'msg="visible"' in stream.getvalue()
+
+    def test_reconfigure_does_not_duplicate_handlers(self):
+        stream = io.StringIO()
+        configure(level="INFO", stream=stream)
+        configure(level="INFO", stream=stream)
+        get_logger("test").info("once")
+        assert stream.getvalue().count('msg="once"') == 1
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        configure(level="WARNING", stream=stream)
+        get_logger("test").info("hidden")
+        get_logger("test").warning("shown")
+        output = stream.getvalue()
+        assert "hidden" not in output
+        assert "shown" in output
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure(level="LOUD")

@@ -1,0 +1,174 @@
+"""Tests for repro.obs.metrics — counters, gauges, histograms, export."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_concurrent_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        n_threads, per_thread = 8, 5000
+
+        def work():
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == n_threads * per_thread
+
+
+class TestGauge:
+    def test_unset_gauge_is_none(self):
+        assert MetricsRegistry().gauge("g").value is None
+
+    def test_set_overwrites(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(1)
+        gauge.set(2.5)
+        assert gauge.value == 2.5
+
+
+class TestHistogram:
+    def test_empty_summary(self):
+        summary = MetricsRegistry().histogram("h").summary()
+        assert summary["count"] == 0
+        assert summary["sum"] == 0.0
+        for key in ("mean", "min", "max", "p50", "p95", "p99"):
+            assert summary[key] is None
+
+    def test_empty_percentile_is_none(self):
+        assert MetricsRegistry().histogram("h").percentile(50) is None
+
+    def test_single_sample_percentiles(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(7.0)
+        summary = histogram.summary()
+        assert summary["count"] == 1
+        assert summary["min"] == summary["max"] == 7.0
+        assert summary["p50"] == summary["p95"] == summary["p99"] == 7.0
+
+    def test_percentiles_nearest_rank(self):
+        histogram = MetricsRegistry().histogram("h")
+        for v in range(1, 101):  # 1..100
+            histogram.observe(float(v))
+        assert histogram.percentile(50) == 50.0
+        assert histogram.percentile(95) == 95.0
+        assert histogram.percentile(99) == 99.0
+        assert histogram.percentile(100) == 100.0
+        assert histogram.percentile(0) == 1.0
+
+    def test_percentile_range_validated(self):
+        histogram = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+        with pytest.raises(ValueError):
+            histogram.percentile(-1)
+
+    def test_summary_stats(self):
+        histogram = MetricsRegistry().histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            histogram.observe(v)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == 6.0
+        assert summary["mean"] == 2.0
+        assert summary["p50"] == 2.0
+
+
+class TestRegistry:
+    def test_kind_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("c").inc(10)
+        registry.gauge("g").set(3)
+        registry.histogram("h").observe(1.0)
+        assert registry.counter("c").value == 0.0
+        assert registry.gauge("g").value is None
+        assert registry.histogram("h").count == 0
+
+    def test_enable_disable_roundtrip(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c")
+        counter.inc()
+        registry.enable()
+        counter.inc()
+        registry.disable()
+        counter.inc()
+        assert counter.value == 1.0
+
+    def test_to_dict_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(3.0)
+        snapshot = registry.to_dict()
+        assert snapshot["counters"] == {"c": 2.0}
+        assert snapshot["gauges"] == {"g": 1.5}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        # Must round-trip through JSON untouched.
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_write_jsonl(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h").observe(1.0)
+        buffer = io.StringIO()
+        n = registry.write_jsonl(buffer)
+        lines = buffer.getvalue().strip().splitlines()
+        assert n == len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert {r["type"] for r in records} == {"counter", "histogram"}
+        assert all("name" in r for r in records)
+
+    def test_write_jsonl_to_path(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        path = tmp_path / "metrics.jsonl"
+        registry.write_jsonl(str(path))
+        [record] = [json.loads(line) for line in path.read_text().splitlines()]
+        assert record == {"type": "counter", "name": "c", "value": 3.0}
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.to_dict()["counters"] == {}
+
+    def test_default_registry_is_global_and_disabled(self):
+        registry = default_registry()
+        assert registry is default_registry()
+        assert not registry.enabled

@@ -1,0 +1,61 @@
+"""Tests for repro.obs.timers.Stopwatch."""
+
+import time
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timers import Stopwatch
+
+
+class TestStopwatch:
+    def test_context_manager_records_into_histogram(self):
+        histogram = MetricsRegistry().histogram("h")
+        with Stopwatch(histogram):
+            time.sleep(0.002)
+        summary = histogram.summary()
+        assert summary["count"] == 1
+        assert summary["min"] >= 2.0  # slept at least 2 ms
+
+    def test_standalone_elapsed(self):
+        watch = Stopwatch()
+        assert watch.elapsed_ms is None
+        with watch:
+            pass
+        assert watch.elapsed_ms is not None
+        assert watch.elapsed_ms >= 0.0
+
+    def test_reuse_records_one_sample_per_block(self):
+        histogram = MetricsRegistry().histogram("h")
+        watch = Stopwatch(histogram)
+        for _ in range(3):
+            with watch:
+                pass
+        assert histogram.count == 3
+
+    def test_decorator(self):
+        histogram = MetricsRegistry().histogram("h")
+
+        @Stopwatch(histogram)
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        assert add(b=1, a=1) == 2
+        assert histogram.count == 2
+        assert add.__name__ == "add"
+
+    def test_records_even_when_body_raises(self):
+        histogram = MetricsRegistry().histogram("h")
+        try:
+            with Stopwatch(histogram):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert histogram.count == 1
+
+    def test_disabled_histogram_still_measures(self):
+        registry = MetricsRegistry(enabled=False)
+        histogram = registry.histogram("h")
+        with Stopwatch(histogram) as watch:
+            pass
+        assert watch.elapsed_ms is not None
+        assert histogram.count == 0

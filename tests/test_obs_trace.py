@@ -1,0 +1,135 @@
+"""Tests for repro.obs.trace — span nesting, export, disabled no-ops."""
+
+import json
+import threading
+
+from repro.obs.trace import (
+    InMemorySpanExporter,
+    JsonlSpanExporter,
+    Tracer,
+    default_tracer,
+)
+
+
+class TestSpanNesting:
+    def test_root_span_has_no_parent(self):
+        exporter = InMemorySpanExporter()
+        tracer = Tracer(exporter=exporter)
+        with tracer.span("root"):
+            pass
+        [record] = exporter.records
+        assert record["name"] == "root"
+        assert record["parent_id"] is None
+        assert record["duration_ms"] >= 0.0
+
+    def test_children_point_at_parent_and_share_trace(self):
+        exporter = InMemorySpanExporter()
+        tracer = Tracer(exporter=exporter)
+        with tracer.span("parent"):
+            with tracer.span("child-a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child-b"):
+                pass
+        by_name = {r["name"]: r for r in exporter.records}
+        parent = by_name["parent"]
+        assert parent["parent_id"] is None
+        assert by_name["child-a"]["parent_id"] == parent["span_id"]
+        assert by_name["child-b"]["parent_id"] == parent["span_id"]
+        assert by_name["grandchild"]["parent_id"] == by_name["child-a"]["span_id"]
+        assert len({r["trace_id"] for r in exporter.records}) == 1
+        # Children exported before the parent (they finish first).
+        assert [r["name"] for r in exporter.records] == [
+            "grandchild", "child-a", "child-b", "parent",
+        ]
+
+    def test_sibling_roots_get_distinct_traces(self):
+        exporter = InMemorySpanExporter()
+        tracer = Tracer(exporter=exporter)
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert len({r["trace_id"] for r in exporter.records}) == 2
+
+    def test_attributes_via_kwargs_and_setter(self):
+        exporter = InMemorySpanExporter()
+        tracer = Tracer(exporter=exporter)
+        with tracer.span("op", density=40.0) as span:
+            span.set_attribute("pairs", 10)
+        [record] = exporter.records
+        assert record["attributes"] == {"density": 40.0, "pairs": 10}
+
+    def test_exception_is_recorded_and_propagates(self):
+        exporter = InMemorySpanExporter()
+        tracer = Tracer(exporter=exporter)
+        try:
+            with tracer.span("op"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        [record] = exporter.records
+        assert record["attributes"]["error"] == "RuntimeError"
+
+    def test_threads_trace_independently(self):
+        exporter = InMemorySpanExporter()
+        tracer = Tracer(exporter=exporter)
+        barrier = threading.Barrier(2)
+
+        def work(label):
+            with tracer.span(label):
+                barrier.wait(timeout=5)
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Both spans overlap in time yet neither is the other's child.
+        assert all(r["parent_id"] is None for r in exporter.records)
+
+
+class TestDisabledTracer:
+    def test_disabled_tracer_exports_nothing(self):
+        exporter = InMemorySpanExporter()
+        tracer = Tracer(enabled=False, exporter=exporter)
+        with tracer.span("op") as span:
+            span.set_attribute("k", 1)  # must be a harmless no-op
+        assert exporter.records == []
+
+    def test_default_tracer_is_global_and_disabled(self):
+        tracer = default_tracer()
+        assert tracer is default_tracer()
+        assert not tracer.enabled
+
+    def test_enable_disable(self):
+        exporter = InMemorySpanExporter()
+        tracer = Tracer(enabled=False)
+        tracer.enable(exporter)
+        with tracer.span("op"):
+            pass
+        tracer.disable()
+        with tracer.span("op2"):
+            pass
+        assert [r["name"] for r in exporter.records] == ["op"]
+
+
+class TestJsonlExporter:
+    def test_writes_parseable_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        exporter = JsonlSpanExporter(str(path))
+        tracer = Tracer(exporter=exporter)
+        with tracer.span("detection", density=4.0):
+            with tracer.span("normalise"):
+                pass
+        exporter.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["name"] for r in records] == ["normalise", "detection"]
+        assert records[0]["parent_id"] == records[1]["span_id"]
+
+    def test_close_is_idempotent(self, tmp_path):
+        exporter = JsonlSpanExporter(str(tmp_path / "t.jsonl"))
+        exporter.close()
+        exporter.close()

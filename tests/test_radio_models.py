@@ -5,15 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.radio.base import (
-    DSRC_FREQUENCY_HZ,
-    LinkBudget,
-    db_to_linear,
-    dbm_to_mw,
-    linear_to_db,
-    mw_to_dbm,
-    wavelength,
-)
+from repro.radio.base import LinkBudget, db_to_linear, dbm_to_mw, linear_to_db, mw_to_dbm, wavelength
 from repro.radio.free_space import FreeSpaceModel, FriisModel, fspl_db
 from repro.radio.rayleigh import RayleighFadingModel
 from repro.radio.shadowing import LogNormalShadowingModel

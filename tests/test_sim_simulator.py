@@ -12,7 +12,7 @@ from repro.sim.fieldtest import (
     run_field_test,
 )
 from repro.sim.scenario import ScenarioConfig
-from repro.sim.simulator import GroundTruth, HighwaySimulator
+from repro.sim.simulator import HighwaySimulator
 
 
 SMALL = ScenarioConfig(density_vhls_per_km=15, sim_time_s=25.0, seed=2)
