@@ -22,6 +22,12 @@ accepted before or after the subcommand::
 instrument, and prints an end-of-run summary; ``--trace-out`` streams
 every finished span (one detection = one root span with its phase
 children) as JSONL.
+
+The pairwise comparison engine (``repro.core.pairwise``) is likewise
+configured globally: ``--pairwise {engine,naive}``,
+``--pairwise-pruning {on,off}``, ``--pairwise-cache N`` and
+``--pairwise-workers N`` set the process-wide defaults every detector
+constructed during the run inherits (see README "Performance").
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from . import obs
+from .core.pairwise import set_engine_defaults
 from .eval import experiments as ex
 from .eval.reporting import render_table
 from .sim.scenario import ScenarioConfig
@@ -304,6 +311,35 @@ def _add_obs_arguments(
         default=suppressed if suppress_defaults else None,
         help="enable span tracing; stream finished spans as JSONL to PATH",
     )
+    parser.add_argument(
+        "--pairwise",
+        choices=["engine", "naive"],
+        default=suppressed if suppress_defaults else None,
+        help="pairwise comparison backend: the vectorised/cached engine "
+        "(default) or the legacy per-pair loop (bit-identical results)",
+    )
+    parser.add_argument(
+        "--pairwise-pruning",
+        choices=["on", "off"],
+        default=suppressed if suppress_defaults else None,
+        help="decide pairs from DTW bounds when they cannot change the "
+        "flagged set (off by default: pruned pairs report bound "
+        "surrogates instead of exact distances)",
+    )
+    parser.add_argument(
+        "--pairwise-cache",
+        type=int,
+        metavar="N",
+        default=suppressed if suppress_defaults else None,
+        help="pairwise LRU cache capacity in pairs (0 disables)",
+    )
+    parser.add_argument(
+        "--pairwise-workers",
+        type=int,
+        metavar="N",
+        default=suppressed if suppress_defaults else None,
+        help="thread-pool width for exact DTW evaluations (0 = inline)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -415,6 +451,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         trace_exporter=trace_exporter,
     )
     registry = obs.default_registry()
+    previous_defaults = set_engine_defaults(
+        engine=None if args.pairwise is None else args.pairwise == "engine",
+        pruning=(
+            None if args.pairwise_pruning is None else args.pairwise_pruning == "on"
+        ),
+        cache_size=args.pairwise_cache,
+        workers=args.pairwise_workers,
+    )
     try:
         start = time.perf_counter()
         output = handler(args)
@@ -430,6 +474,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if elapsed > 1.0:
             print(f"\n[{elapsed:.1f}s]")
     finally:
+        set_engine_defaults(
+            engine=previous_defaults.engine,
+            pruning=previous_defaults.pruning,
+            cache_size=previous_defaults.cache_size,
+            workers=previous_defaults.workers,
+        )
         obs.shutdown()
         if metrics_file is not None:
             metrics_file.close()

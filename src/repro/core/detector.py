@@ -33,6 +33,7 @@ from ..obs.trace import Tracer, default_tracer
 from .fastdtw import DEFAULT_RADIUS, dtw_banded_fast, fastdtw
 from .dtw import dtw
 from .normalization import minmax_distances, zscore
+from .pairwise import PairwiseEngine, PairwiseStats, get_engine_defaults
 from .thresholds import LinearThreshold, ThresholdPolicy
 from .timeseries import RSSITimeSeries
 
@@ -102,6 +103,26 @@ class DetectorConfig:
             make *short* series pairs spuriously similar simply because
             fewer terms are summed.  Path-length normalisation removes
             that length bias; the ablation bench (E12) measures both.
+        pairwise_engine: Run the comparison phase through the
+            :class:`repro.core.pairwise.PairwiseEngine` (vectorised /
+            batched banded-DTW kernels plus the incremental pair
+            cache).  Bit-identical to the legacy per-pair loop, just
+            faster.  ``None`` (default) follows the process-wide
+            engine defaults (CLI ``--pairwise``).
+        pairwise_pruning: Let :meth:`VoiceprintDetector.detect` decide
+            pairs from the engine's lower/upper-bound cascade without
+            running DTW when the bounds cannot change the flagged set
+            (banded mode only).  Flagged pairs are identical to the
+            exact computation; pruned pairs carry bound surrogates
+            instead of exact distances in the report, so analyses that
+            consume distance *values* should leave this off (the
+            default; see DESIGN.md).  ``None`` follows the process-wide
+            defaults.
+        pairwise_cache_size: LRU capacity of the engine's pair cache
+            (0 disables; ``None`` follows the process-wide defaults).
+        pairwise_workers: Engine thread-pool width for exact kernel
+            evaluations (0 = inline; ``None`` follows the process-wide
+            defaults).
     """
 
     observation_time: float = 20.0
@@ -113,6 +134,10 @@ class DetectorConfig:
     threshold_on: str = "normalized"
     use_exact_dtw: bool = False
     normalize_by_path_length: bool = True
+    pairwise_engine: Optional[bool] = None
+    pairwise_pruning: Optional[bool] = None
+    pairwise_cache_size: Optional[int] = None
+    pairwise_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.observation_time <= 0:
@@ -143,6 +168,14 @@ class DetectorConfig:
             raise ValueError(
                 f"threshold_on must be 'normalized' or 'raw', got "
                 f"{self.threshold_on!r}"
+            )
+        if self.pairwise_cache_size is not None and self.pairwise_cache_size < 0:
+            raise ValueError(
+                f"pairwise_cache_size must be >= 0, got {self.pairwise_cache_size}"
+            )
+        if self.pairwise_workers is not None and self.pairwise_workers < 0:
+            raise ValueError(
+                f"pairwise_workers must be >= 0, got {self.pairwise_workers}"
             )
 
 
@@ -256,6 +289,39 @@ class VoiceprintDetector:
         self._c_pairs = metrics.counter("detector.pairs_compared")
         self._c_cells = metrics.counter("detector.dtw_cells")
         self._h_detect_ms = metrics.histogram("detector.detect_ms")
+        defaults = get_engine_defaults()
+        cfg = self.config
+        use_engine = (
+            defaults.engine if cfg.pairwise_engine is None else cfg.pairwise_engine
+        )
+        self._pruning = (
+            defaults.pruning if cfg.pairwise_pruning is None else cfg.pairwise_pruning
+        )
+        self._engine: Optional[PairwiseEngine] = None
+        if use_engine:
+            self._engine = PairwiseEngine(
+                band_radius=cfg.band_radius_samples,
+                use_exact_dtw=cfg.use_exact_dtw,
+                fastdtw_radius=cfg.fastdtw_radius,
+                normalize_by_path_length=cfg.normalize_by_path_length,
+                pruning=self._pruning,
+                cache_size=(
+                    defaults.cache_size
+                    if cfg.pairwise_cache_size is None
+                    else cfg.pairwise_cache_size
+                ),
+                workers=(
+                    defaults.workers
+                    if cfg.pairwise_workers is None
+                    else cfg.pairwise_workers
+                ),
+                registry=metrics,
+            )
+
+    @property
+    def pairwise_stats(self) -> Optional[PairwiseStats]:
+        """Cumulative engine work accounting (``None`` on the legacy path)."""
+        return self._engine.stats if self._engine is not None else None
 
     # ------------------------------------------------------------------
     # Collection phase
@@ -322,16 +388,17 @@ class VoiceprintDetector:
             return result.distance / len(result.path)
         return result.distance
 
-    def compare(
-        self, now: Optional[float] = None
-    ) -> Tuple[Dict[Pair, float], Tuple[str, ...], Tuple[str, ...]]:
-        """Run the comparison phase only.
+    def _normalise(
+        self, now: float
+    ) -> Tuple[Dict[str, np.ndarray], List[str], Optional[Dict[str, bytes]], str]:
+        """Cut and normalise the observation window (``normalise`` span).
 
-        Returns ``(raw_distances, compared_ids, skipped_ids)`` where the
-        distances are *pre*-min–max FastDTW values on Z-scored series.
+        Returns ``(normalised, skipped, cache_keys, scale_tag)``.  The
+        cache keys fingerprint each identity's *raw* window bytes and
+        the scale tag fingerprints everything else that determines the
+        normalised series, so key+tag equality implies the normalised
+        series — and hence any DTW result on them — is identical.
         """
-        if now is None:
-            now = self._latest
         with self._tracer.span("normalise") as span:
             window_start = now - self.config.observation_time
             windows: Dict[str, np.ndarray] = {}
@@ -348,22 +415,49 @@ class VoiceprintDetector:
                 scale = self.config.sigma_multiplier * max(
                     float(np.median(sigmas)), 1e-9
                 )
+                scale_tag = f"median:{scale.hex()}"
                 for identity, values in windows.items():
                     normalised[identity] = (values - float(np.mean(values))) / scale
             else:
+                scale_tag = f"z:{float(self.config.sigma_multiplier).hex()}"
                 for identity, values in windows.items():
                     normalised[identity] = zscore(
                         values, sigma_multiplier=self.config.sigma_multiplier
                     )
+            keys: Optional[Dict[str, bytes]] = None
+            if self._engine is not None and self._engine.cache_enabled:
+                keys = {
+                    identity: values.tobytes()
+                    for identity, values in windows.items()
+                }
             span.set_attribute("series", len(normalised))
             span.set_attribute("skipped", len(skipped))
+        return normalised, skipped, keys, scale_tag
+
+    def compare(
+        self, now: Optional[float] = None
+    ) -> Tuple[Dict[Pair, float], Tuple[str, ...], Tuple[str, ...]]:
+        """Run the comparison phase only.
+
+        Returns ``(raw_distances, compared_ids, skipped_ids)`` where the
+        distances are *pre*-min–max FastDTW values on Z-scored series.
+        """
+        if now is None:
+            now = self._latest
+        normalised, skipped, keys, scale_tag = self._normalise(now)
         with self._tracer.span("pairwise_dtw") as span:
             compared = tuple(sorted(normalised))
-            raw: Dict[Pair, float] = {}
             cells_before = self._c_cells.value
-            for idx, a in enumerate(compared):
-                for b in compared[idx + 1 :]:
-                    raw[(a, b)] = self._pair_distance(normalised[a], normalised[b])
+            if self._engine is not None:
+                raw, stats = self._engine.compare(normalised, keys, scale_tag)
+                span.set_attribute("cache_hits", stats.cache_hits)
+            else:
+                raw = {}
+                for idx, a in enumerate(compared):
+                    for b in compared[idx + 1 :]:
+                        raw[(a, b)] = self._pair_distance(
+                            normalised[a], normalised[b]
+                        )
             span.set_attribute("pairs", len(raw))
             span.set_attribute("cells", int(self._c_cells.value - cells_before))
         return raw, compared, tuple(sorted(skipped))
@@ -390,24 +484,61 @@ class VoiceprintDetector:
             raise ValueError(f"density must be non-negative, got {density}")
         if now is None:
             now = self._latest if self._buffers else 0.0
+        pruning = self._engine is not None and self._engine.can_prune
         with self._tracer.span("detection", density=float(density)) as root, \
                 Stopwatch(self._h_detect_ms):
-            raw, compared, skipped = self.compare(now=now)
-            with self._tracer.span("minmax"):
-                distances = minmax_distances(raw)
-            with self._tracer.span("threshold") as span:
+            if pruning:
+                assert self._engine is not None
+                # Threshold-aware comparison: the engine decides pairs
+                # from the bound cascade wherever the bounds cannot
+                # change the flagged set, so the spans below see
+                # surrogate distances for pruned pairs (bit-identical
+                # flags, see DESIGN.md).
+                normalised, skipped_list, keys, scale_tag = self._normalise(now)
+                compared = tuple(sorted(normalised))
+                skipped = tuple(sorted(skipped_list))
                 cutoff = self.threshold.threshold_at(density)
-                judged = (
-                    distances if self.config.threshold_on == "normalized" else raw
-                )
-                sybil_pairs = tuple(
-                    pair for pair, d in sorted(judged.items()) if d <= cutoff
-                )
-                sybil_ids = frozenset(
-                    identity for pair in sybil_pairs for identity in pair
-                )
-                span.set_attribute("threshold", float(cutoff))
-                span.set_attribute("flagged", len(sybil_ids))
+                with self._tracer.span("pairwise_dtw") as span:
+                    cells_before = self._c_cells.value
+                    raw, flags, stats = self._engine.compare_decided(
+                        normalised,
+                        keys,
+                        scale_tag,
+                        float(cutoff),
+                        self.config.threshold_on,
+                    )
+                    span.set_attribute("pairs", len(raw))
+                    span.set_attribute("cells", int(self._c_cells.value - cells_before))
+                    span.set_attribute("pruned", stats.pruned)
+                    span.set_attribute("cache_hits", stats.cache_hits)
+                with self._tracer.span("minmax"):
+                    distances = minmax_distances(raw)
+                with self._tracer.span("threshold") as span:
+                    sybil_pairs = tuple(
+                        pair for pair in sorted(flags) if flags[pair]
+                    )
+                    sybil_ids = frozenset(
+                        identity for pair in sybil_pairs for identity in pair
+                    )
+                    span.set_attribute("threshold", float(cutoff))
+                    span.set_attribute("flagged", len(sybil_ids))
+            else:
+                raw, compared, skipped = self.compare(now=now)
+                with self._tracer.span("minmax"):
+                    distances = minmax_distances(raw)
+                with self._tracer.span("threshold") as span:
+                    cutoff = self.threshold.threshold_at(density)
+                    judged = (
+                        distances if self.config.threshold_on == "normalized" else raw
+                    )
+                    sybil_pairs = tuple(
+                        pair for pair, d in sorted(judged.items()) if d <= cutoff
+                    )
+                    sybil_ids = frozenset(
+                        identity for pair in sybil_pairs for identity in pair
+                    )
+                    span.set_attribute("threshold", float(cutoff))
+                    span.set_attribute("flagged", len(sybil_ids))
             root.set_attribute("compared", len(compared))
             root.set_attribute("flagged", len(sybil_ids))
         report = DetectionReport(

@@ -38,6 +38,7 @@ __all__ = [
     "fastdtw",
     "fastdtw_distance",
     "dtw_banded_fast",
+    "sakoe_chiba_band",
     "coarsen",
     "expand_window",
 ]
@@ -285,6 +286,52 @@ def fastdtw_distance(
     return fastdtw(x, y, radius=radius).distance
 
 
+def sakoe_chiba_band(n: int, m: int, radius: int) -> Tuple[List[int], List[int]]:
+    """Per-row column intervals of the Sakoe–Chiba band.
+
+    This is the canonical band geometry shared by every banded-DTW
+    implementation in the package (:func:`dtw_banded_fast`, the
+    vectorised kernel in :mod:`repro.core.pairwise`, and the
+    envelope-based bounds built on top of it) — they must agree cell
+    for cell, so the geometry lives in exactly one place.
+
+    Args:
+        n: Length of the first series (rows).
+        m: Length of the second series (columns).
+        radius: Band half-width in samples (``>= 0``).
+
+    Returns:
+        1-indexed ``(lo, hi)`` lists of length ``n + 1`` (index 0
+        unused).  Every row interval is non-empty, row 1 contains
+        column 1, row ``n`` contains column ``m``, the upper interval
+        ends are non-decreasing in the row index (the lower ends are
+        too in every practical geometry — consumers that require it
+        verify), and consecutive intervals overlap enough for a
+        monotone warp path to exist.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    if n < 1 or m < 1:
+        raise ValueError(f"series lengths must be positive, got {n}, {m}")
+    scale = m / n
+    lo = [0] * (n + 1)
+    hi = [0] * (n + 1)
+    for i in range(1, n + 1):
+        centre = i * scale
+        lo[i] = max(1, int(math.floor(centre - radius - scale + 1)))
+        hi[i] = min(m, int(math.ceil(centre + radius)))
+        if hi[i] < lo[i]:
+            lo[i] = hi[i] = min(m, max(1, int(round(centre))))
+    lo[1] = 1
+    hi[n] = m
+    for i in range(2, n + 1):
+        if lo[i] > hi[i - 1] + 1:
+            lo[i] = hi[i - 1] + 1
+        if hi[i] < hi[i - 1]:
+            hi[i] = hi[i - 1]
+    return lo, hi
+
+
 def dtw_banded_fast(
     x: ArrayLike,
     y: ArrayLike,
@@ -317,22 +364,6 @@ def dtw_banded_fast(
         raise ValueError(f"expected 1-D series, got shapes {a.shape}, {b.shape}")
     if a.size == 0 or b.size == 0:
         raise ValueError("DTW is undefined for empty series")
-    n, m = a.size, b.size
-    scale = m / n
-    lo = [0] * (n + 1)
-    hi = [0] * (n + 1)
-    for i in range(1, n + 1):
-        centre = i * scale
-        lo[i] = max(1, int(math.floor(centre - radius - scale + 1)))
-        hi[i] = min(m, int(math.ceil(centre + radius)))
-        if hi[i] < lo[i]:
-            lo[i] = hi[i] = min(m, max(1, int(round(centre))))
-    lo[1] = 1
-    hi[n] = m
-    for i in range(2, n + 1):
-        if lo[i] > hi[i - 1] + 1:
-            lo[i] = hi[i - 1] + 1
-        if hi[i] < hi[i - 1]:
-            hi[i] = hi[i - 1]
+    lo, hi = sakoe_chiba_band(a.size, b.size, radius)
     distance, path, cells = _dp_intervals(a.tolist(), b.tolist(), lo, hi)
     return DTWResult(distance=float(distance), path=tuple(path), cells=cells)

@@ -1,0 +1,1016 @@
+"""Fast pairwise comparison engine for the Voiceprint comparison phase.
+
+The paper's comparison phase (Section IV-C, Algorithm 1) measures a DTW
+distance for every pair of heard identities — O(n²) FastDTW runs per
+detection period, which is the entire computational cost of Voiceprint.
+This module makes that stage cheap without changing a single decision:
+
+* :func:`dtw_banded_vec` — the Sakoe–Chiba banded DTW kernel relaxed
+  along anti-diagonals with numpy slice arithmetic instead of a
+  per-cell Python loop.  Every cell performs the identical IEEE-754
+  operations as the scalar DP (:func:`repro.core.fastdtw.dtw_banded_fast`
+  over the same :func:`repro.core.fastdtw.sakoe_chiba_band` geometry),
+  so distances, warp paths, and the ``cells`` work metric are
+  *bit-identical*, not merely close.  Narrow bands make single-pair
+  diagonals too small for numpy to win, so the engine also carries
+  :func:`dtw_banded_batch`, which relaxes *all pairs of one shape at
+  once* — each anti-diagonal becomes one ``(pairs × width)`` block op —
+  and tracks optimal warp-path lengths forward instead of storing the
+  cost matrix for traceback.
+
+* **Bound cascade** — cheap lower bounds (an LB_Kim-style first/last
+  bound and LB_Keogh-style band-envelope bounds in both directions) and
+  a cheap upper bound (the cost of an explicit monotone path inside the
+  band) sandwich the banded-DTW distance.  When the sandwich lands
+  clearly on one side of the decision threshold the pair is *decided
+  without running DTW at all*.  For the paper-default min–max-normalised
+  threshold (Eq. 8) the decision region depends on the per-report
+  min/max distance, so the engine first pins those down exactly by an
+  adaptive best-bound-first refinement, then decides the remaining
+  pairs from their bounds (see ``DESIGN.md`` for the proof sketch).
+
+* **Incremental pair cache** — an LRU cache keyed by per-identity
+  window fingerprints (the exact bytes of the normalised series, plus
+  the common scale factor), so a detection period only recomputes pairs
+  whose series actually changed since the previous period.  A hit
+  returns the stored distance/path-length verbatim — bit-identical to
+  recomputation.
+
+* **Optional parallel executor** — a bounded thread pool (off by
+  default) for the exact kernel evaluations that survive the cascade.
+
+Everything is instrumented through :mod:`repro.obs` (pairs pruned,
+cache hits/misses, cells relaxed and saved) and configured through
+:class:`repro.core.detector.DetectorConfig` knobs or the process-wide
+defaults (:func:`set_engine_defaults`, wired to CLI flags).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..obs.metrics import MetricsRegistry, default_registry
+from .dtw import DTWResult, dtw
+from .fastdtw import dtw_banded_fast, fastdtw, sakoe_chiba_band
+from .normalization import _SIGMA_FLOOR
+
+__all__ = [
+    "EngineDefaults",
+    "PairwiseEngine",
+    "PairwiseStats",
+    "band_cells",
+    "dtw_banded_batch",
+    "dtw_banded_vec",
+    "dtw_band_lower_bound",
+    "dtw_band_upper_bound",
+    "lb_kim",
+    "get_engine_defaults",
+    "set_engine_defaults",
+]
+
+Pair = Tuple[str, str]
+
+_INF = math.inf
+
+#: Minimum *average anti-diagonal width* (band area / diagonal count)
+#: at which the single-pair vectorised kernel beats the scalar interval
+#: DP.  Narrow bands make each diagonal a tiny numpy op whose call
+#: overhead dominates; both kernels produce bit-identical results, so
+#: the switch is purely a speed heuristic.  (The batched kernel does
+#: not need this: it amortises the per-diagonal overhead across pairs.)
+_VEC_MIN_AVG_WIDTH = 32
+
+
+# ----------------------------------------------------------------------
+# Process-wide engine defaults (CLI-configurable)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EngineDefaults:
+    """Process-wide defaults for detectors that leave engine knobs unset.
+
+    Attributes:
+        engine: Use the pairwise engine (vectorised kernel + cache)
+            behind ``VoiceprintDetector.compare``.  Disabling falls back
+            to the legacy per-pair Python loop.
+        pruning: Decide pairs from the bound cascade inside ``detect``
+            when the bounds land clearly outside the decision region.
+            Off by default because pruned pairs carry *bound surrogates*
+            instead of exact distances in ``DetectionReport`` (decisions
+            are unaffected; analysis/training consumers that read raw
+            distances should leave this off — see DESIGN.md).
+        cache_size: Maximum cached pair results (LRU).  0 disables.
+        workers: Thread-pool width for exact kernel evaluations.
+            0 runs inline.
+    """
+
+    engine: bool = True
+    pruning: bool = False
+    cache_size: int = 256
+    workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {self.cache_size}")
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+
+
+_defaults = EngineDefaults()
+
+
+def get_engine_defaults() -> EngineDefaults:
+    """The current process-wide pairwise-engine defaults."""
+    return _defaults
+
+
+def set_engine_defaults(
+    engine: Optional[bool] = None,
+    pruning: Optional[bool] = None,
+    cache_size: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> EngineDefaults:
+    """Override process-wide engine defaults; ``None`` keeps a field.
+
+    Returns the *previous* defaults so callers (e.g. the CLI, tests)
+    can restore them.
+    """
+    global _defaults
+    previous = _defaults
+    updates = {
+        key: value
+        for key, value in (
+            ("engine", engine),
+            ("pruning", pruning),
+            ("cache_size", cache_size),
+            ("workers", workers),
+        )
+        if value is not None
+    }
+    _defaults = replace(previous, **updates)
+    return previous
+
+
+# ----------------------------------------------------------------------
+# Vectorised banded DTW kernel
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=256)
+def _band_arrays(
+    n: int, m: int, radius: int
+) -> Tuple[np.ndarray, np.ndarray, bool, int]:
+    """Band geometry as read-only arrays, plus monotonicity and area.
+
+    Returns ``(lo, hi, monotone, n_cells)`` where ``lo``/``hi`` are the
+    0-indexed-by-row (value still 1-indexed column) interval arrays of
+    :func:`sakoe_chiba_band`, ``monotone`` says both ends are
+    non-decreasing (required by the vectorised kernel and the
+    column-direction bound), and ``n_cells`` is the band area — the DP
+    work a full kernel run would perform.
+    """
+    lo_list, hi_list = sakoe_chiba_band(n, m, radius)
+    lo = np.asarray(lo_list[1:], dtype=np.int64)
+    hi = np.asarray(hi_list[1:], dtype=np.int64)
+    lo.setflags(write=False)
+    hi.setflags(write=False)
+    monotone = bool(np.all(lo[1:] >= lo[:-1]) and np.all(hi[1:] >= hi[:-1]))
+    n_cells = int(np.sum(hi - lo + 1))
+    return lo, hi, monotone, n_cells
+
+
+def band_cells(n: int, m: int, radius: int) -> int:
+    """Number of DP cells a banded kernel run relaxes for ``(n, m)``."""
+    return _band_arrays(n, m, radius)[3]
+
+
+def dtw_banded_vec(x, y, radius: int) -> DTWResult:
+    """Sakoe–Chiba banded DTW relaxed along anti-diagonals with numpy.
+
+    Bit-identical to :func:`repro.core.fastdtw.dtw_banded_fast` —
+    same band geometry (:func:`sakoe_chiba_band`), same per-cell
+    IEEE-754 operations (``(x_i - y_j)² + min(up, left, diag)``), same
+    traceback tie-breaking — but the inner loop runs once per
+    anti-diagonal instead of once per cell, using only contiguous
+    slices (cells ``(i, j)`` with ``i + j = k`` depend only on
+    diagonals ``k-1`` and ``k-2``, which removes the within-row
+    ``curr[j-1]`` data dependency that defeats row-wise vectorisation).
+
+    Memory: the accumulated-cost diagonals are kept for traceback,
+    ``O((n+m)·n)`` floats — ~650 kB for the 20 s / 10 Hz series the
+    detector compares, freed on return.
+
+    Args:
+        x: First series (length ``N``).
+        y: Second series (length ``M``).
+        radius: Band half-width in samples (``>= 0``).
+
+    Returns:
+        :class:`repro.core.dtw.DTWResult` for the best in-band path.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    a = np.ascontiguousarray(x, dtype=float)
+    b = np.ascontiguousarray(y, dtype=float)
+    if a.ndim != 1 or b.ndim != 1:
+        raise ValueError(f"expected 1-D series, got shapes {a.shape}, {b.shape}")
+    if a.size == 0 or b.size == 0:
+        raise ValueError("DTW is undefined for empty series")
+    n, m = a.size, b.size
+    lo, hi, monotone, _ = _band_arrays(n, m, radius)
+    if not monotone:  # pragma: no cover - no known geometry triggers this
+        return dtw_banded_fast(a, b, radius)
+
+    rows = np.arange(1, n + 1, dtype=np.int64)
+    row_first_diag = rows + lo  # strictly increasing: diag where row i starts
+    row_last_diag = rows + hi  # strictly increasing: diag where row i ends
+    ks = np.arange(2, n + m + 1, dtype=np.int64)
+    # Rows alive on diagonal k form a contiguous range (band ends are
+    # monotone): those whose [first, last] diagonal interval contains k.
+    top = np.searchsorted(row_first_diag, ks, side="right")  # max row (1-based)
+    bottom = np.searchsorted(row_last_diag, ks, side="left") + 1  # min row
+
+    # store[k, i] = accumulated cost D(i, k - i); row 0 holds D(0, 0)=0
+    # and the infinite borders, exactly the scalar DP's boundary.
+    store = np.full((n + m + 1, n + 1), _INF)
+    store[0, 0] = 0.0
+    cells = 0
+    for k in range(2, n + m + 1):
+        i1 = int(top[k - 2])
+        i0 = int(bottom[k - 2])
+        if i0 > i1:
+            continue
+        up = store[k - 1, i0 - 1 : i1]  # D(i-1, j)
+        left = store[k - 1, i0 : i1 + 1]  # D(i, j-1)
+        diag = store[k - 2, i0 - 1 : i1]  # D(i-1, j-1)
+        best = np.minimum(np.minimum(up, left), diag)
+        seg = a[i0 - 1 : i1] - b[k - i1 - 1 : k - i0][::-1]
+        store[k, i0 : i1 + 1] = seg * seg + best
+        cells += i1 - i0 + 1
+
+    distance = float(store[n + m, n])
+    if math.isinf(distance):
+        raise ValueError("window admits no monotone warp path")
+
+    # Traceback — identical candidate order and strict-< tie-breaking
+    # as the scalar interval DP, so paths match exactly.
+    path: List[Tuple[int, int]] = [(n, m)]
+    i, j = n, m
+    while (i, j) != (1, 1):
+        best_v = _INF
+        best_cell: Optional[Tuple[int, int]] = None
+        for (pi, pj) in ((i - 1, j - 1), (i - 1, j), (i, j - 1)):
+            if pi < 1 or pj < 1:
+                continue
+            if lo[pi - 1] <= pj <= hi[pi - 1]:
+                value = store[pi + pj, pi]
+                if value < best_v:
+                    best_v = value
+                    best_cell = (pi, pj)
+        if best_cell is None:  # pragma: no cover - band is connected
+            raise ValueError("traceback escaped the window")
+        i, j = best_cell
+        path.append(best_cell)
+    path.reverse()
+    return DTWResult(distance=distance, path=tuple(path), cells=cells)
+
+
+def _result_triple(result: DTWResult) -> Tuple[float, int, int]:
+    return result.distance, len(result.path), result.cells
+
+
+def dtw_banded_batch(
+    xs: List[np.ndarray], ys: List[np.ndarray], radius: int
+) -> List[Tuple[float, int, int]]:
+    """Banded DTW for a batch of pairs sharing one ``(n, m)`` shape.
+
+    Relaxes every pair's band simultaneously: each anti-diagonal is one
+    set of numpy ops on ``(pairs × width)`` blocks, which amortises the
+    per-diagonal overhead that makes :func:`dtw_banded_vec` unprofitable
+    for narrow bands.  Only three diagonals are live at a time (compact,
+    INF-padded rolling buffers), so no full cost matrix is stored;
+    instead of a traceback, the optimal warp-path *length* is tracked
+    forward with the scalar traceback's exact tie-breaking rule
+    (diagonal, then up, then left, strict ``<``), which is all the
+    detector needs for path-length normalisation.
+
+    Returns:
+        One ``(distance, path_length, cells)`` triple per pair —
+        bit-identical to running
+        :func:`repro.core.fastdtw.dtw_banded_fast` on each pair.
+    """
+    count = len(xs)
+    if count == 0:
+        return []
+    if len(ys) != count:
+        raise ValueError(f"batch mismatch: {count} x-series, {len(ys)} y-series")
+    n, m = xs[0].size, ys[0].size
+    if any(x.size != n for x in xs) or any(y.size != m for y in ys):
+        raise ValueError("dtw_banded_batch requires one common (n, m) shape")
+
+    def fallback() -> List[Tuple[float, int, int]]:
+        return [
+            _result_triple(dtw_banded_fast(x, y, radius)) for x, y in zip(xs, ys)
+        ]
+
+    if n < 2 or m < 2:
+        return fallback()
+    lo, hi, monotone, n_cells = _band_arrays(n, m, radius)
+    if not monotone:  # pragma: no cover - no known geometry triggers this
+        return fallback()
+
+    rows = np.arange(1, n + 1, dtype=np.int64)
+    ks = np.arange(2, n + m + 1, dtype=np.int64)
+    i1s = np.minimum(
+        np.minimum(np.searchsorted(rows + lo, ks, side="right"), n), ks - 1
+    )
+    i0s = np.maximum(
+        np.maximum(np.searchsorted(rows + hi, ks, side="left") + 1, 1), ks - m
+    )
+    if np.any(i0s > i1s):  # pragma: no cover - bands are connected
+        return fallback()
+    widths = i1s - i0s + 1
+    wpad = int(widths.max()) + 2
+    # Per-diagonal storage offset: row i of diagonal k lives at column
+    # i - off[k] + 1, keeping column 0 (and any tail) as INF padding so
+    # predecessor reads outside a diagonal's band resolve to INF.
+    off = np.empty(n + m + 1, dtype=np.int64)
+    off[0] = 0
+    off[1] = 1  # diagonal 1 has no interior cells; buffer stays all-INF
+    off[2:] = i0s
+    sus = i0s - off[1:-1]  # up:   row i-1 on diagonal k-1
+    sds = i0s - off[:-2]  # diag: row i-1 on diagonal k-2
+    ok = (
+        np.all(sus >= 0)
+        and np.all(sus + 1 + widths <= wpad)  # left slice = up slice + 1
+        and np.all(sds >= 0)
+        and np.all(sds + widths <= wpad)
+    )
+    if not ok:  # pragma: no cover - guards the offset algebra
+        return fallback()
+
+    a_stack = np.ascontiguousarray(np.stack(xs).astype(float, copy=False))
+    b_rev = np.ascontiguousarray(np.stack(ys).astype(float, copy=False)[:, ::-1])
+
+    v_km2 = np.full((count, wpad), _INF)
+    v_km2[:, 1] = 0.0  # D(0, 0)
+    v_km1 = np.full((count, wpad), _INF)
+    v_new = np.empty((count, wpad))
+    l_km2 = np.zeros((count, wpad), dtype=np.int64)
+    l_km1 = np.zeros((count, wpad), dtype=np.int64)
+    l_new = np.zeros((count, wpad), dtype=np.int64)
+    for kidx in range(n + m - 1):
+        k = kidx + 2
+        i0 = int(i0s[kidx])
+        w = int(widths[kidx])
+        su = int(sus[kidx])
+        sd = int(sds[kidx])
+        up = v_km1[:, su : su + w]
+        left = v_km1[:, su + 1 : su + 1 + w]
+        diag = v_km2[:, sd : sd + w]
+        min_du = np.minimum(diag, up)
+        best = np.minimum(min_du, left)
+        seg = a_stack[:, i0 - 1 : i0 - 1 + w] - b_rev[:, m - k + i0 : m - k + i0 + w]
+        v_new[:] = _INF
+        v_new[:, 1 : w + 1] = seg * seg + best
+        # Warp-path length of the predecessor the scalar traceback would
+        # pick: left only if strictly best, else up only if strictly
+        # better than diag, else diag.  Stale lengths under INF cells
+        # never propagate to a finite total.
+        l_new[:, 1 : w + 1] = (
+            np.where(
+                left < min_du,
+                l_km1[:, su + 1 : su + 1 + w],
+                np.where(up < diag, l_km1[:, su : su + w], l_km2[:, sd : sd + w]),
+            )
+            + 1
+        )
+        v_km2, v_km1, v_new = v_km1, v_new, v_km2
+        l_km2, l_km1, l_new = l_km1, l_new, l_km2
+
+    pos = n - int(i0s[-1]) + 1
+    out: List[Tuple[float, int, int]] = []
+    for p in range(count):
+        distance = float(v_km1[p, pos])
+        if math.isinf(distance):
+            raise ValueError("window admits no monotone warp path")
+        out.append((distance, int(l_km1[p, pos]), n_cells))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Bound cascade: LB_Kim / LB_Keogh-style lower bounds, path upper bound
+# ----------------------------------------------------------------------
+def lb_kim(x: np.ndarray, y: np.ndarray) -> float:
+    """Constant-time lower bound on any DTW distance (LB_Kim variant).
+
+    Every monotone warp path matches the first samples together and the
+    last samples together, and all step costs are non-negative, so the
+    sum of those two squared differences never exceeds the DTW distance.
+    """
+    d0 = float(x[0]) - float(y[0])
+    d1 = float(x[-1]) - float(y[-1])
+    return d0 * d0 + d1 * d1
+
+
+def _envelope_exceedance(
+    query: np.ndarray, ref: np.ndarray, lo0: np.ndarray, hi0: np.ndarray
+) -> float:
+    """Sum of squared exceedances of ``query`` over per-sample envelopes.
+
+    ``lo0``/``hi0`` give, per query sample, the 0-indexed inclusive
+    window of ``ref`` samples any in-band warp path may match it with.
+    The envelope is evaluated over a fixed-width window that is a
+    *superset* of each true interval (sliding min/max), which can only
+    loosen — never invalidate — the bound.
+    """
+    size = ref.size
+    width = int(np.max(hi0 - lo0)) + 1
+    if width >= size:
+        env_lo = float(np.min(ref))
+        env_hi = float(np.max(ref))
+        d = np.maximum(query - env_hi, 0.0) + np.maximum(env_lo - query, 0.0)
+        return float(d @ d)
+    windows = sliding_window_view(ref, width)
+    starts = np.minimum(lo0, size - width)
+    env_lo = windows.min(axis=1)[starts]
+    env_hi = windows.max(axis=1)[starts]
+    d = np.maximum(query - env_hi, 0.0) + np.maximum(env_lo - query, 0.0)
+    return float(d @ d)
+
+
+def dtw_band_lower_bound(x: np.ndarray, y: np.ndarray, radius: int) -> float:
+    """Lower bound on the banded DTW distance of ``(x, y)``.
+
+    The max of three individually valid bounds:
+
+    * :func:`lb_kim` (first/last cells are on every path);
+    * the row-direction LB_Keogh generalisation: every warp path
+      matches ``x_i`` with some ``y_j`` inside row ``i``'s band
+      interval, so the squared exceedance of ``x_i`` over the interval
+      envelope is a per-row cost floor;
+    * the column-direction mirror (every path also visits every
+      column).
+
+    Unlike classic LB_Keogh this works for unequal lengths, because the
+    envelopes come from the actual :func:`sakoe_chiba_band` intervals.
+    """
+    n, m = x.size, y.size
+    lo, hi, monotone, _ = _band_arrays(n, m, radius)
+    bound = lb_kim(x, y)
+    bound = max(bound, _envelope_exceedance(x, y, lo - 1, hi - 1))
+    if monotone:
+        cols = np.arange(1, m + 1, dtype=np.int64)
+        row_hi = np.searchsorted(lo, cols, side="right")  # last row covering j
+        row_lo = np.searchsorted(hi, cols, side="left") + 1  # first row
+        if np.all(row_lo <= row_hi):
+            bound = max(
+                bound, _envelope_exceedance(y, x, row_lo - 1, row_hi - 1)
+            )
+    return bound
+
+
+def _ranges_to_indices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[arange(s, s + c) for s, c in zip(starts, counts)]``."""
+    total = int(counts.sum())
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    return np.arange(total, dtype=np.int64) - offsets + np.repeat(starts, counts)
+
+
+def dtw_band_upper_bound(
+    x: np.ndarray, y: np.ndarray, radius: int
+) -> Tuple[float, int]:
+    """Cost and length of an explicit monotone warp path inside the band.
+
+    The path follows the length-scaled pseudo-diagonal, clipped into the
+    band and stitched with the horizontal/diagonal fills needed for
+    step-validity; its cost therefore upper-bounds the banded DTW
+    distance (which minimises over all in-band paths).  For equal-length
+    series with any non-negative radius this degenerates to the plain
+    Euclidean path ``Σ (x_i - y_i)²`` of length ``n``.
+
+    Returns:
+        ``(cost, path_length)``; ``(inf, max(n, m))`` if the band
+        geometry is not monotone (never observed; keeps the bound safe).
+    """
+    n, m = x.size, y.size
+    lo, hi, monotone, _ = _band_arrays(n, m, radius)
+    if not monotone:  # pragma: no cover - no known geometry triggers this
+        return _INF, max(n, m)
+    rows = np.arange(1, n + 1, dtype=np.int64)
+    target = np.clip(np.round(rows * (m / n)).astype(np.int64), 1, m)
+    target[-1] = m
+    # t: rightmost column matched in row i; e: leftmost; u extends t so
+    # the step into row i+1 is diagonal or vertical.  All stay in-band
+    # by the band's overlap guarantees (lo[i+1] <= hi[i] + 1).
+    t = np.minimum(hi, np.maximum(target, lo))
+    prev = np.concatenate((np.asarray([0], dtype=np.int64), t[:-1]))
+    e = np.maximum(lo, np.minimum(prev + 1, t))
+    u = np.maximum(t, np.concatenate((e[1:] - 1, t[-1:])))
+    counts = u - e + 1
+    idx = _ranges_to_indices(e - 1, counts)
+    d = np.repeat(x, counts) - y[idx]
+    return float(d @ d), int(counts.sum())
+
+
+# ----------------------------------------------------------------------
+# LRU pair cache
+# ----------------------------------------------------------------------
+class _LRUCache:
+    """Tiny ordered-dict LRU mapping pair keys to kernel results."""
+
+    __slots__ = ("capacity", "_data")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._data: "OrderedDict[tuple, Tuple[float, int, int]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: tuple) -> Optional[Tuple[float, int, int]]:
+        entry = self._data.get(key)
+        if entry is not None:
+            self._data.move_to_end(key)
+        return entry
+
+    def put(self, key: tuple, value: Tuple[float, int, int]) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+@dataclass
+class PairwiseStats:
+    """Work accounting for one comparison phase (or cumulatively).
+
+    Attributes:
+        pairs: Identity pairs considered.
+        exact: Pairs whose distance came from a kernel run.
+        pruned: Pairs decided from bounds without running DTW.
+        cache_hits: Pairs answered from the incremental cache.
+        cache_misses: Kernel runs that went through an enabled cache.
+        cells: DP cells actually relaxed by kernel runs.
+        cells_saved: DP cells avoided via cache hits and pruning.
+    """
+
+    pairs: int = 0
+    exact: int = 0
+    pruned: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cells: int = 0
+    cells_saved: int = 0
+
+    def add(self, other: "PairwiseStats") -> None:
+        """Accumulate ``other`` into this instance."""
+        self.pairs += other.pairs
+        self.exact += other.exact
+        self.pruned += other.pruned
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cells += other.cells
+        self.cells_saved += other.cells_saved
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits per considered pair (0.0 when nothing compared)."""
+        return self.cache_hits / self.pairs if self.pairs else 0.0
+
+
+@dataclass(frozen=True)
+class _PairBounds:
+    """Decision-space bounds for one undecided pair."""
+
+    lower: float
+    upper: float
+    cells: int  # kernel work a prune avoids
+
+
+class PairwiseEngine:
+    """Pairwise DTW evaluation with kernel, cache, bounds, and pool.
+
+    One engine instance serves one detector; the kernel configuration
+    mirrors the detector's comparison knobs so cached entries are only
+    ever reused under identical semantics.
+
+    Args:
+        band_radius: Sakoe–Chiba half-width in samples, or ``None`` for
+            FastDTW mode.
+        use_exact_dtw: Use exact unconstrained DTW (ablations).
+        fastdtw_radius: FastDTW refinement radius (band disabled only).
+        normalize_by_path_length: Divide distances by warp-path length.
+        pruning: Allow bound-cascade decisions in
+            :meth:`compare_decided` (band mode only).
+        cache_size: LRU capacity in pairs; 0 disables caching.
+        workers: Thread-pool width for exact evaluations; 0 = inline.
+        registry: Metrics registry (defaults to the process-global one).
+        metric_prefix: Instrument-name prefix (``"detector"`` so the
+            engine's counters extend the detector's existing family).
+    """
+
+    def __init__(
+        self,
+        band_radius: Optional[int] = 10,
+        use_exact_dtw: bool = False,
+        fastdtw_radius: int = 1,
+        normalize_by_path_length: bool = True,
+        pruning: bool = False,
+        cache_size: int = 256,
+        workers: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+        metric_prefix: str = "detector",
+    ) -> None:
+        self.band_radius = band_radius
+        self.use_exact_dtw = use_exact_dtw
+        self.fastdtw_radius = fastdtw_radius
+        self.normalize_by_path_length = normalize_by_path_length
+        self.pruning = pruning
+        self.workers = workers
+        self._cache = _LRUCache(cache_size) if cache_size > 0 else None
+        self.stats = PairwiseStats()
+        metrics = registry if registry is not None else default_registry()
+        prefix = metric_prefix
+        self._c_pairs = metrics.counter(f"{prefix}.pairs_compared")
+        self._c_exact = metrics.counter(f"{prefix}.pairs_exact")
+        self._c_pruned = metrics.counter(f"{prefix}.pairs_pruned")
+        self._c_hits = metrics.counter(f"{prefix}.cache_hits")
+        self._c_misses = metrics.counter(f"{prefix}.cache_misses")
+        self._c_cells = metrics.counter(f"{prefix}.dtw_cells")
+        self._c_cells_saved = metrics.counter(f"{prefix}.cells_saved")
+
+    # -- properties -----------------------------------------------------
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether the incremental pair cache is active."""
+        return self._cache is not None
+
+    @property
+    def cache_len(self) -> int:
+        """Number of cached pair results."""
+        return len(self._cache) if self._cache is not None else 0
+
+    @property
+    def can_prune(self) -> bool:
+        """Bound-cascade decisions are sound only for the banded kernel
+        (the bounds are built from the same band geometry; FastDTW's
+        refinement window need not contain the upper-bound path)."""
+        return (
+            self.pruning
+            and self.band_radius is not None
+            and not self.use_exact_dtw
+        )
+
+    def clear_cache(self) -> None:
+        """Drop every cached pair result."""
+        if self._cache is not None:
+            self._cache.clear()
+
+    # -- kernel ---------------------------------------------------------
+    def _kernel(self, a: np.ndarray, b: np.ndarray) -> DTWResult:
+        if self.use_exact_dtw:
+            return dtw(a, b)
+        if self.band_radius is not None:
+            n, m = a.size, b.size
+            if n >= 2 and m >= 2:
+                _, _, monotone, n_cells = _band_arrays(n, m, self.band_radius)
+                if monotone and n_cells >= _VEC_MIN_AVG_WIDTH * (n + m):
+                    return dtw_banded_vec(a, b, self.band_radius)
+            return dtw_banded_fast(a, b, self.band_radius)
+        return fastdtw(a, b, radius=self.fastdtw_radius)
+
+    def _finish(self, distance: float, path_len: int) -> float:
+        if self.normalize_by_path_length:
+            return distance / path_len
+        return distance
+
+    def _pair_key(
+        self,
+        a: str,
+        b: str,
+        keys: Optional[Mapping[str, bytes]],
+        scale_tag: str,
+    ) -> Optional[tuple]:
+        if self._cache is None or keys is None:
+            return None
+        return (keys[a], keys[b], scale_tag)
+
+    def _lookup(
+        self, key: Optional[tuple], stats: PairwiseStats
+    ) -> Optional[float]:
+        """Cache probe; returns the finished distance on a hit."""
+        if key is None or self._cache is None:
+            return None
+        entry = self._cache.get(key)
+        if entry is None:
+            return None
+        distance, path_len, cells = entry
+        stats.cache_hits += 1
+        stats.cells_saved += cells
+        return self._finish(distance, path_len)
+
+    def _compute(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        key: Optional[tuple],
+        stats: PairwiseStats,
+        triple: Optional[Tuple[float, int, int]] = None,
+    ) -> float:
+        """Exact evaluation (kernel run unless ``triple`` is supplied)."""
+        if triple is None:
+            triple = _result_triple(self._kernel(a, b))
+        distance, path_len, cells = triple
+        if key is not None and self._cache is not None:
+            self._cache.put(key, triple)
+            stats.cache_misses += 1
+        stats.exact += 1
+        stats.cells += cells
+        return self._finish(distance, path_len)
+
+    def _flush(self, stats: PairwiseStats) -> None:
+        """Publish one comparison phase's stats to metrics + cumulative."""
+        self.stats.add(stats)
+        self._c_pairs.inc(stats.pairs)
+        self._c_exact.inc(stats.exact)
+        self._c_pruned.inc(stats.pruned)
+        self._c_hits.inc(stats.cache_hits)
+        self._c_misses.inc(stats.cache_misses)
+        self._c_cells.inc(stats.cells)
+        self._c_cells_saved.inc(stats.cells_saved)
+
+    # -- exact all-pairs comparison --------------------------------------
+    def compare(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        keys: Optional[Mapping[str, bytes]] = None,
+        scale_tag: str = "",
+    ) -> Tuple[Dict[Pair, float], PairwiseStats]:
+        """Exact pairwise distances for every identity pair.
+
+        Args:
+            arrays: Identity → normalised series (as the scalar
+                comparison loop would see them).
+            keys: Identity → cache fingerprint (normally the exact bytes
+                of the pre-scale series window); ``None`` disables the
+                cache for this call.
+            scale_tag: Fingerprint of the common scale divisor shared by
+                every series this call (empty when the scale is baked
+                into the arrays).
+
+        Returns:
+            ``(distances, stats)`` with pairs in sorted-identity order —
+            values bit-identical to the legacy per-pair loop.
+        """
+        stats = PairwiseStats()
+        ids = sorted(arrays)
+        distances: Dict[Pair, float] = {}
+        pending: List[Tuple[Pair, Optional[tuple]]] = []
+        for index, a in enumerate(ids):
+            for b in ids[index + 1 :]:
+                stats.pairs += 1
+                key = self._pair_key(a, b, keys, scale_tag)
+                hit = self._lookup(key, stats)
+                if hit is not None:
+                    distances[(a, b)] = hit
+                else:
+                    distances[(a, b)] = _INF  # placeholder, keeps order
+                    pending.append(((a, b), key))
+        for (pair, key), triple in zip(
+            pending, self._run_kernels([p for p, _ in pending], arrays)
+        ):
+            distances[pair] = self._compute(
+                arrays[pair[0]], arrays[pair[1]], key, stats, triple=triple
+            )
+        self._flush(stats)
+        return distances, stats
+
+    def _run_kernels(
+        self, pairs: List[Pair], arrays: Mapping[str, np.ndarray]
+    ) -> List[Tuple[float, int, int]]:
+        """Kernel runs for ``pairs`` as ``(distance, path_len, cells)``.
+
+        In banded mode, pairs sharing one ``(n, m)`` shape are relaxed
+        together through :func:`dtw_banded_batch`; singleton shapes use
+        the per-pair kernel.  Tasks optionally spread over the thread
+        pool; results always come back in ``pairs`` order.
+        """
+        if not pairs:
+            return []
+        banded = self.band_radius is not None and not self.use_exact_dtw
+        tasks: List[List[int]] = []
+        if banded:
+            groups: Dict[Tuple[int, int], List[int]] = {}
+            for index, (a, b) in enumerate(pairs):
+                shape = (arrays[a].size, arrays[b].size)
+                groups.setdefault(shape, []).append(index)
+            for indices in groups.values():
+                if self.workers > 1 and len(indices) > 2 * self.workers:
+                    step = -(-len(indices) // self.workers)  # ceil division
+                    tasks.extend(
+                        indices[i : i + step] for i in range(0, len(indices), step)
+                    )
+                else:
+                    tasks.append(indices)
+        else:
+            tasks = [[index] for index in range(len(pairs))]
+
+        def run(indices: List[int]) -> List[Tuple[float, int, int]]:
+            if banded and len(indices) > 1:
+                assert self.band_radius is not None
+                return dtw_banded_batch(
+                    [arrays[pairs[i][0]] for i in indices],
+                    [arrays[pairs[i][1]] for i in indices],
+                    self.band_radius,
+                )
+            a, b = pairs[indices[0]]
+            return [_result_triple(self._kernel(arrays[a], arrays[b]))]
+
+        if self.workers > 0 and len(tasks) > 1:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                outputs = list(pool.map(run, tasks))
+        else:
+            outputs = [run(task) for task in tasks]
+        results: List[Optional[Tuple[float, int, int]]] = [None] * len(pairs)
+        for indices, output in zip(tasks, outputs):
+            for index, triple in zip(indices, output):
+                results[index] = triple
+        assert all(triple is not None for triple in results)
+        return results  # type: ignore[return-value]
+
+    # -- threshold-aware comparison (bound cascade) ----------------------
+    def compare_decided(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        keys: Optional[Mapping[str, bytes]],
+        scale_tag: str,
+        cutoff: float,
+        threshold_on: str,
+    ) -> Tuple[Dict[Pair, float], Dict[Pair, bool], PairwiseStats]:
+        """Flag every pair against the threshold, running DTW lazily.
+
+        Produces exactly the flag set the exact pairwise loop followed
+        by the threshold rule would (``distance <= cutoff``, on min–max
+        normalised distances when ``threshold_on == "normalized"``),
+        while replacing DTW runs with bound decisions wherever the
+        bounds cannot change the outcome.  Pairs decided from bounds
+        carry a *surrogate* distance (their deciding bound, clipped into
+        the observed ``[dmin, dmax]``) that sits on the correct side of
+        the threshold after min–max normalisation.
+
+        Requires :attr:`can_prune`; callers fall back to
+        :meth:`compare` + explicit thresholding otherwise.
+
+        Returns:
+            ``(distances, flags, stats)`` in sorted-identity order.
+        """
+        if not self.can_prune:
+            raise RuntimeError("compare_decided requires banded-kernel pruning")
+        assert self.band_radius is not None
+        radius = self.band_radius
+        stats = PairwiseStats()
+        ids = sorted(arrays)
+        pairs: List[Pair] = [
+            (a, b) for i, a in enumerate(ids) for b in ids[i + 1 :]
+        ]
+        stats.pairs = len(pairs)
+        if not pairs:
+            self._flush(stats)
+            return {}, {}, stats
+
+        exact: Dict[Pair, float] = {}
+        pair_keys: Dict[Pair, Optional[tuple]] = {}
+        bounds: Dict[Pair, _PairBounds] = {}
+        for pair in pairs:
+            a, b = pair
+            key = self._pair_key(a, b, keys, scale_tag)
+            pair_keys[pair] = key
+            hit = self._lookup(key, stats)
+            if hit is not None:
+                exact[pair] = hit
+                continue
+            xa, xb = arrays[a], arrays[b]
+            n, m = xa.size, xb.size
+            lower = dtw_band_lower_bound(xa, xb, radius)
+            upper_cost, _upper_len = dtw_band_upper_bound(xa, xb, radius)
+            if self.normalize_by_path_length:
+                lower /= n + m - 1  # longest possible warp path
+                upper = upper_cost / max(n, m)  # shortest possible path
+            else:
+                upper = upper_cost
+            bounds[pair] = _PairBounds(lower, upper, band_cells(n, m, radius))
+
+        def run_exact(
+            pair: Pair, triple: Optional[Tuple[float, int, int]] = None
+        ) -> float:
+            value = self._compute(
+                arrays[pair[0]], arrays[pair[1]], pair_keys[pair], stats, triple
+            )
+            exact[pair] = value
+            del bounds[pair]
+            return value
+
+        def run_exact_batch(batch: List[Pair]) -> None:
+            for pair, triple in zip(batch, self._run_kernels(batch, arrays)):
+                run_exact(pair, triple)
+
+        flags: Dict[Pair, bool] = {}
+        surrogates: Dict[Pair, float] = {}
+
+        if threshold_on == "raw":
+            ambiguous: List[Pair] = []
+            for pair in pairs:
+                if pair in exact:
+                    continue
+                bound = bounds[pair]
+                if bound.upper <= cutoff:
+                    flags[pair] = True
+                    surrogates[pair] = bound.upper
+                    stats.pruned += 1
+                    stats.cells_saved += bound.cells
+                elif bound.lower > cutoff:
+                    flags[pair] = False
+                    surrogates[pair] = bound.lower
+                    stats.pruned += 1
+                    stats.cells_saved += bound.cells
+                else:
+                    ambiguous.append(pair)
+            run_exact_batch(ambiguous)
+            for pair, value in exact.items():
+                flags[pair] = value <= cutoff
+        else:  # "normalized": Eq. 8 min–max, then threshold
+            # Pin down the report's exact min and max distance by
+            # best-bound-first refinement: the true min cannot hide in a
+            # pair whose lower bound exceeds an already-computed value.
+            by_lower = sorted(bounds, key=lambda p: bounds[p].lower)
+            while by_lower:
+                by_lower = [p for p in by_lower if p in bounds]
+                if not by_lower:
+                    break
+                if exact and min(exact.values()) <= bounds[by_lower[0]].lower:
+                    break
+                run_exact(by_lower.pop(0))
+            by_upper = sorted(
+                bounds, key=lambda p: bounds[p].upper, reverse=True
+            )
+            while by_upper:
+                by_upper = [p for p in by_upper if p in bounds]
+                if not by_upper:
+                    break
+                if exact and max(exact.values()) >= bounds[by_upper[0]].upper:
+                    break
+                run_exact(by_upper.pop(0))
+            dmin = min(exact.values())
+            dmax = max(exact.values())
+            denom = dmax - dmin
+            if denom < _SIGMA_FLOOR:
+                # Degenerate min–max: every distance normalises to 0
+                # (maximal similarity), exactly as minmax() defines it.
+                flag_all = 0.0 <= cutoff
+                for pair in pairs:
+                    flags[pair] = flag_all
+                    if pair not in exact:
+                        bound = bounds[pair]
+                        surrogates[pair] = min(max(bound.lower, dmin), dmax)
+                        stats.pruned += 1
+                        stats.cells_saved += bound.cells
+            else:
+                ambiguous = []
+                for pair in pairs:
+                    if pair in exact:
+                        continue
+                    bound = bounds[pair]
+                    if (bound.upper - dmin) / denom <= cutoff:
+                        flags[pair] = True
+                        surrogates[pair] = min(bound.upper, dmax)
+                        stats.pruned += 1
+                        stats.cells_saved += bound.cells
+                    elif (bound.lower - dmin) / denom > cutoff:
+                        flags[pair] = False
+                        surrogates[pair] = max(bound.lower, dmin)
+                        stats.pruned += 1
+                        stats.cells_saved += bound.cells
+                    else:
+                        ambiguous.append(pair)
+                run_exact_batch(ambiguous)
+                for pair, value in exact.items():
+                    flags[pair] = (value - dmin) / denom <= cutoff
+
+        distances = {
+            pair: exact[pair] if pair in exact else surrogates[pair]
+            for pair in pairs
+        }
+        self._flush(stats)
+        return distances, flags, stats
