@@ -23,6 +23,15 @@ instrument, and prints an end-of-run summary; ``--trace-out`` streams
 every finished span (one detection = one root span with its phase
 children) as JSONL.
 
+Live telemetry rides the same flags block: ``--telemetry-port`` serves
+Prometheus text at ``/metrics`` (plus ``/health``) while the run is in
+flight, ``--snapshot-interval`` turns counters into ``rate.*`` gauges
+and a snapshot JSONL stream, ``--health-thresholds`` arms the streaming
+health monitor, and ``--flight-recorder-out`` keeps a bounded ring of
+recent spans/logs/reports that dumps a post-mortem bundle on an alert
+or an unhandled exception (see README "Telemetry & health
+monitoring").
+
 The pairwise comparison engine (``repro.core.pairwise``) is likewise
 configured globally: ``--pairwise {engine,naive}``,
 ``--pairwise-pruning {on,off}``, ``--pairwise-cache N`` and
@@ -38,6 +47,7 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from . import obs
+from .obs.health import HealthMonitor, HealthThresholds
 from .core.pairwise import set_engine_defaults
 from .eval import experiments as ex
 from .eval.reporting import render_table
@@ -312,6 +322,47 @@ def _add_obs_arguments(
         help="enable span tracing; stream finished spans as JSONL to PATH",
     )
     parser.add_argument(
+        "--telemetry-port",
+        type=int,
+        metavar="PORT",
+        default=suppressed if suppress_defaults else None,
+        help="serve live Prometheus text at http://127.0.0.1:PORT/metrics "
+        "and health JSON at /health for the duration of the run "
+        "(0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--snapshot-interval",
+        type=float,
+        metavar="SECONDS",
+        default=suppressed if suppress_defaults else None,
+        help="periodically snapshot the metrics registry: counter deltas "
+        "become rate.* gauges and one JSONL record per tick is written "
+        "to --snapshot-out",
+    )
+    parser.add_argument(
+        "--snapshot-out",
+        metavar="PATH",
+        default=suppressed if suppress_defaults else None,
+        help="snapshot JSONL destination (default: snapshots.jsonl when "
+        "--snapshot-interval is set)",
+    )
+    parser.add_argument(
+        "--flight-recorder-out",
+        metavar="PATH",
+        default=suppressed if suppress_defaults else None,
+        help="keep a bounded ring of recent spans/logs/reports and dump "
+        "a post-mortem JSONL bundle to PATH on a health alert or an "
+        "unhandled exception",
+    )
+    parser.add_argument(
+        "--health-thresholds",
+        type=HealthThresholds.from_spec,
+        metavar="SPEC",
+        default=suppressed if suppress_defaults else None,
+        help="enable the streaming health monitor with alert limits, "
+        "e.g. silence=30,detect_ms=250,flag_rate=0.5,density_drift=0.5",
+    )
+    parser.add_argument(
         "--pairwise",
         choices=["engine", "naive"],
         default=suppressed if suppress_defaults else None,
@@ -429,12 +480,31 @@ def _metrics_summary(registry: "obs.MetricsRegistry") -> str:
     return render_table(["metric", "kind", "value"], rows, title="metrics summary")
 
 
+def _health_summary(monitor: "obs.HealthMonitor") -> str:
+    """End-of-run health line(s): verdict plus any alerts fired."""
+    status = monitor.status()
+    if status["status"] == "ok":
+        return f"health: ok ({status['reports']} reports, 0 alerts)"
+    lines = [
+        f"health: ALERT ({status['reports']} reports, "
+        f"{monitor.alerts_total} alert(s))"
+    ]
+    for alert in status["alerts"]:
+        lines.append(
+            f"  [{alert['kind']}] t={alert['t']:g} {alert['message']}"
+        )
+    return "\n".join(lines)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     handler = _HANDLERS[args.command]
 
+    telemetry_on = (
+        args.telemetry_port is not None or args.snapshot_interval is not None
+    )
     # Open both output files up front so a bad path fails before the
     # (potentially long) run instead of after it.
     metrics_file = (
@@ -442,15 +512,55 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.metrics_out
         else None
     )
-    trace_exporter = (
-        obs.JsonlSpanExporter(args.trace_out) if args.trace_out else None
-    )
+    registry = obs.default_registry()
+    if telemetry_on:
+        # Long live runs must not leak raw histogram samples: cap
+        # reservoirs for every histogram created from here on.
+        registry.histogram_max_samples = 65536
+
+    # The health monitor is armed by --health-thresholds, and also
+    # (with permissive default limits) whenever something consumes its
+    # status: the /health endpoint or the flight recorder's triggers.
+    monitor: Optional[HealthMonitor] = None
+    if (
+        args.health_thresholds is not None
+        or args.telemetry_port is not None
+        or args.flight_recorder_out
+    ):
+        monitor = HealthMonitor(
+            args.health_thresholds or HealthThresholds(), registry=registry
+        )
+    previous_monitor = obs.set_default_monitor(monitor) if monitor else None
+
+    recorder: Optional[obs.FlightRecorder] = None
+    if args.flight_recorder_out:
+        recorder = obs.FlightRecorder(
+            args.flight_recorder_out, tracer=obs.default_tracer()
+        )
+        recorder.install_log_capture()
+        recorder.install_excepthook()
+        assert monitor is not None
+        monitor.attach_recorder(recorder)
+
+    # Span destinations: the JSONL stream (--trace-out), the per-phase
+    # latency histograms (telemetry), and the flight-recorder ring.
+    exporters = []
+    if args.trace_out:
+        exporters.append(obs.JsonlSpanExporter(args.trace_out))
+    if telemetry_on:
+        exporters.append(obs.SpanLatencyRecorder(registry=registry))
+    if recorder is not None:
+        exporters.append(recorder)
+    trace_exporter = None
+    if len(exporters) == 1:
+        trace_exporter = exporters[0]
+    elif exporters:
+        trace_exporter = obs.TeeSpanExporter(*exporters)
     obs.configure(
         log_level=args.log_level,
-        metrics=bool(args.metrics_out),
+        metrics=bool(args.metrics_out) or telemetry_on or monitor is not None,
         trace_exporter=trace_exporter,
     )
-    registry = obs.default_registry()
     previous_defaults = set_engine_defaults(
         engine=None if args.pairwise is None else args.pairwise == "engine",
         pruning=(
@@ -459,7 +569,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cache_size=args.pairwise_cache,
         workers=args.pairwise_workers,
     )
+    server: Optional[obs.TelemetryServer] = None
+    snapshotter: Optional[obs.Snapshotter] = None
     try:
+        if args.telemetry_port is not None:
+            server = obs.TelemetryServer(
+                registry=registry, health=monitor, port=args.telemetry_port
+            ).start()
+            print(f"[telemetry: {server.url}/metrics]")
+        if args.snapshot_interval is not None:
+            snapshotter = obs.Snapshotter(
+                registry=registry,
+                interval_s=args.snapshot_interval,
+                out=args.snapshot_out or "snapshots.jsonl",
+                health=monitor,
+            ).start()
         start = time.perf_counter()
         output = handler(args)
         elapsed = time.perf_counter() - start
@@ -469,11 +593,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(_metrics_summary(registry))
             n_records = registry.write_jsonl(metrics_file)
             print(f"[{n_records} metric records -> {args.metrics_out}]")
+        if monitor is not None:
+            print()
+            print(_health_summary(monitor))
+            if recorder is not None and recorder.dumps_written:
+                print(
+                    f"[{recorder.dumps_written} post-mortem bundle(s) -> "
+                    f"{args.flight_recorder_out}]"
+                )
+        if snapshotter is not None:
+            snapshotter.close()
+            snapshotter = None
+            print(
+                f"[snapshots -> {args.snapshot_out or 'snapshots.jsonl'}]"
+            )
         if args.trace_out:
             print(f"[spans -> {args.trace_out}]")
         if elapsed > 1.0:
             print(f"\n[{elapsed:.1f}s]")
     finally:
+        if snapshotter is not None:
+            snapshotter.close()
+        if server is not None:
+            server.stop()
+        if recorder is not None:
+            recorder.close()
+        if monitor is not None:
+            obs.set_default_monitor(previous_monitor)
         set_engine_defaults(
             engine=previous_defaults.engine,
             pruning=previous_defaults.pruning,
@@ -483,7 +629,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         obs.shutdown()
         if metrics_file is not None:
             metrics_file.close()
+        if metrics_file is not None or telemetry_on or monitor is not None:
             registry.reset()
+        if telemetry_on:
+            registry.histogram_max_samples = None
     return 0
 
 

@@ -26,6 +26,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..obs.health import HealthMonitor, default_monitor
 from ..obs.logging import get_logger
 from ..obs.metrics import MetricsRegistry, default_registry
 from ..obs.timers import Stopwatch
@@ -262,6 +263,13 @@ class VoiceprintDetector:
             instrumented call is a cheap no-op).
         tracer: Span tracer for per-detection phase traces; defaults to
             the process-global one.
+        health: Streaming health monitor fed every beacon (Collection
+            staleness watchdog) and every detection report (latency /
+            flag-rate / density sliding windows).  Defaults to the
+            process-global monitor installed via
+            :func:`repro.obs.set_default_monitor` — None unless
+            telemetry is armed, keeping the unmonitored fast path at a
+            single None check.
 
     Example:
         >>> detector = VoiceprintDetector()
@@ -277,6 +285,7 @@ class VoiceprintDetector:
         config: Optional[DetectorConfig] = None,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        health: Optional[HealthMonitor] = None,
     ) -> None:
         self.threshold: ThresholdPolicy = threshold or LinearThreshold()
         self.config = config or DetectorConfig()
@@ -284,6 +293,7 @@ class VoiceprintDetector:
         self._latest: float = float("-inf")
         metrics = registry if registry is not None else default_registry()
         self._tracer = tracer if tracer is not None else default_tracer()
+        self._health = health if health is not None else default_monitor()
         self._c_beacons = metrics.counter("detector.beacons_observed")
         self._c_evictions = metrics.counter("detector.series_evictions")
         self._c_pairs = metrics.counter("detector.pairs_compared")
@@ -339,6 +349,8 @@ class VoiceprintDetector:
             self._buffers[identity] = buffer
         buffer.append(timestamp, rssi)
         self._c_beacons.inc()
+        if self._health is not None:
+            self._health.beat(timestamp)
         if timestamp > self._latest:
             self._latest = timestamp
         horizon = timestamp - 2.0 * self.config.observation_time
@@ -485,8 +497,9 @@ class VoiceprintDetector:
         if now is None:
             now = self._latest if self._buffers else 0.0
         pruning = self._engine is not None and self._engine.can_prune
+        stopwatch = Stopwatch(self._h_detect_ms)
         with self._tracer.span("detection", density=float(density)) as root, \
-                Stopwatch(self._h_detect_ms):
+                stopwatch:
             if pruning:
                 assert self._engine is not None
                 # Threshold-aware comparison: the engine decides pairs
@@ -552,6 +565,8 @@ class VoiceprintDetector:
             compared_ids=compared,
             skipped_ids=skipped,
         )
+        if self._health is not None:
+            self._health.on_report(report, stopwatch.elapsed_ms or 0.0)
         if _log.isEnabledFor(10):  # DEBUG: skip summary() cost otherwise
             _log.debug("detection complete", extra={"report": report.summary()})
         return report

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, List, Optional
 
+from ..obs.health import HealthMonitor, default_monitor
 from ..obs.logging import get_logger
 from ..obs.metrics import MetricsRegistry, default_registry
 from ..obs.trace import Tracer, default_tracer
@@ -82,6 +83,12 @@ class OnlineVoiceprint:
         registry: Metrics registry (default: the process-global one,
             a no-op until observability is configured).
         tracer: Span tracer, forwarded to the detector.
+        health: Streaming health monitor fed every beacon (staleness
+            watchdog) and every detection report (latency / flag-rate /
+            density windows).  Defaults to the process-global monitor
+            installed via :func:`repro.obs.set_default_monitor` — which
+            is None unless telemetry is configured, keeping the
+            unmonitored fast path at a single None check.
     """
 
     def __init__(
@@ -92,6 +99,7 @@ class OnlineVoiceprint:
         config: Optional[OnlineVoiceprintConfig] = None,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        health: Optional[HealthMonitor] = None,
     ) -> None:
         self.config = config or OnlineVoiceprintConfig()
         metrics = registry if registry is not None else default_registry()
@@ -100,11 +108,15 @@ class OnlineVoiceprint:
         self._g_confirmed = metrics.gauge("pipeline.confirmed_sybils")
         self._g_hit_rate = metrics.gauge("pipeline.pairwise_cache_hit_rate")
         self._tracer = tracer if tracer is not None else default_tracer()
+        self._health = health if health is not None else default_monitor()
+        # The detector feeds the monitor itself (beat per beacon,
+        # on_report per detection), so the pipeline only passes it down.
         self.detector = VoiceprintDetector(
             threshold=threshold or LinearThreshold(),
             config=detector_config,
             registry=metrics,
             tracer=self._tracer,
+            health=self._health,
         )
         self.estimator = DensityEstimator(max_range_m=max_range_m)
         self.confirmer = MultiPeriodConfirmer(

@@ -102,6 +102,8 @@ def run_voiceprint(
     )
     metrics = default_registry()
     c_periods = metrics.counter("eval.periods_evaluated")
+    c_detections = metrics.counter("eval.detections")
+    c_flagged = metrics.counter("eval.flagged_periods")
     h_verifier_ms = metrics.histogram("eval.verifier_replay_ms")
     outcomes: List[PeriodOutcome] = []
     for node in nodes:
@@ -120,6 +122,9 @@ def run_voiceprint(
                 )
                 density_per_km = estimator.estimate() * 1000.0
                 report = detector.detect(density=density_per_km, now=t)
+                c_detections.inc()
+                if report.sybil_ids:
+                    c_flagged.inc()
                 # "Neighbouring vehicles" (Eqs. 10-11's populations) are
                 # the identities heard with some regularity — half the
                 # detector's comparison floor; identities with a stray

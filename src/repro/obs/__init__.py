@@ -1,16 +1,31 @@
-"""``repro.obs`` — metrics, span tracing, and structured logging.
+"""``repro.obs`` — metrics, tracing, logging, and runtime telemetry.
 
 One zero-dependency observability layer threaded through the detection
 pipeline, the simulators, and the evaluation harness:
 
 * :mod:`repro.obs.metrics` — thread-safe counters / gauges / histograms
-  in a :class:`MetricsRegistry` with JSON-lines export.
+  in a :class:`MetricsRegistry` with JSON-lines export (histograms take
+  an optional reservoir cap for unbounded online runs).
 * :mod:`repro.obs.timers` — :class:`Stopwatch`, a context-manager /
   decorator that records durations into histograms.
 * :mod:`repro.obs.trace` — nested spans tracing one detection end to
   end (normalise → pairwise FastDTW → min-max → threshold), exported
-  as JSONL.
+  as JSONL; open spans are flushed as partial records on shutdown or
+  an unhandled exception, so exports are never truncated.
 * :mod:`repro.obs.logging` — structured ``key=value`` stdlib logging.
+* :mod:`repro.obs.prometheus` — Prometheus text exposition of a
+  registry snapshot.
+* :mod:`repro.obs.telemetry` — the runtime consumers: a periodic
+  :class:`Snapshotter` (counter deltas → rates, JSONL + ``rate.*``
+  gauges), a :class:`SpanLatencyRecorder` (spans → per-phase latency
+  histograms) and a background :class:`TelemetryServer` serving
+  ``/metrics`` and ``/health``.
+* :mod:`repro.obs.health` — a streaming :class:`HealthMonitor` for the
+  online pipeline (staleness watchdog, latency / flag-rate / density
+  sliding windows, threshold alerts).
+* :mod:`repro.obs.flightrec` — a bounded :class:`FlightRecorder` ring
+  of recent spans / logs / reports that dumps a post-mortem JSONL
+  bundle when an alert or an unhandled exception fires.
 
 Everything is **off by default**: the process-global registry and
 tracer start disabled, and disabled instruments drop calls after a
@@ -19,19 +34,22 @@ pay (almost) nothing.  Components also accept injected registries and
 tracers for isolated observation in tests.
 
 Typical wiring (what the CLI's ``--log-level`` / ``--metrics-out`` /
-``--trace-out`` flags do)::
+``--trace-out`` / ``--telemetry-port`` flags do)::
 
     from repro import obs
 
     obs.configure(log_level="INFO", metrics=True,
                   trace_exporter=obs.JsonlSpanExporter("trace.jsonl"))
+    server = obs.TelemetryServer(port=9110).start()   # live /metrics
     ... run detections ...
     obs.default_registry().write_jsonl("metrics.jsonl")
+    server.stop()
     obs.shutdown()
 """
 
 from __future__ import annotations
 
+import atexit
 from typing import Optional, Union
 
 from .logging import KeyValueFormatter, configure as configure_logging, get_logger
@@ -51,6 +69,16 @@ from .trace import (
     Tracer,
     default_tracer,
 )
+from .prometheus import render_prometheus, sanitize_metric_name
+from .telemetry import Snapshotter, SpanLatencyRecorder, TelemetryServer
+from .health import (
+    Alert,
+    HealthMonitor,
+    HealthThresholds,
+    default_monitor,
+    set_default_monitor,
+)
+from .flightrec import FlightRecorder, TeeSpanExporter
 
 __all__ = [
     "Counter",
@@ -62,16 +90,40 @@ __all__ = [
     "SpanExporter",
     "InMemorySpanExporter",
     "JsonlSpanExporter",
+    "TeeSpanExporter",
     "Tracer",
     "KeyValueFormatter",
     "get_logger",
     "configure_logging",
+    "render_prometheus",
+    "sanitize_metric_name",
+    "Snapshotter",
+    "SpanLatencyRecorder",
+    "TelemetryServer",
+    "Alert",
+    "HealthMonitor",
+    "HealthThresholds",
+    "FlightRecorder",
     "default_registry",
     "default_tracer",
+    "default_monitor",
+    "set_default_monitor",
     "configure",
     "disable",
     "shutdown",
 ]
+
+_atexit_registered = False
+
+
+def _atexit_close() -> None:
+    """Last-chance flush so crashes never truncate span exports."""
+    tracer = default_tracer()
+    if tracer.exporter is not None:
+        try:
+            tracer.close(reason="atexit")
+        except Exception:  # interpreter is going down; never raise here
+            pass
 
 
 def configure(
@@ -87,14 +139,21 @@ def configure(
             :func:`repro.obs.logging.configure`).
         metrics: Enable the process-global metrics registry.
         trace_exporter: When given, enables the process-global tracer
-            and routes finished spans to this exporter.
+            and routes finished spans to this exporter.  An atexit
+            hook is registered (once) that flushes open spans and
+            closes the exporter, so an unhandled exception still
+            produces a complete JSONL stream.
     """
+    global _atexit_registered
     if log_level is not None:
         configure_logging(level=log_level)
     if metrics:
         default_registry().enable()
     if trace_exporter is not None:
         default_tracer().enable(trace_exporter)
+        if not _atexit_registered:
+            atexit.register(_atexit_close)
+            _atexit_registered = True
 
 
 def disable() -> None:
@@ -104,9 +163,13 @@ def disable() -> None:
 
 
 def shutdown() -> None:
-    """Disable global observability and close the tracer's exporter."""
+    """Disable global observability and close the tracer's exporter.
+
+    Open spans (if any survived — e.g. after an exception unwound past
+    their owner) are exported as partial records first.
+    """
     disable()
     tracer = default_tracer()
     if tracer.exporter is not None:
-        tracer.exporter.close()
+        tracer.close(reason="shutdown")
         tracer.exporter = None

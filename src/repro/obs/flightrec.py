@@ -1,0 +1,250 @@
+"""Bounded flight recorder: post-mortem capture for online detection.
+
+When the health monitor fires an alert (or an exception escapes the
+run), the most valuable debugging data is the *recent past*: the spans,
+log lines, and detection reports leading up to the event.  Holding a
+full trace for a multi-hour drive is exactly the unbounded growth the
+telemetry layer exists to avoid, so :class:`FlightRecorder` keeps
+fixed-size ring buffers instead and serialises them on demand:
+
+* **spans** — the recorder *is* a :class:`SpanExporter`; attach it to a
+  tracer directly or tee it next to a JSONL exporter with
+  :class:`TeeSpanExporter`.
+* **log events** — :meth:`install_log_capture` hangs a stdlib handler
+  off the ``repro`` logger and records every structured event.
+* **reports** — :meth:`record_report` keeps one summary row per
+  :class:`~repro.core.detector.DetectionReport` (the health monitor
+  forwards these when wired via ``attach_recorder``).
+
+:meth:`dump` writes one self-describing JSONL bundle — a header line,
+then every buffered record tagged with its ``type`` — to
+``<out>`` (first dump) / ``<out>.N`` (subsequent dumps), so repeated
+alerts never overwrite the first post-mortem.  :meth:`install_excepthook`
+chains onto ``sys.excepthook`` to flush the tracer's open spans and
+dump automatically on an unhandled exception.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from .logging import ROOT_LOGGER, _STANDARD_ATTRS
+from .trace import SpanExporter, Tracer
+
+__all__ = ["FlightRecorder", "TeeSpanExporter"]
+
+
+class TeeSpanExporter(SpanExporter):
+    """Fans each finished span out to several exporters."""
+
+    def __init__(self, *exporters: SpanExporter) -> None:
+        self.exporters: List[SpanExporter] = [
+            e for e in exporters if e is not None
+        ]
+
+    def export(self, record: Dict[str, Any]) -> None:
+        for exporter in self.exporters:
+            exporter.export(record)
+
+    def flush(self) -> None:
+        for exporter in self.exporters:
+            exporter.flush()
+
+    def close(self) -> None:
+        for exporter in self.exporters:
+            exporter.close()
+
+
+class _RecorderHandler(logging.Handler):
+    """Feeds ``repro`` log records into the recorder's ring buffer."""
+
+    def __init__(self, recorder: "FlightRecorder") -> None:
+        super().__init__(level=logging.DEBUG)
+        self._recorder = recorder
+
+    def emit(self, record: logging.LogRecord) -> None:
+        fields = {
+            key: value
+            for key, value in vars(record).items()
+            if key not in _STANDARD_ATTRS and not key.startswith("_")
+        }
+        self._recorder._record_log(
+            {
+                "ts": record.created,
+                "level": record.levelname,
+                "logger": record.name,
+                "msg": record.getMessage(),
+                **fields,
+            }
+        )
+
+
+class FlightRecorder(SpanExporter):
+    """Ring buffers of recent spans / logs / reports with JSONL dumps.
+
+    Args:
+        out: Dump destination path.  The first dump writes ``out``
+            itself, later dumps ``out.1``, ``out.2``, ...
+        capacity: Ring size *per stream* (spans, log events, reports).
+        tracer: Tracer whose open spans are flushed into the span ring
+            before a dump (so a post-mortem never contains truncated
+            span records); optional.
+
+    The recorder is itself a :class:`SpanExporter` — pass it to
+    ``Tracer(exporter=...)`` or tee it with :class:`TeeSpanExporter`.
+    """
+
+    def __init__(
+        self,
+        out: str,
+        capacity: int = 512,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.out = out
+        self.capacity = capacity
+        self._tracer = tracer
+        self._lock = threading.Lock()
+        self._spans: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._logs: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._reports: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._alerts: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._dumps = 0
+        self._handler: Optional[_RecorderHandler] = None
+        self._previous_excepthook: Optional[Any] = None
+
+    # -- capture -------------------------------------------------------
+    def export(self, record: Dict[str, Any]) -> None:
+        """SpanExporter interface: buffer one finished span record."""
+        with self._lock:
+            self._spans.append(record)
+
+    def _record_log(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self._logs.append(record)
+
+    def record_report(self, report: "Any") -> None:
+        """Buffer a one-row summary of a detection report."""
+        row = {
+            "t": float(report.timestamp),
+            "density": float(report.density),
+            "threshold": float(report.threshold),
+            "compared": len(report.compared_ids),
+            "skipped": len(report.skipped_ids),
+            "pairs": len(report.raw_distances),
+            "flagged_pairs": len(report.sybil_pairs),
+            "sybil_ids": sorted(report.sybil_ids),
+        }
+        with self._lock:
+            self._reports.append(row)
+
+    def on_alert(self, alert: "Any") -> str:
+        """Health-monitor hook: buffer the alert and dump a post-mortem.
+
+        Returns:
+            The path the bundle was written to.
+        """
+        with self._lock:
+            self._alerts.append(alert.to_record())
+        return self.dump(reason=f"alert:{alert.kind}")
+
+    # -- log / exception integration -----------------------------------
+    def install_log_capture(self, logger: str = ROOT_LOGGER) -> None:
+        """Start buffering every record the ``repro`` hierarchy emits."""
+        if self._handler is not None:
+            return
+        self._handler = _RecorderHandler(self)
+        logging.getLogger(logger).addHandler(self._handler)
+
+    def uninstall_log_capture(self, logger: str = ROOT_LOGGER) -> None:
+        """Detach the log-capture handler (idempotent)."""
+        if self._handler is not None:
+            logging.getLogger(logger).removeHandler(self._handler)
+            self._handler = None
+
+    def install_excepthook(self) -> None:
+        """Dump a post-mortem when an exception escapes the program.
+
+        Chains onto the previous ``sys.excepthook`` (which still runs
+        afterwards, so tracebacks keep printing).
+        """
+        if self._previous_excepthook is not None:
+            return
+        previous = sys.excepthook
+
+        def hook(exc_type, exc, tb) -> None:
+            try:
+                self.dump(reason=f"unhandled:{exc_type.__name__}")
+            except Exception:  # the post-mortem must never mask the crash
+                pass
+            previous(exc_type, exc, tb)
+
+        self._previous_excepthook = previous
+        sys.excepthook = hook
+
+    def uninstall_excepthook(self) -> None:
+        """Restore the previous ``sys.excepthook`` (idempotent)."""
+        if self._previous_excepthook is not None:
+            sys.excepthook = self._previous_excepthook
+            self._previous_excepthook = None
+
+    # -- dumping -------------------------------------------------------
+    @property
+    def dumps_written(self) -> int:
+        """Number of post-mortem bundles written so far."""
+        return self._dumps
+
+    def dump(self, reason: str = "manual") -> str:
+        """Write the current rings as one JSONL bundle; returns the path.
+
+        The first line is a ``postmortem`` header (reason, wall-clock
+        time, per-stream record counts); every following line is one
+        buffered record tagged ``type: span | log | report | alert``.
+        """
+        if self._tracer is not None:
+            # Rescue still-open spans into the ring before serialising.
+            self._tracer.flush_open(reason=f"flight_recorder:{reason}")
+        with self._lock:
+            spans = list(self._spans)
+            logs = list(self._logs)
+            reports = list(self._reports)
+            alerts = list(self._alerts)
+            self._dumps += 1
+            index = self._dumps
+        path = self.out if index == 1 else f"{self.out}.{index - 1}"
+        header = {
+            "type": "postmortem",
+            "reason": reason,
+            "ts": time.time(),
+            "spans": len(spans),
+            "logs": len(logs),
+            "reports": len(reports),
+            "alerts": len(alerts),
+            "capacity": self.capacity,
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+            for kind, records in (
+                ("alert", alerts),
+                ("report", reports),
+                ("span", spans),
+                ("log", logs),
+            ):
+                for record in records:
+                    handle.write(
+                        json.dumps({"type": kind, **record}, default=str)
+                        + "\n"
+                    )
+        return path
+
+    def close(self) -> None:
+        """Detach every installed integration (exporter stays usable)."""
+        self.uninstall_log_capture()
+        self.uninstall_excepthook()

@@ -1,0 +1,396 @@
+"""Streaming health monitoring for the online Voiceprint pipeline.
+
+The paper's detector runs Collection → Comparison → Confirmation
+continuously on the control channel; a deployed OBU needs to know when
+any of those phases goes unhealthy *while driving*, not from a
+post-run JSONL dump.  :class:`HealthMonitor` watches one
+:class:`~repro.core.pipeline.OnlineVoiceprint` through two entry
+points the pipeline calls when a monitor is attached:
+
+* :meth:`beat` on every received beacon — the **Collection** watchdog.
+  A gap longer than ``max_silence_s`` between consecutive beacons (or
+  between the last beacon and an external :meth:`check`) means the
+  radio, the channel, or the detector feeding loop stalled.
+* :meth:`on_report` on every detection period — sliding-window gauges
+  over the **Comparison** latency (wall ms per detection), the
+  **Confirmation** flagged-pair rate (flagged pairs / compared pairs),
+  and the Eq. 9 density estimate, whose drift against the recent
+  median catches a broken density feed before it skews the threshold.
+
+Each threshold breach fires a structured :class:`Alert`: a
+``key=value`` WARNING log line, a ``health.alerts`` counter bump,
+gauges for the latest windowed values, and every registered hook (the
+flight recorder registers one to dump a post-mortem).  Everything is
+sized by ``HealthThresholds.window`` and costs nothing when no monitor
+is attached — the pipeline's fast path only does a ``None`` check.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from .logging import get_logger
+from .metrics import MetricsRegistry, default_registry
+
+__all__ = [
+    "Alert",
+    "HealthThresholds",
+    "HealthMonitor",
+    "default_monitor",
+    "set_default_monitor",
+]
+
+_log = get_logger("obs.health")
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One health-threshold breach.
+
+    Attributes:
+        kind: Signal that tripped (``beacon_gap``, ``silence``,
+            ``detect_latency``, ``flagged_pair_rate``,
+            ``density_drift``).
+        message: Human-readable one-liner.
+        t: Pipeline/beacon timestamp the breach was observed at.
+        value: The observed value.
+        threshold: The configured limit it crossed.
+    """
+
+    kind: str
+    message: str
+    t: float
+    value: float
+    threshold: float
+
+    def to_record(self) -> Dict[str, Any]:
+        """Flat JSON-serialisable view (flight-recorder row format)."""
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "t": self.t,
+            "value": self.value,
+            "threshold": self.threshold,
+        }
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """Alert limits; ``None`` disables the corresponding check.
+
+    Attributes:
+        max_silence_s: Longest tolerated gap without a beacon
+            (Collection staleness watchdog).
+        max_detect_ms: Slowest tolerated detection wall time
+            (Comparison latency).
+        max_flagged_pair_rate: Largest tolerated fraction of compared
+            pairs flagged in one period (Confirmation sanity — a rate
+            near 1.0 means the threshold line or normalisation broke,
+            not that the road is full of Sybils).
+        max_density_drift: Largest tolerated relative deviation of a
+            period's density from the sliding-window median.
+        window: Number of recent detection periods kept for the
+            sliding statistics.
+    """
+
+    max_silence_s: Optional[float] = None
+    max_detect_ms: Optional[float] = None
+    max_flagged_pair_rate: Optional[float] = None
+    max_density_drift: Optional[float] = None
+    window: int = 10
+
+    #: CLI spelling → field name (``--health-thresholds silence=30,...``).
+    _ALIASES = {
+        "silence": "max_silence_s",
+        "detect_ms": "max_detect_ms",
+        "flag_rate": "max_flagged_pair_rate",
+        "density_drift": "max_density_drift",
+        "window": "window",
+    }
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if field.name != "window" and value is not None and value <= 0:
+                raise ValueError(
+                    f"{field.name} must be positive, got {value}"
+                )
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "HealthThresholds":
+        """Parse a ``key=value,key=value`` CLI spec.
+
+        Keys are the short CLI aliases (``silence``, ``detect_ms``,
+        ``flag_rate``, ``density_drift``, ``window``) or the full field
+        names — e.g. ``"silence=30,detect_ms=250,flag_rate=0.5"``.
+        """
+        kwargs: Dict[str, Any] = {}
+        known = {f.name for f in fields(cls)}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"bad health-threshold entry {part!r} (want key=value)"
+                )
+            key, _, raw = part.partition("=")
+            key = key.strip()
+            name = cls._ALIASES.get(key, key)
+            if name not in known or name.startswith("_"):
+                raise ValueError(f"unknown health threshold {key!r}")
+            try:
+                kwargs[name] = int(raw) if name == "window" else float(raw)
+            except ValueError as error:
+                raise ValueError(
+                    f"bad value for health threshold {key!r}: {raw!r}"
+                ) from error
+        return cls(**kwargs)
+
+
+class HealthMonitor:
+    """Sliding-window health gauges + threshold alerts for one pipeline.
+
+    Args:
+        thresholds: Alert limits (default: everything disabled, gauges
+            still maintained).
+        registry: Metrics registry the windowed gauges and the
+            ``health.alerts`` counter live in; defaults to the
+            process-global one.
+        max_alerts: Ring capacity for :attr:`recent_alerts`.
+
+    Thread-safe: the simulator feeds beacons from the event loop while
+    the telemetry HTTP thread reads :meth:`status`.
+    """
+
+    def __init__(
+        self,
+        thresholds: Optional[HealthThresholds] = None,
+        registry: Optional[MetricsRegistry] = None,
+        max_alerts: int = 64,
+    ) -> None:
+        self.thresholds = thresholds or HealthThresholds()
+        metrics = registry if registry is not None else default_registry()
+        self._lock = threading.Lock()
+        window = self.thresholds.window
+        self._latencies: Deque[float] = deque(maxlen=window)
+        self._flag_rates: Deque[float] = deque(maxlen=window)
+        self._densities: Deque[float] = deque(maxlen=window)
+        self._last_beacon_t: Optional[float] = None
+        self._reports = 0
+        self._hooks: List[Callable[[Alert], None]] = []
+        self._n_alerts = 0
+        self.recent_alerts: Deque[Alert] = deque(maxlen=max_alerts)
+        self._c_alerts = metrics.counter("health.alerts")
+        self._g_latency = metrics.gauge("health.detect_latency_ms")
+        self._g_flag_rate = metrics.gauge("health.flagged_pair_rate")
+        self._g_density_drift = metrics.gauge("health.density_drift")
+        self._g_silence = metrics.gauge("health.beacon_gap_s")
+
+    # -- wiring --------------------------------------------------------
+    def add_hook(self, hook: Callable[[Alert], None]) -> None:
+        """Register a callback fired (synchronously) per alert."""
+        self._hooks.append(hook)
+
+    def attach_recorder(self, recorder: "Any") -> None:
+        """Wire a flight recorder: alerts trigger its post-mortem dump
+        and every detection report lands in its ring buffer."""
+        self.add_hook(recorder.on_alert)
+        self._recorder = recorder
+
+    _recorder: Optional[Any] = None
+
+    # -- feeding -------------------------------------------------------
+    def beat(self, t: float) -> None:
+        """Record one received beacon at pipeline timestamp ``t``.
+
+        Detects *retroactive* gaps: the beacon that ends a silence
+        longer than ``max_silence_s`` fires a ``beacon_gap`` alert.
+        """
+        limit = self.thresholds.max_silence_s
+        with self._lock:
+            last = self._last_beacon_t
+            self._last_beacon_t = t
+        if last is None:
+            return
+        gap = t - last
+        self._g_silence.set(gap)
+        if limit is not None and gap > limit:
+            self._alert(
+                "beacon_gap",
+                f"no beacons for {gap:.1f}s (limit {limit:.1f}s)",
+                t=t,
+                value=gap,
+                threshold=limit,
+            )
+
+    def check(self, now: float) -> Optional[Alert]:
+        """Watchdog tick from an external clock (snapshotter/server).
+
+        Fires a ``silence`` alert when the detector has heard beacons
+        before but none for longer than ``max_silence_s`` as of
+        ``now`` — the *ongoing*-stall complement of :meth:`beat`'s
+        retroactive gap detection.
+        """
+        limit = self.thresholds.max_silence_s
+        with self._lock:
+            last = self._last_beacon_t
+        if limit is None or last is None:
+            return None
+        gap = now - last
+        self._g_silence.set(gap)
+        if gap > limit:
+            return self._alert(
+                "silence",
+                f"detector quiet for {gap:.1f}s (limit {limit:.1f}s)",
+                t=now,
+                value=gap,
+                threshold=limit,
+            )
+        return None
+
+    def on_report(self, report: "Any", latency_ms: float) -> None:
+        """Fold one detection period into the sliding windows.
+
+        Args:
+            report: The :class:`~repro.core.detector.DetectionReport`.
+            latency_ms: Wall-clock cost of producing it.
+        """
+        t = float(report.timestamp)
+        n_pairs = len(report.raw_distances)
+        flag_rate = len(report.sybil_pairs) / n_pairs if n_pairs else 0.0
+        with self._lock:
+            self._reports += 1
+            self._latencies.append(latency_ms)
+            self._flag_rates.append(flag_rate)
+            densities = sorted(self._densities)
+            self._densities.append(float(report.density))
+        self._g_latency.set(latency_ms)
+        self._g_flag_rate.set(flag_rate)
+
+        th = self.thresholds
+        if th.max_detect_ms is not None and latency_ms > th.max_detect_ms:
+            self._alert(
+                "detect_latency",
+                f"detection took {latency_ms:.1f}ms "
+                f"(limit {th.max_detect_ms:.1f}ms)",
+                t=t,
+                value=latency_ms,
+                threshold=th.max_detect_ms,
+            )
+        if (
+            th.max_flagged_pair_rate is not None
+            and flag_rate > th.max_flagged_pair_rate
+        ):
+            self._alert(
+                "flagged_pair_rate",
+                f"{flag_rate:.0%} of pairs flagged "
+                f"(limit {th.max_flagged_pair_rate:.0%})",
+                t=t,
+                value=flag_rate,
+                threshold=th.max_flagged_pair_rate,
+            )
+        # Drift against the median of the *previous* periods, so one
+        # bad estimate cannot hide by dragging the reference with it.
+        if densities:
+            median = densities[len(densities) // 2]
+            drift = abs(float(report.density) - median) / max(median, 1e-9)
+            self._g_density_drift.set(drift)
+            if (
+                th.max_density_drift is not None
+                and drift > th.max_density_drift
+            ):
+                self._alert(
+                    "density_drift",
+                    f"density {report.density:.1f}/km drifted "
+                    f"{drift:.0%} from the window median {median:.1f}/km",
+                    t=t,
+                    value=drift,
+                    threshold=th.max_density_drift,
+                )
+        if self._recorder is not None:
+            self._recorder.record_report(report)
+
+    # -- alerting ------------------------------------------------------
+    def _alert(
+        self, kind: str, message: str, t: float, value: float, threshold: float
+    ) -> Alert:
+        alert = Alert(
+            kind=kind, message=message, t=t, value=value, threshold=threshold
+        )
+        self._n_alerts += 1
+        self.recent_alerts.append(alert)
+        self._c_alerts.inc()
+        _log.warning(
+            "health alert",
+            extra={
+                "kind": kind,
+                "t": t,
+                "value": value,
+                "threshold": threshold,
+                "detail": message,
+            },
+        )
+        for hook in self._hooks:
+            hook(alert)
+        return alert
+
+    @property
+    def alerts_total(self) -> int:
+        """Alerts fired since construction."""
+        return self._n_alerts
+
+    def status(self) -> Dict[str, Any]:
+        """Liveness/health document for the ``/health`` endpoint."""
+        with self._lock:
+            latencies = list(self._latencies)
+            flag_rates = list(self._flag_rates)
+            densities = list(self._densities)
+            last = self._last_beacon_t
+            reports = self._reports
+        alerts = list(self.recent_alerts)
+        return {
+            "status": "alert" if alerts else "ok",
+            "reports": reports,
+            "last_beacon_t": last,
+            "window": {
+                "detect_latency_ms": latencies,
+                "flagged_pair_rate": flag_rates,
+                "density_vhls_per_km": densities,
+            },
+            "alerts": [a.to_record() for a in alerts],
+        }
+
+    @property
+    def healthy(self) -> bool:
+        """True while no alert has fired."""
+        return not self.recent_alerts
+
+
+#: Process-global monitor the pipeline picks up when none is injected
+#: (None by default: the zero-overhead path is a single None check).
+_DEFAULT: Optional[HealthMonitor] = None
+
+
+def default_monitor() -> Optional[HealthMonitor]:
+    """The process-global health monitor, if one is installed."""
+    return _DEFAULT
+
+
+def set_default_monitor(
+    monitor: Optional[HealthMonitor],
+) -> Optional[HealthMonitor]:
+    """Install (or clear, with None) the process-global monitor.
+
+    Returns:
+        The previously installed monitor, for restoration.
+    """
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = monitor
+    return previous

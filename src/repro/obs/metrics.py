@@ -22,7 +22,9 @@ boolean check, so call sites never need their own guards.
 from __future__ import annotations
 
 import json
+import random
 import threading
+import zlib
 from typing import Dict, IO, Iterator, List, Optional, Union
 
 __all__ = [
@@ -93,36 +95,97 @@ class Gauge:
 class Histogram:
     """Sample distribution with count/sum/min/max and percentile summaries.
 
-    Samples are kept raw (these registries live for one run, not a
-    server lifetime), so percentiles are exact.  The nearest-rank rule
-    is used: ``p50`` of a single sample is that sample.
+    Below ``max_samples`` every sample is kept raw and percentiles are
+    exact, using the nearest-rank rule (``p50`` of a single sample is
+    that sample).  With no cap (the default for short-lived,
+    per-experiment registries) that stays true forever — but raw
+    samples grow without bound, which is a real leak for a long online
+    run feeding the telemetry snapshotter.  Passing ``max_samples``
+    switches the histogram to **reservoir sampling** (Vitter's
+    Algorithm R) once the cap is reached: ``count``/``sum``/``min``/
+    ``max`` remain exact, while percentiles become nearest-rank
+    estimates over a uniform random sample of everything observed.  The
+    reservoir RNG is seeded from the metric name, so runs are
+    reproducible.
     """
 
-    __slots__ = ("name", "_registry", "_values")
+    __slots__ = (
+        "name",
+        "_registry",
+        "_values",
+        "_max_samples",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+        "_rng",
+    )
 
     #: Percentiles included in :meth:`summary`.
     PERCENTILES = (50.0, 95.0, 99.0)
 
-    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+    def __init__(
+        self,
+        name: str,
+        registry: "MetricsRegistry",
+        max_samples: Optional[int] = None,
+    ) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
         self.name = name
         self._registry = registry
         self._values: List[float] = []
+        self._max_samples = max_samples
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def observe(self, value: Union[int, float]) -> None:
         """Record one sample."""
         registry = self._registry
         if not registry._enabled:
             return
+        value = float(value)
         with registry._lock:
-            self._values.append(float(value))
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            cap = self._max_samples
+            if cap is None or len(self._values) < cap:
+                self._values.append(value)
+            else:
+                # Algorithm R: keep each of the _count samples seen so
+                # far in the reservoir with probability cap/_count.
+                slot = self._rng.randrange(self._count)
+                if slot < cap:
+                    self._values[slot] = value
 
     @property
     def count(self) -> int:
-        """Number of recorded samples."""
+        """Number of recorded samples (exact, even past the cap)."""
+        return self._count
+
+    @property
+    def max_samples(self) -> Optional[int]:
+        """Reservoir capacity, or None when all samples are kept."""
+        return self._max_samples
+
+    @property
+    def samples_kept(self) -> int:
+        """Samples currently held (== count until the cap is reached)."""
         return len(self._values)
 
     def percentile(self, q: float) -> Optional[float]:
-        """Nearest-rank percentile ``q`` in [0, 100]; None when empty."""
+        """Nearest-rank percentile ``q`` in [0, 100]; None when empty.
+
+        Exact while every sample is retained; a reservoir estimate once
+        the cap has been exceeded.
+        """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
         with self._registry._lock:
@@ -133,9 +196,15 @@ class Histogram:
         return values[min(rank, len(values)) - 1]
 
     def summary(self) -> Dict[str, Optional[float]]:
-        """count/sum/mean/min/max plus p50/p95/p99 (None when empty)."""
+        """count/sum/mean/min/max plus p50/p95/p99 (None when empty).
+
+        count/sum/mean/min/max are always exact; the percentiles come
+        from the retained samples (see class docstring).
+        """
         with self._registry._lock:
             values = sorted(self._values)
+            count, total = self._count, self._sum
+            lo, hi = self._min, self._max
         if not values:
             return {
                 "count": 0,
@@ -147,7 +216,6 @@ class Histogram:
                 "p95": None,
                 "p99": None,
             }
-        total = sum(values)
         n = len(values)
 
         def rank(q: float) -> float:
@@ -155,18 +223,18 @@ class Histogram:
             return values[min(r, n) - 1]
 
         return {
-            "count": n,
+            "count": count,
             "sum": total,
-            "mean": total / n,
-            "min": values[0],
-            "max": values[-1],
+            "mean": total / count,
+            "min": lo,
+            "max": hi,
             "p50": rank(50.0),
             "p95": rank(95.0),
             "p99": rank(99.0),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Histogram({self.name!r}, count={len(self._values)})"
+        return f"Histogram({self.name!r}, count={self._count})"
 
 
 class MetricsRegistry:
@@ -182,14 +250,22 @@ class MetricsRegistry:
         enabled: When False every instrument is a no-op until
             :meth:`enable` is called.  Explicitly constructed registries
             default to enabled; the process-global one starts disabled.
+        histogram_max_samples: Default reservoir cap applied to
+            histograms created *after* it is set (see
+            :class:`Histogram`).  ``None`` (default) keeps every sample.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        histogram_max_samples: Optional[int] = None,
+    ) -> None:
         self._enabled = bool(enabled)
         self._lock = threading.RLock()
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self.histogram_max_samples = histogram_max_samples
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -245,13 +321,25 @@ class MetricsRegistry:
                 self._gauges[name] = instrument
             return instrument
 
-    def histogram(self, name: str) -> Histogram:
-        """Get or create the histogram called ``name``."""
+    def histogram(
+        self, name: str, max_samples: Optional[int] = None
+    ) -> Histogram:
+        """Get or create the histogram called ``name``.
+
+        ``max_samples`` (falling back to the registry-wide
+        ``histogram_max_samples``) caps the raw-sample reservoir; it
+        only applies when the call *creates* the histogram.
+        """
         with self._lock:
             instrument = self._histograms.get(name)
             if instrument is None:
                 self._check_unique(name, "histogram")
-                instrument = Histogram(name, self)
+                cap = (
+                    max_samples
+                    if max_samples is not None
+                    else self.histogram_max_samples
+                )
+                instrument = Histogram(name, self, max_samples=cap)
                 self._histograms[name] = instrument
             return instrument
 

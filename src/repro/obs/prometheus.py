@@ -1,0 +1,120 @@
+"""Prometheus text-format exposition for a :class:`MetricsRegistry`.
+
+Voiceprint is an *online* detector: a deployed OBU (or the long-running
+simulation standing in for one) needs its counters and latency
+histograms scrapeable while the run is in flight, not only dumped as
+JSONL after it ends.  :func:`render_prometheus` turns a registry
+snapshot into the Prometheus text exposition format (version 0.0.4),
+which the stdlib HTTP endpoint in :mod:`repro.obs.telemetry` serves at
+``/metrics``.
+
+Mapping:
+
+* counters  → ``<ns>_<name>_total`` (``# TYPE ... counter``),
+* gauges    → ``<ns>_<name>`` (``# TYPE ... gauge``; unset gauges are
+  omitted — Prometheus has no "never written" value),
+* histograms → a summary-style family: ``{quantile="0.5|0.95|0.99"}``
+  series plus ``_sum`` and ``_count`` (``# TYPE ... summary``).  The
+  registry keeps raw samples (optionally reservoir-capped), not fixed
+  buckets, so a summary is the honest rendering.
+
+Metric names like ``detector.pairs_compared`` are sanitised to the
+``[a-zA-Z_:][a-zA-Z0-9_:]*`` charset (dots become underscores); label
+values are escaped per the exposition spec.  Everything is stdlib-only
+and allocation-light: one snapshot, one string build.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Union
+
+from .metrics import MetricsRegistry
+
+__all__ = ["sanitize_metric_name", "render_prometheus", "CONTENT_TYPE"]
+
+#: The Content-Type a conforming scraper expects for this format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_QUANTILES = ((0.5, "p50"), (0.95, "p95"), (0.99, "p99"))
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce an internal metric name into a legal Prometheus name.
+
+    Dots (our namespace separator) and every other illegal character
+    become underscores; a leading digit gains an underscore prefix.
+    Empty input maps to a single underscore.
+
+    >>> sanitize_metric_name("detector.pairs_compared")
+    'detector_pairs_compared'
+    >>> sanitize_metric_name("99-luftballons")
+    '_99_luftballons'
+    """
+    sanitized = _INVALID_CHARS.sub("_", name)
+    if not sanitized:
+        return "_"
+    if sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value: Union[int, float]) -> str:
+    """Render a sample value per the exposition grammar."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def render_prometheus(
+    registry: MetricsRegistry, namespace: str = "repro"
+) -> str:
+    """Render everything the registry recorded as exposition text.
+
+    Args:
+        registry: Source of the snapshot (taken atomically via
+            :meth:`MetricsRegistry.to_dict`).
+        namespace: Prefix for every exported family (sanitised too);
+            pass ``""`` for no prefix.
+
+    Returns:
+        The full scrape body, newline-terminated (empty registries
+        yield an empty string — still a valid scrape).
+    """
+    snapshot = registry.to_dict()
+    prefix = f"{sanitize_metric_name(namespace)}_" if namespace else ""
+    lines: List[str] = []
+
+    counters: Dict[str, float] = snapshot["counters"]  # type: ignore[assignment]
+    for name, value in counters.items():
+        family = f"{prefix}{sanitize_metric_name(name)}_total"
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family} {_format_value(value)}")
+
+    gauges: Dict[str, Optional[float]] = snapshot["gauges"]  # type: ignore[assignment]
+    for name, value in gauges.items():
+        if value is None:
+            continue
+        family = f"{prefix}{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_format_value(value)}")
+
+    histograms: Dict[str, Dict[str, Optional[float]]] = snapshot["histograms"]  # type: ignore[assignment]
+    for name, summary in histograms.items():
+        family = f"{prefix}{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {family} summary")
+        for quantile, key in _QUANTILES:
+            value = summary[key]
+            if value is not None:
+                lines.append(
+                    f'{family}{{quantile="{quantile}"}} {_format_value(value)}'
+                )
+        lines.append(f"{family}_sum {_format_value(summary['sum'] or 0.0)}")
+        lines.append(f"{family}_count {_format_value(summary['count'] or 0)}")
+
+    return "\n".join(lines) + "\n" if lines else ""

@@ -47,6 +47,9 @@ class SpanExporter:
         """Handle one finished span's flat record."""
         raise NotImplementedError
 
+    def flush(self) -> None:
+        """Push buffered records to stable storage (default: nothing)."""
+
     def close(self) -> None:
         """Flush/release any underlying resource (default: nothing)."""
 
@@ -70,7 +73,13 @@ class InMemorySpanExporter(SpanExporter):
 
 
 class JsonlSpanExporter(SpanExporter):
-    """Appends one JSON line per finished span to a file."""
+    """Appends one JSON line per finished span to a file.
+
+    Lines are written whole (one ``write`` per span), so a crash can at
+    worst lose buffered lines, never interleave them; :meth:`flush`
+    pushes the buffer to disk and is called by the crash-safe shutdown
+    path (``Tracer.close`` / ``repro.obs.shutdown``).
+    """
 
     def __init__(self, path: str) -> None:
         self.path = path
@@ -82,6 +91,12 @@ class JsonlSpanExporter(SpanExporter):
             if self._handle is None:
                 raise ValueError(f"exporter for {self.path!r} is closed")
             self._handle.write(json.dumps(record) + "\n")
+
+    def flush(self) -> None:
+        """Flush buffered lines to the OS (no-op when closed)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
 
     def close(self) -> None:
         with self._lock:
@@ -103,6 +118,7 @@ class Span:
         "duration_ms",
         "_tracer",
         "_start",
+        "_flushed",
     )
 
     def __init__(
@@ -123,6 +139,7 @@ class Span:
         self.duration_ms: Optional[float] = None
         self._tracer = tracer
         self._start: Optional[float] = None
+        self._flushed = False
 
     def set_attribute(self, key: str, value: Any) -> None:
         """Attach one key/value to the span."""
@@ -191,6 +208,11 @@ class Tracer:
         self._enabled = bool(enabled)
         self.exporter = exporter
         self._local = threading.local()
+        # Every thread's span stack, so open spans can be flushed as
+        # partial records from the crash/shutdown path (which runs on a
+        # different thread than the spans it is rescuing).
+        self._stacks_lock = threading.Lock()
+        self._stacks: List[List[Span]] = []
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -214,6 +236,8 @@ class Tracer:
         if stack is None:
             stack = []
             self._local.stack = stack
+            with self._stacks_lock:
+                self._stacks.append(stack)
         return stack
 
     @property
@@ -255,8 +279,60 @@ class Tracer:
                 stack.pop()
             if stack:
                 stack.pop()
-        if self.exporter is not None:
+        if self.exporter is not None and not span._flushed:
             self.exporter.export(span.to_record())
+
+    # -- crash safety --------------------------------------------------
+    def open_spans(self) -> List[Span]:
+        """Spans currently open on any thread (innermost last)."""
+        with self._stacks_lock:
+            return [span for stack in self._stacks for span in stack]
+
+    def flush_open(self, reason: str = "shutdown") -> int:
+        """Export every still-open span as a *partial* record.
+
+        Called from the shutdown/atexit/excepthook path so that a crash
+        (or a span held open across ``os.fork``-style teardown) never
+        leaves its record truncated out of the JSONL stream.  Each
+        rescued record carries ``partial=true`` and the duration up to
+        now; a span flushed this way will not be exported a second time
+        if its context manager later exits normally.
+
+        Returns:
+            The number of spans rescued.
+        """
+        spans = self.open_spans()
+        if self.exporter is None:
+            return 0
+        flushed = 0
+        now = time.perf_counter()
+        for span in reversed(spans):  # innermost first, like normal exit
+            if span._flushed:
+                continue
+            span._flushed = True
+            if span.duration_ms is None and span._start is not None:
+                span.duration_ms = (now - span._start) * 1000.0
+            record = span.to_record()
+            record["attributes"]["partial"] = True
+            record["attributes"]["flush_reason"] = reason
+            self.exporter.export(record)
+            flushed += 1
+        self.exporter.flush()
+        return flushed
+
+    def close(self, reason: str = "shutdown") -> None:
+        """Flush open spans, then flush and close the exporter."""
+        self.flush_open(reason=reason)
+        if self.exporter is not None:
+            self.exporter.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close(
+            reason="exception" if exc_type is not None else "shutdown"
+        )
 
 
 #: Process-global tracer; disabled until observability is configured.

@@ -64,6 +64,12 @@ class SimulationEngine:
         self._sequence = itertools.count()
         metrics = registry if registry is not None else default_registry()
         self._c_dispatched = metrics.counter("sim.events_dispatched")
+        # Live telemetry of the event loop: where the simulated clock
+        # is and how deep the queue runs — the two numbers that tell a
+        # /metrics scraper whether a long simulation is advancing or
+        # wedged behind a runaway periodic event.
+        self._g_clock = metrics.gauge("sim.clock_s")
+        self._g_pending = metrics.gauge("sim.pending_events")
 
     @property
     def now(self) -> float:
@@ -138,6 +144,8 @@ class SimulationEngine:
                 continue
             self._now = when
             self._c_dispatched.inc()
+            self._g_clock.set(when)
+            self._g_pending.set(len(self._queue))
             callback(when)
             return True
         return False

@@ -1,0 +1,215 @@
+"""Tests for repro.bench_compare — the benchmark regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench_compare import compare_payloads, main
+
+
+def payload(**configs):
+    """A miniature BENCH_*.json-shaped payload."""
+    return {
+        "workload": {"n_series": 24, "length": 200},
+        "configs": configs,
+    }
+
+
+BASELINE = payload(
+    full={
+        "wall_ms": 100.0,
+        "pairs_per_s": 5000.0,
+        "hit_rate": 0.60,
+        "dtw_cells": 1_000_000,
+        "pairs": 276,
+        "detections": 3,
+    }
+)
+
+
+def by_path(results):
+    return {r.path: r for r in results}
+
+
+class TestComparePayloads:
+    def test_identical_payloads_pass(self):
+        results = compare_payloads(BASELINE, BASELINE)
+        assert not any(r.failed for r in results)
+
+    def test_cost_metric_growth_regresses(self):
+        current = payload(
+            full=dict(BASELINE["configs"]["full"], dtw_cells=1_300_000)
+        )
+        results = by_path(compare_payloads(BASELINE, current))
+        entry = results["configs.full.dtw_cells"]
+        assert entry.failed
+        assert entry.change == pytest.approx(0.30)
+
+    def test_cost_metric_shrink_is_a_win(self):
+        current = payload(
+            full=dict(BASELINE["configs"]["full"], dtw_cells=500_000)
+        )
+        results = by_path(compare_payloads(BASELINE, current))
+        assert results["configs.full.dtw_cells"].verdict == "ok"
+
+    def test_quality_metric_drop_regresses(self):
+        current = payload(
+            full=dict(BASELINE["configs"]["full"], hit_rate=0.30)
+        )
+        results = by_path(compare_payloads(BASELINE, current))
+        assert results["configs.full.hit_rate"].failed
+
+    def test_invariant_metric_fails_both_directions(self):
+        for pairs in (100, 400):
+            current = payload(
+                full=dict(BASELINE["configs"]["full"], pairs=pairs)
+            )
+            results = by_path(compare_payloads(BASELINE, current))
+            assert results["configs.full.pairs"].failed
+
+    def test_within_tolerance_passes(self):
+        current = payload(
+            full=dict(BASELINE["configs"]["full"], dtw_cells=1_050_000)
+        )
+        results = by_path(compare_payloads(BASELINE, current))
+        assert results["configs.full.dtw_cells"].verdict == "ok"
+
+    def test_timing_skipped_by_default_and_gated_on_request(self):
+        current = payload(
+            full=dict(BASELINE["configs"]["full"], wall_ms=1e9)
+        )
+        results = by_path(compare_payloads(BASELINE, current))
+        assert results["configs.full.wall_ms"].verdict == "info"
+        results = by_path(
+            compare_payloads(BASELINE, current, timing_tolerance=0.5)
+        )
+        assert results["configs.full.wall_ms"].failed
+
+    def test_unknown_leaves_are_informational(self):
+        base = payload(full={"novel_metric": 10.0})
+        current = payload(full={"novel_metric": 99.0})
+        results = by_path(compare_payloads(base, current))
+        entry = results["configs.full.novel_metric"]
+        assert entry.verdict == "info"
+        assert not entry.failed
+
+    def test_missing_leaf_reported(self):
+        current = payload(full={"wall_ms": 100.0})
+        results = by_path(compare_payloads(BASELINE, current))
+        assert results["configs.full.dtw_cells"].verdict == "MISSING"
+
+    def test_extra_current_leaves_ignored(self):
+        current = payload(
+            full=dict(BASELINE["configs"]["full"], brand_new=1.0)
+        )
+        results = compare_payloads(BASELINE, current)
+        assert "configs.full.brand_new" not in {r.path for r in results}
+
+    def test_per_metric_override(self):
+        current = payload(
+            full=dict(BASELINE["configs"]["full"], dtw_cells=1_050_000)
+        )
+        results = by_path(
+            compare_payloads(
+                BASELINE, current, overrides={"dtw_cells": 0.01}
+            )
+        )
+        assert results["configs.full.dtw_cells"].failed
+
+    def test_zero_baseline_handled(self):
+        base = payload(full={"cache_hits": 0})
+        grown = payload(full={"cache_hits": 50})
+        shrunk_cost = compare_payloads(
+            payload(full={"dtw_cells": 0}), payload(full={"dtw_cells": 5})
+        )
+        assert not any(r.failed for r in compare_payloads(base, grown))
+        assert any(r.failed for r in shrunk_cost)
+
+    def test_booleans_are_not_numeric_leaves(self):
+        base = payload(full={"cached": True, "pairs": 10})
+        results = compare_payloads(base, base)
+        assert {r.key for r in results} >= {"pairs"}
+        assert "cached" not in {r.key for r in results}
+
+
+class TestMainGate:
+    def write(self, directory, name, data):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / name).write_text(json.dumps(data), encoding="utf-8")
+
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        self.write(tmp_path / "base", "BENCH_pairwise.json", BASELINE)
+        self.write(tmp_path / "cur", "BENCH_pairwise.json", BASELINE)
+        code = main(
+            [
+                "--baseline-dir", str(tmp_path / "base"),
+                "--current-dir", str(tmp_path / "cur"),
+            ]
+        )
+        assert code == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_perturbed_baseline_exits_nonzero(self, tmp_path, capsys):
+        perturbed = payload(
+            full=dict(BASELINE["configs"]["full"], dtw_cells=2_000_000)
+        )
+        self.write(tmp_path / "base", "BENCH_pairwise.json", BASELINE)
+        self.write(tmp_path / "cur", "BENCH_pairwise.json", perturbed)
+        code = main(
+            [
+                "--baseline-dir", str(tmp_path / "base"),
+                "--current-dir", str(tmp_path / "cur"),
+            ]
+        )
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_missing_current_artifact_fails(self, tmp_path, capsys):
+        self.write(tmp_path / "base", "BENCH_pairwise.json", BASELINE)
+        code = main(
+            [
+                "--baseline-dir", str(tmp_path / "base"),
+                "--current-dir", str(tmp_path / "cur"),
+            ]
+        )
+        assert code == 1
+        assert "missing current artifact" in capsys.readouterr().err
+
+    def test_no_baselines_fails_with_hint(self, tmp_path, capsys):
+        code = main(
+            [
+                "--baseline-dir", str(tmp_path / "base"),
+                "--current-dir", str(tmp_path / "cur"),
+            ]
+        )
+        assert code == 1
+        assert "--update" in capsys.readouterr().err
+
+    def test_update_promotes_current_to_baseline(self, tmp_path):
+        self.write(tmp_path / "cur", "BENCH_pairwise.json", BASELINE)
+        code = main(
+            [
+                "--baseline-dir", str(tmp_path / "base"),
+                "--current-dir", str(tmp_path / "cur"),
+                "--update",
+            ]
+        )
+        assert code == 0
+        promoted = json.loads(
+            (tmp_path / "base" / "BENCH_pairwise.json").read_text()
+        )
+        assert promoted == BASELINE
+
+    def test_only_filter_limits_artifacts(self, tmp_path):
+        self.write(tmp_path / "base", "BENCH_pairwise.json", BASELINE)
+        self.write(tmp_path / "base", "BENCH_other.json", BASELINE)
+        self.write(tmp_path / "cur", "BENCH_pairwise.json", BASELINE)
+        # BENCH_other.json has no current artifact, but --only skips it.
+        code = main(
+            [
+                "--baseline-dir", str(tmp_path / "base"),
+                "--current-dir", str(tmp_path / "cur"),
+                "--only", "BENCH_pairwise.json",
+            ]
+        )
+        assert code == 0

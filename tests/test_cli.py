@@ -122,6 +122,88 @@ class TestObservabilityFlags:
         out = capsys.readouterr().out
         assert "detector.pairs_compared" in out
 
+    def test_telemetry_flags_parse_before_and_after_subcommand(self):
+        parser = build_parser()
+        before = parser.parse_args(
+            ["--telemetry-port", "9110", "--snapshot-interval", "5", "fig13"]
+        )
+        after = parser.parse_args(
+            ["fig13", "--telemetry-port", "9110", "--snapshot-interval", "5"]
+        )
+        assert before.telemetry_port == after.telemetry_port == 9110
+        assert before.snapshot_interval == after.snapshot_interval == 5.0
+
+    def test_telemetry_flags_default_to_off(self):
+        args = build_parser().parse_args(["list"])
+        assert args.telemetry_port is None
+        assert args.snapshot_interval is None
+        assert args.snapshot_out is None
+        assert args.flight_recorder_out is None
+        assert args.health_thresholds is None
+
+    def test_health_thresholds_parsed_into_dataclass(self):
+        args = build_parser().parse_args(
+            ["list", "--health-thresholds", "silence=30,detect_ms=250"]
+        )
+        assert args.health_thresholds.max_silence_s == 30.0
+        assert args.health_thresholds.max_detect_ms == 250.0
+
+    def test_bad_health_thresholds_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["list", "--health-thresholds", "bogus=1"]
+            )
+
+    def test_telemetry_run_serves_and_snapshots(self, tmp_path, capsys):
+        snapshot_path = tmp_path / "snap.jsonl"
+        assert (
+            main(
+                [
+                    "fig13",
+                    "--duration", "60",
+                    "--period", "30",
+                    "--telemetry-port", "0",
+                    "--snapshot-interval", "60",
+                    "--snapshot-out", str(snapshot_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "[telemetry: http://127.0.0.1:" in out
+        assert "health: ok" in out
+        # close() takes a final snapshot even if the interval never fired.
+        records = [
+            json.loads(line)
+            for line in snapshot_path.read_text().splitlines()
+        ]
+        assert records and records[-1]["type"] == "snapshot"
+        assert "detector.pairs_compared" in records[-1]["counters"]
+
+    def test_health_summary_reports_alerts(self, tmp_path, capsys):
+        postmortem = tmp_path / "pm.jsonl"
+        # detect_ms=0.0001 is impossibly tight: every detection alerts,
+        # which must be reported and must dump a post-mortem bundle.
+        assert (
+            main(
+                [
+                    "fig13",
+                    "--duration", "60",
+                    "--period", "30",
+                    "--health-thresholds", "detect_ms=0.0001",
+                    "--flight-recorder-out", str(postmortem),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "health: ALERT" in out
+        assert "[detect_latency]" in out
+        assert "post-mortem bundle(s)" in out
+        header = json.loads(postmortem.read_text().splitlines()[0])
+        assert header["type"] == "postmortem"
+        assert header["reason"] == "alert:detect_latency"
+
     def test_trace_out_writes_detection_spans(self, tmp_path):
         trace_path = tmp_path / "t.jsonl"
         assert (

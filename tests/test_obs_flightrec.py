@@ -1,0 +1,186 @@
+"""Tests for repro.obs.flightrec — ring buffers, dumps, hooks."""
+
+import json
+import logging
+import sys
+
+import pytest
+
+from repro.obs.flightrec import FlightRecorder, TeeSpanExporter
+from repro.obs.health import Alert
+from repro.obs.logging import get_logger
+from repro.obs.trace import InMemorySpanExporter, Tracer
+
+from tests.test_obs_health import make_report
+
+
+def read_bundle(path):
+    records = [
+        json.loads(line) for line in path.read_text().strip().splitlines()
+    ]
+    assert records[0]["type"] == "postmortem"
+    return records[0], records[1:]
+
+
+class TestTeeSpanExporter:
+    def test_fans_out_and_drops_none(self):
+        sink_a, sink_b = InMemorySpanExporter(), InMemorySpanExporter()
+        tee = TeeSpanExporter(sink_a, None, sink_b)
+        assert len(tee.exporters) == 2
+        tee.export({"name": "x"})
+        assert sink_a.records == [{"name": "x"}]
+        assert sink_b.records == [{"name": "x"}]
+
+
+class TestRingBuffers:
+    def test_span_ring_is_bounded(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path / "pm.jsonl"), capacity=3)
+        for i in range(10):
+            recorder.export({"name": f"s{i}"})
+        _, records = read_bundle_after_dump(recorder, tmp_path)
+        spans = [r for r in records if r["type"] == "span"]
+        assert [s["name"] for s in spans] == ["s7", "s8", "s9"]
+
+    def test_report_summary_row(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path / "pm.jsonl"))
+        recorder.record_report(
+            make_report(t=40.0, n_pairs=6, n_flagged=1)
+        )
+        recorder.dump()
+        _, records = read_bundle(tmp_path / "pm.jsonl")
+        [row] = [r for r in records if r["type"] == "report"]
+        assert row["t"] == 40.0
+        assert row["pairs"] == 6
+        assert row["flagged_pairs"] == 1
+        assert row["sybil_ids"] == ["a0", "b0"]
+
+    def test_rejects_nonpositive_capacity(self, tmp_path):
+        with pytest.raises(ValueError):
+            FlightRecorder(str(tmp_path / "pm.jsonl"), capacity=0)
+
+
+def read_bundle_after_dump(recorder, tmp_path):
+    path = recorder.dump()
+    return read_bundle(tmp_path / path.split("/")[-1])
+
+
+class TestDumping:
+    def test_header_counts_and_reason(self, tmp_path):
+        out = tmp_path / "pm.jsonl"
+        recorder = FlightRecorder(str(out), capacity=8)
+        recorder.export({"name": "s"})
+        recorder.record_report(make_report())
+        path = recorder.dump(reason="manual-test")
+        assert path == str(out)
+        header, records = read_bundle(out)
+        assert header["reason"] == "manual-test"
+        assert header["spans"] == 1
+        assert header["reports"] == 1
+        assert header["capacity"] == 8
+        assert len(records) == 2
+
+    def test_repeated_dumps_get_indexed_paths(self, tmp_path):
+        out = tmp_path / "pm.jsonl"
+        recorder = FlightRecorder(str(out))
+        first = recorder.dump()
+        second = recorder.dump()
+        third = recorder.dump()
+        assert first == str(out)
+        assert second == f"{out}.1"
+        assert third == f"{out}.2"
+        assert recorder.dumps_written == 3
+
+    def test_dump_flushes_open_spans_from_tracer(self, tmp_path):
+        out = tmp_path / "pm.jsonl"
+        tracer = Tracer()
+        recorder = FlightRecorder(str(out), tracer=tracer)
+        tracer.exporter = recorder
+        with tracer.span("outer"):
+            recorder.dump(reason="mid-span")
+        _, records = read_bundle(out)
+        [span] = [r for r in records if r["type"] == "span"]
+        assert span["name"] == "outer"
+        assert span["attributes"]["partial"] is True
+        assert (
+            span["attributes"]["flush_reason"]
+            == "flight_recorder:mid-span"
+        )
+
+
+class TestAlertHook:
+    def test_on_alert_buffers_and_dumps(self, tmp_path):
+        out = tmp_path / "pm.jsonl"
+        recorder = FlightRecorder(str(out))
+        alert = Alert(
+            kind="beacon_gap",
+            message="no beacons for 19.0s",
+            t=20.0,
+            value=19.0,
+            threshold=5.0,
+        )
+        path = recorder.on_alert(alert)
+        assert path == str(out)
+        header, records = read_bundle(out)
+        assert header["reason"] == "alert:beacon_gap"
+        [row] = [r for r in records if r["type"] == "alert"]
+        assert row["kind"] == "beacon_gap"
+        assert row["threshold"] == 5.0
+
+
+class TestLogCapture:
+    def test_structured_log_events_buffered(self, tmp_path):
+        out = tmp_path / "pm.jsonl"
+        recorder = FlightRecorder(str(out))
+        recorder.install_log_capture()
+        try:
+            get_logger("core.pipeline").warning(
+                "detection period fired", extra={"period": 3}
+            )
+        finally:
+            recorder.uninstall_log_capture()
+        recorder.dump()
+        _, records = read_bundle(out)
+        [row] = [r for r in records if r["type"] == "log"]
+        assert row["msg"] == "detection period fired"
+        assert row["level"] == "WARNING"
+        assert row["logger"] == "repro.core.pipeline"
+        assert row["period"] == 3
+
+    def test_uninstall_detaches_handler(self, tmp_path):
+        recorder = FlightRecorder(str(tmp_path / "pm.jsonl"))
+        root = logging.getLogger("repro")
+        before = list(root.handlers)
+        recorder.install_log_capture()
+        assert len(root.handlers) == len(before) + 1
+        recorder.close()  # close() also uninstalls
+        assert root.handlers == before
+
+
+class TestExcepthook:
+    def test_unhandled_exception_triggers_dump(self, tmp_path):
+        out = tmp_path / "pm.jsonl"
+        recorder = FlightRecorder(str(out))
+        recorder.export({"name": "s"})
+        seen = []
+        original = sys.excepthook
+        sys.excepthook = lambda *exc_info: seen.append(exc_info)
+        try:
+            recorder.install_excepthook()
+            try:
+                raise RuntimeError("boom")
+            except RuntimeError:
+                sys.excepthook(*sys.exc_info())
+        finally:
+            recorder.uninstall_excepthook()
+            sys.excepthook = original
+        header, _ = read_bundle(out)
+        assert header["reason"] == "unhandled:RuntimeError"
+        assert len(seen) == 1  # the previous hook still ran
+
+    def test_uninstall_restores_previous_hook(self):
+        recorder = FlightRecorder("unused.jsonl")
+        original = sys.excepthook
+        recorder.install_excepthook()
+        assert sys.excepthook is not original
+        recorder.uninstall_excepthook()
+        assert sys.excepthook is original

@@ -1,0 +1,216 @@
+"""Tests for repro.obs.health — thresholds, sliding windows, alerts."""
+
+import pytest
+
+from repro.core.detector import DetectionReport
+from repro.obs.health import (
+    HealthMonitor,
+    HealthThresholds,
+    default_monitor,
+    set_default_monitor,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def make_report(
+    t=100.0, density=40.0, n_pairs=10, n_flagged=0, sybil_ids=()
+):
+    pairs = [(f"a{i}", f"b{i}") for i in range(n_pairs)]
+    distances = {pair: 0.5 for pair in pairs}
+    flagged = tuple(pairs[:n_flagged])
+    return DetectionReport(
+        timestamp=t,
+        density=density,
+        threshold=0.05,
+        raw_distances=distances,
+        distances=distances,
+        sybil_pairs=flagged,
+        sybil_ids=frozenset(sybil_ids)
+        or frozenset(x for pair in flagged for x in pair),
+        compared_ids=tuple(sorted({x for pair in pairs for x in pair})),
+        skipped_ids=(),
+    )
+
+
+class TestHealthThresholds:
+    def test_from_spec_aliases(self):
+        th = HealthThresholds.from_spec(
+            "silence=30,detect_ms=250,flag_rate=0.5,density_drift=0.4,window=5"
+        )
+        assert th.max_silence_s == 30.0
+        assert th.max_detect_ms == 250.0
+        assert th.max_flagged_pair_rate == 0.5
+        assert th.max_density_drift == 0.4
+        assert th.window == 5
+
+    def test_from_spec_full_field_names(self):
+        th = HealthThresholds.from_spec("max_silence_s=10")
+        assert th.max_silence_s == 10.0
+
+    def test_from_spec_rejects_unknown_key(self):
+        with pytest.raises(ValueError):
+            HealthThresholds.from_spec("bogus=1")
+
+    def test_from_spec_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            HealthThresholds.from_spec("silence=soon")
+
+    def test_from_spec_rejects_missing_equals(self):
+        with pytest.raises(ValueError):
+            HealthThresholds.from_spec("silence")
+
+    def test_nonpositive_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            HealthThresholds(max_silence_s=0.0)
+        with pytest.raises(ValueError):
+            HealthThresholds(window=0)
+
+
+class TestStalenessWatchdog:
+    def test_beacon_gap_alert_fires_retroactively(self):
+        monitor = HealthMonitor(
+            HealthThresholds(max_silence_s=5.0),
+            registry=MetricsRegistry(),
+        )
+        monitor.beat(0.0)
+        monitor.beat(1.0)
+        assert monitor.healthy
+        monitor.beat(20.0)  # 19 s of silence just ended
+        [alert] = monitor.recent_alerts
+        assert alert.kind == "beacon_gap"
+        assert alert.value == pytest.approx(19.0)
+        assert not monitor.healthy
+
+    def test_check_detects_ongoing_silence(self):
+        monitor = HealthMonitor(
+            HealthThresholds(max_silence_s=5.0),
+            registry=MetricsRegistry(),
+        )
+        monitor.beat(0.0)
+        assert monitor.check(3.0) is None
+        alert = monitor.check(30.0)
+        assert alert is not None and alert.kind == "silence"
+
+    def test_no_alert_before_first_beacon(self):
+        monitor = HealthMonitor(
+            HealthThresholds(max_silence_s=5.0),
+            registry=MetricsRegistry(),
+        )
+        assert monitor.check(1000.0) is None
+
+    def test_disabled_without_threshold(self):
+        monitor = HealthMonitor(registry=MetricsRegistry())
+        monitor.beat(0.0)
+        monitor.beat(1e6)
+        assert monitor.check(2e6) is None
+        assert monitor.healthy
+
+
+class TestReportSignals:
+    def test_latency_alert(self):
+        monitor = HealthMonitor(
+            HealthThresholds(max_detect_ms=100.0),
+            registry=MetricsRegistry(),
+        )
+        monitor.on_report(make_report(), latency_ms=50.0)
+        assert monitor.healthy
+        monitor.on_report(make_report(), latency_ms=250.0)
+        assert [a.kind for a in monitor.recent_alerts] == ["detect_latency"]
+
+    def test_flagged_pair_rate_alert(self):
+        monitor = HealthMonitor(
+            HealthThresholds(max_flagged_pair_rate=0.5),
+            registry=MetricsRegistry(),
+        )
+        monitor.on_report(
+            make_report(n_pairs=10, n_flagged=2), latency_ms=1.0
+        )
+        assert monitor.healthy
+        monitor.on_report(
+            make_report(n_pairs=10, n_flagged=8), latency_ms=1.0
+        )
+        assert [a.kind for a in monitor.recent_alerts] == [
+            "flagged_pair_rate"
+        ]
+
+    def test_empty_report_has_zero_flag_rate(self):
+        monitor = HealthMonitor(
+            HealthThresholds(max_flagged_pair_rate=0.1),
+            registry=MetricsRegistry(),
+        )
+        monitor.on_report(make_report(n_pairs=0), latency_ms=1.0)
+        assert monitor.healthy
+
+    def test_density_drift_alert_uses_previous_median(self):
+        monitor = HealthMonitor(
+            HealthThresholds(max_density_drift=0.5),
+            registry=MetricsRegistry(),
+        )
+        for t, density in ((20.0, 40.0), (40.0, 42.0), (60.0, 38.0)):
+            monitor.on_report(make_report(t=t, density=density), 1.0)
+        assert monitor.healthy
+        monitor.on_report(make_report(t=80.0, density=400.0), 1.0)
+        assert [a.kind for a in monitor.recent_alerts] == ["density_drift"]
+
+    def test_window_bounds_history(self):
+        monitor = HealthMonitor(
+            HealthThresholds(window=3), registry=MetricsRegistry()
+        )
+        for i in range(10):
+            monitor.on_report(make_report(t=float(i)), latency_ms=float(i))
+        status = monitor.status()
+        assert len(status["window"]["detect_latency_ms"]) == 3
+        assert status["reports"] == 10
+
+
+class TestAlertPlumbing:
+    def test_alert_increments_counter_and_fires_hooks(self):
+        registry = MetricsRegistry()
+        monitor = HealthMonitor(
+            HealthThresholds(max_detect_ms=1.0), registry=registry
+        )
+        seen = []
+        monitor.add_hook(seen.append)
+        monitor.on_report(make_report(), latency_ms=9.0)
+        assert registry.counter("health.alerts").value == 1
+        assert monitor.alerts_total == 1
+        assert [a.kind for a in seen] == ["detect_latency"]
+
+    def test_alert_emits_structured_warning(self, caplog):
+        monitor = HealthMonitor(
+            HealthThresholds(max_detect_ms=1.0),
+            registry=MetricsRegistry(),
+        )
+        with caplog.at_level("WARNING", logger="repro.obs.health"):
+            monitor.on_report(make_report(), latency_ms=9.0)
+        [record] = caplog.records
+        assert record.kind == "detect_latency"
+        assert record.value == 9.0
+        assert record.threshold == 1.0
+
+    def test_status_document_shape(self):
+        monitor = HealthMonitor(
+            HealthThresholds(max_detect_ms=1.0),
+            registry=MetricsRegistry(),
+        )
+        monitor.beat(5.0)
+        monitor.on_report(make_report(), latency_ms=9.0)
+        status = monitor.status()
+        assert status["status"] == "alert"
+        assert status["last_beacon_t"] == 5.0
+        [alert] = status["alerts"]
+        assert alert["kind"] == "detect_latency"
+        assert alert["threshold"] == 1.0
+
+
+class TestDefaultMonitor:
+    def test_default_is_none_and_restorable(self):
+        assert default_monitor() is None
+        monitor = HealthMonitor(registry=MetricsRegistry())
+        previous = set_default_monitor(monitor)
+        try:
+            assert previous is None
+            assert default_monitor() is monitor
+        finally:
+            set_default_monitor(previous)
+        assert default_monitor() is None

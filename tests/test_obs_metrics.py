@@ -102,6 +102,65 @@ class TestHistogram:
         assert summary["p50"] == 2.0
 
 
+class TestHistogramReservoir:
+    def test_uncapped_by_default(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.max_samples is None
+        for v in range(1000):
+            histogram.observe(float(v))
+        assert histogram.samples_kept == 1000
+
+    def test_below_cap_percentiles_are_exact(self):
+        histogram = MetricsRegistry().histogram("h", max_samples=200)
+        for v in range(1, 101):
+            histogram.observe(float(v))
+        assert histogram.samples_kept == 100
+        assert histogram.percentile(50) == 50.0
+        assert histogram.percentile(99) == 99.0
+
+    def test_above_cap_count_sum_min_max_stay_exact(self):
+        histogram = MetricsRegistry().histogram("h", max_samples=64)
+        n = 10_000
+        for v in range(1, n + 1):
+            histogram.observe(float(v))
+        assert histogram.samples_kept == 64
+        summary = histogram.summary()
+        assert summary["count"] == n
+        assert summary["sum"] == n * (n + 1) / 2
+        assert summary["min"] == 1.0
+        assert summary["max"] == float(n)
+        assert summary["mean"] == pytest.approx((n + 1) / 2)
+
+    def test_above_cap_percentiles_are_estimates_in_range(self):
+        histogram = MetricsRegistry().histogram("h", max_samples=256)
+        for v in range(1, 10_001):
+            histogram.observe(float(v))
+        # Algorithm R keeps a uniform sample, so the median estimate
+        # lands near the true median — well within the sampled range.
+        p50 = histogram.percentile(50)
+        assert 1.0 <= p50 <= 10_000.0
+        assert abs(p50 - 5000.0) / 5000.0 < 0.5
+
+    def test_reservoir_is_deterministic_per_name(self):
+        def fill(registry):
+            histogram = registry.histogram("h", max_samples=16)
+            for v in range(1000):
+                histogram.observe(float(v))
+            return histogram.summary()
+
+        assert fill(MetricsRegistry()) == fill(MetricsRegistry())
+
+    def test_cap_validated(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", max_samples=0)
+
+    def test_registry_default_cap_applies_to_new_histograms(self):
+        registry = MetricsRegistry(histogram_max_samples=32)
+        assert registry.histogram("h").max_samples == 32
+        # An explicit per-histogram cap wins over the registry default.
+        assert registry.histogram("h2", max_samples=8).max_samples == 8
+
+
 class TestRegistry:
     def test_kind_clash_rejected(self):
         registry = MetricsRegistry()

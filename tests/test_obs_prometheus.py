@@ -1,0 +1,86 @@
+"""Tests for repro.obs.prometheus — text exposition rendering."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import (
+    CONTENT_TYPE,
+    render_prometheus,
+    sanitize_metric_name,
+)
+
+
+class TestSanitizeMetricName:
+    def test_dots_become_underscores(self):
+        assert (
+            sanitize_metric_name("detector.pairs_compared")
+            == "detector_pairs_compared"
+        )
+
+    def test_illegal_characters_replaced(self):
+        assert sanitize_metric_name("a-b c/d") == "a_b_c_d"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_metric_name("99problems") == "_99problems"
+
+    def test_colons_and_underscores_kept(self):
+        assert sanitize_metric_name("ns:metric_x") == "ns:metric_x"
+
+    def test_empty_name(self):
+        assert sanitize_metric_name("") == "_"
+
+
+class TestRenderPrometheus:
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_counter_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("detector.pairs_compared").inc(7)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_detector_pairs_compared_total counter" in text
+        assert "repro_detector_pairs_compared_total 7.0" in text
+
+    def test_gauge_rendering_and_unset_gauge_omitted(self):
+        registry = MetricsRegistry()
+        registry.gauge("pipeline.density_vhls_per_km").set(42.5)
+        registry.gauge("never.set")  # created but never written
+        text = render_prometheus(registry)
+        assert "repro_pipeline_density_vhls_per_km 42.5" in text
+        assert "never_set" not in text
+
+    def test_histogram_rendered_as_summary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("detector.detect_ms")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(v)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_detector_detect_ms summary" in text
+        assert 'repro_detector_detect_ms{quantile="0.5"} 2.0' in text
+        assert 'repro_detector_detect_ms{quantile="0.95"} 4.0' in text
+        assert 'repro_detector_detect_ms{quantile="0.99"} 4.0' in text
+        assert "repro_detector_detect_ms_sum 10.0" in text
+        assert "repro_detector_detect_ms_count 4.0" in text
+
+    def test_empty_histogram_renders_count_zero_without_quantiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        text = render_prometheus(registry)
+        assert "repro_h_count 0.0" in text
+        assert "quantile" not in text
+
+    def test_custom_and_empty_namespace(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        assert "vanet_c_total 1.0" in render_prometheus(
+            registry, namespace="vanet"
+        )
+        assert render_prometheus(registry, namespace="").startswith(
+            "# TYPE c_total counter"
+        )
+
+    def test_output_is_newline_terminated(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        assert render_prometheus(registry).endswith("\n")
+
+    def test_content_type_names_the_text_format(self):
+        assert "version=0.0.4" in CONTENT_TYPE

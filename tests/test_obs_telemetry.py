@@ -1,0 +1,334 @@
+"""Tests for repro.obs.telemetry — snapshot deltas, rate gauges, the
+span→histogram bridge, the HTTP endpoint, and the end-to-end telemetry
+stack around an online pipeline run."""
+
+import http.client
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.detector import DetectorConfig
+from repro.core.pipeline import OnlineVoiceprint, OnlineVoiceprintConfig
+from repro.core.thresholds import ConstantThreshold
+from repro.obs.flightrec import FlightRecorder, TeeSpanExporter
+from repro.obs.health import HealthMonitor, HealthThresholds
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import CONTENT_TYPE
+from repro.obs.telemetry import (
+    Snapshotter,
+    SpanLatencyRecorder,
+    TelemetryServer,
+)
+from repro.obs.trace import Tracer
+
+
+def http_get(port, path):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=5)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+class TestSpanLatencyRecorder:
+    def test_finished_spans_land_in_phase_histograms(self):
+        registry = MetricsRegistry()
+        recorder = SpanLatencyRecorder(registry)
+        recorder.export({"name": "pairwise_dtw", "duration_ms": 5.0})
+        recorder.export({"name": "pairwise_dtw", "duration_ms": 7.0})
+        recorder.export({"name": "normalise", "duration_ms": 1.0})
+        pairwise = registry.histogram("phase.pairwise_dtw_ms")
+        assert pairwise.count == 2
+        assert pairwise.summary()["sum"] == pytest.approx(12.0)
+        assert registry.histogram("phase.normalise_ms").count == 1
+
+    def test_partial_records_ignored(self):
+        registry = MetricsRegistry()
+        recorder = SpanLatencyRecorder(registry)
+        recorder.export({"name": "x"})  # no duration (partial flush)
+        recorder.export({"duration_ms": 1.0})  # no name
+        assert registry.to_dict()["histograms"] == {}
+
+    def test_wired_as_tracer_exporter(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(exporter=SpanLatencyRecorder(registry))
+        with tracer.span("detection"):
+            pass
+        assert registry.histogram("phase.detection_ms").count == 1
+
+    def test_reservoir_cap_applied(self):
+        registry = MetricsRegistry()
+        recorder = SpanLatencyRecorder(registry, max_samples=8)
+        for i in range(50):
+            recorder.export({"name": "p", "duration_ms": float(i)})
+        histogram = registry.histogram("phase.p_ms")
+        assert histogram.count == 50
+        assert histogram.samples_kept == 8
+
+
+class TestSnapshotterMath:
+    def test_first_tick_has_no_dt_or_rates(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.beacons").inc(10)
+        snap = Snapshotter(registry)
+        record = snap.tick(now=0.0)
+        assert record["dt_s"] is None
+        entry = record["counters"]["sim.beacons"]
+        assert entry == {"value": 10.0, "delta": 10.0}
+
+    def test_counter_delta_and_rate(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("sim.beacons")
+        counter.inc(10)
+        snap = Snapshotter(registry)
+        snap.tick(now=0.0)
+        counter.inc(20)
+        record = snap.tick(now=2.0)
+        assert record["dt_s"] == pytest.approx(2.0)
+        assert record["counters"]["sim.beacons"] == {
+            "value": 30.0,
+            "delta": 20.0,
+            "rate": 10.0,
+        }
+        assert registry.gauge(
+            "rate.sim.beacons_per_s"
+        ).value == pytest.approx(10.0)
+
+    def test_ratio_gauge_from_cache_counter_deltas(self):
+        registry = MetricsRegistry()
+        hits = registry.counter("detector.cache_hits")
+        pairs = registry.counter("detector.pairs_compared")
+        snap = Snapshotter(registry)
+        snap.tick(now=0.0)
+        hits.inc(3)
+        pairs.inc(6)
+        snap.tick(now=1.0)
+        assert registry.gauge(
+            "rate.pairwise_cache_hit_rate"
+        ).value == pytest.approx(0.5)
+
+    def test_ratio_gauge_skipped_without_denominator_activity(self):
+        registry = MetricsRegistry()
+        registry.counter("detector.cache_hits")
+        registry.counter("detector.pairs_compared")
+        snap = Snapshotter(registry)
+        snap.tick(now=0.0)
+        snap.tick(now=1.0)
+        assert registry.gauge("rate.pairwise_cache_hit_rate").value is None
+
+    def test_histogram_count_delta(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("detector.detect_ms")
+        histogram.observe(1.0)
+        snap = Snapshotter(registry)
+        snap.tick(now=0.0)
+        histogram.observe(2.0)
+        histogram.observe(3.0)
+        record = snap.tick(now=1.0)
+        entry = record["histograms"]["detector.detect_ms"]
+        assert entry["count"] == 3
+        assert entry["count_delta"] == 2
+
+    def test_jsonl_emission_to_stream(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        buffer = io.StringIO()
+        snap = Snapshotter(registry, out=buffer)
+        snap.tick(now=0.0)
+        snap.tick(now=1.0)
+        lines = buffer.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert all(r["type"] == "snapshot" for r in records)
+        assert records[1]["counters"]["c"]["delta"] == 0.0
+
+    def test_jsonl_emission_to_path(self, tmp_path):
+        out = tmp_path / "snapshots.jsonl"
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        snap = Snapshotter(registry, out=str(out))
+        snap.tick(now=0.0)
+        snap.close()
+        records = [
+            json.loads(line)
+            for line in out.read_text().strip().splitlines()
+        ]
+        # one manual tick + close()'s final tick
+        assert len(records) == 2
+
+    def test_tick_drives_health_watchdog(self):
+        registry = MetricsRegistry()
+        monitor = HealthMonitor(
+            HealthThresholds(max_silence_s=5.0), registry=registry
+        )
+        monitor.beat(0.0)
+        snap = Snapshotter(registry, health=monitor)
+        snap.tick(now=1.0)
+        assert monitor.healthy
+        snap.tick(now=60.0)
+        assert [a.kind for a in monitor.recent_alerts] == ["silence"]
+
+    def test_background_thread_ticks(self):
+        registry = MetricsRegistry()
+        snap = Snapshotter(registry, interval_s=0.01)
+        snap.start()
+        import time
+
+        deadline = time.monotonic() + 2.0
+        while snap.ticks == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        snap.stop()
+        assert snap.ticks >= 1
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            Snapshotter(MetricsRegistry(), interval_s=0.0)
+
+
+class TestTelemetryServer:
+    def test_metrics_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("detector.pairs_compared").inc(6)
+        server = TelemetryServer(registry).start()
+        try:
+            status, headers, body = http_get(server.port, "/metrics")
+        finally:
+            server.stop()
+        assert status == 200
+        assert headers["Content-Type"] == CONTENT_TYPE
+        assert b"repro_detector_pairs_compared_total 6.0" in body
+
+    def test_health_endpoint_ok_then_503_after_alert(self):
+        registry = MetricsRegistry()
+        monitor = HealthMonitor(
+            HealthThresholds(max_detect_ms=1.0), registry=registry
+        )
+        server = TelemetryServer(registry, health=monitor).start()
+        try:
+            status, _, body = http_get(server.port, "/health")
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+
+            from tests.test_obs_health import make_report
+
+            monitor.on_report(make_report(), latency_ms=50.0)
+            status, _, body = http_get(server.port, "/health")
+            assert status == 503
+            document = json.loads(body)
+            assert document["status"] == "alert"
+            assert document["alerts"][0]["kind"] == "detect_latency"
+        finally:
+            server.stop()
+
+    def test_health_without_monitor_is_plain_ok(self):
+        server = TelemetryServer(MetricsRegistry()).start()
+        try:
+            status, _, body = http_get(server.port, "/health")
+        finally:
+            server.stop()
+        assert status == 200
+        assert json.loads(body) == {"status": "ok"}
+
+    def test_unknown_path_is_404(self):
+        server = TelemetryServer(MetricsRegistry()).start()
+        try:
+            status, _, _ = http_get(server.port, "/nope")
+        finally:
+            server.stop()
+        assert status == 404
+
+    def test_port_is_none_until_started(self):
+        server = TelemetryServer(MetricsRegistry())
+        assert server.port is None
+        assert server.url is None
+        server.start()
+        try:
+            assert server.url == f"http://127.0.0.1:{server.port}"
+        finally:
+            server.stop()
+
+
+class TestOnlineTelemetryAcceptance:
+    """ISSUE acceptance: a telemetry-enabled online run serves live
+    Prometheus text (pairwise cache + per-phase latency series), the
+    health monitor alerts on an injected stall, and the flight recorder
+    dumps a parseable post-mortem for it."""
+
+    def test_full_stack(self, tmp_path):
+        postmortem = tmp_path / "postmortem.jsonl"
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        recorder = FlightRecorder(str(postmortem), tracer=tracer)
+        tracer.exporter = TeeSpanExporter(
+            SpanLatencyRecorder(registry), recorder
+        )
+        monitor = HealthMonitor(
+            HealthThresholds(max_silence_s=5.0), registry=registry
+        )
+        monitor.attach_recorder(recorder)
+        pipeline = OnlineVoiceprint(
+            max_range_m=500.0,
+            threshold=ConstantThreshold(0.05),
+            detector_config=DetectorConfig(
+                observation_time=5.0, min_samples=10
+            ),
+            config=OnlineVoiceprintConfig(
+                detection_period_s=5.0, density_period_s=2.0
+            ),
+            registry=registry,
+            tracer=tracer,
+            health=monitor,
+        )
+        snapshotter = Snapshotter(registry, health=monitor)
+        snapshotter.tick(now=0.0)
+
+        rng = np.random.default_rng(7)
+        t = 0.0
+        while t < 12.0:
+            for identity in ("a", "b", "c"):
+                pipeline.on_beacon(identity, t, -70.0 + rng.normal(0, 2))
+            t += 0.1
+        assert len(pipeline.reports) >= 1
+        assert monitor.healthy
+
+        # Injected detector stall: the next beacon arrives after a
+        # silence far beyond the 5 s threshold.
+        pipeline.on_beacon("a", 60.0, -70.0)
+        kinds = [a.kind for a in monitor.recent_alerts]
+        assert "beacon_gap" in kinds
+        assert recorder.dumps_written == 1
+
+        # The post-mortem bundle is parseable JSONL and names the alert.
+        lines = postmortem.read_text().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        header = records[0]
+        assert header["type"] == "postmortem"
+        assert header["reason"] == "alert:beacon_gap"
+        kinds_in_dump = {r["type"] for r in records[1:]}
+        assert "alert" in kinds_in_dump
+        assert "report" in kinds_in_dump  # detection reports were buffered
+        assert "span" in kinds_in_dump
+
+        # Live Prometheus exposition includes the pairwise-cache and
+        # per-phase latency series.
+        snapshotter.tick(now=12.0)
+        server = TelemetryServer(registry, health=monitor).start()
+        try:
+            status, headers, body = http_get(server.port, "/metrics")
+            health_status, _, health_body = http_get(
+                server.port, "/health"
+            )
+        finally:
+            server.stop()
+        assert status == 200
+        text = body.decode("utf-8")
+        assert "repro_detector_cache_hits_total" in text
+        assert "repro_rate_pairwise_cache_hit_rate" in text
+        assert 'repro_phase_pairwise_dtw_ms{quantile="0.95"}' in text
+        assert "repro_rate_detector_beacons_observed_per_s" in text
+        assert health_status == 503
+        assert json.loads(health_body)["alerts"]

@@ -116,6 +116,96 @@ class TestDisabledTracer:
         assert [r["name"] for r in exporter.records] == ["op"]
 
 
+class TestCrashSafeFlush:
+    def test_open_spans_listed_innermost_last(self):
+        tracer = Tracer(exporter=InMemorySpanExporter())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                assert [s.name for s in tracer.open_spans()] == [
+                    "outer",
+                    "inner",
+                ]
+        assert tracer.open_spans() == []
+
+    def test_flush_open_exports_partial_records(self):
+        exporter = InMemorySpanExporter()
+        tracer = Tracer(exporter=exporter)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                n = tracer.flush_open(reason="test-crash")
+                assert n == 2
+        # Innermost first, mirroring normal finish order.
+        partials = exporter.records[:2]
+        assert [r["name"] for r in partials] == ["inner", "outer"]
+        for record in partials:
+            assert record["attributes"]["partial"] is True
+            assert record["attributes"]["flush_reason"] == "test-crash"
+            assert record["duration_ms"] is not None
+
+    def test_flushed_spans_not_exported_twice(self):
+        exporter = InMemorySpanExporter()
+        tracer = Tracer(exporter=exporter)
+        with tracer.span("op"):
+            tracer.flush_open(reason="crash")
+        # The context-manager exit must not re-export the flushed span.
+        assert len(exporter.records) == 1
+
+    def test_flush_open_without_exporter_is_noop(self):
+        tracer = Tracer()
+        with tracer.span("op"):
+            assert tracer.flush_open() == 0
+
+    def test_flush_open_with_nothing_open(self):
+        exporter = InMemorySpanExporter()
+        tracer = Tracer(exporter=exporter)
+        assert tracer.flush_open() == 0
+        assert exporter.records == []
+
+    def test_flush_open_covers_other_threads(self):
+        exporter = InMemorySpanExporter()
+        tracer = Tracer(exporter=exporter)
+        started = threading.Event()
+        release = threading.Event()
+
+        def work():
+            with tracer.span("worker"):
+                started.set()
+                release.wait(timeout=5)
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        started.wait(timeout=5)
+        try:
+            assert tracer.flush_open(reason="main-crash") == 1
+        finally:
+            release.set()
+            thread.join()
+        assert exporter.records[0]["name"] == "worker"
+        assert exporter.records[0]["attributes"]["partial"] is True
+
+    def test_context_manager_closes_exporter(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(exporter=JsonlSpanExporter(str(path))) as tracer:
+            with tracer.span("done"):
+                pass
+        [record] = [json.loads(line) for line in path.read_text().splitlines()]
+        assert record["name"] == "done"
+
+    def test_exception_exit_flushes_open_spans(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        try:
+            with Tracer(exporter=JsonlSpanExporter(str(path))) as tracer:
+                span_cm = tracer.span("interrupted")
+                span_cm.__enter__()
+                raise KeyboardInterrupt()
+        except KeyboardInterrupt:
+            pass
+        [record] = [json.loads(line) for line in path.read_text().splitlines()]
+        assert record["name"] == "interrupted"
+        assert record["attributes"]["partial"] is True
+        assert record["attributes"]["flush_reason"] == "exception"
+
+
 class TestJsonlExporter:
     def test_writes_parseable_lines(self, tmp_path):
         path = tmp_path / "trace.jsonl"
