@@ -1,0 +1,141 @@
+"""Parallel evaluation benchmark — serial vs sharded grid wall-time.
+
+Drives an 8-cell Fig. 11-style grid (4 densities x 2 seeded runs, each
+cell simulating a highway scenario and replaying Voiceprint over its
+verifiers) twice through ``repro.eval.parallel.run_tasks``: once
+serially, once on a 4-process pool.  The run writes
+``BENCH_parallel.json`` at the repo root with the grid's deterministic
+outcome counts and both wall times.
+
+Acceptance criteria:
+
+* the parallel grid's per-cell outcome lists are **identical** to the
+  serial ones — always asserted, on any host;
+* wall-clock speedup >= 2x on 4 workers — asserted only on hosts with
+  at least 4 CPUs (a single-core container cannot speed anything up;
+  the measured speedup and the host's CPU count are recorded honestly
+  either way).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.thresholds import ConstantThreshold
+from repro.eval.parallel import TaskSpec, run_tasks
+from repro.eval.reporting import render_table
+from repro.eval.runner import run_voiceprint
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.simulator import HighwaySimulator
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_OUT_PATH = _REPO_ROOT / "BENCH_parallel.json"
+
+_SIM_TIME_S = 30.0
+_DENSITIES = (10.0, 20.0, 30.0, 40.0)
+_RUNS_PER_DENSITY = 2
+_RECORDED_NODES = 4
+_VERIFIERS = 2
+_WORKERS = 4
+_SPEEDUP_FLOOR = 2.0
+_MIN_CPUS_FOR_SPEEDUP = 4
+
+
+def _grid_cell(density, run_seed):
+    """One grid cell: simulate the scenario and replay Voiceprint."""
+    config = ScenarioConfig(sim_time_s=_SIM_TIME_S, seed=run_seed).with_density(
+        density
+    )
+    result = HighwaySimulator(config, recorded_nodes=_RECORDED_NODES).run()
+    return run_voiceprint(
+        result,
+        ConstantThreshold(0.05),
+        verifiers=result.recorded_nodes[:_VERIFIERS],
+        workers=1,
+    )
+
+
+def _tasks():
+    tasks = []
+    run_seed = 100
+    for density in _DENSITIES:
+        for _ in range(_RUNS_PER_DENSITY):
+            run_seed += 1
+            tasks.append(
+                TaskSpec(
+                    key=f"d{density:g}:s{run_seed}",
+                    fn=_grid_cell,
+                    args=(density, run_seed),
+                )
+            )
+    return tasks
+
+
+def _drive(workers):
+    registry = MetricsRegistry(enabled=True)
+    start = time.perf_counter()
+    results = run_tasks(_tasks(), workers=workers, registry=registry)
+    wall_s = time.perf_counter() - start
+    return results, wall_s
+
+
+def test_bench_parallel(once, benchmark):
+    def run_both():
+        serial = _drive(workers=1)
+        parallel = _drive(workers=_WORKERS)
+        return serial, parallel
+
+    (serial_results, serial_s), (parallel_results, parallel_s) = once(
+        benchmark, run_both
+    )
+
+    # Identity acceptance: sharding must never change a single outcome.
+    assert parallel_results == serial_results, "parallel grid diverged from serial"
+
+    outcomes = [o for task_key in sorted(serial_results) for o in serial_results[task_key]]
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cpu_count = os.cpu_count() or 1
+    payload = {
+        "workload": {
+            "cells": len(serial_results),
+            "sim_time_s": _SIM_TIME_S,
+            "runs_per_density": _RUNS_PER_DENSITY,
+            "verifiers_per_cell": _VERIFIERS,
+            "workers": _WORKERS,
+            "cpu_count": cpu_count,
+        },
+        "grid": {
+            "n_outcomes": len(outcomes),
+            "true_flagged_total": sum(o.true_flagged for o in outcomes),
+            "false_flagged_total": sum(o.false_flagged for o in outcomes),
+        },
+        "timing": {
+            "serial_wall_ms": round(serial_s * 1000.0, 1),
+            "parallel_wall_ms": round(parallel_s * 1000.0, 1),
+            "speedup": round(speedup, 2),
+        },
+    }
+    _OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    table = render_table(
+        ["quantity", "value"],
+        [
+            ("grid cells", len(serial_results)),
+            ("outcomes", len(outcomes)),
+            ("serial wall ms", payload["timing"]["serial_wall_ms"]),
+            (f"{_WORKERS}-worker wall ms", payload["timing"]["parallel_wall_ms"]),
+            ("speedup", payload["timing"]["speedup"]),
+            ("host CPUs", cpu_count),
+        ],
+        title=f"parallel grid sweep (-> {_OUT_PATH.name})",
+    )
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+
+    if cpu_count >= _MIN_CPUS_FOR_SPEEDUP:
+        assert speedup >= _SPEEDUP_FLOOR, (
+            f"expected >= {_SPEEDUP_FLOOR}x speedup on {cpu_count} CPUs, "
+            f"measured {speedup:.2f}x"
+        )

@@ -53,6 +53,14 @@ _RULES: Dict[str, Tuple[str, str]] = {
     "pairs_pruned": ("higher", "deterministic"),
     "cache_hits": ("higher", "deterministic"),
     "detections": ("both", "deterministic"),
+    # parallel evaluation benchmark (BENCH_parallel.json)
+    "serial_wall_ms": ("lower", "timing"),
+    "parallel_wall_ms": ("lower", "timing"),
+    "speedup": ("higher", "timing"),
+    "n_outcomes": ("both", "deterministic"),
+    "true_flagged_total": ("both", "deterministic"),
+    "false_flagged_total": ("both", "deterministic"),
+    "cells": ("both", "deterministic"),
 }
 
 

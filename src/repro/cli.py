@@ -37,6 +37,13 @@ configured globally: ``--pairwise {engine,naive}``,
 ``--pairwise-pruning {on,off}``, ``--pairwise-cache N`` and
 ``--pairwise-workers N`` set the process-wide defaults every detector
 constructed during the run inherits (see README "Performance").
+
+Parallel evaluation (``repro.eval.parallel``) is configured the same
+way: ``--workers N`` fans experiment grids and per-verifier replay out
+over N processes, ``--task-timeout`` bounds each task, and ``--resume
+PATH`` (sweep commands) journals completed grid cells so an
+interrupted sweep restarts without recomputation (see README
+"Parallel evaluation").
 """
 
 from __future__ import annotations
@@ -50,6 +57,7 @@ from . import obs
 from .obs.health import HealthMonitor, HealthThresholds
 from .core.pairwise import set_engine_defaults
 from .eval import experiments as ex
+from .eval.parallel import set_parallel_defaults
 from .eval.reporting import render_table
 from .sim.scenario import ScenarioConfig
 
@@ -210,6 +218,7 @@ def _fig11(args: argparse.Namespace, model_change: bool) -> str:
         runs_per_density=args.runs,
         base_config=_base_config(args),
         seed=args.seed + 1,
+        checkpoint=getattr(args, "resume", None),
     )
     return render_table(
         ["density", "method", "DR", "FPR", "node-periods"],
@@ -391,6 +400,24 @@ def _add_obs_arguments(
         default=suppressed if suppress_defaults else None,
         help="thread-pool width for exact DTW evaluations (0 = inline)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        default=suppressed if suppress_defaults else None,
+        help="process-pool width for parallel evaluation: experiment "
+        "grids and per-verifier replay shard across N worker processes "
+        "(1 = serial; default: $REPRO_EVAL_WORKERS or serial)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=suppressed if suppress_defaults else None,
+        help="per-task deadline for parallel evaluation: a worker "
+        "exceeding it is terminated and its task retried, then run "
+        "serially (default: no deadline)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -427,6 +454,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--densities", type=_densities, default=[10, 40, 80])
         p.add_argument("--sim-time", type=float, default=60.0)
         p.add_argument("--runs", type=int, default=1)
+        if name != "fig10":
+            p.add_argument(
+                "--resume",
+                metavar="PATH",
+                default=None,
+                help="journal completed (density, run) cells to PATH and "
+                "skip cells already journaled there on restart",
+            )
 
     for name in ("fig13", "fig14"):
         p = add_parser(name, help=f"{name} (field test)")
@@ -569,6 +604,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cache_size=args.pairwise_cache,
         workers=args.pairwise_workers,
     )
+    previous_parallel = set_parallel_defaults(
+        workers=args.workers, task_timeout=args.task_timeout
+    )
     server: Optional[obs.TelemetryServer] = None
     snapshotter: Optional[obs.Snapshotter] = None
     try:
@@ -625,6 +663,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             pruning=previous_defaults.pruning,
             cache_size=previous_defaults.cache_size,
             workers=previous_defaults.workers,
+        )
+        set_parallel_defaults(
+            workers=previous_parallel.workers,
+            task_timeout=previous_parallel.task_timeout,
         )
         obs.shutdown()
         if metrics_file is not None:

@@ -1,6 +1,16 @@
 """Evaluation harness: metrics, runners, training, experiments."""
 
 from .metrics import PeriodOutcome, average_rates, evaluate_flags
+from .parallel import (
+    Checkpoint,
+    ParallelDefaults,
+    TaskError,
+    TaskSpec,
+    derive_seed,
+    get_parallel_defaults,
+    run_tasks,
+    set_parallel_defaults,
+)
 from .reporting import format_value, render_table
 from .runner import detection_times, heard_in_window, run_cpvsad, run_voiceprint, run_xiao
 from .training import (
@@ -14,6 +24,14 @@ __all__ = [
     "PeriodOutcome",
     "average_rates",
     "evaluate_flags",
+    "Checkpoint",
+    "ParallelDefaults",
+    "TaskError",
+    "TaskSpec",
+    "derive_seed",
+    "get_parallel_defaults",
+    "run_tasks",
+    "set_parallel_defaults",
     "format_value",
     "render_table",
     "detection_times",

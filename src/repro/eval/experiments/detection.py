@@ -20,18 +20,20 @@ configuration: in 11a it knows the static truth); the model change of
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ...baselines.cpvsad import CpvsadConfig, CpvsadDetector
 from ...core.detector import DetectorConfig
 from ...core.lda import DecisionLine
-from ...core.thresholds import LinearThreshold
+from ...core.thresholds import LinearThreshold, ThresholdPolicy
 from ...radio.base import LinkBudget
 from ...radio.dual_slope import DualSlopeModel
 from ...radio.environments import environment
 from ...sim.scenario import ScenarioConfig
 from ...sim.simulator import HighwaySimulator
-from ..metrics import average_rates
+from ..metrics import PeriodOutcome, average_rates
+from ..parallel import Checkpoint, TaskSpec, run_tasks
 from ..runner import run_cpvsad, run_voiceprint
 
 __all__ = ["Fig11Row", "run_fig11", "run_fig11a", "run_fig11b"]
@@ -58,6 +60,39 @@ class Fig11Row:
     model_change: bool
 
 
+def _fig11_cell(
+    config: ScenarioConfig,
+    threshold: ThresholdPolicy,
+    detector_config: Optional[DetectorConfig],
+    recorded_nodes: int,
+    verifiers_per_run: int,
+) -> Tuple[List[PeriodOutcome], List[PeriodOutcome]]:
+    """One (density, seed) cell: simulate once, replay both methods.
+
+    Module-level so the parallel grid runner can ship it to workers;
+    replay inside a cell is pinned to ``workers=1`` — the grid is the
+    parallel axis, nesting pools would oversubscribe the host.
+    """
+    result = HighwaySimulator(config, recorded_nodes=recorded_nodes).run()
+    verifiers = result.recorded_nodes[:verifiers_per_run]
+    vp_outcomes = run_voiceprint(
+        result,
+        threshold,
+        detector_config=detector_config,
+        verifiers=verifiers,
+        workers=1,
+    )
+    cpvsad = CpvsadDetector(
+        assumed_budget=LinkBudget(
+            tx_power_dbm=sum(config.tx_power_range_dbm) / 2.0
+        ),
+        assumed_model=DualSlopeModel(environment(config.environment)),
+        config=CpvsadConfig(),
+    )
+    cp_outcomes = run_cpvsad(result, cpvsad, verifiers=verifiers, workers=1)
+    return vp_outcomes, cp_outcomes
+
+
 def run_fig11(
     boundary: DecisionLine,
     densities_vhls_per_km: Sequence[float] = (10, 20, 40, 60, 80, 100),
@@ -68,8 +103,17 @@ def run_fig11(
     verifiers_per_run: int = 4,
     detector_config: Optional[DetectorConfig] = None,
     seed: int = 1,
+    workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    checkpoint: Optional[Union[str, Path, Checkpoint]] = None,
 ) -> List[Fig11Row]:
     """Run one Fig. 11 panel.
+
+    The (density × run) grid is materialised up front — every cell's
+    scenario seed is fixed before anything executes — and handed to
+    :func:`repro.eval.parallel.run_tasks`, so the rows are identical
+    whether the sweep runs serially, on N workers, or resumes from a
+    checkpoint.
 
     Args:
         boundary: The trained Voiceprint threshold line (from E5).
@@ -82,37 +126,64 @@ def run_fig11(
         verifiers_per_run: Verifiers evaluated per run.
         detector_config: Voiceprint detector tunables.
         seed: Sweep seed.
+        workers: Grid-cell pool width (default: process defaults /
+            ``REPRO_EVAL_WORKERS``; serial without either).
+        task_timeout: Per-cell deadline in seconds.
+        checkpoint: Resume journal (path or :class:`Checkpoint`): cells
+            already journaled are not recomputed.
 
     Returns:
         Two rows (one per method) per density.
     """
     template = base_config or ScenarioConfig()
     threshold = LinearThreshold.from_decision_line(boundary)
-    rows: List[Fig11Row] = []
+    cells: List[Tuple[float, str]] = []
+    tasks: List[TaskSpec] = []
     run_seed = seed
     for density in densities_vhls_per_km:
-        vp_outcomes = []
-        cp_outcomes = []
-        for _ in range(runs_per_density):
+        for run_index in range(runs_per_density):
             run_seed += 1
             config = replace(
                 template.with_density(density).with_seed(run_seed),
                 model_change_enabled=model_change,
             )
-            result = HighwaySimulator(config, recorded_nodes=recorded_nodes).run()
-            verifiers = result.recorded_nodes[:verifiers_per_run]
-            vp_outcomes += run_voiceprint(
-                result, threshold, detector_config=detector_config,
-                verifiers=verifiers,
+            key = f"d{float(density):g}:r{run_index}:s{run_seed}"
+            cells.append((float(density), key))
+            tasks.append(
+                TaskSpec(
+                    key=key,
+                    fn=_fig11_cell,
+                    args=(
+                        config,
+                        threshold,
+                        detector_config,
+                        recorded_nodes,
+                        verifiers_per_run,
+                    ),
+                )
             )
-            cpvsad = CpvsadDetector(
-                assumed_budget=LinkBudget(
-                    tx_power_dbm=sum(config.tx_power_range_dbm) / 2.0
-                ),
-                assumed_model=DualSlopeModel(environment(config.environment)),
-                config=CpvsadConfig(),
-            )
-            cp_outcomes += run_cpvsad(result, cpvsad, verifiers=verifiers)
+    if checkpoint is not None and not isinstance(checkpoint, Checkpoint):
+        checkpoint = Checkpoint(
+            checkpoint,
+            grid={
+                "experiment": "fig11b" if model_change else "fig11a",
+                "densities": [float(d) for d in densities_vhls_per_km],
+                "runs_per_density": runs_per_density,
+                "seed": seed,
+            },
+        )
+    cell_results = run_tasks(
+        tasks, workers=workers, task_timeout=task_timeout, checkpoint=checkpoint
+    )
+    rows: List[Fig11Row] = []
+    for density in densities_vhls_per_km:
+        vp_outcomes: List[PeriodOutcome] = []
+        cp_outcomes: List[PeriodOutcome] = []
+        for cell_density, key in cells:
+            if cell_density == float(density):
+                vp, cp = cell_results[key]
+                vp_outcomes += vp
+                cp_outcomes += cp
         for method, outcomes in (("voiceprint", vp_outcomes), ("cpvsad", cp_outcomes)):
             dr, fpr = average_rates(outcomes)
             rows.append(

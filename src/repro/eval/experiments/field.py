@@ -27,6 +27,7 @@ from ...core.detector import DetectorConfig, VoiceprintDetector
 from ...core.thresholds import ConstantThreshold, PAPER_FIELD_THRESHOLD
 from ...sim.fieldtest import FieldTestConfig, FieldTestResult, MALICIOUS_ID, run_field_test
 from ..metrics import PeriodOutcome, average_rates, evaluate_flags
+from ..parallel import TaskSpec, run_tasks
 
 __all__ = [
     "FieldDetection",
@@ -125,6 +126,35 @@ def _detect_over_drive(
     return detections
 
 
+def _fig13_area(
+    env: str,
+    area_seed: int,
+    duration_s: float,
+    detection_period_s: float,
+    observation_time_s: float,
+    threshold: float,
+    recorder: str,
+    min_samples: int,
+) -> FieldAreaResult:
+    """One environment's drive + replay (one grid cell of Fig. 13)."""
+    field_result = run_field_test(
+        FieldTestConfig(environment=env, duration_s=duration_s, seed=area_seed)
+    )
+    detections = _detect_over_drive(
+        field_result,
+        recorder=recorder,
+        detection_period_s=detection_period_s,
+        observation_time_s=observation_time_s,
+        threshold_value=threshold,
+        min_samples=min_samples,
+    )
+    area = FieldAreaResult(environment=env, detections=detections)
+    dr, fpr = average_rates([d.outcome for d in detections])
+    area.detection_rate = dr
+    area.false_positive_rate = fpr
+    return area
+
+
 def run_fig13(
     environments: Sequence[str] = ("campus", "rural", "urban", "highway"),
     duration_s: float = 300.0,
@@ -134,34 +164,37 @@ def run_fig13(
     recorder: str = "3",
     min_samples: int = 60,
     seed: int = 21,
+    workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
 ) -> List[FieldAreaResult]:
     """Regenerate Fig. 13: per-environment field-test detections.
 
     The paper's drives lasted 11–35 minutes with a one-minute detection
     period; the default five-minute drives keep unit economics sane
-    while producing several periods per environment.
+    while producing several periods per environment.  The four drives
+    are independent (each seeds its own simulation), so they fan out
+    across ``workers`` processes; results come back in environment
+    order regardless of completion order.
     """
-    results: List[FieldAreaResult] = []
-    for index, env in enumerate(environments):
-        field_result = run_field_test(
-            FieldTestConfig(
-                environment=env, duration_s=duration_s, seed=seed + index
-            )
+    tasks = [
+        TaskSpec(
+            key=env,
+            fn=_fig13_area,
+            args=(
+                env,
+                seed + index,
+                duration_s,
+                detection_period_s,
+                observation_time_s,
+                threshold,
+                recorder,
+                min_samples,
+            ),
         )
-        detections = _detect_over_drive(
-            field_result,
-            recorder=recorder,
-            detection_period_s=detection_period_s,
-            observation_time_s=observation_time_s,
-            threshold_value=threshold,
-            min_samples=min_samples,
-        )
-        area = FieldAreaResult(environment=env, detections=detections)
-        dr, fpr = average_rates([d.outcome for d in detections])
-        area.detection_rate = dr
-        area.false_positive_rate = fpr
-        results.append(area)
-    return results
+        for index, env in enumerate(environments)
+    ]
+    area_results = run_tasks(tasks, workers=workers, task_timeout=task_timeout)
+    return [area_results[env] for env in environments]
 
 
 @dataclass(frozen=True)

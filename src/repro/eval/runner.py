@@ -24,6 +24,7 @@ from ..obs.metrics import default_registry
 from ..obs.timers import Stopwatch
 from ..sim.simulator import SimulationResult
 from .metrics import PeriodOutcome, evaluate_flags
+from .parallel import resolve_workers
 
 _log = get_logger("eval.runner")
 
@@ -45,11 +46,18 @@ def detection_times(
     every detection period, all within the simulated span."""
     if observation_time_s > sim_time_s:
         return []
+    # Compute each instant by index instead of accumulating
+    # ``t += detection_period_s``: repeated addition of a non-
+    # representable period (0.1 s, say) drifts by ~n*ulp and can drop
+    # or shift the final detection of a long simulation.
     times = []
-    t = observation_time_s
-    while t <= sim_time_s + 1e-9:
+    k = 0
+    while True:
+        t = observation_time_s + k * detection_period_s
+        if t > sim_time_s + 1e-9:
+            break
         times.append(round(t, 9))
-        t += detection_period_s
+        k += 1
     return times
 
 
@@ -72,6 +80,8 @@ def run_voiceprint(
     threshold: ThresholdPolicy,
     detector_config: Optional[DetectorConfig] = None,
     verifiers: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
 ) -> List[PeriodOutcome]:
     """Replay every verifier's observations through Voiceprint.
 
@@ -88,6 +98,11 @@ def run_voiceprint(
         detector_config: Detector tunables; the scenario's observation
             time is used if omitted.
         verifiers: Subset of recorded nodes to evaluate (default: all).
+        workers: Shard verifiers across this many processes (default:
+            the ``repro.eval.parallel`` process defaults, then the
+            ``REPRO_EVAL_WORKERS`` environment variable, then serial).
+            The outcome list is identical either way.
+        task_timeout: Per-shard deadline in seconds under parallelism.
 
     Returns:
         One :class:`PeriodOutcome` per (verifier, detection period).
@@ -97,6 +112,13 @@ def run_voiceprint(
         observation_time=config.observation_time_s
     )
     nodes = list(verifiers) if verifiers is not None else list(result.recorded_nodes)
+    n_workers = resolve_workers(workers)
+    if n_workers > 1 and len(nodes) > 1:
+        from .parallel import run_voiceprint_parallel
+
+        return run_voiceprint_parallel(
+            result, threshold, det_config, nodes, n_workers, task_timeout
+        )
     times = detection_times(
         config.sim_time_s, det_config.observation_time, config.detection_period_s
     )
@@ -240,8 +262,11 @@ def _run_cooperative(
             window_start = t - observation_time_s
             # Same neighbour notion as the Voiceprint runner (15 % of
             # the expected beacons) so all methods face identical
-            # Eq. 10-11 populations.
-            expected = observation_time_s * 10.0
+            # Eq. 10-11 populations.  Expected beacons come from the
+            # scenario's configured rate — a hardcoded 10 Hz would give
+            # the baselines a different neighbour floor than Voiceprint
+            # whenever an experiment sweeps the beacon rate.
+            expected = observation_time_s * config.beacon_rate_hz
             heard = heard_in_window(
                 series_map, window_start, t, min_samples=max(2, int(0.15 * expected))
             )
@@ -276,6 +301,8 @@ def run_cpvsad(
     verifiers: Optional[Sequence[str]] = None,
     observation_time_s: float = 10.0,
     max_witnesses: int = 8,
+    workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
 ) -> List[PeriodOutcome]:
     """Replay a simulation through the CPVSAD baseline.
 
@@ -290,10 +317,29 @@ def run_cpvsad(
         verifiers: Verifier subset (default: all recorded nodes).
         observation_time_s: CPVSAD's window (paper: 10 s).
         max_witnesses: Witness cap per claim.
+        workers: Shard verifiers across this many processes (identical
+            outcomes either way; see :func:`run_voiceprint`).
+        task_timeout: Per-shard deadline in seconds under parallelism.
 
     Returns:
         One :class:`PeriodOutcome` per (verifier, detection period).
     """
+    nodes = (
+        list(verifiers) if verifiers is not None else list(result.recorded_nodes)
+    )
+    n_workers = resolve_workers(workers)
+    if n_workers > 1 and len(nodes) > 1:
+        from .parallel import run_cpvsad_parallel
+
+        return run_cpvsad_parallel(
+            result,
+            detector,
+            nodes,
+            observation_time_s,
+            max_witnesses,
+            n_workers,
+            task_timeout,
+        )
 
     def predicted_mean(identity: str, observer: str, t_end: float) -> float:
         samples = [
@@ -323,6 +369,8 @@ def run_xiao(
     verifiers: Optional[Sequence[str]] = None,
     observation_time_s: float = 10.0,
     max_witnesses: int = 8,
+    workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
 ) -> List[PeriodOutcome]:
     """Replay a simulation through the Xiao localisation baseline.
 
@@ -336,7 +384,26 @@ def run_xiao(
         verifiers: Verifier subset (default: all recorded nodes).
         observation_time_s: Observation window.
         max_witnesses: Witness cap per claim.
+        workers: Shard verifiers across this many processes (identical
+            outcomes either way; see :func:`run_voiceprint`).
+        task_timeout: Per-shard deadline in seconds under parallelism.
     """
+    nodes = (
+        list(verifiers) if verifiers is not None else list(result.recorded_nodes)
+    )
+    n_workers = resolve_workers(workers)
+    if n_workers > 1 and len(nodes) > 1:
+        from .parallel import run_xiao_parallel
+
+        return run_xiao_parallel(
+            result,
+            detector,
+            nodes,
+            observation_time_s,
+            max_witnesses,
+            n_workers,
+            task_timeout,
+        )
     return _run_cooperative(
-        result, detector.is_sybil, verifiers, observation_time_s, max_witnesses
+        result, detector.is_sybil, nodes, observation_time_s, max_witnesses
     )

@@ -22,6 +22,7 @@ from ..core.lda import DecisionLine, fit_decision_line
 from ..core.thresholds import ConstantThreshold  # noqa: F401  (re-export convenience)
 from ..sim.scenario import ScenarioConfig
 from ..sim.simulator import HighwaySimulator, SimulationResult
+from .parallel import TaskSpec, run_tasks
 from .runner import detection_times, heard_in_window
 
 __all__ = ["TrainingPoint", "TrainingCorpus", "collect_training_corpus", "train_boundary"]
@@ -80,6 +81,61 @@ def _label_pair(result: SimulationResult, a: str, b: str) -> bool:
     return attacker_a is not None and attacker_a == attacker_b
 
 
+def _training_cell(
+    config: ScenarioConfig,
+    det_config: DetectorConfig,
+    verifiers_per_run: int,
+    recorded_nodes: int,
+    require_sybil_pairs: bool,
+) -> List[TrainingPoint]:
+    """Harvest one (density, seed) run's labelled points.
+
+    Module-level so the training sweep can fan cells out across the
+    parallel grid runner; the points of one cell are appended in the
+    same (verifier, period, pair) order the serial loop used.
+    """
+    result = HighwaySimulator(config, recorded_nodes=recorded_nodes).run()
+    verifiers = result.recorded_nodes[:verifiers_per_run]
+    times = detection_times(
+        config.sim_time_s,
+        det_config.observation_time,
+        config.detection_period_s,
+    )
+    points: List[TrainingPoint] = []
+    for node in verifiers:
+        series_map = result.series_at(node)
+        detector = VoiceprintDetector(
+            threshold=ConstantThreshold(0.0), config=det_config
+        )
+        for series in series_map.values():
+            detector.load_series(series)
+        estimator = DensityEstimator(max_range_m=result.max_range_m)
+        for t in times:
+            estimator.reset_period()
+            estimator.hear_all(
+                heard_in_window(
+                    series_map, t - config.density_estimate_period_s, t
+                )
+            )
+            density_est = estimator.estimate() * 1000.0
+            report = detector.detect(density=density_est, now=t)
+            report_points = [
+                TrainingPoint(
+                    density_vhls_per_km=density_est,
+                    distance=distance,
+                    raw_distance=report.raw_distances[(a, b)],
+                    is_sybil_pair=_label_pair(result, a, b),
+                )
+                for (a, b), distance in report.distances.items()
+            ]
+            if require_sybil_pairs and not any(
+                p.is_sybil_pair for p in report_points
+            ):
+                continue
+            points.extend(report_points)
+    return points
+
+
 def collect_training_corpus(
     densities_vhls_per_km: Sequence[float],
     base_config: Optional[ScenarioConfig] = None,
@@ -89,12 +145,17 @@ def collect_training_corpus(
     detector_config: Optional[DetectorConfig] = None,
     seed: int = 0,
     require_sybil_pairs: bool = True,
+    workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
 ) -> TrainingCorpus:
     """Run the training sweep and harvest labelled pairwise distances.
 
     The paper trains on 5 runs per density across 10–100 vhls/km;
     smaller sweeps train a usable boundary in seconds and the defaults
     here are sized for that (the Fig. 10 bench uses a fuller sweep).
+    Each (density, run) cell is independent; the sweep fans out across
+    ``workers`` processes and reassembles the corpus in cell order, so
+    the trained boundary is identical at any worker count.
 
     Args:
         densities_vhls_per_km: Densities to simulate.
@@ -109,6 +170,9 @@ def collect_training_corpus(
             distance 0 in *every* report; in an attacker-free report
             that pair is an innocent one, and keeping such reports would
             teach the classifier that innocent pairs live at 0.
+        workers: Grid-cell pool width (default: process defaults /
+            ``REPRO_EVAL_WORKERS``; serial without either).
+        task_timeout: Per-cell deadline in seconds.
 
     Returns:
         The labelled :class:`TrainingCorpus`.
@@ -117,50 +181,29 @@ def collect_training_corpus(
     det_config = detector_config or DetectorConfig(
         observation_time=template.observation_time_s
     )
-    corpus = TrainingCorpus()
+    tasks: List[TaskSpec] = []
     run_seed = seed
     for density in densities_vhls_per_km:
-        for _ in range(runs_per_density):
+        for run_index in range(runs_per_density):
             run_seed += 1
             config = template.with_density(density).with_seed(run_seed)
-            result = HighwaySimulator(config, recorded_nodes=recorded_nodes).run()
-            verifiers = result.recorded_nodes[:verifiers_per_run]
-            times = detection_times(
-                config.sim_time_s,
-                det_config.observation_time,
-                config.detection_period_s,
-            )
-            for node in verifiers:
-                series_map = result.series_at(node)
-                detector = VoiceprintDetector(
-                    threshold=ConstantThreshold(0.0), config=det_config
+            tasks.append(
+                TaskSpec(
+                    key=f"d{float(density):g}:r{run_index}:s{run_seed}",
+                    fn=_training_cell,
+                    args=(
+                        config,
+                        det_config,
+                        verifiers_per_run,
+                        recorded_nodes,
+                        require_sybil_pairs,
+                    ),
                 )
-                for series in series_map.values():
-                    detector.load_series(series)
-                estimator = DensityEstimator(max_range_m=result.max_range_m)
-                for t in times:
-                    estimator.reset_period()
-                    estimator.hear_all(
-                        heard_in_window(
-                            series_map, t - config.density_estimate_period_s, t
-                        )
-                    )
-                    density_est = estimator.estimate() * 1000.0
-                    report = detector.detect(density=density_est, now=t)
-                    report_points = [
-                        TrainingPoint(
-                            density_vhls_per_km=density_est,
-                            distance=distance,
-                            raw_distance=report.raw_distances[(a, b)],
-                            is_sybil_pair=_label_pair(result, a, b),
-                        )
-                        for (a, b), distance in report.distances.items()
-                    ]
-                    if require_sybil_pairs and not any(
-                        p.is_sybil_pair for p in report_points
-                    ):
-                        continue
-                    corpus.points.extend(report_points)
+            )
+    cell_points = run_tasks(tasks, workers=workers, task_timeout=task_timeout)
+    corpus = TrainingCorpus()
+    for task in tasks:
+        corpus.points.extend(cell_points[task.key])
     return corpus
 
 

@@ -99,7 +99,19 @@ class VANETChannel:
             10 MHz channel (≈ −104 dBm + 5 dB NF).
         capture_threshold_db: SINR needed to decode under interference.
         rng: Random generator for measurement noise and field seeding.
+            Pass one derived from the scenario seed (the simulators
+            do); when omitted, a generator seeded with the fixed
+            :data:`DEFAULT_RNG_SEED` is used, so two runs built the
+            same way measure the same noise — an unseeded fallback here
+            would silently break run-to-run reproducibility.
     """
+
+    #: Seed of the generator built when ``rng`` is omitted.  Every
+    #: in-tree caller passes a scenario-seeded generator (the other
+    #: ``np.random.default_rng`` call sites in the package all derive
+    #: from an explicit seed); this constant only guards ad-hoc
+    #: construction in tests and notebooks.
+    DEFAULT_RNG_SEED = 0x5EED
 
     #: Sentinel so ``fading=None`` can mean "explicitly disabled".
     _AUTO = object()
@@ -136,7 +148,9 @@ class VANETChannel:
             )
         self._model = model
         self.shadowing = shadowing
-        self._rng = rng or np.random.default_rng()
+        self._rng = (
+            rng if rng is not None else np.random.default_rng(self.DEFAULT_RNG_SEED)
+        )
         if fading is self._AUTO:
             fading = SpatialNoiseField(
                 seed=int(self._rng.integers(0, 2**62)),

@@ -343,6 +343,99 @@ class MetricsRegistry:
                 self._histograms[name] = instrument
             return instrument
 
+    # -- cross-process snapshot/merge ----------------------------------
+    #: Format version stamped into :meth:`snapshot` payloads.
+    SNAPSHOT_VERSION = 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """Full-fidelity, JSON-serialisable dump of every instrument.
+
+        Unlike :meth:`to_dict` (which *summarises* histograms), the
+        snapshot keeps each histogram's retained raw samples alongside
+        its exact count/sum/min/max, so another registry can fold it in
+        with :meth:`merge` without losing percentile information.  This
+        is the wire format ``repro.eval.parallel`` workers use to ship
+        their per-process metrics back to the parent.
+        """
+        with self._lock:
+            histograms: Dict[str, Dict[str, object]] = {}
+            for name, h in sorted(self._histograms.items()):
+                histograms[name] = {
+                    "count": h._count,
+                    "sum": h._sum,
+                    "min": h._min,
+                    "max": h._max,
+                    "max_samples": h._max_samples,
+                    "values": list(h._values),
+                }
+            return {
+                "version": self.SNAPSHOT_VERSION,
+                "counters": {
+                    name: c.value for name, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: g.value for name, g in sorted(self._gauges.items())
+                },
+                "histograms": histograms,
+            }
+
+    def merge(self, snapshot: Dict[str, object]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add, gauges take the snapshot's value when it was ever
+        set (last merge wins), and histograms combine exactly for
+        count/sum/min/max.  Retained histogram samples are concatenated;
+        when that exceeds a reservoir cap the combined pool is
+        downsampled with the histogram's deterministic RNG, so merged
+        percentiles stay estimates of the union, not of one side.
+
+        Merging into a *disabled* registry is a no-op, mirroring how a
+        disabled instrument drops direct recordings — parallel replay
+        stays metrics-silent unless observability is configured, exactly
+        like the serial path.
+        """
+        if not self._enabled:
+            return
+        version = snapshot.get("version")
+        if version != self.SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported metrics snapshot version {version!r} "
+                f"(expected {self.SNAPSHOT_VERSION})"
+            )
+        for name, value in snapshot.get("counters", {}).items():  # type: ignore[union-attr]
+            counter = self.counter(name)
+            with self._lock:
+                counter._value += float(value)
+        for name, value in snapshot.get("gauges", {}).items():  # type: ignore[union-attr]
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, payload in snapshot.get("histograms", {}).items():  # type: ignore[union-attr]
+            if not payload["count"]:
+                # Touch the instrument so it exists, but nothing to add.
+                self.histogram(name, max_samples=payload["max_samples"])
+                continue
+            histogram = self.histogram(name, max_samples=payload["max_samples"])
+            with self._lock:
+                histogram._count += int(payload["count"])
+                histogram._sum += float(payload["sum"])
+                for bound in ("min", "max"):
+                    incoming = payload[bound]
+                    if incoming is None:
+                        continue
+                    current = getattr(histogram, f"_{bound}")
+                    if (
+                        current is None
+                        or (bound == "min" and incoming < current)
+                        or (bound == "max" and incoming > current)
+                    ):
+                        setattr(histogram, f"_{bound}", float(incoming))
+                histogram._values.extend(float(v) for v in payload["values"])
+                cap = histogram._max_samples
+                if cap is not None and len(histogram._values) > cap:
+                    histogram._values = histogram._rng.sample(
+                        histogram._values, cap
+                    )
+
     # -- export --------------------------------------------------------
     def to_dict(self) -> Dict[str, Dict[str, object]]:
         """Snapshot of everything recorded, JSON-serialisable."""

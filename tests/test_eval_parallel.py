@@ -1,0 +1,407 @@
+"""Tests for the parallel sharded evaluation layer (repro.eval.parallel)."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.thresholds import ConstantThreshold
+from repro.baselines.cpvsad import CpvsadConfig, CpvsadDetector
+from repro.eval.parallel import (
+    Checkpoint,
+    TaskError,
+    TaskSpec,
+    _chunk_preserving_order,
+    derive_seed,
+    resolve_task_timeout,
+    resolve_workers,
+    run_tasks,
+    set_parallel_defaults,
+)
+from repro.eval.runner import run_cpvsad, run_voiceprint
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.trace import InMemorySpanExporter, default_tracer
+from repro.radio.base import LinkBudget
+from repro.radio.dual_slope import DualSlopeModel
+from repro.radio.environments import environment
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.simulator import HighwaySimulator
+
+
+# ---------------------------------------------------------------------------
+# Module-level task functions (workers unpickle them by reference)
+# ---------------------------------------------------------------------------
+def _square(x):
+    return x * x
+
+
+def _mul(x, factor=1):
+    return x * factor
+
+
+def _boom(x):
+    raise ValueError(f"intentional failure on {x}")
+
+
+def _die_once(marker, value):
+    """SIGKILL the hosting process on first call, succeed on retry."""
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8") as handle:
+            handle.write("died")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value
+
+
+def _die_in_child(parent_pid, value):
+    """SIGKILL every worker attempt; only in-parent execution survives."""
+    if os.getpid() != parent_pid:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value
+
+
+def _slow_once(marker, value):
+    """Overrun any sane deadline on first call, return fast on retry."""
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8") as handle:
+            handle.write("slept")
+        time.sleep(60.0)
+    return value
+
+
+def _count_units(n):
+    default_registry().counter("test.parallel_units").inc(n)
+    default_registry().histogram("test.parallel_hist").observe(float(n))
+    return n
+
+
+def _spanned(value):
+    with default_tracer().span("parallel.test_span"):
+        pass
+    return value
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.enable()
+    return registry
+
+
+class TestRunTasksBasics:
+    def test_serial_path(self):
+        tasks = [TaskSpec(key=f"t{i}", fn=_square, args=(i,)) for i in range(4)]
+        results = run_tasks(tasks, workers=1, registry=_registry())
+        assert results == {f"t{i}": i * i for i in range(4)}
+
+    def test_parallel_path(self):
+        tasks = [TaskSpec(key=f"t{i}", fn=_square, args=(i,)) for i in range(6)]
+        results = run_tasks(tasks, workers=3, registry=_registry())
+        assert results == {f"t{i}": i * i for i in range(6)}
+
+    def test_kwargs_travel(self):
+        tasks = [
+            TaskSpec(key=f"t{i}", fn=_mul, args=(i,), kwargs={"factor": 10})
+            for i in range(3)
+        ]
+        results = run_tasks(tasks, workers=2, registry=_registry())
+        assert results == {"t0": 0, "t1": 10, "t2": 20}
+
+    def test_duplicate_keys_rejected(self):
+        tasks = [TaskSpec(key="same", fn=_square, args=(i,)) for i in range(2)]
+        with pytest.raises(ValueError, match="unique"):
+            run_tasks(tasks, workers=1, registry=_registry())
+
+    def test_single_task_runs_in_parent(self):
+        registry = _registry()
+        results = run_tasks(
+            [TaskSpec(key="only", fn=_square, args=(5,))],
+            workers=8,
+            registry=registry,
+        )
+        assert results == {"only": 25}
+        assert registry.counter("parallel.tasks_completed").value == 1
+
+    def test_completion_metrics(self):
+        registry = _registry()
+        tasks = [TaskSpec(key=f"t{i}", fn=_square, args=(i,)) for i in range(4)]
+        run_tasks(tasks, workers=2, registry=registry)
+        assert registry.counter("parallel.tasks_completed").value == 4
+        assert registry.histogram("parallel.task_ms").count == 4
+
+
+class TestFailurePolicy:
+    def test_killed_worker_is_retried(self, tmp_path):
+        marker = str(tmp_path / "died.marker")
+        registry = _registry()
+        tasks = [
+            TaskSpec(key="victim", fn=_die_once, args=(marker, 41)),
+            TaskSpec(key="bystander", fn=_square, args=(3,)),
+        ]
+        results = run_tasks(tasks, workers=2, registry=registry)
+        assert results == {"victim": 41, "bystander": 9}
+        assert registry.counter("parallel.task_retries").value == 1
+        assert registry.counter("parallel.serial_fallbacks").value == 0
+
+    def test_persistent_death_degrades_to_serial(self):
+        registry = _registry()
+        tasks = [
+            TaskSpec(key="doomed", fn=_die_in_child, args=(os.getpid(), 7)),
+            TaskSpec(key="fine", fn=_square, args=(2,)),
+        ]
+        results = run_tasks(tasks, workers=2, retries=1, registry=registry)
+        assert results == {"doomed": 7, "fine": 4}
+        assert registry.counter("parallel.serial_fallbacks").value == 1
+        assert registry.counter("parallel.task_retries").value == 1
+
+    def test_timeout_reaps_and_retries(self, tmp_path):
+        marker = str(tmp_path / "slow.marker")
+        registry = _registry()
+        tasks = [
+            TaskSpec(key="slow", fn=_slow_once, args=(marker, 11)),
+            TaskSpec(key="fast", fn=_square, args=(4,)),
+        ]
+        start = time.monotonic()
+        results = run_tasks(tasks, workers=2, task_timeout=2.0, registry=registry)
+        elapsed = time.monotonic() - start
+        assert results == {"slow": 11, "fast": 16}
+        assert registry.counter("parallel.task_retries").value == 1
+        assert elapsed < 30.0  # the 60 s sleep was actually terminated
+
+    def test_worker_exception_is_not_retried(self):
+        registry = _registry()
+        tasks = [
+            TaskSpec(key="ok", fn=_square, args=(2,)),
+            TaskSpec(key="bad", fn=_boom, args=(1,)),
+        ]
+        with pytest.raises(TaskError, match="ValueError"):
+            run_tasks(tasks, workers=2, registry=registry)
+        assert registry.counter("parallel.task_retries").value == 0
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            run_tasks(
+                [TaskSpec(key="t", fn=_square, args=(1,))],
+                workers=1,
+                retries=-1,
+                registry=_registry(),
+            )
+
+
+class TestCheckpoint:
+    def test_record_and_resume(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        first = Checkpoint(path, grid={"densities": [10, 20]})
+        tasks = [TaskSpec(key=f"t{i}", fn=_square, args=(i,)) for i in range(3)]
+        run_tasks(tasks, workers=1, checkpoint=first, registry=_registry())
+        assert len(first) == 3
+
+        resumed = Checkpoint(path, grid={"densities": [10, 20]})
+        assert resumed.completed == ["t0", "t1", "t2"]
+        registry = _registry()
+        results = run_tasks(tasks, workers=1, checkpoint=resumed, registry=registry)
+        assert results == {"t0": 0, "t1": 1, "t2": 4}
+        assert registry.counter("parallel.tasks_resumed").value == 3
+        assert registry.counter("parallel.tasks_completed").value == 0
+
+    def test_partial_resume_runs_only_missing(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        checkpoint = Checkpoint(path)
+        checkpoint.record("t0", 0)
+        registry = _registry()
+        tasks = [TaskSpec(key=f"t{i}", fn=_square, args=(i,)) for i in range(3)]
+        results = run_tasks(tasks, workers=1, checkpoint=checkpoint, registry=registry)
+        assert results == {"t0": 0, "t1": 1, "t2": 4}
+        assert registry.counter("parallel.tasks_resumed").value == 1
+        assert registry.counter("parallel.tasks_completed").value == 2
+
+    def test_grid_mismatch_refuses_resume(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        Checkpoint(path, grid={"seed": 1})
+        with pytest.raises(ValueError, match="different grid"):
+            Checkpoint(path, grid={"seed": 2})
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"kind": "something-else"}\n')
+        with pytest.raises(ValueError, match="not a repro eval checkpoint"):
+            Checkpoint(path)
+
+    def test_checkpoint_written_under_parallel_execution(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        tasks = [TaskSpec(key=f"t{i}", fn=_square, args=(i,)) for i in range(4)]
+        run_tasks(
+            tasks, workers=2, checkpoint=Checkpoint(path), registry=_registry()
+        )
+        reread = Checkpoint(path)
+        assert reread.completed == ["t0", "t1", "t2", "t3"]
+        assert reread.get("t3") == 9
+
+
+class TestSeedsAndChunks:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(7, "d10", 0) == derive_seed(7, "d10", 0)
+
+    def test_derive_seed_distinguishes_parts(self):
+        seeds = {
+            derive_seed(7, "d10", 0),
+            derive_seed(7, "d10", 1),
+            derive_seed(7, "d20", 0),
+            derive_seed(8, "d10", 0),
+        }
+        assert len(seeds) == 4
+
+    def test_derive_seed_fits_numpy(self):
+        assert 0 <= derive_seed(2**40, "x") < 2**63
+
+    def test_chunks_preserve_order_and_coverage(self):
+        items = [f"v{i}" for i in range(7)]
+        for n in (1, 2, 3, 7, 12):
+            chunks = _chunk_preserving_order(items, n)
+            assert [x for chunk in chunks for x in chunk] == items
+            assert len(chunks) == min(n, len(items))
+            sizes = [len(c) for c in chunks]
+            assert max(sizes) - min(sizes) <= 1
+
+
+class TestDefaultsResolution:
+    def test_explicit_wins(self):
+        assert resolve_workers(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_WORKERS", "4")
+        assert resolve_workers() == 4
+
+    def test_bad_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_WORKERS", "many")
+        assert resolve_workers() == 1
+
+    def test_process_defaults_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_WORKERS", "4")
+        previous = set_parallel_defaults(workers=2, task_timeout=5.0)
+        try:
+            assert resolve_workers() == 2
+            assert resolve_task_timeout() == 5.0
+        finally:
+            set_parallel_defaults(
+                workers=previous.workers, task_timeout=previous.task_timeout
+            )
+
+    def test_restore_round_trip(self):
+        previous = set_parallel_defaults(workers=6)
+        restored = set_parallel_defaults(
+            workers=previous.workers, task_timeout=previous.task_timeout
+        )
+        assert restored.workers == 6
+        assert set_parallel_defaults(workers=previous.workers).workers == previous.workers
+
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            resolve_task_timeout(0.0)
+
+
+class TestObservabilityMerge:
+    def test_worker_metrics_fold_into_parent_registry(self):
+        registry = _registry()
+        tasks = [
+            TaskSpec(key=f"t{i}", fn=_count_units, args=(i,)) for i in range(1, 5)
+        ]
+        results = run_tasks(tasks, workers=2, registry=registry)
+        assert results == {f"t{i}": i for i in range(1, 5)}
+        assert registry.counter("test.parallel_units").value == 1 + 2 + 3 + 4
+        hist = registry.histogram("test.parallel_hist")
+        assert hist.count == 4
+        assert hist.summary()["max"] == 4.0
+
+    def test_disabled_registry_stays_silent(self):
+        registry = MetricsRegistry(enabled=False)
+        tasks = [TaskSpec(key=f"t{i}", fn=_count_units, args=(i,)) for i in range(2)]
+        results = run_tasks(tasks, workers=2, registry=registry)
+        assert results == {"t0": 0, "t1": 1}
+        assert registry.counter("test.parallel_units").value == 0
+
+    def test_worker_spans_reexported_in_parent(self):
+        tracer = default_tracer()
+        exporter = InMemorySpanExporter()
+        tracer.enable(exporter)
+        try:
+            tasks = [
+                TaskSpec(key=f"t{i}", fn=_spanned, args=(i,)) for i in range(3)
+            ]
+            results = run_tasks(tasks, workers=2, registry=_registry())
+            assert results == {"t0": 0, "t1": 1, "t2": 2}
+            names = [r["name"] for r in exporter.records]
+            assert names.count("parallel.test_span") == 3
+        finally:
+            tracer.disable()
+            tracer.exporter = None
+
+
+@pytest.fixture(scope="module")
+def small_sim():
+    config = ScenarioConfig(sim_time_s=40.0, seed=11).with_density(20)
+    return HighwaySimulator(config, recorded_nodes=5).run()
+
+
+class TestShardedReplayIdentity:
+    """The tentpole invariant: parallelism never changes results."""
+
+    @pytest.mark.parametrize("n_workers", [2, 3, 5, 8])
+    def test_voiceprint_identical_across_worker_counts(self, small_sim, n_workers):
+        threshold = ConstantThreshold(0.05)
+        serial = run_voiceprint(small_sim, threshold, workers=1)
+        parallel = run_voiceprint(small_sim, threshold, workers=n_workers)
+        assert parallel == serial
+
+    def test_voiceprint_identical_across_seeds(self):
+        threshold = ConstantThreshold(0.05)
+        for seed in (1, 2):
+            config = ScenarioConfig(sim_time_s=30.0, seed=seed).with_density(15)
+            result = HighwaySimulator(config, recorded_nodes=4).run()
+            assert run_voiceprint(result, threshold, workers=2) == run_voiceprint(
+                result, threshold, workers=1
+            )
+
+    def test_cpvsad_identical(self, small_sim):
+        config = small_sim.config
+        detector = CpvsadDetector(
+            assumed_budget=LinkBudget(
+                tx_power_dbm=sum(config.tx_power_range_dbm) / 2.0
+            ),
+            assumed_model=DualSlopeModel(environment(config.environment)),
+            config=CpvsadConfig(),
+        )
+        serial = run_cpvsad(small_sim, detector, workers=1)
+        parallel = run_cpvsad(small_sim, detector, workers=3)
+        assert parallel == serial
+
+    def test_worker_killed_mid_shard_still_identical(
+        self, small_sim, monkeypatch, tmp_path
+    ):
+        """Fault injection: the first shard attempt dies mid-task; the
+        retry must still converge on the exact serial outcome list."""
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("sabotage closure needs the fork start method")
+        import repro.eval.parallel as parallel_mod
+
+        threshold = ConstantThreshold(0.05)
+        serial = run_voiceprint(small_sim, threshold, workers=1)
+
+        original = parallel_mod._voiceprint_shard
+        # Cross-process first-attempt marker: under fork every retry
+        # inherits a fresh copy of parent memory, so in-memory flags
+        # reset — the filesystem is the only shared state.
+        flag_path = str(tmp_path / "kill.marker")
+
+        def killer(verifiers, result, threshold, detector_config):
+            if not os.path.exists(flag_path):
+                with open(flag_path, "w", encoding="utf-8") as handle:
+                    handle.write("x")
+                os.kill(os.getpid(), signal.SIGKILL)
+            return original(verifiers, result, threshold, detector_config)
+
+        monkeypatch.setattr(parallel_mod, "_voiceprint_shard", killer)
+        parallel = run_voiceprint(small_sim, threshold, workers=2)
+        assert os.path.exists(flag_path)  # the sabotage actually fired
+        assert parallel == serial

@@ -38,6 +38,24 @@ class TestDetectionTimes:
     def test_single_detection(self):
         assert detection_times(25.0, 20.0, 20.0) == [20.0]
 
+    def test_no_float_drift_over_hour_long_sim(self):
+        # Regression: the schedule used to accumulate
+        # ``t += detection_period_s``; with a non-representable period
+        # (0.1 s) the sum drifts by ~k ulp over tens of thousands of
+        # periods and can shift or drop the final detection.  Each
+        # instant must equal its closed form by index.
+        period = 0.1
+        times = detection_times(3600.0, 20.0, period)
+        assert len(times) == 35801
+        assert times[-1] == 3600.0
+        assert all(
+            t == round(20.0 + k * period, 9) for k, t in enumerate(times)
+        )
+
+    def test_matches_naive_schedule_for_representable_periods(self):
+        times = detection_times(3600.0, 20.0, 10.0)
+        assert times == [20.0 + 10.0 * k for k in range(359)]
+
 
 class TestHeardInWindow:
     def test_filters_by_samples(self):
@@ -161,3 +179,31 @@ class TestRunXiao:
         for outcome in outcomes:
             assert outcome.true_flagged <= outcome.total_illegitimate
             assert outcome.false_flagged <= outcome.total_legitimate
+
+
+class TestCooperativeBeaconRateParity:
+    def test_neighbour_floor_follows_configured_beacon_rate(self):
+        # Regression: the cooperative driver derived its expected beacon
+        # count from a hardcoded 10 Hz.  At 1 Hz each neighbour yields
+        # ~10 samples per 10 s window, far under the stale 15-sample
+        # floor, so every outcome's populations collapsed to zero; the
+        # floor must scale with the scenario's configured rate.
+        from dataclasses import replace
+
+        config = replace(
+            ScenarioConfig(density_vhls_per_km=25, sim_time_s=45.0, seed=13),
+            beacon_rate_hz=1.0,
+        )
+        result = HighwaySimulator(config, recorded_nodes=3).run()
+        detector = CpvsadDetector(
+            assumed_budget=LinkBudget(
+                tx_power_dbm=sum(config.tx_power_range_dbm) / 2.0
+            ),
+            assumed_model=DualSlopeModel(environment(config.environment)),
+            config=CpvsadConfig(),
+        )
+        outcomes = run_cpvsad(result, detector, verifiers=result.recorded_nodes[:2])
+        assert outcomes
+        assert any(
+            o.total_legitimate + o.total_illegitimate > 0 for o in outcomes
+        )

@@ -326,3 +326,29 @@ class TestChannel:
             self._channel(measurement_noise_db=-0.1)
         with pytest.raises(ValueError):
             self._channel(quantisation_db=-0.1)
+
+
+class TestChannelDefaultRng:
+    def test_omitted_rng_is_deterministic(self):
+        # Regression: the rng fallback used to be an *unseeded*
+        # default_rng(), so two identically-built channels measured
+        # different noise and ad-hoc runs were unreproducible.
+        def build():
+            return VANETChannel(model=DualSlopeModel(environment("highway")))
+
+        a, b = build(), build()
+        samples_a = [a.link_rssi((0, 0), (100, 0), 20.0, 0.0, t) for t in range(5)]
+        samples_b = [b.link_rssi((0, 0), (100, 0), 20.0, 0.0, t) for t in range(5)]
+        assert samples_a == samples_b
+
+    def test_explicit_rng_still_wins(self):
+        model = DualSlopeModel(environment("highway"))
+        seeded = VANETChannel(model=model, rng=np.random.default_rng(123))
+        default = VANETChannel(model=model)
+        seeded_run = [
+            seeded.link_rssi((0, 0), (100, 0), 20.0, 0.0, t) for t in range(5)
+        ]
+        default_run = [
+            default.link_rssi((0, 0), (100, 0), 20.0, 0.0, t) for t in range(5)
+        ]
+        assert seeded_run != default_run

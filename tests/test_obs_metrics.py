@@ -231,3 +231,92 @@ class TestRegistry:
         registry = default_registry()
         assert registry is default_registry()
         assert not registry.enabled
+
+
+class TestSnapshotMerge:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(2.5)
+        for v in (1.0, 2.0, 3.0):
+            registry.histogram("h").observe(v)
+        return registry
+
+    def test_snapshot_is_json_serialisable(self):
+        snapshot = self._populated().snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_merge_round_trip(self):
+        snapshot = self._populated().snapshot()
+        target = MetricsRegistry()
+        target.merge(snapshot)
+        assert target.counter("c").value == 5.0
+        assert target.gauge("g").value == 2.5
+        hist = target.histogram("h")
+        assert hist.count == 3
+        assert hist.summary()["min"] == 1.0
+        assert hist.summary()["max"] == 3.0
+        assert hist.percentile(50) == 2.0
+
+    def test_counters_add_across_merges(self):
+        snapshot = self._populated().snapshot()
+        target = MetricsRegistry()
+        target.counter("c").inc(1)
+        target.merge(snapshot)
+        target.merge(snapshot)
+        assert target.counter("c").value == 11.0
+        assert target.histogram("h").count == 6
+
+    def test_histogram_bounds_combine_exactly(self):
+        low = MetricsRegistry()
+        low.histogram("h").observe(-4.0)
+        high = MetricsRegistry()
+        high.histogram("h").observe(9.0)
+        target = MetricsRegistry()
+        target.histogram("h").observe(1.0)
+        target.merge(low.snapshot())
+        target.merge(high.snapshot())
+        summary = target.histogram("h").summary()
+        assert summary["min"] == -4.0
+        assert summary["max"] == 9.0
+        assert summary["count"] == 3
+        assert summary["sum"] == 6.0
+
+    def test_unset_gauge_does_not_clobber(self):
+        source = MetricsRegistry()
+        source.gauge("g")  # created but never set
+        target = MetricsRegistry()
+        target.gauge("g").set(7.0)
+        target.merge(source.snapshot())
+        assert target.gauge("g").value == 7.0
+
+    def test_merge_into_disabled_registry_is_noop(self):
+        snapshot = self._populated().snapshot()
+        target = MetricsRegistry(enabled=False)
+        target.merge(snapshot)
+        assert target.to_dict()["counters"] == {}
+
+    def test_version_mismatch_rejected(self):
+        snapshot = self._populated().snapshot()
+        snapshot["version"] = 999
+        with pytest.raises(ValueError, match="snapshot version"):
+            MetricsRegistry().merge(snapshot)
+
+    def test_merge_downsamples_past_reservoir_cap(self):
+        source = MetricsRegistry()
+        for v in range(100):
+            source.histogram("h").observe(float(v))
+        target = MetricsRegistry()
+        capped = target.histogram("h", max_samples=10)
+        for v in range(100, 120):
+            capped.observe(float(v))
+        target.merge(source.snapshot())
+        assert capped.count == 120  # exact count survives the cap
+        assert capped.samples_kept <= 10
+
+    def test_empty_histogram_merge_creates_instrument_only(self):
+        source = MetricsRegistry()
+        source.histogram("h")
+        target = MetricsRegistry()
+        target.merge(source.snapshot())
+        assert target.histogram("h").count == 0
