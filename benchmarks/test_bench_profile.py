@@ -1,0 +1,224 @@
+"""Profiler overhead benchmark — sampling must stay under 5 %.
+
+Runs a compare-dominated detection workload (all-pairs DTW over fresh
+random RSSI series each round, so the pair cache cannot collapse the
+work) and gates the sampling profiler's overhead at the default rate.
+
+Measuring a single-digit-percent slowdown on a shared runner needs
+care: per-round CPU time wobbles multiplicatively (co-tenant cache and
+frequency pressure) in bursts of tens of percent, and the host's
+"quiet speed" drifts over hundreds of milliseconds.  Block designs
+(all baseline rounds, then all profiled rounds) confound that drift
+with the treatment, so instead:
+
+* rounds **alternate** baseline / profiled, so both modes sample the
+  same noise environment at ~30 ms granularity;
+* each round is timed individually with ``time.process_time`` (spans
+  all threads, so the sampler's own burn is charged) and the per-mode
+  **minimum** is compared — bursty noise only inflates round times, so
+  the min recovers the quiet-host cost of each mode, while the
+  sampler's overhead is uniform (several samples per round) and
+  survives in the min.
+
+The profiler itself is started/stopped outside the timed region of
+each profiled round; its sample statistics accumulate across rounds.
+Even the min-of comparison can be unlucky when the host's quiet
+windows are shorter than a round pair, so the measurement retries up
+to ``_ATTEMPTS`` times and gates on the best attempt: noise passes on
+a retry, while a genuine overhead regression fails every attempt.
+The run writes ``BENCH_profile.json`` at the repo root for the
+``bench_compare`` regression gate.
+
+Acceptance criteria (asserted on any host):
+
+* sampling at the default hz adds < 5 % to the workload;
+* >= 90 % of busy samples are attributed to a known pipeline phase;
+* ``compare`` dominates the phase breakdown on this all-pairs workload.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.detector import DetectorConfig, VoiceprintDetector
+from repro.core.thresholds import ConstantThreshold
+from repro.core.timeseries import RSSITimeSeries
+from repro.eval.reporting import render_table
+from repro.obs.profiling import DEFAULT_HZ, start_default, stop_default
+from repro.obs.trace import default_tracer
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_OUT_PATH = _REPO_ROOT / "BENCH_profile.json"
+
+_IDENTITIES = 24
+_SAMPLES_PER_SERIES = 200
+_ROUNDS_PER_MODE = 50
+_WARMUP_ROUNDS = 3
+_ATTEMPTS = 3
+_OVERHEAD_CEILING_PCT = 5.0
+_ATTRIBUTED_FLOOR_PCT = 90.0
+
+
+def _detect_round(seed: int) -> int:
+    """One all-pairs detection over fresh random series (cache-cold)."""
+    rng = np.random.default_rng(seed)
+    config = DetectorConfig(observation_time=20.0)
+    detector = VoiceprintDetector(
+        threshold=ConstantThreshold(0.05), config=config
+    )
+    times = np.linspace(0.0, 20.0, _SAMPLES_PER_SERIES)
+    # Feeding the detector is the collection phase; the span is a no-op
+    # while the tracer is disabled (the baseline rounds).
+    with default_tracer().span("collect"):
+        for index in range(_IDENTITIES):
+            series = RSSITimeSeries(f"v{index}")
+            rssi = -70.0 + np.cumsum(rng.normal(0.0, 0.8, _SAMPLES_PER_SERIES))
+            for t, value in zip(times, rssi):
+                series.append(float(t), float(value))
+            detector.load_series(series)
+    report = detector.detect(density=40.0, now=20.0)
+    return len(report.compared_ids)
+
+
+def test_bench_profile(once, benchmark):
+    tracer = default_tracer()
+    assert not tracer.enabled, "bench expects the production default"
+
+    def run_alternating():
+        baseline_cpu, profiled_cpu = [], []
+        baseline_wall, profiled_wall = [], []
+        phases, samples, idle, attributed = {}, 0, 0, 0
+        for index in range(_WARMUP_ROUNDS):  # warm numpy/DTW caches
+            _detect_round(9000 + index)
+        for index in range(2 * _ROUNDS_PER_MODE):
+            profiled = index % 2 == 1
+            if profiled:
+                profiler = start_default(hz=DEFAULT_HZ)
+            cpu = time.process_time()
+            wall = time.perf_counter()
+            _detect_round(index)
+            cpu = time.process_time() - cpu
+            wall = time.perf_counter() - wall
+            if profiled:
+                stop_default()
+                tracer.disable()
+                profiled_cpu.append(cpu)
+                profiled_wall.append(wall)
+                samples += profiler.samples_total
+                idle += profiler.idle_samples
+                attributed += profiler.attributed_samples
+                for phase, count in profiler.phase_breakdown().items():
+                    phases[phase] = phases.get(phase, 0) + count
+            else:
+                baseline_cpu.append(cpu)
+                baseline_wall.append(wall)
+        return (
+            baseline_cpu,
+            profiled_cpu,
+            baseline_wall,
+            profiled_wall,
+            phases,
+            samples,
+            idle,
+            attributed,
+        )
+
+    def measure_best_attempt():
+        best = None
+        for attempt in range(_ATTEMPTS):
+            (
+                baseline_cpu,
+                profiled_cpu,
+                baseline_wall,
+                profiled_wall,
+                phases,
+                samples,
+                idle,
+                attributed,
+            ) = run_alternating()
+            overhead = 100.0 * (min(profiled_cpu) - min(baseline_cpu)) / min(
+                baseline_cpu
+            )
+            result = (
+                overhead,
+                min(baseline_cpu),
+                min(profiled_cpu),
+                min(baseline_wall),
+                min(profiled_wall),
+                phases,
+                samples,
+                idle,
+                attributed,
+            )
+            if best is None or overhead < best[0]:
+                best = result
+            if overhead < _OVERHEAD_CEILING_PCT:
+                break
+        return best
+
+    (
+        overhead_pct,
+        base_cpu,
+        prof_cpu,
+        base_wall,
+        prof_wall,
+        phases,
+        samples,
+        idle,
+        attributed,
+    ) = once(benchmark, measure_best_attempt)
+
+    attributed_pct = 100.0 * attributed / samples if samples else 0.0
+    compare_pct = 100.0 * phases.get("compare", 0) / samples if samples else 0.0
+
+    payload = {
+        "workload": {
+            "identities": _IDENTITIES,
+            "samples_per_series": _SAMPLES_PER_SERIES,
+            "rounds_per_mode": _ROUNDS_PER_MODE,
+            "hz": DEFAULT_HZ,
+        },
+        "profile": {
+            "samples": samples,
+            "idle_samples": idle,
+            "attributed_pct": round(attributed_pct, 1),
+            "compare_pct": round(compare_pct, 1),
+        },
+        "timing": {
+            "baseline_cpu_ms": round(base_cpu * 1000.0, 1),
+            "profiled_cpu_ms": round(prof_cpu * 1000.0, 1),
+            "baseline_wall_ms": round(base_wall * 1000.0, 1),
+            "profiled_wall_ms": round(prof_wall * 1000.0, 1),
+            "overhead_pct": round(overhead_pct, 2),
+        },
+    }
+    _OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    table = render_table(
+        ["quantity", "value"],
+        [
+            ("baseline cpu ms", payload["timing"]["baseline_cpu_ms"]),
+            ("profiled cpu ms", payload["timing"]["profiled_cpu_ms"]),
+            ("overhead %", payload["timing"]["overhead_pct"]),
+            ("busy samples", samples),
+            ("attributed %", payload["profile"]["attributed_pct"]),
+            ("compare %", payload["profile"]["compare_pct"]),
+        ],
+        title=f"profiler overhead (-> {_OUT_PATH.name})",
+    )
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+
+    assert samples > 0, "sampler took no samples over the profiled rounds"
+    assert attributed_pct >= _ATTRIBUTED_FLOOR_PCT, (
+        f"only {attributed_pct:.1f}% of samples attributed to a known phase"
+    )
+    assert compare_pct > 50.0, (
+        f"compare should dominate the all-pairs workload, got {compare_pct:.1f}%"
+    )
+    assert overhead_pct < _OVERHEAD_CEILING_PCT, (
+        f"sampling overhead {overhead_pct:.2f}% exceeds "
+        f"{_OVERHEAD_CEILING_PCT}%"
+    )

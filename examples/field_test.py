@@ -15,13 +15,22 @@ Run:
     python examples/field_test.py
 """
 
+import os
+
 from repro.eval.experiments import run_fig13, run_fig14
 from repro.eval.reporting import render_table
+
+# REPRO_EXAMPLE_FAST=1 shrinks the drives so the examples smoke test
+# (tests/test_examples.py) runs in seconds; the walkthrough is the same.
+FAST = os.environ.get("REPRO_EXAMPLE_FAST") == "1"
 
 
 def main() -> None:
     print("driving the four field-test routes (this takes ~a minute) ...")
-    areas = run_fig13(duration_s=240.0, detection_period_s=40.0)
+    areas = run_fig13(
+        duration_s=60.0 if FAST else 240.0,
+        detection_period_s=20.0 if FAST else 40.0,
+    )
     rows = []
     for area in areas:
         rows.append(
@@ -43,7 +52,10 @@ def main() -> None:
 
     print()
     print("zooming into the urban red light (Fig. 14) ...")
-    fig14 = run_fig14(duration_s=300.0, detection_period_s=30.0)
+    fig14 = run_fig14(
+        duration_s=60.0 if FAST else 300.0,
+        detection_period_s=30.0,
+    )
     print(f"  stationary periods : {len(fig14.stationary_periods)}")
     print(f"  moving periods     : {len(fig14.moving_periods)}")
     if fig14.node2_distance_stationary is not None:

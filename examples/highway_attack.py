@@ -15,6 +15,7 @@ Run:
     python examples/highway_attack.py [density_vhls_per_km]
 """
 
+import os
 import sys
 
 from repro import LinearThreshold, ScenarioConfig
@@ -23,16 +24,20 @@ from repro.eval.runner import run_voiceprint
 from repro.eval.training import collect_training_corpus, train_boundary
 from repro.sim import HighwaySimulator
 
+# REPRO_EXAMPLE_FAST=1 shrinks the sweep so the examples smoke test
+# (tests/test_examples.py) runs in seconds; the walkthrough is the same.
+FAST = os.environ.get("REPRO_EXAMPLE_FAST") == "1"
+
 
 def main(density: float = 40.0) -> None:
-    base = ScenarioConfig(sim_time_s=60.0)
+    base = ScenarioConfig(sim_time_s=30.0 if FAST else 60.0)
 
     print("training the decision boundary (Fig. 10 pipeline) ...")
     corpus = collect_training_corpus(
-        [10, 40, 80],
+        [10, 40] if FAST else [10, 40, 80],
         base_config=base,
         runs_per_density=1,
-        verifiers_per_run=3,
+        verifiers_per_run=2 if FAST else 3,
         recorded_nodes=6,
         seed=1000,
     )
@@ -44,7 +49,7 @@ def main(density: float = 40.0) -> None:
 
     print(f"simulating a 2 km highway at {density:.0f} vehicles/km ...")
     config = base.with_density(density).with_seed(7)
-    result = HighwaySimulator(config, recorded_nodes=8).run()
+    result = HighwaySimulator(config, recorded_nodes=3 if FAST else 8).run()
     print(
         f"  {config.n_vehicles} vehicles ({config.n_malicious} malicious), "
         f"{result.transmitted} beacons on air, "
@@ -70,4 +75,8 @@ def main(density: float = 40.0) -> None:
 
 
 if __name__ == "__main__":
-    main(float(sys.argv[1]) if len(sys.argv) > 1 else 40.0)
+    main(
+        float(sys.argv[1])
+        if len(sys.argv) > 1
+        else (20.0 if FAST else 40.0)
+    )

@@ -13,15 +13,25 @@ Run:
     python examples/online_monitor.py
 """
 
+import os
+
 from repro.core import ConstantThreshold, DetectorConfig
 from repro.core.pipeline import OnlineVoiceprint, OnlineVoiceprintConfig
 from repro.sim import FieldTestConfig, run_field_test
+
+# REPRO_EXAMPLE_FAST=1 shrinks the drive so the examples smoke test
+# (tests/test_examples.py) runs in seconds; the walkthrough is the same.
+FAST = os.environ.get("REPRO_EXAMPLE_FAST") == "1"
 
 
 def main() -> None:
     print("simulating a 3-minute rural drive (1 attacker, 2 Sybil ids) ...")
     drive = run_field_test(
-        FieldTestConfig(environment="rural", duration_s=180.0, seed=11)
+        FieldTestConfig(
+            environment="rural",
+            duration_s=60.0 if FAST else 180.0,
+            seed=11,
+        )
     )
 
     # Stream node 3's beacons in arrival order, as its radio saw them.

@@ -13,13 +13,19 @@ Run:
     python examples/power_spoofing.py
 """
 
+import os
+
 from repro.eval.experiments import run_ablations
 from repro.eval.reporting import render_table
+
+# REPRO_EXAMPLE_FAST=1 shrinks the drive so the examples smoke test
+# (tests/test_examples.py) runs in seconds; the walkthrough is the same.
+FAST = os.environ.get("REPRO_EXAMPLE_FAST") == "1"
 
 
 def main() -> None:
     print("running the normalisation ablation (spoofed Sybil powers) ...")
-    rows = run_ablations(duration_s=120.0)
+    rows = run_ablations(duration_s=60.0 if FAST else 120.0)
     table = [
         (row.variant, row.sybil_max, row.other_min, row.margin, row.note)
         for row in rows

@@ -15,16 +15,26 @@ Run:
     python examples/quickstart.py
 """
 
+import os
+
 from repro import ConstantThreshold, VoiceprintDetector
 from repro.core.detector import DetectorConfig
 from repro.sim import FieldTestConfig, run_field_test
+
+# REPRO_EXAMPLE_FAST=1 shrinks the drive so the examples smoke test
+# (tests/test_examples.py) runs in seconds; the walkthrough is the same.
+FAST = os.environ.get("REPRO_EXAMPLE_FAST") == "1"
 
 
 def main() -> None:
     # --- Simulate a drive to get realistic beacons (stand-in for a
     # real DSRC radio's log).  Vehicle "3" is our observer.
     drive = run_field_test(
-        FieldTestConfig(environment="rural", duration_s=120.0, seed=42)
+        FieldTestConfig(
+            environment="rural",
+            duration_s=30.0 if FAST else 120.0,
+            seed=42,
+        )
     )
     observations = drive.observations["3"]
 

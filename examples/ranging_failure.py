@@ -13,13 +13,19 @@ Run:
     python examples/ranging_failure.py
 """
 
+import os
+
 from repro.eval.experiments import run_observation1, run_table4
 from repro.eval.reporting import render_table
+
+# REPRO_EXAMPLE_FAST=1 shrinks the campaign so the examples smoke test
+# (tests/test_examples.py) runs in seconds; the walkthrough is the same.
+FAST = os.environ.get("REPRO_EXAMPLE_FAST") == "1"
 
 
 def main() -> None:
     print("Scenario 1: two vehicles, truly 140 m apart (campus) ...")
-    rows = run_observation1(duration_s=300.0)
+    rows = run_observation1(duration_s=60.0 if FAST else 300.0)
     table = [
         (
             row.label,
@@ -41,7 +47,7 @@ def main() -> None:
     )
     print()
     print("Scenario 2: refitting the dual-slope model per environment ...")
-    fits = run_table4(n_samples=2500)
+    fits = run_table4(n_samples=500 if FAST else 2500)
     table = [
         (
             fit.environment,

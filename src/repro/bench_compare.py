@@ -61,6 +61,15 @@ _RULES: Dict[str, Tuple[str, str]] = {
     "true_flagged_total": ("both", "deterministic"),
     "false_flagged_total": ("both", "deterministic"),
     "cells": ("both", "deterministic"),
+    # profiler overhead benchmark (BENCH_profile.json)
+    "baseline_cpu_ms": ("lower", "timing"),
+    "profiled_cpu_ms": ("lower", "timing"),
+    "baseline_wall_ms": ("lower", "timing"),
+    "profiled_wall_ms": ("lower", "timing"),
+    "overhead_pct": ("lower", "timing"),
+    "samples": ("higher", "timing"),
+    "attributed_pct": ("higher", "deterministic"),
+    "compare_pct": ("higher", "deterministic"),
 }
 
 

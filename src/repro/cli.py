@@ -32,6 +32,13 @@ recent spans/logs/reports that dumps a post-mortem bundle on an alert
 or an unhandled exception (see README "Telemetry & health
 monitoring").
 
+Profiling rides along too: ``--profile`` samples Python stacks at
+``--profile-hz`` and attributes them to pipeline phases via the open
+spans, printing per-phase and hotspot tables at the end and writing a
+collapsed-stack file (``--profile-out``) ready for flamegraph.pl or
+speedscope; ``--profile-memory`` adds per-phase tracemalloc
+attribution (see README "Profiling").
+
 The pairwise comparison engine (``repro.core.pairwise``) is likewise
 configured globally: ``--pairwise {engine,naive}``,
 ``--pairwise-pruning {on,off}``, ``--pairwise-cache N`` and
@@ -372,6 +379,36 @@ def _add_obs_arguments(
         "e.g. silence=30,detect_ms=250,flag_rate=0.5,density_drift=0.5",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        default=suppressed if suppress_defaults else False,
+        help="sample Python stacks during the run, attribute them to "
+        "pipeline phases via open spans, and print per-phase + hotspot "
+        "tables at the end (see README \"Profiling\")",
+    )
+    parser.add_argument(
+        "--profile-hz",
+        type=float,
+        metavar="HZ",
+        default=suppressed if suppress_defaults else None,
+        help="sampling rate (default: 99 Hz; implies --profile)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=suppressed if suppress_defaults else None,
+        help="collapsed-stack destination for flamegraph.pl/speedscope "
+        "(default: profile.collapsed, indexed .1/.2/... like the flight "
+        "recorder instead of overwriting; implies --profile)",
+    )
+    parser.add_argument(
+        "--profile-memory",
+        action="store_true",
+        default=suppressed if suppress_defaults else False,
+        help="also trace allocations (tracemalloc) and report per-phase "
+        "net/peak memory (implies --profile; slows the run)",
+    )
+    parser.add_argument(
         "--pairwise",
         choices=["engine", "naive"],
         default=suppressed if suppress_defaults else None,
@@ -540,6 +577,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     telemetry_on = (
         args.telemetry_port is not None or args.snapshot_interval is not None
     )
+    # Any profile flag switches profiling on; --profile alone uses the
+    # defaults (99 Hz, profile.collapsed, no memory tracing).
+    profiling_on = bool(
+        args.profile
+        or args.profile_hz is not None
+        or args.profile_out is not None
+        or args.profile_memory
+    )
     # Open both output files up front so a bad path fails before the
     # (potentially long) run instead of after it.
     metrics_file = (
@@ -593,9 +638,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         trace_exporter = obs.TeeSpanExporter(*exporters)
     obs.configure(
         log_level=args.log_level,
-        metrics=bool(args.metrics_out) or telemetry_on or monitor is not None,
+        metrics=bool(args.metrics_out)
+        or telemetry_on
+        or monitor is not None
+        or profiling_on,
         trace_exporter=trace_exporter,
     )
+    # The profiler needs open spans for attribution; start_profiler
+    # enables the global tracer itself if no trace flag already did
+    # (spans then nest and time without being exported anywhere).
+    profiler: Optional[obs.SamplingProfiler] = None
+    if profiling_on:
+        profiler = obs.start_profiler(
+            hz=args.profile_hz if args.profile_hz is not None else 99.0,
+            memory=bool(args.profile_memory),
+        )
     previous_defaults = set_engine_defaults(
         engine=None if args.pairwise is None else args.pairwise == "engine",
         pruning=(
@@ -626,6 +683,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         output = handler(args)
         elapsed = time.perf_counter() - start
         print(output)
+        if profiler is not None:
+            # Stop sampling before rendering so the report itself is
+            # not billed to the run, and publish the gauges before the
+            # metrics summary/JSONL so pipeline.profile.* shows there.
+            obs.stop_profiler()
+            profiler.publish_gauges()
+            out_path = obs.indexed_path(args.profile_out or "profile.collapsed")
+            n_stacks = profiler.write_collapsed(out_path)
+            print()
+            print(profiler.phase_table())
+            print()
+            print(profiler.hotspot_table())
+            print(f"[{n_stacks} stacks -> {out_path}]")
+            if args.profile_memory:
+                mem_path = obs.indexed_path(
+                    f"{args.profile_out}.memory.jsonl"
+                    if args.profile_out
+                    else "profile.memory.jsonl"
+                )
+                n_phases = profiler.write_memory_jsonl(mem_path)
+                print(f"[{n_phases} phase memory records -> {mem_path}]")
         if metrics_file is not None:
             print()
             print(_metrics_summary(registry))
@@ -650,6 +728,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if elapsed > 1.0:
             print(f"\n[{elapsed:.1f}s]")
     finally:
+        obs.stop_profiler()  # no-op when already stopped above
         if snapshotter is not None:
             snapshotter.close()
         if server is not None:
@@ -671,7 +750,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         obs.shutdown()
         if metrics_file is not None:
             metrics_file.close()
-        if metrics_file is not None or telemetry_on or monitor is not None:
+        if (
+            metrics_file is not None
+            or telemetry_on
+            or monitor is not None
+            or profiling_on
+        ):
             registry.reset()
         if telemetry_on:
             registry.histogram_max_samples = None

@@ -37,8 +37,10 @@ fresh) default registry, records into it, and ships a
 :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` back with its
 result; the parent folds that into its own registry with
 :meth:`~repro.obs.metrics.MetricsRegistry.merge`.  Spans are captured
-in-memory in the worker and re-exported through the parent's tracer.
-``/metrics``, flight-recorder dumps, and the bench gate therefore keep
+in-memory in the worker and re-exported through the parent's tracer,
+and a profiling run restarts the sampler in each forked worker and
+merges the per-worker profile snapshots the same way.  ``/metrics``,
+flight-recorder dumps, profiles, and the bench gate therefore keep
 working unchanged whether a sweep ran serially or on eight workers.
 """
 
@@ -70,6 +72,7 @@ from typing import (
 
 from ..obs.logging import get_logger
 from ..obs.metrics import MetricsRegistry, default_registry
+from ..obs.profiling import default_profiler, restart_in_child
 from ..obs.trace import InMemorySpanExporter, default_tracer
 
 __all__ = [
@@ -322,7 +325,11 @@ def _worker_entry(conn, fn, args, kwargs) -> None:
     runs — the snapshot sent home contains *only* this task's activity.
     Span export is redirected to an in-memory buffer: after a fork the
     parent's JSONL exporter shares a file descriptor with the parent,
-    and concurrent writes would interleave.
+    and concurrent writes would interleave.  When the parent was
+    profiling, the child resumes sampling itself
+    (:func:`~repro.obs.profiling.restart_in_child` — fork does not
+    carry threads across) and ships its profile snapshot home alongside
+    the metrics, so a sweep's profile covers every worker.
     """
     registry = default_registry()
     registry.reset()
@@ -332,21 +339,21 @@ def _worker_entry(conn, fn, args, kwargs) -> None:
     if tracer.enabled:
         span_buffer = InMemorySpanExporter()
         tracer.exporter = span_buffer
+    profiler = restart_in_child()
     try:
         value = fn(*args, **kwargs)
-        payload = (
-            "ok",
-            value,
-            registry.snapshot(),
-            span_buffer.records if span_buffer is not None else [],
-        )
+        status: Tuple[str, Any] = ("ok", value)
     except BaseException:
-        payload = (
-            "error",
-            traceback.format_exc(),
-            registry.snapshot(),
-            span_buffer.records if span_buffer is not None else [],
-        )
+        status = ("error", traceback.format_exc())
+    if profiler is not None:
+        profiler.stop()
+    payload = (
+        status[0],
+        status[1],
+        registry.snapshot(),
+        span_buffer.records if span_buffer is not None else [],
+        profiler.snapshot() if profiler is not None else None,
+    )
     try:
         conn.send(payload)
     finally:
@@ -558,9 +565,13 @@ def run_tasks(
                     if message is None:
                         fail(entry, "worker process died")
                         continue
-                    status, payload, snapshot, spans = message
+                    status, payload, snapshot, spans, profile = message
                     target.merge(snapshot)
                     _reexport_spans(spans)
+                    if profile is not None:
+                        parent_profiler = default_profiler()
+                        if parent_profiler is not None:
+                            parent_profiler.merge(profile)
                     if status != "ok":
                         raise TaskError(entry.spec.key, payload)
                     h_task_ms.observe((now - entry.started) * 1000.0)

@@ -22,6 +22,7 @@ from ..core.timeseries import RSSITimeSeries
 from ..obs.logging import get_logger
 from ..obs.metrics import default_registry
 from ..obs.timers import Stopwatch
+from ..obs.trace import default_tracer
 from ..sim.simulator import SimulationResult
 from .metrics import PeriodOutcome, evaluate_flags
 from .parallel import resolve_workers
@@ -127,14 +128,20 @@ def run_voiceprint(
     c_detections = metrics.counter("eval.detections")
     c_flagged = metrics.counter("eval.flagged_periods")
     h_verifier_ms = metrics.histogram("eval.verifier_replay_ms")
+    tracer = default_tracer()
     outcomes: List[PeriodOutcome] = []
     for node in nodes:
-        with Stopwatch(h_verifier_ms):
-            series_map = result.series_at(node)
-            detector = VoiceprintDetector(threshold=threshold, config=det_config)
-            for series in series_map.values():
-                detector.load_series(series)
-            estimator = DensityEstimator(max_range_m=result.max_range_m)
+        # The "eval" span brackets one verifier's whole replay; the
+        # detector opens its own phase spans inside it, so profiler
+        # samples land on the innermost phase and only harness glue
+        # (scoring, scheduling) bills to "eval" itself.
+        with tracer.span("eval", verifier=node), Stopwatch(h_verifier_ms):
+            with tracer.span("collect", verifier=node):
+                series_map = result.series_at(node)
+                detector = VoiceprintDetector(threshold=threshold, config=det_config)
+                for series in series_map.values():
+                    detector.load_series(series)
+                estimator = DensityEstimator(max_range_m=result.max_range_m)
             for period_index, t in enumerate(times):
                 estimator.reset_period()
                 estimator.hear_all(
@@ -255,43 +262,48 @@ def _run_cooperative(
     times = detection_times(
         config.sim_time_s, config.observation_time_s, config.detection_period_s
     )
+    tracer = default_tracer()
     outcomes: List[PeriodOutcome] = []
     for node in nodes:
-        series_map = result.series_at(node)
-        for period_index, t in enumerate(times):
-            window_start = t - observation_time_s
-            # Same neighbour notion as the Voiceprint runner (15 % of
-            # the expected beacons) so all methods face identical
-            # Eq. 10-11 populations.  Expected beacons come from the
-            # scenario's configured rate — a hardcoded 10 Hz would give
-            # the baselines a different neighbour floor than Voiceprint
-            # whenever an experiment sweeps the beacon rate.
-            expected = observation_time_s * config.beacon_rate_hz
-            heard = heard_in_window(
-                series_map, window_start, t, min_samples=max(2, int(0.15 * expected))
-            )
-            flagged: Set[str] = set()
-            for identity in heard:
-                if identity == node:
-                    continue
-                claim = IdentityClaim(
-                    identity=identity,
-                    claimed_xy=result.claimed_position(identity, t),
-                )
-                reports = _witness_reports(
-                    result,
-                    node,
-                    identity,
+        with tracer.span("eval", verifier=node):
+            series_map = result.series_at(node)
+            for period_index, t in enumerate(times):
+                window_start = t - observation_time_s
+                # Same neighbour notion as the Voiceprint runner (15 % of
+                # the expected beacons) so all methods face identical
+                # Eq. 10-11 populations.  Expected beacons come from the
+                # scenario's configured rate — a hardcoded 10 Hz would give
+                # the baselines a different neighbour floor than Voiceprint
+                # whenever an experiment sweeps the beacon rate.
+                expected = observation_time_s * config.beacon_rate_hz
+                heard = heard_in_window(
+                    series_map,
+                    window_start,
                     t,
-                    observation_time_s,
-                    max_witnesses,
-                    predicted_mean,
+                    min_samples=max(2, int(0.15 * expected)),
                 )
-                if is_sybil(claim, reports):
-                    flagged.add(identity)
-            outcomes.append(
-                evaluate_flags(node, period_index, flagged, heard, result.truth)
-            )
+                flagged: Set[str] = set()
+                for identity in heard:
+                    if identity == node:
+                        continue
+                    claim = IdentityClaim(
+                        identity=identity,
+                        claimed_xy=result.claimed_position(identity, t),
+                    )
+                    reports = _witness_reports(
+                        result,
+                        node,
+                        identity,
+                        t,
+                        observation_time_s,
+                        max_witnesses,
+                        predicted_mean,
+                    )
+                    if is_sybil(claim, reports):
+                        flagged.add(identity)
+                outcomes.append(
+                    evaluate_flags(node, period_index, flagged, heard, result.truth)
+                )
     return outcomes
 
 

@@ -26,6 +26,10 @@ pipeline, the simulators, and the evaluation harness:
 * :mod:`repro.obs.flightrec` — a bounded :class:`FlightRecorder` ring
   of recent spans / logs / reports that dumps a post-mortem JSONL
   bundle when an alert or an unhandled exception fires.
+* :mod:`repro.obs.profiling` — a :class:`SamplingProfiler` attributing
+  stack samples (and optionally tracemalloc memory) to the open tracer
+  span's pipeline phase; collapsed-stack / hotspot-table export and
+  cross-process snapshot merge.
 
 Everything is **off by default**: the process-global registry and
 tracer start disabled, and disabled instruments drop calls after a
@@ -79,6 +83,15 @@ from .health import (
     set_default_monitor,
 )
 from .flightrec import FlightRecorder, TeeSpanExporter
+from .profiling import (
+    SamplingProfiler,
+    default_profiler,
+    indexed_path,
+    phase_for_span,
+    restart_in_child,
+    start_default as start_profiler,
+    stop_default as stop_profiler,
+)
 
 __all__ = [
     "Counter",
@@ -104,6 +117,13 @@ __all__ = [
     "HealthMonitor",
     "HealthThresholds",
     "FlightRecorder",
+    "SamplingProfiler",
+    "phase_for_span",
+    "indexed_path",
+    "default_profiler",
+    "start_profiler",
+    "stop_profiler",
+    "restart_in_child",
     "default_registry",
     "default_tracer",
     "default_monitor",

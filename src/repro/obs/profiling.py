@@ -1,0 +1,633 @@
+"""Phase-attributed profiling: sampling CPU profiler + memory attribution.
+
+The telemetry layer can say *how long* a phase took (``phase.*_ms``
+histograms); this module says *where the CPU and memory went inside
+it*.  Two cooperating pieces, both off unless explicitly started:
+
+* :class:`SamplingProfiler` — a background thread walks
+  ``sys._current_frames()`` at a configurable rate and attributes each
+  thread's Python stack to the **innermost open tracer span** on that
+  thread (via :meth:`Tracer.open_span_names_by_thread`), folding span
+  names onto the pipeline phases (collect / normalize / compare /
+  confirm / sim / eval).  Samples whose innermost frame is a known
+  blocking wait are counted as *idle* and excluded — a wall-clock
+  sampler approximating CPU attribution must not bill blocked threads.
+* **Memory attribution** (``memory=True``) — a span listener takes
+  ``tracemalloc`` readings at span enter/exit and aggregates net and
+  peak allocations per phase.  ``tracemalloc`` is started only when
+  requested and stopped with the profiler.
+
+Outputs: a collapsed-stack file (one ``phase;frame;frame count`` line,
+directly consumable by flamegraph.pl and speedscope), a top-N hotspot
+table, a per-phase breakdown, and a ``pipeline.profile.*`` gauge
+family.  :meth:`SamplingProfiler.snapshot` / :meth:`merge` mirror
+``MetricsRegistry.snapshot()/merge()`` so ``repro.eval.parallel``
+workers ship their profiles home over the task pipe and the parent
+folds them in — a sweep's profile covers every worker, serial or not.
+
+Everything here costs nothing until started: no thread, no
+``tracemalloc``, no span listeners.  The CLI's ``--profile`` /
+``--profile-hz`` / ``--profile-out`` / ``--profile-memory`` flags are
+the usual wiring (see README "Profiling").
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+import tracemalloc
+from collections import Counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry, default_registry
+from .trace import Tracer, default_tracer
+
+__all__ = [
+    "DEFAULT_HZ",
+    "PHASES",
+    "SamplingProfiler",
+    "phase_for_span",
+    "indexed_path",
+    "default_profiler",
+    "start_default",
+    "stop_default",
+    "restart_in_child",
+]
+
+#: Default sampling rate.  99 Hz, not 100: a prime-ish rate avoids
+#: phase-locking with 10 ms-periodic work (the classic profiler bias).
+DEFAULT_HZ = 99.0
+
+#: The pipeline phases samples are attributed to, in paper order.
+PHASES = ("collect", "normalize", "compare", "confirm", "sim", "eval")
+
+#: Span name -> phase.  The detector's phase markers (PR 1) carry the
+#: attribution; the root ``detection`` span catches the between-child
+#: slivers of Algorithm 1 and lands them in the comparison phase it
+#: brackets.
+_SPAN_PHASES: Dict[str, str] = {
+    "collect": "collect",
+    "normalise": "normalize",
+    "pairwise_dtw": "compare",
+    "minmax": "compare",
+    "detection": "compare",
+    "threshold": "confirm",
+    "confirmation": "confirm",
+    "sim": "sim",
+    "eval": "eval",
+}
+
+#: Innermost-frame (filename suffix, function) pairs that mean the
+#: thread is parked, not computing.  Matches how py-spy classifies
+#: idle threads; the list only needs to cover stdlib blocking waits.
+_IDLE_CALLS = (
+    ("threading.py", "wait"),
+    ("threading.py", "_wait_for_tstate_lock"),
+    ("selectors.py", "select"),
+    ("selectors.py", "poll"),
+    ("socket.py", "accept"),
+    ("socketserver.py", "serve_forever"),
+    ("connection.py", "poll"),
+    ("connection.py", "wait"),
+    ("connection.py", "_poll"),
+    ("popen_fork.py", "poll"),
+    ("subprocess.py", "wait"),
+)
+
+#: Version stamped into :meth:`SamplingProfiler.snapshot` payloads.
+SNAPSHOT_VERSION = 1
+
+#: Cap on distinct (phase, stack) keys retained; past it, new stacks
+#: collapse into a per-phase ``<truncated>`` bucket so a pathological
+#: workload cannot grow the profile without bound.
+_MAX_UNIQUE_STACKS = 65536
+
+
+def phase_for_span(name: str) -> Optional[str]:
+    """Map one span name onto a pipeline phase (None when unknown).
+
+    Exact names first (the detector/pipeline/sim/eval markers), then a
+    dotted prefix (``sim.highway`` -> ``sim``) so subsystem spans added
+    later inherit their family's phase.
+    """
+    phase = _SPAN_PHASES.get(name)
+    if phase is not None:
+        return phase
+    head = name.split(".", 1)[0]
+    return _SPAN_PHASES.get(head) if head != name else None
+
+
+def indexed_path(base: str) -> str:
+    """First unused path in the FlightRecorder indexing scheme.
+
+    ``base`` itself when free, else ``base.1``, ``base.2``, ... —
+    repeated profiled runs never overwrite an earlier profile, exactly
+    like repeated post-mortem dumps.
+    """
+    if not os.path.exists(base):
+        return base
+    index = 1
+    while os.path.exists(f"{base}.{index}"):
+        index += 1
+    return f"{base}.{index}"
+
+
+def _frame_label(code: Any) -> str:
+    """One collapsed-format frame: ``path/to/module.py:function``.
+
+    Paths inside the ``repro`` package are shortened to their
+    package-relative form so flamegraphs read the same on every host;
+    separators the collapsed format reserves are replaced.
+    """
+    filename = code.co_filename.replace("\\", "/")
+    marker = "/repro/"
+    cut = filename.rfind(marker)
+    if cut >= 0:
+        filename = "repro/" + filename[cut + len(marker):]
+    else:
+        filename = filename.rsplit("/", 1)[-1]
+    label = f"{filename}:{code.co_name}"
+    return label.replace(";", ",").replace(" ", "_")
+
+
+def _is_idle(frame: Any) -> bool:
+    """Whether a sampled thread's innermost frame is a blocking wait."""
+    code = frame.f_code
+    filename = code.co_filename
+    name = code.co_name
+    for suffix, func in _IDLE_CALLS:
+        if name == func and filename.endswith(suffix):
+            return True
+    return False
+
+
+class _MemoryListener:
+    """Span listener aggregating tracemalloc readings per phase.
+
+    On span enter the current traced size is recorded and the peak
+    reset; on exit the phase is billed the net growth and the peak
+    above the entry level.  Nested phase spans reset the peak for their
+    parent — the parent's peak is therefore a lower bound when children
+    allocate inside it (documented in DESIGN 5d); net allocation is
+    exact regardless of nesting.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._open: Dict[str, Tuple[str, int]] = {}
+        self.per_phase: Dict[str, Dict[str, int]] = {}
+
+    def on_span_start(self, span: Any) -> None:
+        phase = phase_for_span(span.name)
+        if phase is None or not tracemalloc.is_tracing():
+            return
+        current, _peak = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        with self._lock:
+            self._open[span.span_id] = (phase, current)
+
+    def on_span_end(self, span: Any) -> None:
+        with self._lock:
+            entry = self._open.pop(span.span_id, None)
+        if entry is None or not tracemalloc.is_tracing():
+            return
+        phase, start = entry
+        current, peak = tracemalloc.get_traced_memory()
+        with self._lock:
+            stats = self.per_phase.setdefault(
+                phase, {"net_bytes": 0, "peak_bytes": 0, "spans": 0}
+            )
+            stats["net_bytes"] += current - start
+            stats["peak_bytes"] = max(stats["peak_bytes"], peak - start)
+            stats["spans"] += 1
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        with self._lock:
+            return {phase: dict(stats) for phase, stats in self.per_phase.items()}
+
+
+class SamplingProfiler:
+    """Low-overhead sampling profiler attributed to tracer spans.
+
+    Args:
+        hz: Sampling rate; :data:`DEFAULT_HZ` keeps the overhead well
+            under the benchmarked 5 % gate.
+        tracer: Tracer whose open spans carry the phase attribution
+            (default: the process-global one).  The tracer must be
+            *enabled* for attribution — with it disabled every busy
+            sample lands in the ``other`` bucket.
+        memory: Also start ``tracemalloc`` and aggregate per-phase
+            memory via a span listener.  Off by default — tracing
+            allocations costs real time, unlike stack sampling.
+        registry: Destination for :meth:`publish_gauges` (default: the
+            process-global registry).
+    """
+
+    def __init__(
+        self,
+        hz: float = DEFAULT_HZ,
+        tracer: Optional[Tracer] = None,
+        memory: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if hz <= 0:
+            raise ValueError(f"sampling rate must be positive, got {hz}")
+        self.hz = float(hz)
+        self.memory_enabled = bool(memory)
+        self._tracer = tracer if tracer is not None else default_tracer()
+        self._registry = registry if registry is not None else default_registry()
+        self._lock = threading.Lock()
+        self._stacks: Counter = Counter()
+        self._phase_counts: Counter = Counter()
+        # Code-object -> rendered frame label.  Label rendering is the
+        # expensive part of a sample (string surgery per frame); code
+        # objects are long-lived and finite, so a plain dict amortises
+        # it away after the first sighting.
+        self._labels: Dict[Any, str] = {}
+        self.samples_total = 0
+        self.idle_samples = 0
+        self.attributed_samples = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._memory: Optional[_MemoryListener] = None
+        self._started_tracemalloc = False
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the sampling thread is currently alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        """Start the sampling thread (and tracemalloc when requested)."""
+        if self._thread is not None:
+            return self
+        if self.memory_enabled:
+            self._memory = _MemoryListener()
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_tracemalloc = True
+            self._tracer.add_span_listener(self._memory)
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        """Stop sampling and detach the memory listener (idempotent)."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self._memory is not None:
+            self._tracer.remove_span_listener(self._memory)
+            if self._started_tracemalloc and tracemalloc.is_tracing():
+                tracemalloc.stop()
+                self._started_tracemalloc = False
+        return self
+
+    def _loop(self) -> None:
+        interval = 1.0 / self.hz
+        # Event.wait drifts by the sample cost; re-anchor on a deadline
+        # so the configured rate holds over long runs.
+        next_at = time.perf_counter() + interval
+        while not self._stop.wait(max(0.0, next_at - time.perf_counter())):
+            self.sample_once()
+            next_at += interval
+            now = time.perf_counter()
+            if next_at < now:  # fell behind (suspended laptop, GC storm)
+                next_at = now + interval
+
+    # -- sampling --------------------------------------------------------
+    def sample_once(self) -> None:
+        """Take one sample of every thread (called by the loop; public
+        for deterministic tests).
+
+        Only the background sampler thread is excluded from its own
+        samples — a direct call therefore samples the calling thread
+        too, which is what deterministic tests want.
+        """
+        sampler = self._thread
+        skip = sampler.ident if sampler is not None else None
+        frames = sys._current_frames()
+        span_stacks = self._tracer.open_span_names_by_thread()
+        with self._lock:
+            for ident, frame in frames.items():
+                if ident == skip:
+                    continue
+                if _is_idle(frame):
+                    self.idle_samples += 1
+                    continue
+                phase: Optional[str] = None
+                names = span_stacks.get(ident)
+                if names:
+                    for name in reversed(names):  # innermost span wins
+                        phase = phase_for_span(name)
+                        if phase is not None:
+                            break
+                if phase is None:
+                    phase = "other"
+                else:
+                    self.attributed_samples += 1
+                self.samples_total += 1
+                self._phase_counts[phase] += 1
+                stack: List[str] = []
+                depth = 0
+                labels = self._labels
+                while frame is not None and depth < 128:
+                    code = frame.f_code
+                    label = labels.get(code)
+                    if label is None:
+                        label = labels[code] = _frame_label(code)
+                    stack.append(label)
+                    frame = frame.f_back
+                    depth += 1
+                stack.reverse()  # outermost first, collapsed-stack order
+                key = (phase, tuple(stack))
+                if key not in self._stacks and len(self._stacks) >= _MAX_UNIQUE_STACKS:
+                    key = (phase, ("<truncated>",))
+                self._stacks[key] += 1
+
+    # -- cross-process snapshot/merge --------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serialisable dump, mergeable with :meth:`merge`.
+
+        The wire format ``repro.eval.parallel`` workers use to ship
+        their per-process profile back to the parent, exactly like
+        ``MetricsRegistry.snapshot()``.
+        """
+        with self._lock:
+            return {
+                "version": SNAPSHOT_VERSION,
+                "hz": self.hz,
+                "samples": self.samples_total,
+                "idle_samples": self.idle_samples,
+                "attributed_samples": self.attributed_samples,
+                "phases": dict(self._phase_counts),
+                "stacks": [
+                    [phase, list(frames), count]
+                    for (phase, frames), count in self._stacks.items()
+                ],
+                "memory": (
+                    self._memory.snapshot() if self._memory is not None else None
+                ),
+            }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another profiler's :meth:`snapshot` into this one.
+
+        Sample counts add (so a sweep's total is the sum over every
+        worker), per-phase memory adds net / maxes peak.
+        """
+        version = snapshot.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported profile snapshot version {version!r} "
+                f"(expected {SNAPSHOT_VERSION})"
+            )
+        with self._lock:
+            self.samples_total += int(snapshot.get("samples", 0))
+            self.idle_samples += int(snapshot.get("idle_samples", 0))
+            self.attributed_samples += int(snapshot.get("attributed_samples", 0))
+            for phase, count in snapshot.get("phases", {}).items():
+                self._phase_counts[phase] += int(count)
+            for phase, frames, count in snapshot.get("stacks", []):
+                key = (phase, tuple(frames))
+                if key not in self._stacks and len(self._stacks) >= _MAX_UNIQUE_STACKS:
+                    key = (phase, ("<truncated>",))
+                self._stacks[key] += int(count)
+        incoming = snapshot.get("memory")
+        if incoming and self._memory is not None:
+            with self._memory._lock:
+                for phase, stats in incoming.items():
+                    mine = self._memory.per_phase.setdefault(
+                        phase, {"net_bytes": 0, "peak_bytes": 0, "spans": 0}
+                    )
+                    mine["net_bytes"] += int(stats["net_bytes"])
+                    mine["peak_bytes"] = max(
+                        mine["peak_bytes"], int(stats["peak_bytes"])
+                    )
+                    mine["spans"] += int(stats["spans"])
+
+    # -- derived views -----------------------------------------------------
+    @property
+    def attributed_ratio(self) -> Optional[float]:
+        """Fraction of busy samples attributed to a known phase."""
+        if not self.samples_total:
+            return None
+        return self.attributed_samples / self.samples_total
+
+    def phase_breakdown(self) -> Dict[str, int]:
+        """Busy samples per phase, known phases in paper order first."""
+        with self._lock:
+            counts = dict(self._phase_counts)
+        ordered: Dict[str, int] = {}
+        for phase in PHASES:
+            if phase in counts:
+                ordered[phase] = counts.pop(phase)
+        for phase in sorted(counts):
+            ordered[phase] = counts[phase]
+        return ordered
+
+    def memory_breakdown(self) -> Optional[Dict[str, Dict[str, int]]]:
+        """Per-phase memory stats, or None without ``memory=True``."""
+        return self._memory.snapshot() if self._memory is not None else None
+
+    def hotspots(self, top: int = 15) -> List[Dict[str, Any]]:
+        """Top functions by self samples (the classic hotspot list).
+
+        Each entry carries the frame label, self and total sample
+        counts (total = stacks the frame appears anywhere in), and the
+        frame's dominant phase.
+        """
+        self_counts: Counter = Counter()
+        total_counts: Counter = Counter()
+        phase_votes: Dict[str, Counter] = {}
+        with self._lock:
+            items = list(self._stacks.items())
+        for (phase, frames), count in items:
+            if not frames:
+                continue
+            leaf = frames[-1]
+            self_counts[leaf] += count
+            phase_votes.setdefault(leaf, Counter())[phase] += count
+            for frame in set(frames):
+                total_counts[frame] += count
+        total = sum(self_counts.values())
+        rows = []
+        for frame, self_n in self_counts.most_common(top):
+            rows.append(
+                {
+                    "function": frame,
+                    "self": self_n,
+                    "self_pct": (100.0 * self_n / total) if total else 0.0,
+                    "total": total_counts[frame],
+                    "phase": phase_votes[frame].most_common(1)[0][0],
+                }
+            )
+        return rows
+
+    # -- output --------------------------------------------------------
+    def write_collapsed(self, path: str) -> int:
+        """Write the collapsed-stack file; returns lines written.
+
+        One line per distinct stack — ``phase;frame;...;frame count``
+        — with the phase as the root frame, so a flamegraph shows one
+        tower per pipeline phase.  Feed it to ``flamegraph.pl`` or drop
+        it straight into https://speedscope.app.
+        """
+        with self._lock:
+            items = sorted(self._stacks.items())
+        with open(path, "w", encoding="utf-8") as handle:
+            for (phase, frames), count in items:
+                handle.write(";".join((phase,) + tuple(frames)) + f" {count}\n")
+        return len(items)
+
+    def write_memory_jsonl(self, path: str) -> int:
+        """Write one JSON line per phase's memory stats; returns lines."""
+        import json
+
+        breakdown = self.memory_breakdown() or {}
+        with open(path, "w", encoding="utf-8") as handle:
+            for phase in sorted(breakdown):
+                record = {"type": "memory", "phase": phase, **breakdown[phase]}
+                handle.write(json.dumps(record) + "\n")
+        return len(breakdown)
+
+    def hotspot_table(self, top: int = 15) -> str:
+        """The top-N hotspot list rendered via the repo's table style."""
+        from ..eval.reporting import render_table  # lazy: avoids obs<->eval cycle
+
+        rows = [
+            (
+                entry["function"],
+                entry["phase"],
+                entry["self"],
+                f"{entry['self_pct']:.1f}%",
+                entry["total"],
+            )
+            for entry in self.hotspots(top)
+        ]
+        return render_table(
+            ["function", "phase", "self", "self%", "total"],
+            rows,
+            title=f"profile hotspots (top {len(rows)} of {self.samples_total} samples)",
+        )
+
+    def phase_table(self) -> str:
+        """Per-phase CPU (and memory, when traced) breakdown table."""
+        from ..eval.reporting import render_table  # lazy: avoids obs<->eval cycle
+
+        breakdown = self.phase_breakdown()
+        memory = self.memory_breakdown()
+        total = sum(breakdown.values())
+        rows = []
+        for phase, count in breakdown.items():
+            row = [phase, count, f"{100.0 * count / total:.1f}%" if total else "-"]
+            if memory is not None:
+                stats = memory.get(phase)
+                row.append(
+                    f"{stats['net_bytes'] / 1024.0:+.0f}" if stats else "-"
+                )
+                row.append(
+                    f"{stats['peak_bytes'] / 1024.0:.0f}" if stats else "-"
+                )
+            rows.append(tuple(row))
+        headers = ["phase", "samples", "cpu%"]
+        if memory is not None:
+            headers += ["net KiB", "peak KiB"]
+        idle = self.idle_samples
+        return render_table(
+            headers,
+            rows,
+            title=f"profile phases ({total} busy / {idle} idle samples)",
+        )
+
+    def publish_gauges(self) -> None:
+        """Publish the ``pipeline.profile.*`` gauge family."""
+        registry = self._registry
+        registry.gauge("pipeline.profile.samples").set(self.samples_total)
+        registry.gauge("pipeline.profile.idle_samples").set(self.idle_samples)
+        ratio = self.attributed_ratio
+        if ratio is not None:
+            registry.gauge("pipeline.profile.attributed_ratio").set(ratio)
+        breakdown = self.phase_breakdown()
+        total = sum(breakdown.values())
+        for phase, count in breakdown.items():
+            registry.gauge(f"pipeline.profile.phase_ratio.{phase}").set(
+                count / total if total else 0.0
+            )
+        memory = self.memory_breakdown()
+        if memory:
+            for phase, stats in memory.items():
+                registry.gauge(f"pipeline.profile.mem_peak_kb.{phase}").set(
+                    stats["peak_bytes"] / 1024.0
+                )
+
+
+# ---------------------------------------------------------------------------
+# Process-global profiler (the CLI's --profile, inherited by fork workers)
+# ---------------------------------------------------------------------------
+_DEFAULT: Optional[SamplingProfiler] = None
+
+
+def default_profiler() -> Optional[SamplingProfiler]:
+    """The process-global profiler, or None when profiling is off."""
+    return _DEFAULT
+
+
+def start_default(
+    hz: float = DEFAULT_HZ, memory: bool = False
+) -> SamplingProfiler:
+    """Start (or return) the process-global profiler.
+
+    Enables the process-global tracer if it is not already recording —
+    span attribution is the whole point — leaving any configured
+    exporter untouched.
+    """
+    global _DEFAULT
+    if _DEFAULT is not None:
+        return _DEFAULT
+    tracer = default_tracer()
+    if not tracer.enabled:
+        tracer.enable()
+    _DEFAULT = SamplingProfiler(hz=hz, memory=memory).start()
+    return _DEFAULT
+
+
+def stop_default() -> Optional[SamplingProfiler]:
+    """Stop and detach the process-global profiler; returns it (its
+    collected data stays readable) or None when profiling was off."""
+    global _DEFAULT
+    profiler = _DEFAULT
+    _DEFAULT = None
+    if profiler is not None:
+        profiler.stop()
+    return profiler
+
+
+def restart_in_child() -> Optional[SamplingProfiler]:
+    """Resume profiling inside a forked worker process.
+
+    A fork inherits the parent's profiler *object* but not its sampling
+    thread, and the inherited sample buffers belong to the parent.  A
+    worker therefore swaps in a fresh profiler with the same settings
+    (detaching the inherited memory listener first, so nothing records
+    into the parent's buffers) and ships its own snapshot home, where
+    ``run_tasks`` merges it — mirroring how worker metrics travel.
+    Returns the fresh profiler, or None when profiling is off.
+    """
+    global _DEFAULT
+    inherited = _DEFAULT
+    if inherited is None:
+        return None
+    if inherited._memory is not None:
+        inherited._tracer.remove_span_listener(inherited._memory)
+    _DEFAULT = SamplingProfiler(
+        hz=inherited.hz, memory=inherited.memory_enabled
+    ).start()
+    return _DEFAULT

@@ -26,7 +26,7 @@ import itertools
 import json
 import threading
 import time
-from typing import Any, Dict, IO, List, Optional, Union
+from typing import Any, Dict, IO, List, Optional, Tuple, Union
 
 __all__ = [
     "Span",
@@ -208,11 +208,16 @@ class Tracer:
         self._enabled = bool(enabled)
         self.exporter = exporter
         self._local = threading.local()
-        # Every thread's span stack, so open spans can be flushed as
-        # partial records from the crash/shutdown path (which runs on a
-        # different thread than the spans it is rescuing).
+        # Every thread's span stack (keyed by thread ident), so open
+        # spans can be flushed as partial records from the
+        # crash/shutdown path (which runs on a different thread than
+        # the spans it is rescuing) and so the sampling profiler can
+        # ask "which span is thread N inside right now?".
         self._stacks_lock = threading.Lock()
-        self._stacks: List[List[Span]] = []
+        self._stacks: Dict[int, List[Span]] = {}
+        # Span lifecycle listeners (e.g. the memory profiler); an empty
+        # tuple keeps the no-listener fast path to one truthiness check.
+        self._listeners: Tuple[Any, ...] = ()
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -237,7 +242,9 @@ class Tracer:
             stack = []
             self._local.stack = stack
             with self._stacks_lock:
-                self._stacks.append(stack)
+                # A reused thread ident simply replaces the dead
+                # thread's (by then empty) stack.
+                self._stacks[threading.get_ident()] = stack
         return stack
 
     @property
@@ -269,6 +276,12 @@ class Tracer:
 
     def _push(self, span: Span) -> None:
         self._stack().append(span)
+        if self._listeners:
+            for listener in self._listeners:
+                try:
+                    listener.on_span_start(span)
+                except Exception:  # a listener must never break the span
+                    pass
 
     def _pop(self, span: Span) -> None:
         stack = self._stack()
@@ -279,14 +292,53 @@ class Tracer:
                 stack.pop()
             if stack:
                 stack.pop()
+        if self._listeners:
+            for listener in self._listeners:
+                try:
+                    listener.on_span_end(span)
+                except Exception:  # a listener must never break the span
+                    pass
         if self.exporter is not None and not span._flushed:
             self.exporter.export(span.to_record())
+
+    # -- introspection hooks (profiler / listeners) ---------------------
+    def add_span_listener(self, listener: Any) -> None:
+        """Register an ``on_span_start(span)`` / ``on_span_end(span)``
+        pair called around every span on its own thread.  Listener
+        exceptions are swallowed — observability must never break the
+        detection path."""
+        with self._stacks_lock:
+            self._listeners = self._listeners + (listener,)
+
+    def remove_span_listener(self, listener: Any) -> None:
+        """Detach a listener registered with :meth:`add_span_listener`."""
+        with self._stacks_lock:
+            self._listeners = tuple(
+                entry for entry in self._listeners if entry is not listener
+            )
+
+    def open_span_names_by_thread(self) -> Dict[int, Tuple[str, ...]]:
+        """Open span names per thread ident, outermost first.
+
+        This is the sampling profiler's attribution hook: one
+        dictionary lookup per sampled thread maps its stack of open
+        spans onto a pipeline phase.  Returns only threads with at
+        least one open span; empty when tracing is disabled.
+        """
+        if not self._enabled:
+            return {}
+        with self._stacks_lock:
+            return {
+                ident: tuple(span.name for span in stack)
+                for ident, stack in self._stacks.items()
+                if stack
+            }
 
     # -- crash safety --------------------------------------------------
     def open_spans(self) -> List[Span]:
         """Spans currently open on any thread (innermost last)."""
         with self._stacks_lock:
-            return [span for stack in self._stacks for span in stack]
+            return [span for stack in self._stacks.values() for span in stack]
 
     def flush_open(self, reason: str = "shutdown") -> int:
         """Export every still-open span as a *partial* record.

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..obs.logging import get_logger
 from ..obs.metrics import default_registry
+from ..obs.trace import default_tracer
 from ..attack.sybil import ConstantPower, SybilAttacker, SybilIdentity
 from ..core.timeseries import RSSITimeSeries
 from ..mobility.routes import ConvoyLayout, build_convoy, route_for_environment
@@ -249,7 +250,12 @@ def run_field_test(
             series.append(reception.timestamp, reception.rssi_dbm)
 
     engine.schedule_periodic(interval, beacon_interval, first_at=0.0)
-    engine.run_until(config.duration_s)
+    # The event loop is where a drive's CPU time lives; the "sim" span
+    # puts it on the profiler's phase map.
+    with default_tracer().span(
+        "sim", environment=config.environment, sim_time_s=config.duration_s
+    ):
+        engine.run_until(config.duration_s)
 
     metrics = default_registry()
     metrics.counter("sim.beacons_transmitted").inc(result.transmitted)

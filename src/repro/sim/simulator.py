@@ -26,6 +26,7 @@ import numpy as np
 
 from ..obs.logging import get_logger
 from ..obs.metrics import default_registry
+from ..obs.trace import default_tracer
 from ..attack.sybil import SybilAttacker
 from ..core.timeseries import RSSITimeSeries
 from ..mobility.epoch_model import EpochMobilityModel, generate_highway_trajectory
@@ -383,7 +384,12 @@ class HighwaySimulator:
 
             engine.schedule_periodic(config.model_change_period_s, change_model)
 
-        engine.run_until(config.sim_time_s)
+        # The event loop is where a simulation's CPU time lives; the
+        # "sim" span puts it on the profiler's phase map.
+        with default_tracer().span(
+            "sim", sim_time_s=config.sim_time_s, vehicles=len(vehicles)
+        ):
+            engine.run_until(config.sim_time_s)
 
         metrics = default_registry()
         metrics.counter("sim.beacons_transmitted").inc(result.transmitted)

@@ -221,8 +221,161 @@ class TestObservabilityFlags:
             json.loads(line) for line in trace_path.read_text().splitlines()
         ]
         roots = [r for r in records if r["parent_id"] is None]
-        assert roots and all(r["name"] == "detection" for r in roots)
+        root_names = {r["name"] for r in roots}
+        # Detection roots carry the phase children; the simulated drives
+        # export their own "sim" roots (profiler phase coverage).
+        assert {"detection", "sim"} <= root_names
+        detection_root = next(r for r in roots if r["name"] == "detection")
         children = [
-            r for r in records if r["parent_id"] == roots[0]["span_id"]
+            r for r in records if r["parent_id"] == detection_root["span_id"]
         ]
         assert len(children) >= 3
+
+
+class TestProfilingFlags:
+    def test_flags_parse_before_and_after_subcommand(self):
+        parser = build_parser()
+        before = parser.parse_args(
+            ["--profile", "--profile-hz", "50", "--profile-out", "p.c", "fig13"]
+        )
+        after = parser.parse_args(
+            ["fig13", "--profile", "--profile-hz", "50", "--profile-out", "p.c"]
+        )
+        assert before.profile is after.profile is True
+        assert before.profile_hz == after.profile_hz == 50.0
+        assert before.profile_out == after.profile_out == "p.c"
+
+    def test_flags_default_to_off(self):
+        args = build_parser().parse_args(["list"])
+        assert args.profile is False
+        assert args.profile_hz is None
+        assert args.profile_out is None
+        assert args.profile_memory is False
+
+    def test_unprofiled_run_starts_no_profiler_thread(self):
+        import threading
+        import tracemalloc
+
+        from repro.obs.profiling import default_profiler
+
+        assert main(["table1"]) == 0
+        assert default_profiler() is None
+        assert "repro-profiler" not in [t.name for t in threading.enumerate()]
+        assert not tracemalloc.is_tracing()
+
+    def test_profile_run_emits_tables_and_collapsed_file(
+        self, tmp_path, capsys
+    ):
+        import threading
+
+        from repro.obs.profiling import PHASES, default_profiler
+
+        out_path = tmp_path / "profile.collapsed"
+        assert (
+            main(
+                [
+                    "fig13",
+                    "--duration", "60",
+                    "--period", "30",
+                    "--profile",
+                    "--profile-hz", "250",
+                    "--profile-out", str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "profile phases" in out
+        assert "profile hotspots" in out
+        assert f"-> {out_path}]" in out
+        # Profiler torn down with the run.
+        assert default_profiler() is None
+        assert "repro-profiler" not in [t.name for t in threading.enumerate()]
+        # Valid collapsed-stack lines, attributed to known phases.
+        lines = out_path.read_text().splitlines()
+        assert lines
+        phases_seen = set()
+        total = attributed = 0
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            root = stack.split(";", 1)[0]
+            total += int(count)
+            if root in PHASES:
+                attributed += int(count)
+                phases_seen.add(root)
+            else:
+                assert root == "other"
+        assert attributed / total >= 0.9
+        assert "sim" in phases_seen and "compare" in phases_seen
+
+    def test_profile_out_indexes_instead_of_overwriting(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        out_path = tmp_path / "profile.collapsed"
+        out_path.write_text("previous run\n")
+        assert (
+            main(
+                [
+                    "fig14",
+                    "--duration", "30",
+                    "--profile-hz", "250",  # implies --profile
+                    "--profile-out", str(out_path),
+                ]
+            )
+            == 0
+        )
+        assert out_path.read_text() == "previous run\n"
+        assert (tmp_path / "profile.collapsed.1").exists()
+        assert "profile.collapsed.1]" in capsys.readouterr().out
+
+    def test_profile_memory_reports_per_phase_memory(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import tracemalloc
+
+        monkeypatch.chdir(tmp_path)
+        assert (
+            main(
+                [
+                    "fig14",
+                    "--duration", "30",
+                    "--profile-memory",  # implies --profile
+                    "--profile-hz", "250",
+                    "--profile-out", str(tmp_path / "p.collapsed"),
+                ]
+            )
+            == 0
+        )
+        assert not tracemalloc.is_tracing()
+        out = capsys.readouterr().out
+        assert "peak KiB" in out
+        assert "phase memory records" in out
+        mem_lines = (tmp_path / "p.collapsed.memory.jsonl").read_text()
+        records = [json.loads(line) for line in mem_lines.splitlines()]
+        assert records
+        assert all(r["type"] == "memory" for r in records)
+        assert any(r["phase"] == "sim" for r in records)
+
+    def test_profile_gauges_reach_the_metrics_output(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.jsonl"
+        assert (
+            main(
+                [
+                    "fig14",
+                    "--duration", "30",
+                    "--profile",
+                    "--profile-hz", "250",
+                    "--profile-out", str(tmp_path / "p.collapsed"),
+                    "--metrics-out", str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        records = [
+            json.loads(line)
+            for line in metrics_path.read_text().splitlines()
+        ]
+        names = {r["name"] for r in records}
+        assert "pipeline.profile.samples" in names
+        assert "pipeline.profile.attributed_ratio" in names

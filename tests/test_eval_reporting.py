@@ -1,0 +1,84 @@
+"""Direct coverage for ``repro.eval.reporting``.
+
+Every experiment, bench log, and now the profiler's hotspot tables
+render through :func:`render_table` / :func:`format_value`; these tests
+pin the cell formatting, the width alignment, and the row-length
+guard.
+"""
+
+import pytest
+
+from repro.eval.reporting import format_value, render_table
+
+
+class TestFormatValue:
+    def test_none_renders_as_dash(self):
+        assert format_value(None) == "-"
+
+    def test_bools_render_as_yes_no(self):
+        # bool is an int subclass; it must hit the bool branch, not str(int).
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_floats_use_the_default_4_significant_digits(self):
+        assert format_value(0.123456) == "0.1235"
+        assert format_value(1234.5678) == "1235"
+
+    def test_floats_honour_a_custom_format(self):
+        assert format_value(0.5, float_format="{:.1%}") == "50.0%"
+
+    def test_ints_and_strings_pass_through(self):
+        assert format_value(42) == "42"
+        assert format_value("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        table = render_table(
+            ["name", "value"],
+            [("a", 1), ("bb", 2)],
+            title="demo",
+        )
+        assert table.splitlines() == [
+            "demo",
+            "name  value",
+            "----  -----",
+            "a     1",
+            "bb    2",
+        ]
+
+    def test_no_title_omits_the_heading_line(self):
+        table = render_table(["h"], [("x",)])
+        assert table.splitlines()[0] == "h"
+
+    def test_columns_widen_to_the_longest_cell(self):
+        table = render_table(["h"], [("longer-than-header",)])
+        header, rule, row = table.splitlines()
+        assert rule == "-" * len("longer-than-header")
+        assert header == "h"  # trailing padding is stripped
+
+    def test_mixed_cell_types_format_per_kind(self):
+        table = render_table(
+            ["a", "b", "c", "d"],
+            [(None, True, 0.123456, 7)],
+        )
+        assert table.splitlines()[-1].split() == ["-", "yes", "0.1235", "7"]
+
+    def test_no_trailing_whitespace_on_any_line(self):
+        table = render_table(["x", "y"], [("a", None), ("something-long", 1)])
+        for line in table.splitlines():
+            assert line == line.rstrip()
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="2 cells but there are 3 headers"):
+            render_table(["a", "b", "c"], [("1", "2")])
+
+    def test_empty_rows_render_header_and_rule_only(self):
+        table = render_table(["only", "header"], [])
+        assert table.splitlines() == ["only  header", "----  ------"]
+
+    def test_float_format_applies_to_every_float_cell(self):
+        table = render_table(
+            ["v"], [(0.111111,), (0.999999,)], float_format="{:.2f}"
+        )
+        assert table.splitlines()[-2:] == ["0.11", "1.00"]

@@ -1,0 +1,62 @@
+"""Smoke tests for the ``examples/`` scripts.
+
+Each script is run as a real subprocess (``python examples/<name>.py``)
+with ``REPRO_EXAMPLE_FAST=1``, which every example honours by shrinking
+its drives/sweeps to a few seconds.  The scripts must exit 0 and print
+their headline output — untested examples silently rot as the API
+moves.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+#: (script, substring its stdout must contain).
+EXAMPLES = [
+    ("quickstart.py", "suspected Sybil ids"),
+    ("field_test.py", "Fig. 13"),
+    ("highway_attack.py", "average detection rate"),
+    ("online_monitor.py", "final verdict"),
+    ("power_spoofing.py", "normalisation"),
+    ("ranging_failure.py", "Table IV"),
+]
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["REPRO_EXAMPLE_FAST"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+        cwd=str(REPO_ROOT),
+    )
+
+
+def test_every_example_is_covered():
+    """A new example script must be added to the smoke list."""
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == {name for name, _ in EXAMPLES}
+
+
+@pytest.mark.parametrize("name,expected", EXAMPLES, ids=[n for n, _ in EXAMPLES])
+def test_example_runs(name, expected):
+    proc = run_example(name)
+    assert proc.returncode == 0, (
+        f"{name} exited {proc.returncode}\n"
+        f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert expected in proc.stdout, (
+        f"{name} stdout missing {expected!r}:\n{proc.stdout}"
+    )

@@ -1,0 +1,400 @@
+"""Tests for ``repro.obs.profiling`` — the phase-attributed profiler.
+
+Covers the off-by-default guarantees (no thread, tracemalloc off), span
+attribution, idle filtering, collapsed-stack output, snapshot/merge
+(the cross-worker folding contract), memory attribution, the indexed
+output-path scheme, and the default-profiler lifecycle the CLI and the
+parallel executor drive.
+"""
+
+import os
+import threading
+import time
+import tracemalloc
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import (
+    DEFAULT_HZ,
+    PHASES,
+    SamplingProfiler,
+    default_profiler,
+    indexed_path,
+    phase_for_span,
+    restart_in_child,
+    start_default,
+    stop_default,
+)
+from repro.obs.trace import Tracer, default_tracer
+
+
+def busy_wait(seconds: float) -> int:
+    count = 0
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        count += 1
+    return count
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(enabled=True)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_default():
+    yield
+    stop_default()
+    default_tracer().disable()
+
+
+class TestPhaseMap:
+    def test_detector_spans_map_to_paper_phases(self):
+        assert phase_for_span("normalise") == "normalize"
+        assert phase_for_span("pairwise_dtw") == "compare"
+        assert phase_for_span("minmax") == "compare"
+        assert phase_for_span("detection") == "compare"
+        assert phase_for_span("threshold") == "confirm"
+        assert phase_for_span("confirmation") == "confirm"
+        assert phase_for_span("collect") == "collect"
+        assert phase_for_span("sim") == "sim"
+        assert phase_for_span("eval") == "eval"
+
+    def test_dotted_names_inherit_their_family(self):
+        assert phase_for_span("sim.highway") == "sim"
+        assert phase_for_span("eval.fig11") == "eval"
+
+    def test_unknown_names_are_unmapped(self):
+        assert phase_for_span("nonsense") is None
+        assert phase_for_span("") is None
+
+    def test_every_mapped_phase_is_a_known_phase(self):
+        for name in ("normalise", "detection", "threshold", "sim", "eval"):
+            assert phase_for_span(name) in PHASES
+
+
+class TestOffByDefault:
+    def test_constructing_starts_nothing(self):
+        before = threading.active_count()
+        profiler = SamplingProfiler(tracer=Tracer(enabled=True))
+        assert not profiler.running
+        assert threading.active_count() == before
+        assert not tracemalloc.is_tracing()
+
+    def test_no_default_profiler_until_started(self):
+        assert default_profiler() is None
+
+    def test_memory_off_keeps_tracemalloc_off(self, tracer):
+        profiler = SamplingProfiler(tracer=tracer).start()
+        try:
+            assert not tracemalloc.is_tracing()
+        finally:
+            profiler.stop()
+
+    def test_bad_hz_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0.0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=-1.0)
+
+
+class TestSampling:
+    def test_thread_starts_and_stops(self, tracer):
+        profiler = SamplingProfiler(hz=200.0, tracer=tracer).start()
+        assert profiler.running
+        names = [t.name for t in threading.enumerate()]
+        assert "repro-profiler" in names
+        profiler.stop()
+        assert not profiler.running
+        assert "repro-profiler" not in [t.name for t in threading.enumerate()]
+
+    def test_samples_attribute_to_the_open_span(self, tracer):
+        profiler = SamplingProfiler(hz=400.0, tracer=tracer).start()
+        try:
+            with tracer.span("detection"):
+                busy_wait(0.25)
+        finally:
+            profiler.stop()
+        assert profiler.samples_total > 0
+        breakdown = profiler.phase_breakdown()
+        assert breakdown.get("compare", 0) > 0
+        # The busy loop runs entirely inside the span; nearly all busy
+        # samples must land on its phase (the ISSUE's >=90% criterion).
+        assert profiler.attributed_ratio >= 0.9
+
+    def test_innermost_span_wins(self, tracer):
+        profiler = SamplingProfiler(tracer=tracer)
+        with tracer.span("eval"):
+            with tracer.span("detection"):
+                profiler.sample_once()
+        assert profiler.phase_breakdown().get("compare", 0) >= 1
+        assert profiler.phase_breakdown().get("eval", 0) == 0
+
+    def test_unmapped_span_falls_back_to_outer_phase(self, tracer):
+        profiler = SamplingProfiler(tracer=tracer)
+        with tracer.span("eval"):
+            with tracer.span("something_custom"):
+                profiler.sample_once()
+        assert profiler.phase_breakdown().get("eval", 0) >= 1
+
+    def test_spanless_threads_bucket_as_other(self, tracer):
+        profiler = SamplingProfiler(tracer=tracer)
+        profiler.sample_once()
+        assert set(profiler.phase_breakdown()) <= {"other"}
+
+    def test_idle_threads_are_excluded(self, tracer):
+        release = threading.Event()
+        parked = threading.Thread(target=release.wait, daemon=True)
+        parked.start()
+        time.sleep(0.05)
+        profiler = SamplingProfiler(tracer=tracer)
+        try:
+            profiler.sample_once()
+        finally:
+            release.set()
+            parked.join()
+        # The parked thread waits in threading.py:wait -> idle bucket.
+        assert profiler.idle_samples >= 1
+
+    def test_disabled_tracer_yields_no_attribution(self):
+        tracer = Tracer(enabled=False)
+        profiler = SamplingProfiler(tracer=tracer)
+        profiler.sample_once()
+        assert profiler.attributed_samples == 0
+
+
+class TestCollapsedOutput:
+    def test_collapsed_file_format(self, tracer, tmp_path):
+        profiler = SamplingProfiler(tracer=tracer)
+        with tracer.span("detection"):
+            profiler.sample_once()
+        out = tmp_path / "profile.collapsed"
+        n = profiler.write_collapsed(str(out))
+        lines = out.read_text().splitlines()
+        assert len(lines) == n > 0
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            assert int(count) >= 1
+            frames = stack.split(";")
+            assert frames[0] in PHASES or frames[0] == "other"
+            # Frames are path:function with no separator collisions.
+            for frame in frames[1:]:
+                assert " " not in frame
+
+    def test_hotspots_rank_by_self_samples(self, tracer):
+        profiler = SamplingProfiler(hz=400.0, tracer=tracer).start()
+        try:
+            with tracer.span("detection"):
+                busy_wait(0.25)
+        finally:
+            profiler.stop()
+        hotspots = profiler.hotspots(top=5)
+        assert hotspots
+        selfs = [h["self"] for h in hotspots]
+        assert selfs == sorted(selfs, reverse=True)
+        assert "busy_wait" in hotspots[0]["function"]
+        assert hotspots[0]["phase"] == "compare"
+
+    def test_tables_render(self, tracer):
+        profiler = SamplingProfiler(tracer=tracer)
+        with tracer.span("detection"):
+            profiler.sample_once()
+        assert "profile phases" in profiler.phase_table()
+        assert "profile hotspots" in profiler.hotspot_table(5)
+
+
+class TestSnapshotMerge:
+    def make_profile(self, tracer):
+        profiler = SamplingProfiler(tracer=tracer)
+        with tracer.span("detection"):
+            profiler.sample_once()
+            profiler.sample_once()
+        return profiler
+
+    def test_snapshot_is_json_serialisable(self, tracer):
+        import json
+
+        snapshot = self.make_profile(tracer).snapshot()
+        decoded = json.loads(json.dumps(snapshot))
+        assert decoded["samples"] == snapshot["samples"] == 2
+
+    def test_merge_sums_sample_counts(self, tracer):
+        a = self.make_profile(tracer)
+        b = self.make_profile(tracer)
+        snap_b = b.snapshot()
+        total_before = a.samples_total
+        a.merge(snap_b)
+        assert a.samples_total == total_before + b.samples_total
+        assert a.phase_breakdown()["compare"] == 4
+
+    def test_merge_into_empty_reproduces_counts(self, tracer):
+        source = self.make_profile(tracer)
+        target = SamplingProfiler(tracer=tracer)
+        target.merge(source.snapshot())
+        assert target.samples_total == source.samples_total
+        assert target.phase_breakdown() == source.phase_breakdown()
+        assert target.snapshot()["stacks"] == source.snapshot()["stacks"]
+
+    def test_merge_rejects_unknown_version(self, tracer):
+        profiler = SamplingProfiler(tracer=tracer)
+        with pytest.raises(ValueError, match="version"):
+            profiler.merge({"version": 999})
+
+
+class TestMemoryAttribution:
+    def test_memory_phases_record_net_and_peak(self, tracer):
+        profiler = SamplingProfiler(tracer=tracer, memory=True).start()
+        try:
+            assert tracemalloc.is_tracing()
+            keep = []
+            with tracer.span("detection"):
+                keep.append(bytearray(4 * 1024 * 1024))
+            with tracer.span("detection"):
+                transient = bytearray(8 * 1024 * 1024)
+                del transient
+        finally:
+            profiler.stop()
+        assert not tracemalloc.is_tracing()
+        memory = profiler.memory_breakdown()
+        stats = memory["compare"]
+        assert stats["spans"] == 2
+        assert stats["net_bytes"] >= 3 * 1024 * 1024  # the kept buffer
+        assert stats["peak_bytes"] >= 7 * 1024 * 1024  # the transient one
+        del keep
+
+    def test_memory_merge_adds_net_and_maxes_peak(self, tracer):
+        snapshot = {
+            "version": 1,
+            "samples": 0,
+            "idle_samples": 0,
+            "attributed_samples": 0,
+            "phases": {},
+            "stacks": [],
+            "memory": {
+                "compare": {"net_bytes": 100, "peak_bytes": 500, "spans": 1}
+            },
+        }
+        profiler = SamplingProfiler(tracer=tracer, memory=True).start()
+        try:
+            profiler.merge(snapshot)
+            profiler.merge(snapshot)
+        finally:
+            profiler.stop()
+        stats = profiler.memory_breakdown()["compare"]
+        assert stats["net_bytes"] == 200
+        assert stats["peak_bytes"] == 500
+        assert stats["spans"] == 2
+
+    def test_stop_detaches_the_span_listener(self, tracer):
+        profiler = SamplingProfiler(tracer=tracer, memory=True).start()
+        profiler.stop()
+        before = profiler.memory_breakdown()
+        with tracer.span("detection"):
+            pass
+        assert profiler.memory_breakdown() == before
+
+    def test_preexisting_tracemalloc_is_left_running(self, tracer):
+        tracemalloc.start()
+        try:
+            profiler = SamplingProfiler(tracer=tracer, memory=True).start()
+            profiler.stop()
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+
+class TestGauges:
+    def test_publish_gauges_writes_the_profile_family(self, tracer):
+        registry = MetricsRegistry(enabled=True)
+        profiler = SamplingProfiler(tracer=tracer, registry=registry)
+        with tracer.span("detection"):
+            profiler.sample_once()
+        profiler.publish_gauges()
+        assert registry.gauge("pipeline.profile.samples").value == 1
+        assert registry.gauge("pipeline.profile.attributed_ratio").value == 1.0
+        assert (
+            registry.gauge("pipeline.profile.phase_ratio.compare").value == 1.0
+        )
+
+
+class TestIndexedPath:
+    def test_free_base_is_used_directly(self, tmp_path):
+        base = tmp_path / "profile.collapsed"
+        assert indexed_path(str(base)) == str(base)
+
+    def test_existing_base_indexes_like_the_flight_recorder(self, tmp_path):
+        base = tmp_path / "profile.collapsed"
+        base.write_text("x")
+        assert indexed_path(str(base)) == f"{base}.1"
+        (tmp_path / "profile.collapsed.1").write_text("x")
+        (tmp_path / "profile.collapsed.2").write_text("x")
+        assert indexed_path(str(base)) == f"{base}.3"
+
+
+class TestDefaultLifecycle:
+    def test_start_default_enables_tracer_and_is_idempotent(self):
+        tracer = default_tracer()
+        assert not tracer.enabled
+        first = start_default(hz=200.0)
+        try:
+            assert tracer.enabled
+            assert tracer.exporter is None  # attribution only, no export
+            assert default_profiler() is first
+            assert start_default(hz=50.0) is first  # second call: same one
+            assert first.hz == 200.0
+        finally:
+            assert stop_default() is first
+        assert default_profiler() is None
+        assert not first.running
+
+    def test_stop_default_without_start_is_a_noop(self):
+        assert stop_default() is None
+
+    def test_restart_in_child_without_profiling_is_a_noop(self):
+        assert restart_in_child() is None
+
+    def test_restart_in_child_swaps_in_a_fresh_profiler(self):
+        parent = start_default(hz=123.0)
+        try:
+            child = restart_in_child()
+            assert child is not parent
+            assert child is default_profiler()
+            assert child.hz == 123.0
+            assert child.running
+            assert child.samples_total == 0
+        finally:
+            stop_default()
+            parent.stop()
+
+
+class TestWorkerProfileMerge:
+    """Serial vs parallel profiles: worker samples all come home."""
+
+    def test_parallel_run_merges_worker_profiles(self, tmp_path):
+        from repro.core.thresholds import ConstantThreshold
+        from repro.eval.runner import run_voiceprint
+        from repro.sim.scenario import ScenarioConfig
+        from repro.sim.simulator import HighwaySimulator
+
+        if "fork" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("profile merge requires the fork start method")
+        os.environ.pop("REPRO_EVAL_WORKERS", None)
+        result = HighwaySimulator(
+            ScenarioConfig(sim_time_s=20.0, density_vhls_per_km=15.0),
+            recorded_nodes=4,
+        ).run()
+        parent = start_default(hz=400.0)
+        try:
+            outcomes = run_voiceprint(
+                result, ConstantThreshold(0.05), workers=2
+            )
+        finally:
+            stop_default()
+        assert outcomes
+        # Worker CPU (the replay loop) is invisible to the parent's own
+        # sampler; seeing compare/eval samples proves worker snapshots
+        # were shipped back and merged rather than silently dropped.
+        breakdown = parent.phase_breakdown()
+        assert breakdown.get("compare", 0) + breakdown.get("eval", 0) > 0
+        assert parent.samples_total > 0
