@@ -70,6 +70,11 @@ _RULES: Dict[str, Tuple[str, str]] = {
     "samples": ("higher", "timing"),
     "attributed_pct": ("higher", "deterministic"),
     "compare_pct": ("higher", "deterministic"),
+    # audit overhead benchmark (BENCH_audit.json)
+    "audited_cpu_ms": ("lower", "timing"),
+    "disk_cpu_ms": ("lower", "timing"),
+    "disk_overhead_pct": ("lower", "timing"),
+    "stream_lines": ("both", "deterministic"),
 }
 
 

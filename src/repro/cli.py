@@ -455,6 +455,24 @@ def _add_obs_arguments(
         "exceeding it is terminated and its task retried, then run "
         "serially (default: no deadline)",
     )
+    parser.add_argument(
+        "--audit-out",
+        metavar="PATH",
+        default=suppressed if suppress_defaults else None,
+        help="record per-pair decision provenance (windows, margins, "
+        "DTW distances, prune/cache tags) to a JSONL audit log at PATH "
+        "(indexed .1/.2/... like the flight recorder); inspect it with "
+        "the 'explain' subcommand",
+    )
+    parser.add_argument(
+        "--margin-epsilon",
+        type=float,
+        metavar="EPS",
+        default=suppressed if suppress_defaults else None,
+        help="near-miss threshold: verdicts with |signed margin| below "
+        "EPS count as fragile in pipeline.margin.near_miss and the "
+        "health monitor's fragile_verdict_rate (default: 0.05)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -463,6 +481,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="voiceprint-repro",
         description="Regenerate tables and figures of the Voiceprint paper "
         "(Yao et al., DSN 2017).",
+        # Prefix matching would make a subcommand flag like explain's
+        # --pair ambiguous against --pairwise-* at the top level, since
+        # argparse classifies every token before handing the tail to
+        # the subparser.
+        allow_abbrev=False,
     )
     parser.add_argument("--seed", type=int, default=7, help="master RNG seed")
     _add_obs_arguments(parser, suppress_defaults=False)
@@ -509,7 +532,72 @@ def build_parser() -> argparse.ArgumentParser:
 
     ablations = add_parser("ablations", help="E12 ablations")
     ablations.add_argument("--duration", type=float, default=120.0)
+
+    # No obs parent here: explain reads an existing audit log, it does
+    # not run the pipeline, so telemetry/profiling flags make no sense.
+    explain = sub.add_parser(
+        "explain",
+        help="forensic report from an --audit-out log: why was a pair "
+        "flagged (windows, DTW cost decomposition, margin, provenance)",
+    )
+    explain.add_argument("log", help="audit JSONL written by --audit-out")
+    explain.add_argument(
+        "--pair",
+        metavar="A,B",
+        default=None,
+        help="show every recorded period of the pair A,B",
+    )
+    explain.add_argument(
+        "--observer",
+        metavar="ID",
+        default=None,
+        help="restrict to detections recorded by this observer",
+    )
+    explain.add_argument(
+        "--worst",
+        action="store_true",
+        help="show the verdict closest to its threshold",
+    )
+    explain.add_argument(
+        "--near-misses",
+        type=int,
+        metavar="N",
+        default=None,
+        help="show the N verdicts closest to their thresholds",
+    )
+    explain.add_argument(
+        "--verify",
+        action="store_true",
+        help="replay every exact record through repro.core.pairwise and "
+        "fail unless each distance is bit-identical",
+    )
     return parser
+
+
+def _cmd_explain(args: argparse.Namespace) -> str:
+    # Lazy import: explain pulls in repro.core for the replay engine,
+    # which every other (list/figure) invocation does not need.
+    from .obs.explain import run_explain
+
+    pair = None
+    if args.pair is not None:
+        parts = [part.strip() for part in args.pair.split(",")]
+        if len(parts) != 2 or not all(parts):
+            raise SystemExit(
+                f"--pair wants two comma-separated ids, got {args.pair!r}"
+            )
+        pair = (parts[0], parts[1])
+    try:
+        return run_explain(
+            args.log,
+            pair=pair,
+            observer=args.observer,
+            worst=args.worst,
+            near_misses=args.near_misses,
+            verify=args.verify,
+        )
+    except (ValueError, OSError) as error:
+        raise SystemExit(str(error))
 
 
 _HANDLERS: Dict[str, Callable[[argparse.Namespace], str]] = {
@@ -526,6 +614,7 @@ _HANDLERS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "fig14": _cmd_fig14,
     "timing": _cmd_timing,
     "ablations": _cmd_ablations,
+    "explain": _cmd_explain,
 }
 
 
@@ -664,6 +753,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     previous_parallel = set_parallel_defaults(
         workers=args.workers, task_timeout=args.task_timeout
     )
+    previous_epsilon: Optional[float] = None
+    if args.margin_epsilon is not None:
+        previous_epsilon = obs.set_near_miss_epsilon(args.margin_epsilon)
+    audit_log: Optional[obs.AuditLog] = None
+    if args.audit_out:
+        audit_log = obs.start_audit(out=args.audit_out)
     server: Optional[obs.TelemetryServer] = None
     snapshotter: Optional[obs.Snapshotter] = None
     try:
@@ -725,9 +820,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         if args.trace_out:
             print(f"[spans -> {args.trace_out}]")
+        if audit_log is not None:
+            destination = audit_log.path or args.audit_out
+            print(
+                f"[{audit_log.detections} detection bundle(s) "
+                f"({audit_log.pairs_recorded} pair records) -> "
+                f"{destination}]"
+            )
         if elapsed > 1.0:
             print(f"\n[{elapsed:.1f}s]")
     finally:
+        if audit_log is not None:
+            obs.stop_audit()
+        if previous_epsilon is not None:
+            obs.set_near_miss_epsilon(previous_epsilon)
         obs.stop_profiler()  # no-op when already stopped above
         if snapshotter is not None:
             snapshotter.close()

@@ -21,11 +21,18 @@ makes Voiceprint trust-relationship-free.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.audit import (
+    default_audit_log,
+    get_audit_context,
+    get_near_miss_epsilon,
+    make_detection_bundle,
+    signed_margin,
+)
 from ..obs.health import HealthMonitor, default_monitor
 from ..obs.logging import get_logger
 from ..obs.metrics import MetricsRegistry, default_registry
@@ -33,7 +40,7 @@ from ..obs.timers import Stopwatch
 from ..obs.trace import Tracer, default_tracer
 from .fastdtw import DEFAULT_RADIUS, dtw_banded_fast, fastdtw
 from .dtw import dtw
-from .normalization import minmax_distances, zscore
+from .normalization import _SIGMA_FLOOR, minmax_distances, zscore
 from .pairwise import PairwiseEngine, PairwiseStats, get_engine_defaults
 from .thresholds import LinearThreshold, ThresholdPolicy
 from .timeseries import RSSITimeSeries
@@ -197,6 +204,12 @@ class DetectionReport:
             (Algorithm 1's ``SybilIDs``).
         compared_ids: Identities that had enough samples to compare.
         skipped_ids: Identities heard but excluded (too few samples).
+        margins: Per-pair signed distance-to-threshold margin
+            ``(judged - threshold) / threshold`` — negative on the
+            flagged side, positive on the cleared side; magnitude is
+            the relative slack.  Verdicts with tiny |margin| are
+            fragile (the health monitor and the ``pipeline.margin.*``
+            telemetry watch exactly this).
     """
 
     timestamp: float
@@ -208,6 +221,7 @@ class DetectionReport:
     sybil_ids: FrozenSet[str]
     compared_ids: Tuple[str, ...]
     skipped_ids: Tuple[str, ...]
+    margins: Dict[Pair, float] = field(default_factory=dict)
 
     def summary(self) -> str:
         """One-line human-readable digest of the period.
@@ -229,6 +243,11 @@ class DetectionReport:
 
         Connected components of the flagged-pair graph: if (a, b) and
         (b, c) are both flagged, {a, b, c} are one presumed attacker.
+
+        The returned list is deterministic: clusters are ordered by
+        their lexicographically smallest member, independent of
+        ``PYTHONHASHSEED`` — downstream consumers (fleet confirmation,
+        golden-file tests) may rely on the ordering.
         """
         parent: Dict[str, str] = {}
 
@@ -244,10 +263,13 @@ class DetectionReport:
             ra, rb = find(a), find(b)
             if ra != rb:
                 parent[ra] = rb
-        clusters: Dict[str, Set[str]] = {}
-        for node in parent:
-            clusters.setdefault(find(node), set()).add(node)
-        return [frozenset(members) for members in clusters.values()]
+        clusters: Dict[str, List[str]] = {}
+        for node in sorted(parent):
+            clusters.setdefault(find(node), []).append(node)
+        return [
+            frozenset(members)
+            for members in sorted(clusters.values(), key=lambda m: m[0])
+        ]
 
 
 class VoiceprintDetector:
@@ -299,6 +321,9 @@ class VoiceprintDetector:
         self._c_pairs = metrics.counter("detector.pairs_compared")
         self._c_cells = metrics.counter("detector.dtw_cells")
         self._h_detect_ms = metrics.histogram("detector.detect_ms")
+        self._h_margin = metrics.histogram("pipeline.margin.signed")
+        self._h_margin_abs = metrics.histogram("pipeline.margin.abs")
+        self._c_near_miss = metrics.counter("pipeline.margin.near_miss")
         defaults = get_engine_defaults()
         cfg = self.config
         use_engine = (
@@ -401,7 +426,7 @@ class VoiceprintDetector:
         return result.distance
 
     def _normalise(
-        self, now: float
+        self, now: float, capture: Optional[Dict[str, Any]] = None
     ) -> Tuple[Dict[str, np.ndarray], List[str], Optional[Dict[str, bytes]], str]:
         """Cut and normalise the observation window (``normalise`` span).
 
@@ -410,6 +435,12 @@ class VoiceprintDetector:
         the scale tag fingerprints everything else that determines the
         normalised series, so key+tag equality implies the normalised
         series — and hence any DTW result on them — is identical.
+
+        When ``capture`` is given (an audit sink is active), it is
+        filled with the raw windows and the exact ``(mean, divisor)``
+        each series was normalised with — ``(raw - mean) / divisor``
+        reproduces the normalised series bit-identically (divisor 0
+        marks the z-score constant-series case: all zeros).
         """
         with self._tracer.span("normalise") as span:
             window_start = now - self.config.observation_time
@@ -422,6 +453,7 @@ class VoiceprintDetector:
                     continue
                 windows[identity] = window.values
             normalised: Dict[str, np.ndarray] = {}
+            series_capture: Optional[Dict[str, Dict[str, Any]]] = None
             if self.config.scale_mode == "median" and windows:
                 sigmas = [float(np.std(v)) for v in windows.values()]
                 scale = self.config.sigma_multiplier * max(
@@ -429,13 +461,37 @@ class VoiceprintDetector:
                 )
                 scale_tag = f"median:{scale.hex()}"
                 for identity, values in windows.items():
-                    normalised[identity] = (values - float(np.mean(values))) / scale
+                    mean = float(np.mean(values))
+                    normalised[identity] = (values - mean) / scale
+                    if capture is not None:
+                        if series_capture is None:
+                            series_capture = capture.setdefault("series", {})
+                        series_capture[identity] = {
+                            "values": values,
+                            "mean": mean,
+                            "divisor": scale,
+                        }
             else:
                 scale_tag = f"z:{float(self.config.sigma_multiplier).hex()}"
                 for identity, values in windows.items():
                     normalised[identity] = zscore(
                         values, sigma_multiplier=self.config.sigma_multiplier
                     )
+                    if capture is not None:
+                        if series_capture is None:
+                            series_capture = capture.setdefault("series", {})
+                        sigma = float(np.std(values))
+                        series_capture[identity] = {
+                            "values": values,
+                            "mean": float(np.mean(values)),
+                            "divisor": (
+                                self.config.sigma_multiplier * sigma
+                                if sigma >= _SIGMA_FLOOR
+                                else 0.0
+                            ),
+                        }
+            if capture is not None:
+                capture["scale_tag"] = scale_tag
             keys: Optional[Dict[str, bytes]] = None
             if self._engine is not None and self._engine.cache_enabled:
                 keys = {
@@ -447,16 +503,19 @@ class VoiceprintDetector:
         return normalised, skipped, keys, scale_tag
 
     def compare(
-        self, now: Optional[float] = None
+        self,
+        now: Optional[float] = None,
+        capture: Optional[Dict[str, Any]] = None,
     ) -> Tuple[Dict[Pair, float], Tuple[str, ...], Tuple[str, ...]]:
         """Run the comparison phase only.
 
         Returns ``(raw_distances, compared_ids, skipped_ids)`` where the
         distances are *pre*-min–max FastDTW values on Z-scored series.
+        ``capture`` is the audit evidence dict (see :meth:`_normalise`).
         """
         if now is None:
             now = self._latest
-        normalised, skipped, keys, scale_tag = self._normalise(now)
+        normalised, skipped, keys, scale_tag = self._normalise(now, capture)
         with self._tracer.span("pairwise_dtw") as span:
             compared = tuple(sorted(normalised))
             cells_before = self._c_cells.value
@@ -497,6 +556,10 @@ class VoiceprintDetector:
         if now is None:
             now = self._latest if self._buffers else 0.0
         pruning = self._engine is not None and self._engine.can_prune
+        sink = default_audit_log()
+        capture: Optional[Dict[str, Any]] = {} if sink is not None else None
+        if self._engine is not None:
+            self._engine.record_provenance = sink is not None
         stopwatch = Stopwatch(self._h_detect_ms)
         with self._tracer.span("detection", density=float(density)) as root, \
                 stopwatch:
@@ -507,7 +570,9 @@ class VoiceprintDetector:
                 # change the flagged set, so the spans below see
                 # surrogate distances for pruned pairs (bit-identical
                 # flags, see DESIGN.md).
-                normalised, skipped_list, keys, scale_tag = self._normalise(now)
+                normalised, skipped_list, keys, scale_tag = self._normalise(
+                    now, capture
+                )
                 compared = tuple(sorted(normalised))
                 skipped = tuple(sorted(skipped_list))
                 cutoff = self.threshold.threshold_at(density)
@@ -536,7 +601,7 @@ class VoiceprintDetector:
                     span.set_attribute("threshold", float(cutoff))
                     span.set_attribute("flagged", len(sybil_ids))
             else:
-                raw, compared, skipped = self.compare(now=now)
+                raw, compared, skipped = self.compare(now=now, capture=capture)
                 with self._tracer.span("minmax"):
                     distances = minmax_distances(raw)
                 with self._tracer.span("threshold") as span:
@@ -552,6 +617,18 @@ class VoiceprintDetector:
                     )
                     span.set_attribute("threshold", float(cutoff))
                     span.set_attribute("flagged", len(sybil_ids))
+            judged = (
+                distances if self.config.threshold_on == "normalized" else raw
+            )
+            epsilon = get_near_miss_epsilon()
+            margins: Dict[Pair, float] = {}
+            for pair, distance in judged.items():
+                margin = signed_margin(distance, float(cutoff))
+                margins[pair] = margin
+                self._h_margin.observe(margin)
+                self._h_margin_abs.observe(abs(margin))
+                if abs(margin) < epsilon:
+                    self._c_near_miss.inc()
             root.set_attribute("compared", len(compared))
             root.set_attribute("flagged", len(sybil_ids))
         report = DetectionReport(
@@ -564,7 +641,26 @@ class VoiceprintDetector:
             sybil_ids=sybil_ids,
             compared_ids=compared,
             skipped_ids=skipped,
+            margins=margins,
         )
+        if sink is not None:
+            observer, period = get_audit_context()
+            sink.record_detection(
+                make_detection_bundle(
+                    report=report,
+                    config=self.config,
+                    scale_tag=(capture or {}).get("scale_tag", ""),
+                    series=(capture or {}).get("series", {}),
+                    provenance=(
+                        self._engine.last_provenance
+                        if self._engine is not None
+                        else None
+                    ),
+                    observer=observer,
+                    period=period,
+                    store_windows=sink.store_windows,
+                )
+            )
         if self._health is not None:
             self._health.on_report(report, stopwatch.elapsed_ms or 0.0)
         if _log.isEnabledFor(10):  # DEBUG: skip summary() cost otherwise

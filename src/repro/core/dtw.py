@@ -42,6 +42,7 @@ __all__ = [
     "dtw_distance",
     "dtw_banded",
     "dtw_windowed",
+    "path_cost_steps",
     "warp_path_cells",
 ]
 
@@ -297,3 +298,36 @@ def warp_path_cells(path: Sequence[Cell]) -> bool:
         if (i2, j2) == (i, j):
             return False
     return True
+
+
+def path_cost_steps(
+    x: ArrayLike, y: ArrayLike, path: Sequence[Cell]
+) -> List[Tuple[int, int, float, float]]:
+    """Decompose a warp path into per-step costs (Eq. 3 along Eq. 5).
+
+    For each 1-indexed ``(i, j)`` cell of ``path`` in order, yields
+    ``(i, j, cost, cumulative)`` where ``cost`` is the squared local
+    cost :math:`(x_i - y_j)^2` and ``cumulative`` the running total —
+    the last entry's cumulative equals the (unnormalised) DTW distance
+    for the optimal path.  This is what ``repro explain`` renders to
+    show *where* along two RSSI windows their distance was earned.
+
+    Raises:
+        ValueError: On an invalid path (see :func:`warp_path_cells`) or
+            a cell outside the series' bounds.
+    """
+    a, b = _validate(x, y)
+    if not warp_path_cells(path):
+        raise ValueError("not a valid warp path (must satisfy Eq. 5)")
+    if path[-1] != (a.size, b.size):
+        raise ValueError(
+            f"path ends at {path[-1]}, series ends at {(a.size, b.size)}"
+        )
+    steps: List[Tuple[int, int, float, float]] = []
+    cumulative = 0.0
+    for i, j in path:
+        diff = float(a[i - 1]) - float(b[j - 1])
+        cost = diff * diff
+        cumulative += cost
+        steps.append((i, j, cost, cumulative))
+    return steps

@@ -52,7 +52,7 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from functools import lru_cache
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
@@ -64,6 +64,11 @@ from .normalization import _SIGMA_FLOOR
 
 __all__ = [
     "EngineDefaults",
+    "PROV_CACHE",
+    "PROV_EXACT",
+    "PROV_PRUNED_DEGENERATE",
+    "PROV_PRUNED_LOWER",
+    "PROV_PRUNED_UPPER",
     "PairwiseEngine",
     "PairwiseStats",
     "band_cells",
@@ -78,7 +83,17 @@ __all__ = [
 
 Pair = Tuple[str, str]
 
+#: Provenance tags recorded per pair when
+#: :attr:`PairwiseEngine.record_provenance` is on — how the reported
+#: distance was obtained (see ``repro.obs.audit``).
+PROV_EXACT = "exact"
+PROV_CACHE = "cache-hit"
+PROV_PRUNED_LOWER = "pruned-lower"
+PROV_PRUNED_UPPER = "pruned-upper"
+PROV_PRUNED_DEGENERATE = "pruned-degenerate"
+
 _INF = math.inf
+
 
 #: Minimum *average anti-diagonal width* (band area / diagonal count)
 #: at which the single-pair vectorised kernel beats the scalar interval
@@ -641,6 +656,12 @@ class PairwiseEngine:
         self.workers = workers
         self._cache = _LRUCache(cache_size) if cache_size > 0 else None
         self.stats = PairwiseStats()
+        #: When True, each compare call leaves a per-pair provenance map
+        #: in :attr:`last_provenance` (tag + cache key + deciding bound)
+        #: for the audit trail.  Off by default: the hot path then pays
+        #: one boolean check per call and builds nothing.
+        self.record_provenance = False
+        self.last_provenance: Optional[Dict[Pair, Dict[str, Any]]] = None
         metrics = registry if registry is not None else default_registry()
         prefix = metric_prefix
         self._c_pairs = metrics.counter(f"{prefix}.pairs_compared")
@@ -740,6 +761,14 @@ class PairwiseEngine:
         stats.cells += cells
         return self._finish(distance, path_len)
 
+    def _begin_provenance(self) -> Optional[Dict[Pair, Dict[str, Any]]]:
+        """Fresh provenance map for one compare call (None when off)."""
+        prov: Optional[Dict[Pair, Dict[str, Any]]] = (
+            {} if self.record_provenance else None
+        )
+        self.last_provenance = prov
+        return prov
+
     def _flush(self, stats: PairwiseStats) -> None:
         """Publish one comparison phase's stats to metrics + cumulative."""
         self.stats.add(stats)
@@ -775,6 +804,7 @@ class PairwiseEngine:
             values bit-identical to the legacy per-pair loop.
         """
         stats = PairwiseStats()
+        prov = self._begin_provenance()
         ids = sorted(arrays)
         distances: Dict[Pair, float] = {}
         pending: List[Tuple[Pair, Optional[tuple]]] = []
@@ -785,6 +815,11 @@ class PairwiseEngine:
                 hit = self._lookup(key, stats)
                 if hit is not None:
                     distances[(a, b)] = hit
+                    if prov is not None:
+                        prov[(a, b)] = {
+                            "tag": PROV_CACHE,
+                            "key": key,
+                        }
                 else:
                     distances[(a, b)] = _INF  # placeholder, keeps order
                     pending.append(((a, b), key))
@@ -794,6 +829,11 @@ class PairwiseEngine:
             distances[pair] = self._compute(
                 arrays[pair[0]], arrays[pair[1]], key, stats, triple=triple
             )
+            if prov is not None:
+                prov[pair] = {
+                    "tag": PROV_EXACT,
+                    "key": key,
+                }
         self._flush(stats)
         return distances, stats
 
@@ -881,6 +921,7 @@ class PairwiseEngine:
         assert self.band_radius is not None
         radius = self.band_radius
         stats = PairwiseStats()
+        prov = self._begin_provenance()
         ids = sorted(arrays)
         pairs: List[Pair] = [
             (a, b) for i, a in enumerate(ids) for b in ids[i + 1 :]
@@ -900,6 +941,11 @@ class PairwiseEngine:
             hit = self._lookup(key, stats)
             if hit is not None:
                 exact[pair] = hit
+                if prov is not None:
+                    prov[pair] = {
+                        "tag": PROV_CACHE,
+                        "key": key,
+                    }
                 continue
             xa, xb = arrays[a], arrays[b]
             n, m = xa.size, xb.size
@@ -920,6 +966,11 @@ class PairwiseEngine:
             )
             exact[pair] = value
             del bounds[pair]
+            if prov is not None:
+                prov[pair] = {
+                    "tag": PROV_EXACT,
+                    "key": pair_keys[pair],
+                }
             return value
 
         def run_exact_batch(batch: List[Pair]) -> None:
@@ -940,11 +991,21 @@ class PairwiseEngine:
                     surrogates[pair] = bound.upper
                     stats.pruned += 1
                     stats.cells_saved += bound.cells
+                    if prov is not None:
+                        prov[pair] = {
+                            "tag": PROV_PRUNED_UPPER,
+                            "bound": bound.upper,
+                        }
                 elif bound.lower > cutoff:
                     flags[pair] = False
                     surrogates[pair] = bound.lower
                     stats.pruned += 1
                     stats.cells_saved += bound.cells
+                    if prov is not None:
+                        prov[pair] = {
+                            "tag": PROV_PRUNED_LOWER,
+                            "bound": bound.lower,
+                        }
                 else:
                     ambiguous.append(pair)
             run_exact_batch(ambiguous)
@@ -986,6 +1047,11 @@ class PairwiseEngine:
                         surrogates[pair] = min(max(bound.lower, dmin), dmax)
                         stats.pruned += 1
                         stats.cells_saved += bound.cells
+                        if prov is not None:
+                            prov[pair] = {
+                                "tag": PROV_PRUNED_DEGENERATE,
+                                "bound": bound.lower,
+                            }
             else:
                 ambiguous = []
                 for pair in pairs:
@@ -997,11 +1063,21 @@ class PairwiseEngine:
                         surrogates[pair] = min(bound.upper, dmax)
                         stats.pruned += 1
                         stats.cells_saved += bound.cells
+                        if prov is not None:
+                            prov[pair] = {
+                                "tag": PROV_PRUNED_UPPER,
+                                "bound": bound.upper,
+                            }
                     elif (bound.lower - dmin) / denom > cutoff:
                         flags[pair] = False
                         surrogates[pair] = max(bound.lower, dmin)
                         stats.pruned += 1
                         stats.cells_saved += bound.cells
+                        if prov is not None:
+                            prov[pair] = {
+                                "tag": PROV_PRUNED_LOWER,
+                                "bound": bound.lower,
+                            }
                     else:
                         ambiguous.append(pair)
                 run_exact_batch(ambiguous)

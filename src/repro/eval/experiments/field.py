@@ -25,6 +25,7 @@ import numpy as np
 from ...core.confirmation import MultiPeriodConfirmer
 from ...core.detector import DetectorConfig, VoiceprintDetector
 from ...core.thresholds import ConstantThreshold, PAPER_FIELD_THRESHOLD
+from ...obs.audit import default_audit_log, set_audit_context
 from ...sim.fieldtest import FieldTestConfig, FieldTestResult, MALICIOUS_ID, run_field_test
 from ..metrics import PeriodOutcome, average_rates, evaluate_flags
 from ..parallel import TaskSpec, run_tasks
@@ -102,7 +103,11 @@ def _detect_over_drive(
     period_index = 0
     duration = result.config.duration_s
     malicious = result.vehicles[MALICIOUS_ID]
+    # Stamp audit bundles with who detected when (no-op unless auditing).
+    auditing = default_audit_log() is not None
     while t <= duration + 1e-9:
+        if auditing:
+            set_audit_context(observer=recorder, period=period_index)
         report = detector.detect(density=4.0, now=t)
         heard = [
             identity
@@ -123,6 +128,8 @@ def _detect_over_drive(
         )
         period_index += 1
         t += detection_period_s
+    if auditing:
+        set_audit_context(observer=None, period=None)
     return detections
 
 

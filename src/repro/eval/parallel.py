@@ -39,9 +39,13 @@ result; the parent folds that into its own registry with
 :meth:`~repro.obs.metrics.MetricsRegistry.merge`.  Spans are captured
 in-memory in the worker and re-exported through the parent's tracer,
 and a profiling run restarts the sampler in each forked worker and
-merges the per-worker profile snapshots the same way.  ``/metrics``,
-flight-recorder dumps, profiles, and the bench gate therefore keep
-working unchanged whether a sweep ran serially or on eight workers.
+merges the per-worker profile snapshots the same way.  An armed audit
+log likewise restarts as a fresh in-memory shard per worker whose
+snapshot the parent folds back in (re-recording the bundles, so a
+parent ``--audit-out`` stream persists worker evidence).  ``/metrics``,
+flight-recorder dumps, profiles, audit logs, and the bench gate
+therefore keep working unchanged whether a sweep ran serially or on
+eight workers.
 """
 
 from __future__ import annotations
@@ -70,6 +74,8 @@ from typing import (
     Union,
 )
 
+from ..obs.audit import default_audit_log
+from ..obs.audit import restart_in_child as _audit_restart_in_child
 from ..obs.logging import get_logger
 from ..obs.metrics import MetricsRegistry, default_registry
 from ..obs.profiling import default_profiler, restart_in_child
@@ -340,6 +346,10 @@ def _worker_entry(conn, fn, args, kwargs) -> None:
         span_buffer = InMemorySpanExporter()
         tracer.exporter = span_buffer
     profiler = restart_in_child()
+    # Same shared-fd hazard as spans: a forked AuditLog would write to
+    # the parent's stream, so the child audits into a fresh in-memory
+    # shard and ships a snapshot home for the parent to merge.
+    audit_log = _audit_restart_in_child()
     try:
         value = fn(*args, **kwargs)
         status: Tuple[str, Any] = ("ok", value)
@@ -353,6 +363,7 @@ def _worker_entry(conn, fn, args, kwargs) -> None:
         registry.snapshot(),
         span_buffer.records if span_buffer is not None else [],
         profiler.snapshot() if profiler is not None else None,
+        audit_log.snapshot() if audit_log is not None else None,
     )
     try:
         conn.send(payload)
@@ -565,13 +576,17 @@ def run_tasks(
                     if message is None:
                         fail(entry, "worker process died")
                         continue
-                    status, payload, snapshot, spans, profile = message
+                    status, payload, snapshot, spans, profile, audit_shard = message
                     target.merge(snapshot)
                     _reexport_spans(spans)
                     if profile is not None:
                         parent_profiler = default_profiler()
                         if parent_profiler is not None:
                             parent_profiler.merge(profile)
+                    if audit_shard is not None:
+                        parent_audit = default_audit_log()
+                        if parent_audit is not None:
+                            parent_audit.merge(audit_shard)
                     if status != "ok":
                         raise TaskError(entry.spec.key, payload)
                     h_task_ms.observe((now - entry.started) * 1000.0)

@@ -19,6 +19,7 @@ from ..core.density import DensityEstimator
 from ..core.detector import DetectorConfig, VoiceprintDetector
 from ..core.thresholds import ThresholdPolicy
 from ..core.timeseries import RSSITimeSeries
+from ..obs.audit import default_audit_log, set_audit_context
 from ..obs.logging import get_logger
 from ..obs.metrics import default_registry
 from ..obs.timers import Stopwatch
@@ -129,6 +130,9 @@ def run_voiceprint(
     c_flagged = metrics.counter("eval.flagged_periods")
     h_verifier_ms = metrics.histogram("eval.verifier_replay_ms")
     tracer = default_tracer()
+    # When the audit log is armed, stamp each detection bundle with the
+    # (observer, period) coordinates that `repro explain` queries by.
+    auditing = default_audit_log() is not None
     outcomes: List[PeriodOutcome] = []
     for node in nodes:
         # The "eval" span brackets one verifier's whole replay; the
@@ -150,6 +154,8 @@ def run_voiceprint(
                     )
                 )
                 density_per_km = estimator.estimate() * 1000.0
+                if auditing:
+                    set_audit_context(observer=node, period=period_index)
                 report = detector.detect(density=density_per_km, now=t)
                 c_detections.inc()
                 if report.sybil_ids:
@@ -172,6 +178,8 @@ def run_voiceprint(
                 for identity in report.sybil_ids:
                     estimator.mark_illegitimate(identity)
         c_periods.inc(len(times))
+    if auditing:
+        set_audit_context(observer=None, period=None)
     _log.debug(
         "voiceprint replay complete",
         extra={"verifiers": len(nodes), "outcomes": len(outcomes)},

@@ -30,6 +30,11 @@ pipeline, the simulators, and the evaluation harness:
   stack samples (and optionally tracemalloc memory) to the open tracer
   span's pipeline phase; collapsed-stack / hotspot-table export and
   cross-process snapshot merge.
+* :mod:`repro.obs.audit` — a decision-provenance :class:`AuditLog`
+  recording per-pair evidence (windows, normalisation stats, DTW
+  distance, margin, prune/cache provenance, verdict) for every
+  detection, with a bit-exact replay contract consumed by the
+  ``repro explain`` forensics command (:mod:`repro.obs.explain`).
 
 Everything is **off by default**: the process-global registry and
 tracer start disabled, and disabled instruments drop calls after a
@@ -83,14 +88,25 @@ from .health import (
     set_default_monitor,
 )
 from .flightrec import FlightRecorder, TeeSpanExporter
+from .paths import counted_path, indexed_path
 from .profiling import (
     SamplingProfiler,
     default_profiler,
-    indexed_path,
     phase_for_span,
     restart_in_child,
     start_default as start_profiler,
     stop_default as stop_profiler,
+)
+from .audit import (
+    AuditLog,
+    default_audit_log,
+    get_near_miss_epsilon,
+    load_audit_log,
+    set_audit_context,
+    set_near_miss_epsilon,
+    signed_margin,
+    start_default as start_audit,
+    stop_default as stop_audit,
 )
 
 __all__ = [
@@ -119,11 +135,21 @@ __all__ = [
     "FlightRecorder",
     "SamplingProfiler",
     "phase_for_span",
+    "counted_path",
     "indexed_path",
     "default_profiler",
     "start_profiler",
     "stop_profiler",
     "restart_in_child",
+    "AuditLog",
+    "default_audit_log",
+    "start_audit",
+    "stop_audit",
+    "set_audit_context",
+    "get_near_miss_epsilon",
+    "set_near_miss_epsilon",
+    "signed_margin",
+    "load_audit_log",
     "default_registry",
     "default_tracer",
     "default_monitor",

@@ -35,6 +35,7 @@ from collections import deque
 from typing import Any, Deque, Dict, List, Optional
 
 from .logging import ROOT_LOGGER, _STANDARD_ATTRS
+from .paths import counted_path
 from .trace import SpanExporter, Tracer
 
 __all__ = ["FlightRecorder", "TeeSpanExporter"]
@@ -218,7 +219,7 @@ class FlightRecorder(SpanExporter):
             alerts = list(self._alerts)
             self._dumps += 1
             index = self._dumps
-        path = self.out if index == 1 else f"{self.out}.{index - 1}"
+        path = counted_path(self.out, index)
         header = {
             "type": "postmortem",
             "reason": reason,

@@ -32,6 +32,7 @@ from collections import deque
 from dataclasses import dataclass, fields
 from typing import Any, Callable, Deque, Dict, List, Optional
 
+from .audit import get_near_miss_epsilon
 from .logging import get_logger
 from .metrics import MetricsRegistry, default_registry
 
@@ -53,7 +54,7 @@ class Alert:
     Attributes:
         kind: Signal that tripped (``beacon_gap``, ``silence``,
             ``detect_latency``, ``flagged_pair_rate``,
-            ``density_drift``).
+            ``density_drift``, ``fragile_verdict_rate``).
         message: Human-readable one-liner.
         t: Pipeline/beacon timestamp the breach was observed at.
         value: The observed value.
@@ -92,6 +93,12 @@ class HealthThresholds:
             not that the road is full of Sybils).
         max_density_drift: Largest tolerated relative deviation of a
             period's density from the sliding-window median.
+        max_fragile_verdict_rate: Largest tolerated fraction of a
+            period's verdicts whose |signed margin| sits under the
+            near-miss ε (see :func:`repro.obs.audit.get_near_miss_epsilon`)
+            — verdicts clustered at the threshold boundary flip under
+            tiny RSSI perturbations, so a high rate means the decisions
+            are fragile even when they happen to be right.
         window: Number of recent detection periods kept for the
             sliding statistics.
     """
@@ -100,6 +107,7 @@ class HealthThresholds:
     max_detect_ms: Optional[float] = None
     max_flagged_pair_rate: Optional[float] = None
     max_density_drift: Optional[float] = None
+    max_fragile_verdict_rate: Optional[float] = None
     window: int = 10
 
     #: CLI spelling → field name (``--health-thresholds silence=30,...``).
@@ -108,6 +116,7 @@ class HealthThresholds:
         "detect_ms": "max_detect_ms",
         "flag_rate": "max_flagged_pair_rate",
         "density_drift": "max_density_drift",
+        "fragile_rate": "max_fragile_verdict_rate",
         "window": "window",
     }
 
@@ -181,6 +190,7 @@ class HealthMonitor:
         self._latencies: Deque[float] = deque(maxlen=window)
         self._flag_rates: Deque[float] = deque(maxlen=window)
         self._densities: Deque[float] = deque(maxlen=window)
+        self._fragile_rates: Deque[float] = deque(maxlen=window)
         self._last_beacon_t: Optional[float] = None
         self._reports = 0
         self._hooks: List[Callable[[Alert], None]] = []
@@ -191,6 +201,7 @@ class HealthMonitor:
         self._g_flag_rate = metrics.gauge("health.flagged_pair_rate")
         self._g_density_drift = metrics.gauge("health.density_drift")
         self._g_silence = metrics.gauge("health.beacon_gap_s")
+        self._g_fragile = metrics.gauge("health.fragile_verdict_rate")
 
     # -- wiring --------------------------------------------------------
     def add_hook(self, hook: Callable[[Alert], None]) -> None:
@@ -264,14 +275,23 @@ class HealthMonitor:
         t = float(report.timestamp)
         n_pairs = len(report.raw_distances)
         flag_rate = len(report.sybil_pairs) / n_pairs if n_pairs else 0.0
+        epsilon = get_near_miss_epsilon()
+        margins = getattr(report, "margins", None) or {}
+        fragile_rate = (
+            sum(1 for m in margins.values() if abs(m) < epsilon) / n_pairs
+            if n_pairs and margins
+            else 0.0
+        )
         with self._lock:
             self._reports += 1
             self._latencies.append(latency_ms)
             self._flag_rates.append(flag_rate)
+            self._fragile_rates.append(fragile_rate)
             densities = sorted(self._densities)
             self._densities.append(float(report.density))
         self._g_latency.set(latency_ms)
         self._g_flag_rate.set(flag_rate)
+        self._g_fragile.set(fragile_rate)
 
         th = self.thresholds
         if th.max_detect_ms is not None and latency_ms > th.max_detect_ms:
@@ -294,6 +314,18 @@ class HealthMonitor:
                 t=t,
                 value=flag_rate,
                 threshold=th.max_flagged_pair_rate,
+            )
+        if (
+            th.max_fragile_verdict_rate is not None
+            and fragile_rate > th.max_fragile_verdict_rate
+        ):
+            self._alert(
+                "fragile_verdict_rate",
+                f"{fragile_rate:.0%} of verdicts within ±{epsilon:g} of "
+                f"the threshold (limit {th.max_fragile_verdict_rate:.0%})",
+                t=t,
+                value=fragile_rate,
+                threshold=th.max_fragile_verdict_rate,
             )
         # Drift against the median of the *previous* periods, so one
         # bad estimate cannot hide by dragging the reference with it.
@@ -351,6 +383,7 @@ class HealthMonitor:
             latencies = list(self._latencies)
             flag_rates = list(self._flag_rates)
             densities = list(self._densities)
+            fragile_rates = list(self._fragile_rates)
             last = self._last_beacon_t
             reports = self._reports
         alerts = list(self.recent_alerts)
@@ -362,6 +395,7 @@ class HealthMonitor:
                 "detect_latency_ms": latencies,
                 "flagged_pair_rate": flag_rates,
                 "density_vhls_per_km": densities,
+                "fragile_verdict_rate": fragile_rates,
             },
             "alerts": [a.to_record() for a in alerts],
         }

@@ -1,0 +1,52 @@
+"""Non-clobbering output-path indexing shared across ``repro.obs``.
+
+Several observability sinks write repeatedly to a user-supplied path —
+flight-recorder post-mortem dumps, profiler exports, audit logs — and
+all of them promise the same thing: a later write never overwrites an
+earlier one.  Two variants of the ``out.N`` scheme exist, differing in
+what they consult:
+
+* :func:`indexed_path` — **filesystem-based**: the first path among
+  ``base``, ``base.1``, ``base.2``, ... that does not exist yet.  Used
+  when each *process run* writes once (profiler exports, audit logs):
+  re-running the CLI appends an index instead of clobbering the
+  previous run's file.
+* :func:`counted_path` — **count-based**: the path for the N-th write
+  of one live object (``base`` for the first, ``base.1`` for the
+  second, ...).  Used when a single recorder dumps several times in
+  one run (the flight recorder fires once per alert) and later dumps
+  must overwrite their own earlier index on a re-triggered run, not
+  probe the filesystem.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["counted_path", "indexed_path"]
+
+
+def indexed_path(base: str) -> str:
+    """First unused path in the FlightRecorder indexing scheme.
+
+    ``base`` itself when free, else ``base.1``, ``base.2``, ... —
+    repeated profiled runs never overwrite an earlier profile, exactly
+    like repeated post-mortem dumps.
+    """
+    if not os.path.exists(base):
+        return base
+    index = 1
+    while os.path.exists(f"{base}.{index}"):
+        index += 1
+    return f"{base}.{index}"
+
+
+def counted_path(base: str, index: int) -> str:
+    """Path for the ``index``-th (1-based) write in the dump sequence.
+
+    The first write claims ``base`` itself; write N claims
+    ``base.{N-1}``, mirroring :func:`indexed_path`'s on-disk layout.
+    """
+    if index < 1:
+        raise ValueError(f"index must be >= 1, got {index}")
+    return base if index == 1 else f"{base}.{index - 1}"

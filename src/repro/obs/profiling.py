@@ -33,7 +33,6 @@ the usual wiring (see README "Profiling").
 
 from __future__ import annotations
 
-import os
 import sys
 import threading
 import time
@@ -42,6 +41,7 @@ from collections import Counter
 from typing import Any, Dict, List, Optional, Tuple
 
 from .metrics import MetricsRegistry, default_registry
+from .paths import indexed_path
 from .trace import Tracer, default_tracer
 
 __all__ = [
@@ -117,21 +117,6 @@ def phase_for_span(name: str) -> Optional[str]:
         return phase
     head = name.split(".", 1)[0]
     return _SPAN_PHASES.get(head) if head != name else None
-
-
-def indexed_path(base: str) -> str:
-    """First unused path in the FlightRecorder indexing scheme.
-
-    ``base`` itself when free, else ``base.1``, ``base.2``, ... —
-    repeated profiled runs never overwrite an earlier profile, exactly
-    like repeated post-mortem dumps.
-    """
-    if not os.path.exists(base):
-        return base
-    index = 1
-    while os.path.exists(f"{base}.{index}"):
-        index += 1
-    return f"{base}.{index}"
 
 
 def _frame_label(code: Any) -> str:

@@ -88,6 +88,13 @@ _RATIO_GAUGES = {
         "detector.cache_hits",
         "detector.pairs_compared",
     ),
+    # Fraction of this tick's verdicts that landed within the near-miss
+    # margin ε of the threshold (see repro.obs.audit) — the windowed
+    # fragility signal, scrapeable at /metrics like any rate.* gauge.
+    "rate.margin_near_miss_rate": (
+        "pipeline.margin.near_miss",
+        "detector.pairs_compared",
+    ),
 }
 
 

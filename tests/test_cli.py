@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -379,3 +380,141 @@ class TestProfilingFlags:
         names = {r["name"] for r in records}
         assert "pipeline.profile.samples" in names
         assert "pipeline.profile.attributed_ratio" in names
+
+
+class TestAuditFlags:
+    def test_flags_parse_before_and_after_subcommand(self):
+        parser = build_parser()
+        before = parser.parse_args(
+            ["--audit-out", "a.jsonl", "--margin-epsilon", "0.1", "fig13"]
+        )
+        after = parser.parse_args(
+            ["fig13", "--audit-out", "a.jsonl", "--margin-epsilon", "0.1"]
+        )
+        assert before.audit_out == after.audit_out == "a.jsonl"
+        assert before.margin_epsilon == after.margin_epsilon == 0.1
+
+    def test_flags_default_to_off(self):
+        args = build_parser().parse_args(["list"])
+        assert args.audit_out is None
+        assert args.margin_epsilon is None
+
+    def test_unaudited_run_installs_no_global_log(self):
+        from repro.obs.audit import default_audit_log
+
+        assert main(["table1"]) == 0
+        assert default_audit_log() is None
+
+    def test_audited_run_writes_log_and_footer(self, tmp_path, capsys):
+        from repro.obs.audit import default_audit_log, load_audit_log
+
+        audit_path = tmp_path / "audit.jsonl"
+        assert (
+            main(
+                [
+                    "fig13",
+                    "--duration", "60",
+                    "--period", "30",
+                    "--audit-out", str(audit_path),
+                ]
+            )
+            == 0
+        )
+        # Torn down with the run, like the profiler.
+        assert default_audit_log() is None
+        out = capsys.readouterr().out
+        assert f"-> {audit_path}]" in out
+        assert "detection bundle(s)" in out
+        bundles = load_audit_log(str(audit_path))
+        assert all(b["schema"] == 1 for b in bundles)
+        assert any(b["pairs"] for b in bundles)
+
+    def test_margin_epsilon_restored_after_run(self):
+        from repro.obs.audit import get_near_miss_epsilon
+
+        before = get_near_miss_epsilon()
+        assert main(["table1", "--margin-epsilon", "0.2"]) == 0
+        assert get_near_miss_epsilon() == before
+
+
+class TestExplainCommand:
+    @pytest.fixture(scope="class")
+    def audit_log(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("audit") / "audit.jsonl"
+        assert (
+            main(
+                [
+                    "fig13",
+                    "--duration", "60",
+                    "--period", "30",
+                    "--audit-out", str(path),
+                ]
+            )
+            == 0
+        )
+        return str(path)
+
+    def test_worst_renders_forensic_report(self, audit_log, capsys):
+        capsys.readouterr()
+        assert main(["explain", audit_log, "--worst"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict :" in out
+        assert "margin  :" in out
+        assert "prov    :" in out
+        assert "window  :" in out
+
+    def test_pair_selector_shows_every_period(self, audit_log, capsys):
+        # --pair is a prefix of the top-level --pairwise-* flags; with
+        # abbreviation matching it would die as "ambiguous option"
+        # before reaching the explain subparser.
+        import json
+
+        bundle = json.loads(Path(audit_log).read_text().splitlines()[0])
+        record = bundle["pairs"][0]
+        capsys.readouterr()
+        spec = f"{record['a']},{record['b']}"
+        assert main(["explain", audit_log, "--pair", spec]) == 0
+        out = capsys.readouterr().out
+        assert f"{record['a']} × {record['b']}" in out
+        assert out.count("verdict :") >= 1
+
+    def test_verify_replays_bit_identically(self, audit_log, capsys):
+        capsys.readouterr()
+        assert main(["explain", audit_log, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "all bit-identical" in out
+
+    def test_near_misses_caps_reports(self, audit_log, capsys):
+        capsys.readouterr()
+        assert main(["explain", audit_log, "--near-misses", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("verdict :") <= 2
+
+    def test_requires_a_selector(self, audit_log):
+        with pytest.raises(SystemExit):
+            main(["explain", audit_log])
+
+    def test_bad_pair_spec_rejected(self, audit_log):
+        with pytest.raises(SystemExit):
+            main(["explain", audit_log, "--pair", "only-one"])
+
+    def test_missing_log_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["explain", str(tmp_path / "nope.jsonl"), "--worst"])
+
+    def test_tampered_log_fails_verification(self, audit_log, tmp_path):
+        import json
+
+        lines = Path(audit_log).read_text().splitlines()
+        victim = next(
+            b for b in map(json.loads, lines)
+            if any(p["provenance"] == "exact" for p in b["pairs"])
+        )
+        record = next(
+            p for p in victim["pairs"] if p["provenance"] == "exact"
+        )
+        record["raw_distance"] += 1e-9
+        tampered = tmp_path / "tampered.jsonl"
+        tampered.write_text(json.dumps(victim) + "\n")
+        with pytest.raises(RuntimeError, match="replay mismatch"):
+            main(["explain", str(tampered), "--verify"])

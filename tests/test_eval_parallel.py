@@ -405,3 +405,51 @@ class TestShardedReplayIdentity:
         parallel = run_voiceprint(small_sim, threshold, workers=2)
         assert os.path.exists(flag_path)  # the sabotage actually fired
         assert parallel == serial
+
+
+class TestAuditShardMerge:
+    """Worker audit shards fold into the parent's (disk-backed) log."""
+
+    def _run_audited(self, small_sim, workers, out=None):
+        from repro.obs import audit
+
+        audit.start_default(out=out)
+        try:
+            run_voiceprint(small_sim, ConstantThreshold(0.05), workers=workers)
+        finally:
+            log = audit.stop_default()
+        return log
+
+    def test_parallel_log_matches_serial(self, small_sim, tmp_path):
+        serial = self._run_audited(small_sim, workers=1)
+        parallel = self._run_audited(
+            small_sim, workers=2, out=str(tmp_path / "audit.jsonl")
+        )
+        assert parallel.detections == serial.detections > 0
+        assert parallel.pairs_recorded == serial.pairs_recorded > 0
+
+        def keyed(log):
+            return {
+                (b["observer"], b["period"]): [
+                    (r["a"], r["b"], r["raw_distance"], r["margin"])
+                    for r in b["pairs"]
+                ]
+                for b in log.bundles
+            }
+
+        assert keyed(parallel) == keyed(serial)
+        # Observer/period context survives the worker boundary, and the
+        # parent's stream persisted every worker bundle as a JSON line.
+        assert all(key[0] is not None for key in keyed(parallel))
+        import json
+
+        lines = open(parallel.path, encoding="utf-8").read().splitlines()
+        assert len(lines) == parallel.detections
+        assert all(json.loads(line)["type"] == "detection" for line in lines)
+
+    def test_no_audit_means_no_shard_payload(self, small_sim):
+        from repro.obs import audit
+
+        assert audit.default_audit_log() is None
+        run_voiceprint(small_sim, ConstantThreshold(0.05), workers=2)
+        assert audit.default_audit_log() is None

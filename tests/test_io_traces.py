@@ -1,0 +1,139 @@
+"""Focused tests for ``repro.io.traces`` — the beacon-log CSV dialect.
+
+``tests/test_io.py`` smoke-tests the happy paths through the package
+facade; this file pins down the module's contract in detail: the
+quantisation the format applies (microsecond timestamps, milli-dB
+RSSI), non-finite values, the row-numbered error messages, stream vs
+path targets, and the global time-ordering of merged observation logs.
+"""
+
+import io
+import math
+
+import pytest
+
+from repro.core.timeseries import RSSITimeSeries
+from repro.io.traces import (
+    HEADER,
+    load_observations,
+    load_trace_csv,
+    save_observations,
+    save_trace_csv,
+)
+
+
+class TestSaveTraceCsv:
+    def test_returns_row_count_and_quantises(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        records = [(1.23456789, "v01", -70.123456), (2.0, "v02", -65.0)]
+        assert save_trace_csv(records, path) == 2
+        lines = path.read_text().splitlines()
+        assert lines[0] == ",".join(HEADER)
+        # Timestamps carry 6 decimals, RSSI 3 — the on-disk precision.
+        assert lines[1] == "1.234568,v01,-70.123"
+        assert lines[2] == "2.000000,v02,-65.000"
+
+    def test_non_finite_rssi_round_trips_through_float(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv([(0.0, "v", math.nan), (1.0, "v", math.inf)], path)
+        loaded = load_trace_csv(path)
+        assert math.isnan(loaded[0][2])
+        assert loaded[1][2] == math.inf
+
+    def test_stream_target_stays_open(self):
+        buffer = io.StringIO()
+        assert save_trace_csv([(0.0, "v", -70.0)], buffer) == 1
+        assert not buffer.closed
+        buffer.seek(0)
+        assert load_trace_csv(buffer) == [(0.0, "v", -70.0)]
+
+
+class TestLoadTraceCsv:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "trace.csv"
+        path.write_text(text)
+        return path
+
+    def test_round_trip_is_exact_at_format_precision(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        records = [(0.25, "v01", -70.5), (0.5, "v02", -71.25)]
+        save_trace_csv(records, path)
+        assert load_trace_csv(path) == records
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "# preamble\ntimestamp,identity,rssi_dbm\n\n"
+            "  # indented comment\n1.0,v01,-70.0\n",
+        )
+        assert load_trace_csv(path) == [(1.0, "v01", -70.0)]
+
+    def test_comment_only_file_is_empty(self, tmp_path):
+        path = self._write(tmp_path, "# nothing else\n")
+        with pytest.raises(ValueError, match="empty trace file"):
+            load_trace_csv(path)
+
+    def test_header_mismatch_reports_both_headers(self, tmp_path):
+        path = self._write(tmp_path, "time,id,dbm\n1.0,v,-70.0\n")
+        with pytest.raises(ValueError, match="expected"):
+            load_trace_csv(path)
+
+    def test_short_row_error_carries_row_number(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "timestamp,identity,rssi_dbm\n1.0,v01,-70.0\n2.0,v02\n",
+        )
+        with pytest.raises(ValueError, match="malformed row 3"):
+            load_trace_csv(path)
+
+    def test_unparseable_float_error_carries_row_number(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "timestamp,identity,rssi_dbm\nsoon,v01,-70.0\n",
+        )
+        with pytest.raises(ValueError, match="malformed row 2"):
+            load_trace_csv(path)
+
+    def test_identity_is_kept_verbatim(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv([(0.0, "00:0a:95:9d:68:16", -70.0)], path)
+        ((_, identity, _),) = load_trace_csv(path)
+        assert identity == "00:0a:95:9d:68:16"
+
+
+class TestObservations:
+    def _series(self, identity, samples):
+        series = RSSITimeSeries(identity)
+        for t, rssi in samples:
+            series.append(t, rssi)
+        return series
+
+    def test_merged_log_orders_by_time_then_identity(self, tmp_path):
+        path = tmp_path / "obs.csv"
+        observations = {
+            "v02": self._series("v02", [(0.0, -71.0), (2.0, -72.0)]),
+            "v01": self._series("v01", [(0.0, -70.0), (1.0, -70.5)]),
+        }
+        assert save_observations(observations, path) == 4
+        records = load_trace_csv(path)
+        assert [(t, i) for t, i, _ in records] == [
+            (0.0, "v01"),
+            (0.0, "v02"),
+            (1.0, "v01"),
+            (2.0, "v02"),
+        ]
+
+    def test_round_trip_rebuilds_per_identity_series(self, tmp_path):
+        path = tmp_path / "obs.csv"
+        observations = {
+            "v01": self._series("v01", [(0.0, -70.0), (1.0, -70.5)]),
+            "v02": self._series("v02", [(0.5, -65.25)]),
+        }
+        save_observations(observations, path)
+        loaded = load_observations(path)
+        assert set(loaded) == {"v01", "v02"}
+        for identity, series in loaded.items():
+            assert series.identity == identity
+            original = observations[identity]
+            assert list(series.timestamps) == list(original.timestamps)
+            assert list(series.values) == list(original.values)
