@@ -1,20 +1,27 @@
 """Pairwise-engine benchmark — the PR-2 performance trajectory seed.
 
 Replays one online-pipeline workload (an attacker trio plus independent
-neighbours, 10 Hz beacons, a detection every 5 s plus one app-triggered
-recheck per period) through four comparison-phase configurations:
+neighbours, 10 Hz beacons, a detection every 5 s plus one same-window
+recheck and four *sliding* rechecks per period — the app-triggered
+event-messaging pattern where each recheck's window has slid by ~10 new
+beacons) through five comparison-phase configurations:
 
-* ``naive``  — the legacy per-pair scalar loop,
-* ``kernel`` — the engine's vectorised/batched kernels, no reuse,
-* ``cached`` — kernels plus the incremental pair cache,
-* ``full``   — kernels, cache, and bound-cascade pruning.
+* ``naive``       — the legacy per-pair scalar loop,
+* ``kernel``      — the engine's vectorised/batched kernels, no reuse,
+* ``cached``      — kernels plus the incremental pair cache,
+* ``full``        — kernels, cache, and bound-cascade pruning,
+* ``incremental`` — kernels, cache, sliding envelopes, carried
+  verdicts, and early-abandon DTW (priced by the new beacons).
 
 Every configuration must flag exactly the same Sybil pairs in every
 period (the engine's bit-equality contract); the run writes
 ``BENCH_pairwise.json`` at the repo root with pairs/sec, cache-hit rate
 and DTW cells relaxed/saved per configuration, and asserts the
-acceptance criterion: the full engine relaxes >= 5x fewer DP cells than
-the naive loop on this workload.
+acceptance criteria: the full engine relaxes >= 4x fewer DP cells than
+the naive loop on this recheck-heavy workload, and the incremental
+engine sustains >= 3x the committed-baseline cached throughput
+(absolute anchor, see ``_BASELINE_CACHED_PPS``) while also beating the
+same-run cached configuration.
 """
 
 import json
@@ -35,6 +42,17 @@ _DURATION_S = 120.0
 _RATE_HZ = 10.0
 _DETECTION_PERIOD_S = 5.0
 _N_INDEPENDENT = 11  # + the attacker's three identities = 14 heard
+#: Sliding recheck offsets after each periodic detection (seconds); the
+#: window has slid by ~offset * rate new beacons at each one.
+_SLIDING_RECHECKS_S = (1.0, 2.0, 3.0, 4.0)
+
+#: The ``cached`` configuration's pairs_per_s in the committed baseline
+#: (``benchmarks/baselines/BENCH_pairwise.json`` before incremental
+#: mode landed) — the PR's acceptance anchor.  An absolute anchor,
+#: rather than the same-run cached figure, so the incremental target
+#: cannot be met by the cached configuration merely running slower on
+#: the recheck-heavy workload.
+_BASELINE_CACHED_PPS = 4744.5
 
 _CONFIGS = {
     "naive": {"pairwise_engine": False},
@@ -52,6 +70,12 @@ _CONFIGS = {
         "pairwise_engine": True,
         "pairwise_cache_size": 256,
         "pairwise_pruning": True,
+    },
+    "incremental": {
+        "pairwise_engine": True,
+        "pairwise_cache_size": 256,
+        "pairwise_pruning": False,
+        "pairwise_incremental": True,
     },
 }
 
@@ -90,24 +114,46 @@ def _run_config(name):
         registry=registry,
     )
     flagged = []
+    detections = 0
+    pending: list = []
     start = time.perf_counter()
     for timestamp, identity, rssi in _beacon_stream():
+        while pending and timestamp >= pending[0]:
+            # A sliding recheck: the window has slid by the beacons
+            # that arrived since the last detection — this is where the
+            # incremental engine's envelopes/carries/early-abandon pay.
+            pending.pop(0)
+            recheck = pipeline.force_detection(timestamp)
+            flagged.append(recheck.sybil_pairs)
+            detections += 1
         report = pipeline.on_beacon(identity, timestamp, rssi)
         if report is not None:
             # An application-triggered recheck of the same window (the
             # paper's event-triggered messaging): identical series, so
-            # a cache answers it without relaxing a single DP cell.
+            # a cache (or a carry) answers it without relaxing a single
+            # DP cell.
             recheck = pipeline.force_detection(report.timestamp)
             flagged.append((report.sybil_pairs, recheck.sybil_pairs))
+            detections += 2
+            pending = [report.timestamp + dt for dt in _SLIDING_RECHECKS_S]
     wall_s = time.perf_counter() - start
     pairs = int(registry.counter("detector.pairs_compared").value)
     record = {
         "wall_ms": round(wall_s * 1000.0, 1),
-        "detections": 2 * len(flagged),
+        "detections": detections,
         "pairs": pairs,
         "pairs_per_s": round(pairs / wall_s, 1),
         "pairs_exact": int(registry.counter("detector.pairs_exact").value),
         "pairs_pruned": int(registry.counter("detector.pairs_pruned").value),
+        "pairs_incremental": int(
+            registry.counter("detector.pairs_incremental").value
+        ),
+        "pairs_abandoned": int(
+            registry.counter("detector.pairs_abandoned").value
+        ),
+        "envelope_updates": int(
+            registry.counter("detector.envelope_updates").value
+        ),
         "cache_hits": int(registry.counter("detector.cache_hits").value),
         "hit_rate": round(
             registry.counter("detector.cache_hits").value / pairs, 3
@@ -140,14 +186,24 @@ def test_bench_pairwise(once, benchmark):
             "duration_s": _DURATION_S,
             "beacon_rate_hz": _RATE_HZ,
             "detection_period_s": _DETECTION_PERIOD_S,
-            "rechecks_per_period": 1,
+            "rechecks_per_period": 1 + len(_SLIDING_RECHECKS_S),
+            "sliding_rechecks_per_period": len(_SLIDING_RECHECKS_S),
         },
         "configs": records,
     }
     _OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
     table = render_table(
-        ["config", "wall ms", "pairs/s", "hit rate", "pruned", "DTW cells"],
+        [
+            "config",
+            "wall ms",
+            "pairs/s",
+            "hit rate",
+            "pruned",
+            "carried",
+            "abandoned",
+            "DTW cells",
+        ],
         [
             (
                 name,
@@ -155,16 +211,34 @@ def test_bench_pairwise(once, benchmark):
                 record["pairs_per_s"],
                 record["hit_rate"],
                 record["pairs_pruned"],
+                record["pairs_incremental"],
+                record["pairs_abandoned"],
                 record["dtw_cells"],
             )
             for name, record in records.items()
         ],
-        title=f"pairwise engine — online workload (-> {_OUT_PATH.name})",
+        title=f"pairwise engine — sliding-recheck workload (-> {_OUT_PATH.name})",
     )
     print("\n" + table)
     benchmark.extra_info["table"] = table
 
-    # Acceptance criterion: >= 5x fewer DP cells relaxed end-to-end.
-    assert naive_cells >= 5 * full_cells, (naive_cells, full_cells)
-    # The cache alone must absorb the recheck half of the workload.
-    assert records["cached"]["hit_rate"] >= 0.5
+    # Acceptance criterion: >= 4x fewer DP cells relaxed end-to-end.
+    # (The sliding rechecks add near-identical windows whose bounds are
+    # genuinely tight, so the cascade prunes a little less than on the
+    # periodic-only workload, where the ratio was >= 5x.)
+    assert naive_cells >= 4 * full_cells, (naive_cells, full_cells)
+    # The cache alone must absorb the same-window recheck share of the
+    # workload (1 of the 6 detections per period; sliding rechecks miss).
+    assert records["cached"]["hit_rate"] >= 0.15
+    # The incremental engine must turn the sliding rechecks into carried
+    # or cheaply-decided pairs: >= 3x the committed-baseline cached
+    # throughput — an absolute bar — and faster than cached in-run.
+    assert (
+        records["incremental"]["pairs_per_s"] >= 3.0 * _BASELINE_CACHED_PPS
+    ), (records["incremental"]["pairs_per_s"], _BASELINE_CACHED_PPS)
+    assert (
+        records["incremental"]["pairs_per_s"]
+        > records["cached"]["pairs_per_s"]
+    ), (records["incremental"]["pairs_per_s"], records["cached"]["pairs_per_s"])
+    assert records["incremental"]["pairs_incremental"] > 0
+    assert records["incremental"]["envelope_updates"] > 0

@@ -126,6 +126,19 @@ class DetectorConfig:
             consume distance *values* should leave this off (the
             default; see DESIGN.md).  ``None`` follows the process-wide
             defaults.
+        pairwise_incremental: Price each detection by what *changed*
+            since the previous period instead of the window size:
+            per-identity envelopes slide as beacons arrive, unchanged
+            pairs carry the previous period's exact distance, and
+            bound-undecided pairs run early-abandon DTW seeded with the
+            decision boundary (banded mode only; takes precedence over
+            ``pairwise_pruning``).  ``sybil_pairs`` stay byte-identical
+            to the exact path; like pruning, undecided-then-abandoned
+            pairs report surrogate distances — but only when
+            consecutive windows actually overlap, so disjoint-window
+            workloads (observation time == detection period) reproduce
+            exact-mode reports bit for bit (see DESIGN.md §5f).
+            ``None`` follows the process-wide defaults.
         pairwise_cache_size: LRU capacity of the engine's pair cache
             (0 disables; ``None`` follows the process-wide defaults).
         pairwise_workers: Engine thread-pool width for exact kernel
@@ -144,6 +157,7 @@ class DetectorConfig:
     normalize_by_path_length: bool = True
     pairwise_engine: Optional[bool] = None
     pairwise_pruning: Optional[bool] = None
+    pairwise_incremental: Optional[bool] = None
     pairwise_cache_size: Optional[int] = None
     pairwise_workers: Optional[int] = None
 
@@ -332,6 +346,11 @@ class VoiceprintDetector:
         self._pruning = (
             defaults.pruning if cfg.pairwise_pruning is None else cfg.pairwise_pruning
         )
+        self._incremental = (
+            defaults.incremental
+            if cfg.pairwise_incremental is None
+            else cfg.pairwise_incremental
+        )
         self._engine: Optional[PairwiseEngine] = None
         if use_engine:
             self._engine = PairwiseEngine(
@@ -340,6 +359,7 @@ class VoiceprintDetector:
                 fastdtw_radius=cfg.fastdtw_radius,
                 normalize_by_path_length=cfg.normalize_by_path_length,
                 pruning=self._pruning,
+                incremental=self._incremental,
                 cache_size=(
                     defaults.cache_size
                     if cfg.pairwise_cache_size is None
@@ -406,8 +426,16 @@ class VoiceprintDetector:
         return self._buffers.get(str(identity))
 
     def forget(self, identity: str) -> None:
-        """Drop an identity's buffer (e.g. after a node leaves range)."""
-        self._buffers.pop(str(identity), None)
+        """Drop an identity's buffer (e.g. after a node leaves range).
+
+        Incremental engine state referencing the identity (envelopes,
+        per-pair carries) is dropped with it: a node that re-enters
+        range later must never carry a stale pre-departure verdict.
+        """
+        identity = str(identity)
+        self._buffers.pop(identity, None)
+        if self._engine is not None:
+            self._engine.drop_identity(identity)
 
     # ------------------------------------------------------------------
     # Comparison + confirmation phases
@@ -426,7 +454,10 @@ class VoiceprintDetector:
         return result.distance
 
     def _normalise(
-        self, now: float, capture: Optional[Dict[str, Any]] = None
+        self,
+        now: float,
+        capture: Optional[Dict[str, Any]] = None,
+        inc_out: Optional[Dict[str, Any]] = None,
     ) -> Tuple[Dict[str, np.ndarray], List[str], Optional[Dict[str, bytes]], str]:
         """Cut and normalise the observation window (``normalise`` span).
 
@@ -441,10 +472,18 @@ class VoiceprintDetector:
         each series was normalised with — ``(raw - mean) / divisor``
         reproduces the normalised series bit-identically (divisor 0
         marks the z-score constant-series case: all zeros).
+
+        When ``inc_out`` is given (incremental engine mode), it is
+        filled with the per-identity raw windows (``"raw"``), their
+        timestamps (``"times"``, which align the overlap between
+        consecutive sliding windows) and the same exact ``(mean,
+        divisor)`` pairs (``"params"``) the incremental engine uses to
+        map persistent raw-domain envelopes into the normalised domain.
         """
         with self._tracer.span("normalise") as span:
             window_start = now - self.config.observation_time
             windows: Dict[str, np.ndarray] = {}
+            window_times: Dict[str, np.ndarray] = {}
             skipped: List[str] = []
             for identity, buffer in self._buffers.items():
                 window = buffer.window(window_start, now + 1e-9)
@@ -452,8 +491,11 @@ class VoiceprintDetector:
                     skipped.append(identity)
                     continue
                 windows[identity] = window.values
+                if inc_out is not None:
+                    window_times[identity] = window.timestamps
             normalised: Dict[str, np.ndarray] = {}
             series_capture: Optional[Dict[str, Dict[str, Any]]] = None
+            params: Dict[str, Tuple[float, float]] = {}
             if self.config.scale_mode == "median" and windows:
                 sigmas = [float(np.std(v)) for v in windows.values()]
                 scale = self.config.sigma_multiplier * max(
@@ -463,6 +505,7 @@ class VoiceprintDetector:
                 for identity, values in windows.items():
                     mean = float(np.mean(values))
                     normalised[identity] = (values - mean) / scale
+                    params[identity] = (mean, scale)
                     if capture is not None:
                         if series_capture is None:
                             series_capture = capture.setdefault("series", {})
@@ -477,27 +520,37 @@ class VoiceprintDetector:
                     normalised[identity] = zscore(
                         values, sigma_multiplier=self.config.sigma_multiplier
                     )
-                    if capture is not None:
-                        if series_capture is None:
-                            series_capture = capture.setdefault("series", {})
+                    if capture is not None or inc_out is not None:
                         sigma = float(np.std(values))
-                        series_capture[identity] = {
-                            "values": values,
-                            "mean": float(np.mean(values)),
-                            "divisor": (
-                                self.config.sigma_multiplier * sigma
-                                if sigma >= _SIGMA_FLOOR
-                                else 0.0
-                            ),
-                        }
+                        mean = float(np.mean(values))
+                        divisor = (
+                            self.config.sigma_multiplier * sigma
+                            if sigma >= _SIGMA_FLOOR
+                            else 0.0
+                        )
+                        params[identity] = (mean, divisor)
+                        if capture is not None:
+                            if series_capture is None:
+                                series_capture = capture.setdefault("series", {})
+                            series_capture[identity] = {
+                                "values": values,
+                                "mean": mean,
+                                "divisor": divisor,
+                            }
             if capture is not None:
                 capture["scale_tag"] = scale_tag
             keys: Optional[Dict[str, bytes]] = None
-            if self._engine is not None and self._engine.cache_enabled:
+            if self._engine is not None and (
+                self._engine.cache_enabled or inc_out is not None
+            ):
                 keys = {
                     identity: values.tobytes()
                     for identity, values in windows.items()
                 }
+            if inc_out is not None:
+                inc_out["raw"] = windows
+                inc_out["times"] = window_times
+                inc_out["params"] = params
             span.set_attribute("series", len(normalised))
             span.set_attribute("skipped", len(skipped))
         return normalised, skipped, keys, scale_tag
@@ -555,6 +608,7 @@ class VoiceprintDetector:
             raise ValueError(f"density must be non-negative, got {density}")
         if now is None:
             now = self._latest if self._buffers else 0.0
+        incremental = self._engine is not None and self._engine.can_incremental
         pruning = self._engine is not None and self._engine.can_prune
         sink = default_audit_log()
         capture: Optional[Dict[str, Any]] = {} if sink is not None else None
@@ -563,7 +617,53 @@ class VoiceprintDetector:
         stopwatch = Stopwatch(self._h_detect_ms)
         with self._tracer.span("detection", density=float(density)) as root, \
                 stopwatch:
-            if pruning:
+            if incremental:
+                assert self._engine is not None
+                # Incremental comparison: per-identity envelope states
+                # slide with the window, unchanged pairs carry the
+                # previous period's exact distance, and bound-undecided
+                # pairs run early-abandon DTW seeded with the decision
+                # boundary.  Flags stay byte-identical to the exact
+                # path; surrogate distances appear only for pairs whose
+                # windows overlapped the previous period (DESIGN.md §5f).
+                inc_state: Dict[str, Any] = {}
+                normalised, skipped_list, keys, scale_tag = self._normalise(
+                    now, capture, inc_out=inc_state
+                )
+                assert keys is not None
+                compared = tuple(sorted(normalised))
+                skipped = tuple(sorted(skipped_list))
+                cutoff = self.threshold.threshold_at(density)
+                with self._tracer.span("pairwise_dtw") as span:
+                    cells_before = self._c_cells.value
+                    raw, flags, stats = self._engine.compare_incremental(
+                        normalised,
+                        inc_state["raw"],
+                        inc_state["times"],
+                        keys,
+                        scale_tag,
+                        inc_state["params"],
+                        float(cutoff),
+                        self.config.threshold_on,
+                    )
+                    span.set_attribute("pairs", len(raw))
+                    span.set_attribute("cells", int(self._c_cells.value - cells_before))
+                    span.set_attribute("pruned", stats.pruned)
+                    span.set_attribute("cache_hits", stats.cache_hits)
+                    span.set_attribute("incremental", stats.incremental)
+                    span.set_attribute("abandoned", stats.abandoned)
+                with self._tracer.span("minmax"):
+                    distances = minmax_distances(raw)
+                with self._tracer.span("threshold") as span:
+                    sybil_pairs = tuple(
+                        pair for pair in sorted(flags) if flags[pair]
+                    )
+                    sybil_ids = frozenset(
+                        identity for pair in sybil_pairs for identity in pair
+                    )
+                    span.set_attribute("threshold", float(cutoff))
+                    span.set_attribute("flagged", len(sybil_ids))
+            elif pruning:
                 assert self._engine is not None
                 # Threshold-aware comparison: the engine decides pairs
                 # from the bound cascade wherever the bounds cannot
@@ -668,6 +768,8 @@ class VoiceprintDetector:
         return report
 
     def reset(self) -> None:
-        """Drop all collection buffers (fresh start)."""
+        """Drop all collection buffers and incremental state (fresh start)."""
         self._buffers.clear()
         self._latest = float("-inf")
+        if self._engine is not None:
+            self._engine.clear_incremental()

@@ -13,6 +13,7 @@ time or wall-clock time; the detector only uses them relatively).
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence
 
@@ -176,9 +177,10 @@ class RSSITimeSeries:
         """
         if end < start:
             raise ValueError(f"window end {end} precedes start {start}")
-        ts = self.timestamps
-        lo = int(np.searchsorted(ts, start, side="left"))
-        hi = int(np.searchsorted(ts, end, side="left"))
+        # The timestamp list is kept sorted by append(), so bisect cuts
+        # the window without materialising a numpy copy of the buffer.
+        lo = bisect_left(self._timestamps, start)
+        hi = bisect_left(self._timestamps, end)
         out = RSSITimeSeries(self.identity)
         out._timestamps = self._timestamps[lo:hi]
         out._values = self._values[lo:hi]
@@ -192,8 +194,7 @@ class RSSITimeSeries:
             return RSSITimeSeries(self.identity)
         cutoff = self._timestamps[-1] - duration
         # Keep samples with timestamp >= cutoff (inclusive of the edge).
-        ts = self.timestamps
-        lo = int(np.searchsorted(ts, cutoff, side="left"))
+        lo = bisect_left(self._timestamps, cutoff)
         out = RSSITimeSeries(self.identity)
         out._timestamps = self._timestamps[lo:]
         out._values = self._values[lo:]
@@ -203,9 +204,10 @@ class RSSITimeSeries:
         """Discard samples strictly older than ``timestamp`` in place.
 
         Keeps the rolling collection buffer bounded during long runs.
+        Called per received beacon (lazy trim), so it must stay O(log
+        window) — bisect on the sorted list, never a numpy round-trip.
         """
-        ts = self.timestamps
-        lo = int(np.searchsorted(ts, timestamp, side="left"))
+        lo = bisect_left(self._timestamps, timestamp)
         if lo:
             del self._timestamps[:lo]
             del self._values[:lo]

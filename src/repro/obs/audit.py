@@ -579,18 +579,27 @@ def replay_pair(bundle: Dict[str, Any], a: str, b: str) -> float:
     return float(distance)
 
 
-def verify_bundle(bundle: Dict[str, Any]) -> List[Dict[str, Any]]:
-    """Replay every ``exact`` pair of one bundle; one result row each.
+#: Provenance tags whose recorded distance is an exact kernel result
+#: and therefore carries the bit-replay obligation.  ``incremental-carry``
+#: records re-report the previous period's exact distance for a window
+#: that did not change, so replaying the recorded window reproduces it
+#: bit for bit just like a fresh ``exact`` record.
+_REPLAYABLE_PROVENANCE = ("exact", "incremental-carry")
 
-    Pairs decided from bounds or answered from the cache are reported
-    as skipped — their recorded distance is a surrogate (pruned) or was
-    already verified when first computed (cache), so only ``exact``
-    records carry the bit-replay obligation.
+
+def verify_bundle(bundle: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Replay every exact-valued pair of one bundle; one result row each.
+
+    ``exact`` and ``incremental-carry`` records hold exact kernel
+    distances and are re-run through a fresh engine.  Pairs decided
+    from bounds or abandoned early are reported as skipped — their
+    recorded distance is a surrogate — and cache answers were already
+    verified when first computed.
     """
     results: List[Dict[str, Any]] = []
     for record in bundle.get("pairs", ()):
         pair = (record["a"], record["b"])
-        if record["provenance"] != "exact":
+        if record["provenance"] not in _REPLAYABLE_PROVENANCE:
             results.append(
                 {
                     "pair": pair,
@@ -605,7 +614,7 @@ def verify_bundle(bundle: Dict[str, Any]) -> List[Dict[str, Any]]:
             {
                 "pair": pair,
                 "status": "ok" if replayed == recorded else "MISMATCH",
-                "provenance": "exact",
+                "provenance": record["provenance"],
                 "recorded": recorded,
                 "replayed": replayed,
             }

@@ -1,0 +1,214 @@
+"""Tests for the early-abandon DTW kernel and its native C backend.
+
+``repro.core.native`` compiles a scalar anti-diagonal kernel at runtime
+and ``dtw_banded_batch_abandon`` dispatches to it when available.  The
+contract under test is *bit-identity*: completed distances, path
+lengths, abandon evidence and relaxed-cell counts must match the numpy
+kernel (and, for completed pairs, :func:`dtw_banded_batch` /
+:func:`dtw_banded_fast`) exactly, so the dispatch is invisible to every
+caller.  Native-specific tests skip cleanly on machines without a C
+toolchain; the numpy-path tests run everywhere.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import native
+from repro.core import pairwise
+from repro.core.fastdtw import dtw_banded_fast
+from repro.core.pairwise import dtw_banded_batch, dtw_banded_batch_abandon
+
+_INF = math.inf
+
+needs_native = pytest.mark.skipif(
+    not native.native_available(), reason="no C toolchain on this machine"
+)
+
+
+def _batch(seed, count=8, n=120, m=120, sybil=3):
+    """Random series batch with a few near-duplicate (cheap) pairs."""
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=max(n, m))
+    xs, ys = [], []
+    for index in range(count):
+        if index < sybil:
+            xs.append(base[:n] + rng.normal(scale=0.05, size=n))
+            ys.append(base[:m] + rng.normal(scale=0.05, size=m))
+        else:
+            xs.append(rng.normal(size=n))
+            ys.append(rng.normal(size=m))
+    return xs, ys
+
+
+def _force_numpy(monkeypatch):
+    """Route dtw_banded_batch_abandon through the numpy fallback."""
+    monkeypatch.setattr(pairwise, "abandon_batch_native", lambda *args: None)
+
+
+class TestGating:
+    def test_env_var_disables_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        monkeypatch.setattr(native, "_lib", native._UNSET)
+        assert not native.native_available()
+        assert not native.warmup()
+        assert (
+            native.abandon_batch_native(
+                np.ones((1, 5)),
+                np.ones((1, 5)),
+                np.arange(1, 6, dtype=np.int64),
+                np.arange(1, 6, dtype=np.int64),
+                np.asarray([_INF]),
+                8,
+            )
+            is None
+        )
+
+    def test_warmup_reports_availability(self):
+        assert native.warmup() == native.native_available()
+
+    def test_source_tag_is_stable(self):
+        assert native._source_tag() == native._source_tag()
+        assert len(native._source_tag()) == 16
+
+    @needs_native
+    def test_geometry_guard_rejects_non_monotone_bands(self):
+        # i0s stepping *down* breaks the margin-refill precondition of
+        # the C loop; the wrapper must decline rather than answer.
+        n = m = 6
+        i0s = np.array([1, 2, 1, 2, 3, 4, 5, 5, 6, 6, 6], dtype=np.int64)
+        i1s = np.array([1, 2, 3, 4, 5, 6, 6, 6, 6, 6, 6], dtype=np.int64)
+        got = native.abandon_batch_native(
+            np.ones((1, n)), np.ones((1, m)), i0s, i1s, np.asarray([_INF]), 8
+        )
+        assert got is None
+
+    @needs_native
+    def test_geometry_guard_rejects_wide_i1_steps(self):
+        n = m = 6
+        i0s = np.ones(11, dtype=np.int64)
+        i1s = np.array([1, 3, 4, 5, 6, 6, 6, 6, 6, 6, 6], dtype=np.int64)
+        got = native.abandon_batch_native(
+            np.ones((1, n)), np.ones((1, m)), i0s, i1s, np.asarray([_INF]), 8
+        )
+        assert got is None
+
+
+class TestAbandonKernelNumpyPath:
+    """Contract tests pinned to the numpy fallback (run everywhere)."""
+
+    @pytest.mark.parametrize(
+        "n,m,radius", [(120, 120, 10), (80, 100, 10), (40, 40, 3), (200, 200, 10)]
+    )
+    def test_infinite_thresholds_match_plain_batch(self, monkeypatch, n, m, radius):
+        _force_numpy(monkeypatch)
+        xs, ys = _batch(5, count=6, n=n, m=m)
+        thresholds = np.full(len(xs), _INF)
+        results, abandoned = dtw_banded_batch_abandon(xs, ys, radius, thresholds)
+        assert abandoned == {}
+        assert results == dtw_banded_batch(xs, ys, radius)
+
+    def test_abandoned_evidence_is_a_true_lower_bound(self, monkeypatch):
+        _force_numpy(monkeypatch)
+        xs, ys = _batch(7, count=10, n=150, m=150)
+        exact = [dtw_banded_fast(x, y, 10).distance for x, y in zip(xs, ys)]
+        # A threshold between the cheap (sybil) and expensive pairs so
+        # the batch genuinely splits.
+        threshold = float(np.median(exact))
+        thresholds = np.full(len(xs), threshold)
+        results, abandoned = dtw_banded_batch_abandon(xs, ys, 10, thresholds)
+        assert abandoned  # the scenario must actually abandon something
+        total = pairwise.band_cells(150, 150, 10)
+        for index, triple in enumerate(results):
+            if triple is not None:
+                ref = dtw_banded_fast(xs[index], ys[index], 10)
+                assert triple == (ref.distance, len(ref.path), ref.cells)
+                assert index not in abandoned
+            else:
+                evidence, cells_done = abandoned[index]
+                # Proven lower bound, strictly above the threshold, and
+                # never exceeding the pair's true distance.
+                assert evidence > threshold
+                assert evidence <= exact[index]
+                assert 0 < cells_done < total
+
+    def test_mixed_thresholds(self, monkeypatch):
+        _force_numpy(monkeypatch)
+        xs, ys = _batch(9, count=6, n=100, m=100)
+        exact = [dtw_banded_fast(x, y, 10).distance for x, y in zip(xs, ys)]
+        thresholds = np.asarray(
+            [_INF if index % 2 else 0.5 * exact[index] for index in range(6)]
+        )
+        results, abandoned = dtw_banded_batch_abandon(xs, ys, 10, thresholds)
+        for index in range(1, 6, 2):  # infinite thresholds never abandon
+            assert results[index] is not None
+        for index, (evidence, _cells) in abandoned.items():
+            assert evidence > thresholds[index]
+
+    def test_rejects_mismatched_batches(self):
+        with pytest.raises(ValueError):
+            dtw_banded_batch_abandon(
+                [np.ones(5)], [np.ones(5)] * 2, 2, np.asarray([_INF])
+            )
+        with pytest.raises(ValueError):
+            dtw_banded_batch_abandon(
+                [np.ones(5)], [np.ones(5)], 2, np.asarray([_INF, _INF])
+            )
+        with pytest.raises(ValueError):
+            dtw_banded_batch_abandon(
+                [np.ones(5), np.ones(6)], [np.ones(5)] * 2, 2, np.full(2, _INF)
+            )
+
+    def test_degenerate_shapes_run_exact(self):
+        xs = [np.asarray([1.0]), np.asarray([2.0])]
+        ys = [np.asarray([1.5, 2.5]), np.asarray([0.0, 1.0])]
+        results, abandoned = dtw_banded_batch_abandon(xs, ys, 2, np.full(2, 0.0))
+        assert abandoned == {}
+        for triple, x, y in zip(results, xs, ys):
+            ref = dtw_banded_fast(x, y, 2)
+            assert triple == (ref.distance, len(ref.path), ref.cells)
+
+    def test_empty_batch(self):
+        assert dtw_banded_batch_abandon([], [], 5, np.empty(0)) == ([], {})
+
+
+@needs_native
+class TestNativeBitIdentity:
+    """The C backend must be indistinguishable from the numpy kernel."""
+
+    @pytest.mark.parametrize(
+        "n,m,radius", [(120, 120, 10), (80, 100, 10), (40, 40, 3), (199, 200, 10)]
+    )
+    def test_completed_pairs(self, monkeypatch, n, m, radius):
+        xs, ys = _batch(11, count=6, n=n, m=m)
+        thresholds = np.full(len(xs), _INF)
+        got, got_dead = dtw_banded_batch_abandon(xs, ys, radius, thresholds)
+        _force_numpy(monkeypatch)
+        want, want_dead = dtw_banded_batch_abandon(xs, ys, radius, thresholds)
+        assert got == want  # == on float triples: bit-identity
+        assert got_dead == want_dead == {}
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_abandoned_pairs(self, monkeypatch, seed):
+        xs, ys = _batch(seed, count=12, n=150, m=150)
+        exact = [dtw_banded_fast(x, y, 10).distance for x, y in zip(xs, ys)]
+        thresholds = np.full(len(xs), float(np.median(exact)))
+        got, got_dead = dtw_banded_batch_abandon(xs, ys, 10, thresholds)
+        _force_numpy(monkeypatch)
+        want, want_dead = dtw_banded_batch_abandon(xs, ys, 10, thresholds)
+        assert got_dead  # the scenario must actually abandon something
+        assert got == want
+        # Same pairs die at the same checkpoint with the same evidence
+        # and the same relaxed-cell count.
+        assert got_dead == want_dead
+
+    def test_single_pair_exact_run(self, monkeypatch):
+        # The engine's run_exact path: a one-pair batch at an infinite
+        # threshold must reproduce the scalar kernel bit for bit.
+        rng = np.random.default_rng(17)
+        x, y = rng.normal(size=200), rng.normal(size=200)
+        (triple,), dead = dtw_banded_batch_abandon([x], [y], 10, np.asarray([_INF]))
+        ref = dtw_banded_fast(x, y, 10)
+        assert dead == {}
+        assert triple == (ref.distance, len(ref.path), ref.cells)
