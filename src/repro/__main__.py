@@ -1,0 +1,9 @@
+"""``python -m repro`` — same entry point as the ``voiceprint-repro``
+console script, for checkouts run straight from ``PYTHONPATH=src``."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,14 @@ perf regressions instead of archiving them::
     python -m repro.bench_compare --only BENCH_pairwise.json \
         --tolerance 0.1 --timing-tolerance 3.0
     python -m repro.bench_compare --update              # refresh baselines
+    python -m repro.bench_compare \
+        --history benchmarks/history/BENCH_history.jsonl  # append run
+
+``--history`` appends one JSONL entry per artifact (every numeric leaf,
+stamped with the run's UTC time) to a committed trajectory file, so the
+headline numbers accumulate across PRs instead of each baseline update
+erasing the past; the end-of-run report (``--report-out``) renders the
+trajectories as sparklines.
 
 Metrics are classified by their leaf key:
 
@@ -33,10 +41,11 @@ import argparse
 import json
 import shutil
 import sys
+import time
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["main", "compare_payloads", "Comparison"]
+__all__ = ["main", "compare_payloads", "append_history", "Comparison"]
 
 #: leaf key -> (good direction, class).  Direction is the direction of
 #: *improvement*: "lower" (costs), "higher" (throughput/quality), or
@@ -85,6 +94,12 @@ _RULES: Dict[str, Tuple[str, str]] = {
     "disk_cpu_ms": ("lower", "timing"),
     "disk_overhead_pct": ("lower", "timing"),
     "stream_lines": ("both", "deterministic"),
+    # watchtower overhead benchmark (BENCH_watch.json)
+    "watched_cpu_ms": ("lower", "timing"),
+    "ticks": ("both", "deterministic"),
+    "series": ("both", "deterministic"),
+    "tsdb_samples": ("both", "deterministic"),
+    "drift_alerts": ("both", "deterministic"),
 }
 
 
@@ -201,6 +216,44 @@ def compare_payloads(
     return results
 
 
+def append_history(
+    history_path: Path,
+    current_dir: Path,
+    names: Sequence[str],
+    timestamp: Optional[str] = None,
+) -> int:
+    """Append one JSONL trajectory entry per present artifact.
+
+    Each entry is ``{"artifact", "ts", "metrics": {dotted path: value}}``
+    with every numeric leaf flattened — the committed history is the
+    cross-PR performance record the run report charts.
+
+    Returns:
+        The number of entries appended (artifacts missing from
+        ``current_dir`` are skipped silently — a partial bench run
+        records what it has).
+    """
+    stamp = timestamp or time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    entries = []
+    for name in names:
+        current_path = current_dir / name
+        if not current_path.is_file():
+            continue
+        payload = json.loads(current_path.read_text(encoding="utf-8"))
+        metrics = {
+            path: value for path, _key, value in _numeric_leaves(payload)
+        }
+        entries.append(
+            {"artifact": name, "ts": stamp, "metrics": metrics}
+        )
+    if entries:
+        history_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(history_path, "a", encoding="utf-8") as handle:
+            for entry in entries:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return len(entries)
+
+
 def _parse_overrides(text: str) -> Dict[str, float]:
     overrides: Dict[str, float] = {}
     for part in text.split(","):
@@ -271,6 +324,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="copy the current artifacts over the baselines instead of "
         "comparing",
     )
+    parser.add_argument(
+        "--history",
+        metavar="PATH",
+        default=None,
+        help="append one JSONL entry per current artifact (all numeric "
+        "leaves, UTC-stamped) to this trajectory file instead of "
+        "comparing — e.g. benchmarks/history/BENCH_history.jsonl",
+    )
     return parser
 
 
@@ -298,6 +359,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     names = args.only or sorted(
         p.name for p in baseline_dir.glob("BENCH_*.json")
     )
+    if args.history:
+        history_names = args.only or sorted(
+            p.name for p in current_dir.glob("BENCH_*.json")
+        )
+        appended = append_history(
+            Path(args.history), current_dir, history_names
+        )
+        if not appended:
+            print(
+                "no BENCH_*.json artifacts found to record",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"appended {appended} entr{'y' if appended == 1 else 'ies'} "
+              f"to {args.history}")
+        return 0
     if args.update:
         baseline_dir.mkdir(parents=True, exist_ok=True)
         updated = 0

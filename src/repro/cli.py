@@ -62,6 +62,7 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from . import obs
+from .obs.drift import SLOSpec
 from .obs.health import HealthMonitor, HealthThresholds
 from .core.pairwise import set_engine_defaults
 from .eval import experiments as ex
@@ -474,6 +475,36 @@ def _add_obs_arguments(
         "the 'explain' subcommand",
     )
     parser.add_argument(
+        "--watch-record",
+        metavar="PATH",
+        default=suppressed if suppress_defaults else None,
+        help="keep the run's telemetry trajectory in a bounded "
+        "multi-resolution time-series store with CUSUM/Page-Hinkley "
+        "drift detection and SLO burn-rate alerting, and dump it to "
+        "PATH at the end (indexed .1/.2/...; view with the 'watch' "
+        "subcommand). Implies a 1s snapshotter, the health monitor "
+        "and the /series endpoint when --telemetry-port is set",
+    )
+    parser.add_argument(
+        "--slo",
+        action="append",
+        type=SLOSpec.from_spec,
+        metavar="SPEC",
+        default=suppressed if suppress_defaults else None,
+        help="add a service-level objective (repeatable), e.g. "
+        "detect_p99:metric=hist:detector.detect_ms:p99,max=250,"
+        "budget=0.1,short=5,long=30 — replaces the default SLO set; "
+        "implies --watch-record's monitoring (without the dump)",
+    )
+    parser.add_argument(
+        "--report-out",
+        metavar="PATH",
+        default=suppressed if suppress_defaults else None,
+        help="write a static end-of-run report (HTML when PATH ends in "
+        ".html, markdown otherwise): telemetry charts, drift/SLO "
+        "alerts, profiler tables, audit near-misses, bench history",
+    )
+    parser.add_argument(
         "--margin-epsilon",
         type=float,
         metavar="EPS",
@@ -580,6 +611,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay every exact record through repro.core.pairwise and "
         "fail unless each distance is bit-identical",
     )
+
+    # No obs parent here either: watch observes another run's
+    # telemetry, it does not produce its own.
+    watch = sub.add_parser(
+        "watch",
+        help="terminal dashboard over a run's telemetry: phase latency, "
+        "throughput, margins, drift scores and SLO burn rates",
+    )
+    watch.add_argument(
+        "source",
+        help="a live telemetry URL (http://127.0.0.1:PORT), a "
+        "--watch-record dump, or a --snapshot-out JSONL log",
+    )
+    watch.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame (no ANSI clearing) and exit — "
+        "CI/script friendly",
+    )
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="repaint period in follow mode (default: 2s)",
+    )
     return parser
 
 
@@ -609,6 +666,27 @@ def _cmd_explain(args: argparse.Namespace) -> str:
         raise SystemExit(str(error))
 
 
+def _cmd_watch(args: argparse.Namespace) -> str:
+    from .obs.watch import run_watch
+
+    try:
+        if args.once:
+            import io
+
+            # run_watch writes the frame to its stream; capture it and
+            # hand it back so main() prints it exactly once.
+            return run_watch(
+                args.source,
+                once=True,
+                interval_s=args.interval,
+                out=io.StringIO(),
+            )
+        run_watch(args.source, once=False, interval_s=args.interval)
+        return ""
+    except (ValueError, OSError) as error:
+        raise SystemExit(str(error))
+
+
 _HANDLERS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "list": _cmd_list,
     "table1": _cmd_table1,
@@ -624,6 +702,7 @@ _HANDLERS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "timing": _cmd_timing,
     "ablations": _cmd_ablations,
     "explain": _cmd_explain,
+    "watch": _cmd_watch,
 }
 
 
@@ -672,8 +751,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     handler = _HANDLERS[args.command]
 
+    # Any watchtower flag arms the full trajectory stack: TSDB + drift
+    # detection + SLOs, fed by a snapshotter (1s unless --snapshot-
+    # interval says otherwise) and the streaming health monitor.
+    watch_on = bool(args.watch_record or args.report_out or args.slo)
     telemetry_on = (
-        args.telemetry_port is not None or args.snapshot_interval is not None
+        args.telemetry_port is not None
+        or args.snapshot_interval is not None
+        or watch_on
     )
     # Any profile flag switches profiling on; --profile alone uses the
     # defaults (99 Hz, profile.collapsed, no memory tracing).
@@ -704,11 +789,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.health_thresholds is not None
         or args.telemetry_port is not None
         or args.flight_recorder_out
+        or watch_on
     ):
         monitor = HealthMonitor(
             args.health_thresholds or HealthThresholds(), registry=registry
         )
     previous_monitor = obs.set_default_monitor(monitor) if monitor else None
+
+    tsdb: Optional[obs.TimeSeriesDB] = None
+    drift: Optional[obs.DriftMonitor] = None
+    if watch_on:
+        tsdb = obs.TimeSeriesDB()
+        drift = obs.DriftMonitor(
+            registry=registry, health=monitor, slos=args.slo
+        )
 
     recorder: Optional[obs.FlightRecorder] = None
     if args.flight_recorder_out:
@@ -778,15 +872,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.telemetry_port is not None:
             server = obs.TelemetryServer(
-                registry=registry, health=monitor, port=args.telemetry_port
+                registry=registry,
+                health=monitor,
+                tsdb=tsdb,
+                port=args.telemetry_port,
             ).start()
             print(f"[telemetry: {server.url}/metrics]")
-        if args.snapshot_interval is not None:
+        snapshot_out: Optional[str] = None
+        if args.snapshot_interval is not None or watch_on:
+            # --watch-record wants the trajectory but not necessarily
+            # the JSONL stream; only the explicit snapshot flags write
+            # one.
+            if args.snapshot_interval is not None or args.snapshot_out:
+                snapshot_out = args.snapshot_out or "snapshots.jsonl"
             snapshotter = obs.Snapshotter(
                 registry=registry,
-                interval_s=args.snapshot_interval,
-                out=args.snapshot_out or "snapshots.jsonl",
+                interval_s=(
+                    args.snapshot_interval
+                    if args.snapshot_interval is not None
+                    else 1.0
+                ),
+                out=snapshot_out,
                 health=monitor,
+                tsdb=tsdb,
+                drift=drift,
             ).start()
         start = time.perf_counter()
         output = handler(args)
@@ -829,9 +938,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if snapshotter is not None:
             snapshotter.close()
             snapshotter = None
+            if snapshot_out is not None:
+                print(f"[snapshots -> {snapshot_out}]")
+        if args.watch_record and tsdb is not None:
+            dump_path = obs.indexed_path(args.watch_record)
+            n_series = tsdb.dump_jsonl(dump_path)
             print(
-                f"[snapshots -> {args.snapshot_out or 'snapshots.jsonl'}]"
+                f"[{n_series} series ({tsdb.samples} samples) -> "
+                f"{dump_path}; view with 'watch {dump_path}']"
             )
+        if drift is not None and drift.alerts:
+            print(
+                f"[drift/SLO: {len(drift.alerts)} alert(s) — "
+                f"{sum(1 for a in drift.alerts if a['kind'] == 'metric_drift')} "
+                f"drift, "
+                f"{sum(1 for a in drift.alerts if a['kind'] == 'slo_burn')} "
+                "burn]"
+            )
+        if args.report_out:
+            from .obs.report import write_report
+
+            report_path = write_report(
+                args.report_out,
+                tsdb=tsdb,
+                health=monitor,
+                drift=drift,
+                profiler=profiler,
+                audit_bundles=(
+                    audit_log.bundles if audit_log is not None else None
+                ),
+                history_path="benchmarks/history/BENCH_history.jsonl",
+                title=f"repro {args.command} run report",
+            )
+            print(f"[run report -> {report_path}]")
         if args.trace_out:
             print(f"[spans -> {args.trace_out}]")
         if audit_log is not None:

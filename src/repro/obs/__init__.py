@@ -35,6 +35,18 @@ pipeline, the simulators, and the evaluation harness:
   distance, margin, prune/cache provenance, verdict) for every
   detection, with a bit-exact replay contract consumed by the
   ``repro explain`` forensics command (:mod:`repro.obs.explain`).
+* :mod:`repro.obs.tsdb` — :class:`TimeSeriesDB`, a bounded-memory
+  multi-resolution (RRD-style) ring store of the run's telemetry
+  trajectory, fed per Snapshotter tick and served at ``/series``.
+* :mod:`repro.obs.drift` — :class:`CusumDetector` /
+  :class:`PageHinkleyDetector` change detection over the watched
+  quality signals, plus declarative :class:`SLOSpec` objectives with
+  multi-window error-budget burn-rate alerting
+  (:class:`DriftMonitor`).
+* :mod:`repro.obs.watch` / :mod:`repro.obs.report` — the
+  ``repro watch`` terminal dashboard over a live endpoint or recorded
+  run, and the static end-of-run HTML/markdown report
+  (``--report-out``).
 
 Everything is **off by default**: the process-global registry and
 tracer start disabled, and disabled instruments drop calls after a
@@ -97,6 +109,16 @@ from .profiling import (
     start_default as start_profiler,
     stop_default as stop_profiler,
 )
+from .tsdb import DEFAULT_RESOLUTIONS, Bucket, TimeSeriesDB
+from .drift import (
+    CusumDetector,
+    DriftMonitor,
+    PageHinkleyDetector,
+    SLOSpec,
+    default_slos,
+)
+from .watch import load_frame, render_dashboard, run_watch
+from .report import build_report, write_report
 from .audit import (
     AuditLog,
     default_audit_log,
@@ -129,6 +151,19 @@ __all__ = [
     "Snapshotter",
     "SpanLatencyRecorder",
     "TelemetryServer",
+    "Bucket",
+    "TimeSeriesDB",
+    "DEFAULT_RESOLUTIONS",
+    "CusumDetector",
+    "PageHinkleyDetector",
+    "DriftMonitor",
+    "SLOSpec",
+    "default_slos",
+    "load_frame",
+    "render_dashboard",
+    "run_watch",
+    "build_report",
+    "write_report",
     "Alert",
     "HealthMonitor",
     "HealthThresholds",

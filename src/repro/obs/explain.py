@@ -35,6 +35,7 @@ __all__ = [
     "render_verification",
     "run_explain",
     "select_pair_records",
+    "sparkline",
 ]
 
 #: Most pair reports rendered in one invocation (a pair recurs once per
@@ -44,8 +45,9 @@ MAX_REPORTS = 5
 _BLOCKS = " ▁▂▃▄▅▆▇█"
 
 
-def _sparkline(values: np.ndarray, width: int = 64) -> str:
-    """Fixed-width unicode sparkline of a series."""
+def sparkline(values: np.ndarray, width: int = 64) -> str:
+    """Fixed-width unicode sparkline of a series (shared with the
+    ``repro watch`` dashboard and the end-of-run report)."""
     values = np.asarray(values, dtype=float)
     if values.size == 0:
         return ""
@@ -220,7 +222,7 @@ def render_pair_report(
             f"sha256={series['sha256'][:16]}…"
         )
         if "window_b64" in series:
-            lines.append(f"          {_sparkline(normalised_window(bundle, identity))}")
+            lines.append(f"          {sparkline(normalised_window(bundle, identity))}")
     if provenance in ("exact", "cache-hit"):
         lines.extend(_dtw_section(bundle, record))
     else:

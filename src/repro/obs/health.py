@@ -54,7 +54,10 @@ class Alert:
     Attributes:
         kind: Signal that tripped (``beacon_gap``, ``silence``,
             ``detect_latency``, ``flagged_pair_rate``,
-            ``density_drift``, ``fragile_verdict_rate``).
+            ``density_drift``, ``fragile_verdict_rate``; external
+            producers add ``metric_drift`` and ``slo_burn`` — see
+            :class:`repro.obs.drift.DriftMonitor` — via
+            :meth:`HealthMonitor.notify`).
         message: Human-readable one-liner.
         t: Pipeline/beacon timestamp the breach was observed at.
         value: The observed value.
@@ -349,6 +352,22 @@ class HealthMonitor:
             self._recorder.record_report(report)
 
     # -- alerting ------------------------------------------------------
+    def notify(
+        self, kind: str, message: str, t: float, value: float, threshold: float
+    ) -> Alert:
+        """Fire an alert produced by an external watcher.
+
+        The drift/SLO engine (:class:`repro.obs.drift.DriftMonitor`)
+        routes its ``metric_drift`` / ``slo_burn`` breaches through
+        here so they get the same treatment as native health alerts:
+        the structured WARNING line, the ``health.alerts`` counter,
+        the ring for ``/health``, and every registered hook (including
+        the flight recorder's post-mortem dump).
+        """
+        return self._alert(
+            kind, message, t=t, value=value, threshold=threshold
+        )
+
     def _alert(
         self, kind: str, message: str, t: float, value: float, threshold: float
     ) -> Alert:

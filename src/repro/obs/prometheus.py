@@ -32,7 +32,12 @@ from typing import Dict, List, Optional, Union
 
 from .metrics import MetricsRegistry
 
-__all__ = ["sanitize_metric_name", "render_prometheus", "CONTENT_TYPE"]
+__all__ = [
+    "escape_label_value",
+    "sanitize_metric_name",
+    "render_prometheus",
+    "CONTENT_TYPE",
+]
 
 #: The Content-Type a conforming scraper expects for this format.
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -59,6 +64,24 @@ def sanitize_metric_name(name: str) -> str:
     if sanitized[0].isdigit():
         sanitized = "_" + sanitized
     return sanitized
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition spec.
+
+    Backslash, double quote and newline are the three characters the
+    format reserves inside ``label="..."``; everything else passes
+    through verbatim (UTF-8 is legal in label values).
+
+    >>> escape_label_value('say "hi"\\n')
+    'say \\\\"hi\\\\"\\\\n'
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
 
 
 def _format_value(value: Union[int, float]) -> str:
@@ -111,9 +134,13 @@ def render_prometheus(
         for quantile, key in _QUANTILES:
             value = summary[key]
             if value is not None:
+                label = escape_label_value(str(quantile))
                 lines.append(
-                    f'{family}{{quantile="{quantile}"}} {_format_value(value)}'
+                    f'{family}{{quantile="{label}"}} {_format_value(value)}'
                 )
+        # _sum/_count always render, even for an empty histogram:
+        # rate()-style PromQL (and the SLO burn-rate math built on it)
+        # needs both series present from the first scrape onward.
         lines.append(f"{family}_sum {_format_value(summary['sum'] or 0.0)}")
         lines.append(f"{family}_count {_format_value(summary['count'] or 0)}")
 

@@ -14,10 +14,12 @@ two runtime consumers, both stdlib-only and fully opt-in:
   zero extra plumbing.
 * :class:`TelemetryServer` — a background
   :class:`~http.server.ThreadingHTTPServer` serving ``GET /metrics``
-  (Prometheus text format, see :mod:`repro.obs.prometheus`) and
+  (Prometheus text format, see :mod:`repro.obs.prometheus`),
   ``GET /health`` (the :class:`~repro.obs.health.HealthMonitor` status
   document as JSON; 503 once an alert has fired — ready to back a
-  vehicle-stack liveness probe).
+  vehicle-stack liveness probe) and ``GET /series`` (the attached
+  :class:`~repro.obs.tsdb.TimeSeriesDB` as JSON — what a live
+  ``repro watch`` polls).
 * :class:`SpanLatencyRecorder` — a :class:`SpanExporter` that records
   every finished span's duration into a ``phase.<name>_ms`` histogram,
   turning the tracer's per-phase spans (``normalise``,
@@ -31,15 +33,18 @@ disabled path costs the library nothing.
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import IO, Any, Dict, Optional, Union
 
+from .drift import DriftMonitor
 from .health import HealthMonitor
 from .metrics import MetricsRegistry, default_registry
 from .prometheus import CONTENT_TYPE, render_prometheus, sanitize_metric_name
 from .trace import SpanExporter
+from .tsdb import TimeSeriesDB
 
 __all__ = ["Snapshotter", "SpanLatencyRecorder", "TelemetryServer"]
 
@@ -109,19 +114,31 @@ class Snapshotter:
             :meth:`close`) or an open text stream (left open).
         health: Optional monitor whose staleness watchdog is driven
             from the snapshot clock (:meth:`HealthMonitor.check`).
+        tsdb: Optional :class:`~repro.obs.tsdb.TimeSeriesDB`; every
+            tick record is folded in (counter rates, gauges, histogram
+            tick means and quantiles) so the run keeps a bounded
+            multi-resolution trajectory.
+        drift: Optional :class:`~repro.obs.drift.DriftMonitor`; every
+            tick record feeds its CUSUM/Page–Hinkley detectors and SLO
+            burn-rate windows.
         clock: Monotonic time source (injectable for tests).
         wall_clock: Wall time stamped into records (injectable).
 
     Each tick writes one record::
 
-        {"type": "snapshot", "ts": ..., "dt_s": ...,
+        {"type": "snapshot", "ts": ..., "t": ..., "dt_s": ...,
          "counters": {name: {"value": v, "delta": d, "rate": d/dt}},
          "gauges": {name: value},
-         "histograms": {name: {count, sum, ..., "count_delta": d}}}
+         "histograms": {name: {count, sum, ...,
+                               "count_delta": d, "sum_delta": s}}}
 
     and mirrors every counter rate into the registry as a
     ``rate.<name>_per_s`` gauge (plus the ratio gauges above), which is
-    what makes rates scrapeable at ``/metrics``.
+    what makes rates scrapeable at ``/metrics``.  A counter that moved
+    *backwards* between ticks (the registry was reset mid-run, e.g. by
+    ``detector.reset()`` test harnesses re-arming observability) is
+    treated like a process restart in Prometheus: the new value counts
+    as the whole delta instead of producing a negative rate.
     """
 
     def __init__(
@@ -130,6 +147,8 @@ class Snapshotter:
         interval_s: float = 10.0,
         out: Optional[Union[str, IO[str]]] = None,
         health: Optional[HealthMonitor] = None,
+        tsdb: Optional[TimeSeriesDB] = None,
+        drift: Optional[DriftMonitor] = None,
         clock=time.monotonic,
         wall_clock=time.time,
     ) -> None:
@@ -140,11 +159,14 @@ class Snapshotter:
         )
         self.interval_s = float(interval_s)
         self._health = health
+        self.tsdb = tsdb
+        self.drift = drift
         self._clock = clock
         self._wall_clock = wall_clock
         self._lock = threading.Lock()
         self._last_counters: Dict[str, float] = {}
         self._last_hist_counts: Dict[str, int] = {}
+        self._last_hist_sums: Dict[str, float] = {}
         self._last_t: Optional[float] = None
         self.ticks = 0
         self._out_path: Optional[str] = None
@@ -168,6 +190,11 @@ class Snapshotter:
             deltas: Dict[str, float] = {}
             for name, value in snapshot["counters"].items():
                 delta = value - self._last_counters.get(name, 0.0)
+                if delta < 0:
+                    # Counter reset (registry.reset() mid-run): treat
+                    # the new value as the delta, Prometheus-style,
+                    # instead of reporting a negative rate.
+                    delta = value
                 deltas[name] = delta
                 rate = (delta / dt) if dt else None
                 counters[name] = {"value": value, "delta": delta}
@@ -179,21 +206,38 @@ class Snapshotter:
                 count_delta = summary["count"] - self._last_hist_counts.get(
                     name, 0
                 )
+                sum_delta = (summary["sum"] or 0.0) - self._last_hist_sums.get(
+                    name, 0.0
+                )
+                if count_delta < 0:  # histogram reset, as for counters
+                    count_delta = summary["count"]
+                    sum_delta = summary["sum"] or 0.0
                 self._last_hist_counts[name] = summary["count"]
-                histograms[name] = dict(summary, count_delta=count_delta)
+                self._last_hist_sums[name] = summary["sum"] or 0.0
+                histograms[name] = dict(
+                    summary, count_delta=count_delta, sum_delta=sum_delta
+                )
             self._last_t = t
             self.ticks += 1
         record: Dict[str, Any] = {
             "type": "snapshot",
             "ts": self._wall_clock(),
+            "t": t,
             "dt_s": dt,
             "counters": counters,
             "gauges": dict(snapshot["gauges"]),
             "histograms": histograms,
         }
-        self._publish_rates(counters, deltas, dt)
+        # Publish rates first so this tick's ratio gauges are part of
+        # the record the TSDB and drift monitor see (the registry
+        # snapshot above predates them).
+        self._publish_rates(counters, deltas, dt, record["gauges"])
         if self._health is not None:
             self._health.check(t)
+        if self.tsdb is not None:
+            self.tsdb.observe_snapshot(record, t)
+        if self.drift is not None:
+            self.drift.observe(record, t)
         self._emit(record)
         return record
 
@@ -202,6 +246,7 @@ class Snapshotter:
         counters: Dict[str, Dict[str, float]],
         deltas: Dict[str, float],
         dt: Optional[float],
+        gauges_out: Dict[str, Any],
     ) -> None:
         if not dt:
             return
@@ -212,9 +257,9 @@ class Snapshotter:
         for gauge_name, (num, den) in _RATIO_GAUGES.items():
             denominator = deltas.get(den, 0.0)
             if denominator > 0:
-                self._registry.gauge(gauge_name).set(
-                    deltas.get(num, 0.0) / denominator
-                )
+                ratio = deltas.get(num, 0.0) / denominator
+                self._registry.gauge(gauge_name).set(ratio)
+                gauges_out[gauge_name] = ratio
 
     def _emit(self, record: Dict[str, Any]) -> None:
         handle = self._handle
@@ -266,9 +311,28 @@ class Snapshotter:
 
 
 class _TelemetryHandler(BaseHTTPRequestHandler):
-    """Serves ``/metrics`` and ``/health``; everything else is 404."""
+    """Serves ``/metrics``, ``/health`` and ``/series``; else 404.
+
+    Hardened for long-lived watch clients: every connection gets an
+    explicit socket timeout (a stalled or half-open reader is dropped
+    instead of pinning its handler thread forever) and every response
+    carries ``Connection: close`` so clients cannot keep handler
+    threads alive between polls.
+    """
 
     server: "TelemetryServer.Server"
+
+    def setup(self) -> None:
+        super().setup()
+        self.connection.settimeout(self.server.request_timeout_s)
+
+    def handle(self) -> None:
+        try:
+            super().handle()
+        except (socket.timeout, TimeoutError, ConnectionError, OSError):
+            # A stalled reader timed out or vanished mid-write; drop
+            # the connection quietly — the next scrape starts fresh.
+            self.close_connection = True
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         path = self.path.split("?", 1)[0]
@@ -286,6 +350,21 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
                 "application/json; charset=utf-8",
                 json.dumps(document).encode("utf-8"),
             )
+        elif path == "/series":
+            tsdb = self.server.tsdb
+            if tsdb is None:
+                self._respond(
+                    404,
+                    "text/plain; charset=utf-8",
+                    b"no time-series store attached "
+                    b"(run with --watch-record)\n",
+                )
+            else:
+                self._respond(
+                    200,
+                    "application/json; charset=utf-8",
+                    json.dumps(tsdb.to_payload()).encode("utf-8"),
+                )
         else:
             self._respond(
                 404, "text/plain; charset=utf-8", b"not found\n"
@@ -295,8 +374,10 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
+        self.close_connection = True
 
     def log_message(self, format: str, *args: Any) -> None:
         """Silence per-request stderr chatter (scrapes are periodic)."""
@@ -310,9 +391,15 @@ class TelemetryServer:
             process-global).
         health: Monitor served at ``/health`` (optional; without one
             the endpoint reports a plain ``{"status": "ok"}``).
+        tsdb: Optional :class:`~repro.obs.tsdb.TimeSeriesDB` served as
+            JSON at ``/series`` (404 without one) — what a live
+            ``repro watch`` polls.
         host: Bind address — loopback by default; an OBU's telemetry
             is for the local vehicle stack, not the open network.
         port: TCP port; 0 picks an ephemeral one (see :attr:`port`).
+        request_timeout_s: Per-connection socket timeout; a reader
+            that stalls longer is dropped (see
+            :class:`_TelemetryHandler`).
 
     Usage::
 
@@ -325,20 +412,30 @@ class TelemetryServer:
         daemon_threads = True
         registry: MetricsRegistry
         health: Optional[HealthMonitor]
+        tsdb: Optional[TimeSeriesDB]
+        request_timeout_s: float
 
     def __init__(
         self,
         registry: Optional[MetricsRegistry] = None,
         health: Optional[HealthMonitor] = None,
+        tsdb: Optional[TimeSeriesDB] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        request_timeout_s: float = 10.0,
     ) -> None:
+        if request_timeout_s <= 0:
+            raise ValueError(
+                f"request timeout must be positive, got {request_timeout_s}"
+            )
         self._registry = (
             registry if registry is not None else default_registry()
         )
         self._health = health
+        self._tsdb = tsdb
         self._host = host
         self._requested_port = port
+        self._request_timeout_s = float(request_timeout_s)
         self._server: Optional[TelemetryServer.Server] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -361,6 +458,8 @@ class TelemetryServer:
         )
         server.registry = self._registry
         server.health = self._health
+        server.tsdb = self._tsdb
+        server.request_timeout_s = self._request_timeout_s
         self._server = server
         self._thread = threading.Thread(
             target=server.serve_forever,

@@ -1,0 +1,452 @@
+"""Multi-resolution in-memory time-series store for runtime telemetry.
+
+The :class:`~repro.obs.telemetry.Snapshotter` turns the metrics
+registry into per-tick deltas, but each tick overwrites the last — a
+run retains no *trajectory*, so quality drift (the paper's Fig. 14
+margin collapse, a density shift skewing Eq. 9 thresholds) is
+invisible until accuracy has already degraded.  :class:`TimeSeriesDB`
+keeps that trajectory with bounded memory, RRD-style: every recorded
+``(name, t, value)`` sample is folded into one bucket per configured
+resolution, and each resolution is a ring that retains only its most
+recent ``capacity`` buckets::
+
+    1 s  × 600  buckets  (last 10 minutes, fine)
+    10 s × 720  buckets  (last 2 hours, medium)
+    60 s × 1440 buckets  (last 24 hours, coarse)
+
+A bucket is the classic consolidation tuple ``count / sum / min / max /
+last`` (plus the timestamp of the *last* sample, so cross-process
+merges can agree on ``last``).  Recording is O(#resolutions) per
+sample, reads are sorted on demand, and the memory bound is
+``series × Σ capacity`` buckets no matter how long the run lives.
+
+Like :class:`~repro.obs.metrics.MetricsRegistry`, the store supports
+``snapshot()`` / ``merge()`` so ``repro.eval.parallel`` workers can
+fold their series into the parent — buckets merge exactly for
+count/sum/min/max and by sample recency for ``last``, and out-of-order
+ticks (a slow worker shipping old buckets late) land in the right
+buckets as long as they are still within a ring's retention.  JSONL
+persistence (:meth:`dump_jsonl` / :meth:`load_jsonl`) is what
+``--watch-record`` writes and ``repro watch`` replays.
+
+Everything is stdlib-only and constructed explicitly: nothing in the
+library records into a TSDB unless one is wired into a Snapshotter.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Any, Dict, IO, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["Bucket", "TimeSeriesDB", "DEFAULT_RESOLUTIONS"]
+
+#: (step seconds, ring capacity in buckets) — 10 min fine, 2 h medium,
+#: 24 h coarse, mirroring classic RRD default archives.
+DEFAULT_RESOLUTIONS: Tuple[Tuple[float, int], ...] = (
+    (1.0, 600),
+    (10.0, 720),
+    (60.0, 1440),
+)
+
+# Bucket list layout (kept as a plain list for cheap JSON round-trips).
+_COUNT, _SUM, _MIN, _MAX, _LAST, _LAST_T = range(6)
+
+
+class Bucket:
+    """Read view of one consolidated bucket (returned by :meth:`query`)."""
+
+    __slots__ = ("t", "count", "sum", "min", "max", "last")
+
+    def __init__(
+        self,
+        t: float,
+        count: int,
+        total: float,
+        lo: float,
+        hi: float,
+        last: float,
+    ) -> None:
+        self.t = t
+        self.count = count
+        self.sum = total
+        self.min = lo
+        self.max = hi
+        self.last = last
+
+    @property
+    def mean(self) -> float:
+        """Average of the samples folded into this bucket."""
+        return self.sum / self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Bucket(t={self.t}, count={self.count}, mean={self.mean:.4g})"
+        )
+
+
+class TimeSeriesDB:
+    """Named series of multi-resolution ring-consolidated buckets.
+
+    Args:
+        resolutions: ``(step_s, capacity)`` pairs, finest first.  Every
+            sample is folded into one bucket per resolution.
+        max_series: Upper bound on distinct series names — a runaway
+            metric namespace must not grow memory without bound; new
+            names beyond the cap are counted in :attr:`dropped_series`
+            and otherwise ignored.
+    """
+
+    #: Format version stamped into snapshots and JSONL headers.
+    SNAPSHOT_VERSION = 1
+
+    def __init__(
+        self,
+        resolutions: Sequence[Tuple[float, int]] = DEFAULT_RESOLUTIONS,
+        max_series: int = 512,
+    ) -> None:
+        if not resolutions:
+            raise ValueError("need at least one (step_s, capacity) pair")
+        for step, capacity in resolutions:
+            if step <= 0 or capacity < 1:
+                raise ValueError(
+                    f"bad resolution (step={step}, capacity={capacity})"
+                )
+        if max_series < 1:
+            raise ValueError(f"max_series must be >= 1, got {max_series}")
+        self.resolutions: Tuple[Tuple[float, int], ...] = tuple(
+            (float(step), int(capacity)) for step, capacity in resolutions
+        )
+        self.max_series = int(max_series)
+        self.dropped_series = 0
+        self.samples = 0
+        self._lock = threading.Lock()
+        # name -> [dict bucket_index -> bucket list, one dict per resolution]
+        self._series: Dict[str, List[Dict[int, List[float]]]] = {}
+
+    # -- writing -------------------------------------------------------
+    def record(self, name: str, value: float, t: float) -> None:
+        """Fold one sample into every resolution's bucket at time ``t``."""
+        value = float(value)
+        if not math.isfinite(value):
+            return
+        with self._lock:
+            rings = self._series.get(name)
+            if rings is None:
+                if len(self._series) >= self.max_series:
+                    self.dropped_series += 1
+                    return
+                rings = [{} for _ in self.resolutions]
+                self._series[name] = rings
+            self.samples += 1
+            for (step, capacity), ring in zip(self.resolutions, rings):
+                index = int(t // step)
+                bucket = ring.get(index)
+                if bucket is None:
+                    ring[index] = [1, value, value, value, value, t]
+                    if len(ring) > capacity:
+                        for stale in sorted(ring)[: len(ring) - capacity]:
+                            del ring[stale]
+                else:
+                    bucket[_COUNT] += 1
+                    bucket[_SUM] += value
+                    if value < bucket[_MIN]:
+                        bucket[_MIN] = value
+                    if value > bucket[_MAX]:
+                        bucket[_MAX] = value
+                    if t >= bucket[_LAST_T]:
+                        bucket[_LAST] = value
+                        bucket[_LAST_T] = t
+
+    def observe_snapshot(self, record: Dict[str, Any], t: float) -> None:
+        """Fold one Snapshotter tick record into the store.
+
+        Derived series, one sample each at tick time ``t``:
+
+        * every counter with a computed rate → ``rate.<name>`` (per
+          second, from this tick's delta);
+        * every set gauge → its own name verbatim;
+        * every histogram with new samples this tick →
+          ``<name>.tick_mean`` (``sum_delta / count_delta`` — the
+          windowed mean, which is what drift detection wants) plus the
+          cumulative ``<name>.p50`` / ``<name>.p99`` quantiles.
+        """
+        for name, entry in record.get("counters", {}).items():
+            rate = entry.get("rate")
+            if rate is not None:
+                self.record(f"rate.{name}", rate, t)
+        for name, value in record.get("gauges", {}).items():
+            if value is not None:
+                self.record(name, value, t)
+        for name, summary in record.get("histograms", {}).items():
+            count_delta = summary.get("count_delta") or 0
+            sum_delta = summary.get("sum_delta")
+            if count_delta > 0 and sum_delta is not None:
+                self.record(
+                    f"{name}.tick_mean", sum_delta / count_delta, t
+                )
+            for quantile in ("p50", "p99"):
+                value = summary.get(quantile)
+                if value is not None:
+                    self.record(f"{name}.{quantile}", value, t)
+
+    # -- reading -------------------------------------------------------
+    def series_names(self) -> List[str]:
+        """Sorted names of every retained series."""
+        with self._lock:
+            return sorted(self._series)
+
+    def query(
+        self,
+        name: str,
+        step_s: Optional[float] = None,
+        since: Optional[float] = None,
+    ) -> List[Bucket]:
+        """Time-ordered buckets of one series at one resolution.
+
+        Args:
+            name: Series name.
+            step_s: Resolution to read (default: the finest).
+            since: Drop buckets that start before this time.
+
+        Returns:
+            Buckets sorted by start time (empty for unknown names).
+        """
+        step = self.resolutions[0][0] if step_s is None else float(step_s)
+        position = None
+        for index, (candidate, _capacity) in enumerate(self.resolutions):
+            if candidate == step:
+                position = index
+                break
+        if position is None:
+            raise ValueError(
+                f"no {step}s resolution (have "
+                f"{[s for s, _ in self.resolutions]})"
+            )
+        with self._lock:
+            rings = self._series.get(name)
+            if rings is None:
+                return []
+            items = sorted(rings[position].items())
+        buckets = [
+            Bucket(index * step, int(b[_COUNT]), b[_SUM], b[_MIN], b[_MAX], b[_LAST])
+            for index, b in items
+        ]
+        if since is not None:
+            buckets = [bucket for bucket in buckets if bucket.t >= since]
+        return buckets
+
+    def latest(self, name: str) -> Optional[float]:
+        """Most recent ``last`` value of a series (finest resolution)."""
+        buckets = self.query(name)
+        return buckets[-1].last if buckets else None
+
+    # -- cross-process folding -----------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Full JSON-serialisable dump (the :meth:`merge` wire format)."""
+        with self._lock:
+            series = {
+                name: [
+                    {str(index): list(bucket) for index, bucket in ring.items()}
+                    for ring in rings
+                ]
+                for name, rings in sorted(self._series.items())
+            }
+            return {
+                "version": self.SNAPSHOT_VERSION,
+                "resolutions": [list(pair) for pair in self.resolutions],
+                "samples": self.samples,
+                "series": series,
+            }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another store's :meth:`snapshot` into this one.
+
+        Buckets combine exactly for count/sum/min/max; ``last`` goes to
+        whichever side saw the later sample, so merging a worker's
+        out-of-order (older) ticks cannot clobber newer parent data.
+        Ring capacities re-apply after the merge.
+        """
+        version = snapshot.get("version")
+        if version != self.SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported tsdb snapshot version {version!r} "
+                f"(expected {self.SNAPSHOT_VERSION})"
+            )
+        resolutions = [
+            (float(step), int(capacity))
+            for step, capacity in snapshot.get("resolutions", [])
+        ]
+        if resolutions != list(self.resolutions):
+            raise ValueError(
+                f"resolution mismatch: snapshot has {resolutions}, "
+                f"store has {list(self.resolutions)}"
+            )
+        with self._lock:
+            for name, incoming_rings in snapshot.get("series", {}).items():
+                rings = self._series.get(name)
+                if rings is None:
+                    if len(self._series) >= self.max_series:
+                        self.dropped_series += 1
+                        continue
+                    rings = [{} for _ in self.resolutions]
+                    self._series[name] = rings
+                for (_step, capacity), ring, incoming in zip(
+                    self.resolutions, rings, incoming_rings
+                ):
+                    for raw_index, payload in incoming.items():
+                        index = int(raw_index)
+                        bucket = ring.get(index)
+                        if bucket is None:
+                            ring[index] = [
+                                int(payload[_COUNT]),
+                                float(payload[_SUM]),
+                                float(payload[_MIN]),
+                                float(payload[_MAX]),
+                                float(payload[_LAST]),
+                                float(payload[_LAST_T]),
+                            ]
+                        else:
+                            bucket[_COUNT] += int(payload[_COUNT])
+                            bucket[_SUM] += float(payload[_SUM])
+                            bucket[_MIN] = min(bucket[_MIN], float(payload[_MIN]))
+                            bucket[_MAX] = max(bucket[_MAX], float(payload[_MAX]))
+                            if float(payload[_LAST_T]) >= bucket[_LAST_T]:
+                                bucket[_LAST] = float(payload[_LAST])
+                                bucket[_LAST_T] = float(payload[_LAST_T])
+                    if len(ring) > capacity:
+                        for stale in sorted(ring)[: len(ring) - capacity]:
+                            del ring[stale]
+            self.samples += int(snapshot.get("samples", 0))
+
+    # -- persistence ---------------------------------------------------
+    def dump_jsonl(self, destination: Union[str, IO[str]]) -> int:
+        """Write a header line plus one line per (series, resolution).
+
+        Returns the number of series written.  This is the
+        ``--watch-record`` file format; read it back with
+        :meth:`load_jsonl` (or feed it to ``repro watch``).
+        """
+        snapshot = self.snapshot()
+        lines: List[str] = [
+            json.dumps(
+                {
+                    "type": "tsdb",
+                    "version": snapshot["version"],
+                    "resolutions": snapshot["resolutions"],
+                    "samples": snapshot["samples"],
+                }
+            )
+        ]
+        for name, rings in snapshot["series"].items():
+            for (step, _capacity), ring in zip(self.resolutions, rings):
+                if ring:
+                    lines.append(
+                        json.dumps(
+                            {
+                                "type": "series",
+                                "name": name,
+                                "step_s": step,
+                                "buckets": ring,
+                            }
+                        )
+                    )
+        text = "\n".join(lines) + "\n"
+        if hasattr(destination, "write"):
+            destination.write(text)  # type: ignore[union-attr]
+        else:
+            with open(destination, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return len(snapshot["series"])
+
+    @classmethod
+    def load_jsonl(cls, source: Union[str, Iterable[str]]) -> "TimeSeriesDB":
+        """Reconstruct a store from a :meth:`dump_jsonl` file or lines."""
+        if isinstance(source, str):
+            with open(source, "r", encoding="utf-8") as handle:
+                lines = [line for line in handle if line.strip()]
+        else:
+            lines = [line for line in source if line.strip()]
+        if not lines:
+            raise ValueError("empty tsdb dump")
+        header = json.loads(lines[0])
+        if header.get("type") != "tsdb":
+            raise ValueError(
+                f"not a tsdb dump (first record is {header.get('type')!r})"
+            )
+        store = cls(
+            resolutions=[
+                (float(step), int(capacity))
+                for step, capacity in header["resolutions"]
+            ]
+        )
+        step_position = {
+            step: index for index, (step, _cap) in enumerate(store.resolutions)
+        }
+        for line in lines[1:]:
+            record = json.loads(line)
+            if record.get("type") != "series":
+                continue
+            name = record["name"]
+            position = step_position[float(record["step_s"])]
+            rings = store._series.get(name)
+            if rings is None:
+                rings = [{} for _ in store.resolutions]
+                store._series[name] = rings
+            for raw_index, payload in record["buckets"].items():
+                rings[position][int(raw_index)] = [
+                    int(payload[_COUNT]),
+                    float(payload[_SUM]),
+                    float(payload[_MIN]),
+                    float(payload[_MAX]),
+                    float(payload[_LAST]),
+                    float(payload[_LAST_T]),
+                ]
+        store.samples = int(header.get("samples", 0))
+        return store
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The ``/series`` endpoint document: finest-resolution buckets
+        per series as ``[t, count, sum, min, max, last]`` rows."""
+        step = self.resolutions[0][0]
+        return {
+            "resolutions": [list(pair) for pair in self.resolutions],
+            "step_s": step,
+            "samples": self.samples,
+            "series": {
+                name: [
+                    [b.t, b.count, b.sum, b.min, b.max, b.last]
+                    for b in self.query(name)
+                ]
+                for name in self.series_names()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "TimeSeriesDB":
+        """Rebuild a (finest-resolution) store from :meth:`to_payload`.
+
+        What a live ``repro watch`` does with each ``/series`` poll;
+        only the finest ring is populated since the payload carries
+        only that resolution.
+        """
+        step = float(payload["step_s"])
+        resolutions = [
+            (float(s), int(c)) for s, c in payload.get("resolutions", [])
+        ] or [(step, 600)]
+        store = cls(resolutions=resolutions)
+        for name, rows in payload.get("series", {}).items():
+            rings = [{} for _ in store.resolutions]
+            store._series[name] = rings
+            for t, count, total, lo, hi, last in rows:
+                rings[0][int(float(t) // step)] = [
+                    int(count),
+                    float(total),
+                    float(lo),
+                    float(hi),
+                    float(last),
+                    float(t),
+                ]
+        store.samples = int(payload.get("samples", 0))
+        return store

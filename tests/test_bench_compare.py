@@ -213,3 +213,126 @@ class TestMainGate:
             ]
         )
         assert code == 0
+
+
+class TestHistory:
+    def write(self, directory, name, data):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / name).write_text(json.dumps(data), encoding="utf-8")
+
+    def test_append_history_flattens_numeric_leaves(self, tmp_path):
+        from repro.bench_compare import append_history
+
+        self.write(tmp_path / "cur", "BENCH_pairwise.json", BASELINE)
+        history = tmp_path / "history" / "BENCH_history.jsonl"
+        appended = append_history(
+            history,
+            tmp_path / "cur",
+            ["BENCH_pairwise.json", "BENCH_missing.json"],
+            timestamp="2026-08-07T00:00:00Z",
+        )
+        assert appended == 1  # the missing artifact is skipped
+        (line,) = history.read_text().strip().splitlines()
+        entry = json.loads(line)
+        assert entry["artifact"] == "BENCH_pairwise.json"
+        assert entry["ts"] == "2026-08-07T00:00:00Z"
+        assert entry["metrics"]["configs.full.wall_ms"] == 100.0
+        assert entry["metrics"]["workload.n_series"] == 24
+
+    def test_append_history_appends_not_truncates(self, tmp_path):
+        from repro.bench_compare import append_history
+
+        self.write(tmp_path / "cur", "BENCH_pairwise.json", BASELINE)
+        history = tmp_path / "BENCH_history.jsonl"
+        for stamp in ("a", "b"):
+            append_history(
+                history, tmp_path / "cur", ["BENCH_pairwise.json"],
+                timestamp=stamp,
+            )
+        stamps = [
+            json.loads(line)["ts"]
+            for line in history.read_text().strip().splitlines()
+        ]
+        assert stamps == ["a", "b"]
+
+    def test_cli_history_mode_records_current_artifacts(
+        self, tmp_path, capsys
+    ):
+        self.write(tmp_path / "cur", "BENCH_pairwise.json", BASELINE)
+        self.write(tmp_path / "cur", "BENCH_other.json", BASELINE)
+        history = tmp_path / "BENCH_history.jsonl"
+        code = main(
+            [
+                "--current-dir", str(tmp_path / "cur"),
+                "--history", str(history),
+            ]
+        )
+        assert code == 0
+        assert "appended 2 entries" in capsys.readouterr().out
+        artifacts = [
+            json.loads(line)["artifact"]
+            for line in history.read_text().strip().splitlines()
+        ]
+        assert artifacts == ["BENCH_other.json", "BENCH_pairwise.json"]
+
+    def test_cli_history_mode_respects_only(self, tmp_path, capsys):
+        self.write(tmp_path / "cur", "BENCH_pairwise.json", BASELINE)
+        self.write(tmp_path / "cur", "BENCH_other.json", BASELINE)
+        history = tmp_path / "BENCH_history.jsonl"
+        code = main(
+            [
+                "--current-dir", str(tmp_path / "cur"),
+                "--history", str(history),
+                "--only", "BENCH_pairwise.json",
+            ]
+        )
+        assert code == 0
+        assert "appended 1 entry" in capsys.readouterr().out
+
+    def test_cli_history_mode_fails_without_artifacts(
+        self, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "--current-dir", str(tmp_path / "cur"),
+                "--history", str(tmp_path / "BENCH_history.jsonl"),
+            ]
+        )
+        assert code == 1
+        assert "no BENCH_*.json artifacts" in capsys.readouterr().err
+
+
+class TestWatchRules:
+    def test_watch_counters_are_deterministic_invariants(self):
+        base = {
+            "watch": {
+                "ticks": 30, "series": 51,
+                "tsdb_samples": 1467, "drift_alerts": 0,
+            },
+            "timing": {"watched_cpu_ms": 37.8},
+        }
+        drifted = {
+            "watch": {
+                "ticks": 30, "series": 51,
+                "tsdb_samples": 1467, "drift_alerts": 2,
+            },
+            "timing": {"watched_cpu_ms": 37.8},
+        }
+        results = by_path(compare_payloads(base, drifted))
+        alerts = results["watch.drift_alerts"]
+        assert alerts.verdict == "REGRESSED"  # invariant broke
+        assert alerts.failed
+        assert results["watch.ticks"].verdict == "ok"
+
+    def test_watched_cpu_is_a_timing_leaf(self):
+        base = {"timing": {"watched_cpu_ms": 10.0}}
+        slower = {"timing": {"watched_cpu_ms": 50.0}}
+        # Informational by default (host noise)...
+        results = by_path(compare_payloads(base, slower))
+        assert results["timing.watched_cpu_ms"].verdict == "info"
+        assert not results["timing.watched_cpu_ms"].failed
+        # ...but gated when a timing tolerance is requested.
+        results = by_path(
+            compare_payloads(base, slower, timing_tolerance=0.25)
+        )
+        assert results["timing.watched_cpu_ms"].verdict == "REGRESSED"

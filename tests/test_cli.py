@@ -518,3 +518,93 @@ class TestExplainCommand:
         tampered.write_text(json.dumps(victim) + "\n")
         with pytest.raises(RuntimeError, match="replay mismatch"):
             main(["explain", str(tampered), "--verify"])
+
+
+class TestWatchtowerFlags:
+    def test_flags_parse_before_and_after_subcommand(self):
+        parser = build_parser()
+        before = parser.parse_args(
+            ["--watch-record", "w.jsonl", "--report-out", "r.html", "fig13"]
+        )
+        after = parser.parse_args(
+            ["fig13", "--watch-record", "w.jsonl", "--report-out", "r.html"]
+        )
+        assert before.watch_record == after.watch_record == "w.jsonl"
+        assert before.report_out == after.report_out == "r.html"
+
+    def test_flags_default_to_off(self):
+        args = build_parser().parse_args(["list"])
+        assert args.watch_record is None
+        assert args.slo is None
+        assert args.report_out is None
+
+    def test_slo_flag_parses_and_repeats(self):
+        args = build_parser().parse_args(
+            [
+                "list",
+                "--slo", "p99:metric=hist:detector.detect_ms:p99,max=250",
+                "--slo", "floor:metric=health.flagged_pair_rate,max=0.5",
+            ]
+        )
+        assert [spec.name for spec in args.slo] == ["p99", "floor"]
+        assert args.slo[0].max_value == 250.0
+
+    def test_bad_slo_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["list", "--slo", "no-metric:max=1"])
+
+    def test_watch_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["watch", "run.tsdb.jsonl", "--once", "--interval", "0.5"]
+        )
+        assert args.command == "watch"
+        assert args.source == "run.tsdb.jsonl"
+        assert args.once is True
+        assert args.interval == 0.5
+
+    def test_watch_record_run_dumps_store_and_watch_renders_it(
+        self, tmp_path, capsys
+    ):
+        dump = tmp_path / "run.tsdb.jsonl"
+        assert (
+            main(
+                [
+                    "fig13",
+                    "--duration", "60",
+                    "--period", "30",
+                    "--watch-record", str(dump),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "view with 'watch" in out
+        assert dump.is_file()
+        header = json.loads(dump.read_text().splitlines()[0])
+        assert header["type"] == "tsdb"
+
+        # The watch subcommand renders the dump once, without ANSI.
+        assert main(["watch", str(dump), "--once"]) == 0
+        watched = capsys.readouterr().out
+        assert "repro watch" in watched
+        assert "\x1b" not in watched
+
+    def test_watch_record_run_writes_report(self, tmp_path, capsys):
+        report = tmp_path / "run.html"
+        assert (
+            main(
+                [
+                    "fig13",
+                    "--duration", "60",
+                    "--period", "30",
+                    "--report-out", str(report),
+                ]
+            )
+            == 0
+        )
+        assert "[run report -> " in capsys.readouterr().out
+        assert report.read_text().startswith("<!doctype html>")
+
+    def test_watch_rejects_bad_source(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["watch", str(tmp_path / "missing.jsonl"), "--once"])

@@ -3,6 +3,7 @@
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.prometheus import (
     CONTENT_TYPE,
+    escape_label_value,
     render_prometheus,
     sanitize_metric_name,
 )
@@ -84,3 +85,29 @@ class TestRenderPrometheus:
 
     def test_content_type_names_the_text_format(self):
         assert "version=0.0.4" in CONTENT_TYPE
+
+class TestEscapeLabelValue:
+    def test_plain_values_pass_through(self):
+        assert escape_label_value("v000") == "v000"
+        assert escape_label_value("UTF-8 ok: µ±σ") == "UTF-8 ok: µ±σ"
+
+    def test_reserved_characters_escaped(self):
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("line1\nline2") == "line1\\nline2"
+
+    def test_backslash_escaped_before_quote(self):
+        # The order matters: escaping quotes first would double-escape
+        # the backslashes that escape introduces.
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_non_string_values_coerced(self):
+        assert escape_label_value(42) == "42"
+
+    def test_escaped_value_is_exposition_safe(self):
+        # The escaped form must contain no raw quote/newline, so it can
+        # be embedded in label="..." without breaking the line format.
+        escaped = escape_label_value('bad " value\nwith\\stuff')
+        assert "\n" not in escaped
+        import re
+        assert not re.search(r'(?<!\\)"', escaped)

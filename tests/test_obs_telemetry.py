@@ -332,3 +332,146 @@ class TestOnlineTelemetryAcceptance:
         assert "repro_rate_detector_beacons_observed_per_s" in text
         assert health_status == 503
         assert json.loads(health_body)["alerts"]
+
+
+class TestSnapshotterEdgeCases:
+    def test_counter_reset_counts_new_value_as_delta(self):
+        registry = MetricsRegistry()
+        registry.counter("detector.beacons_observed").inc(10)
+        snapshotter = Snapshotter(registry, interval_s=1.0)
+        snapshotter.tick(now=0.0)
+        # Mid-run reset (detector.reset() re-arming observability):
+        # the counter restarts below its last-seen value.
+        registry.reset()
+        registry.counter("detector.beacons_observed").inc(3)
+        record = snapshotter.tick(now=1.0)
+        entry = record["counters"]["detector.beacons_observed"]
+        assert entry["delta"] == 3.0
+        assert entry["rate"] == pytest.approx(3.0)
+
+    def test_histogram_reset_counts_new_totals_as_delta(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("detector.detect_ms")
+        for value in (5.0, 7.0, 9.0):
+            histogram.observe(value)
+        snapshotter = Snapshotter(registry, interval_s=1.0)
+        snapshotter.tick(now=0.0)
+        registry.reset()
+        registry.histogram("detector.detect_ms").observe(4.0)
+        record = snapshotter.tick(now=1.0)
+        summary = record["histograms"]["detector.detect_ms"]
+        assert summary["count_delta"] == 1
+        assert summary["sum_delta"] == pytest.approx(4.0)
+
+    def test_zero_dt_tick_produces_no_rates(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        snapshotter = Snapshotter(registry, interval_s=1.0)
+        snapshotter.tick(now=5.0)
+        registry.counter("c").inc(5)
+        record = snapshotter.tick(now=5.0)  # same instant: dt == 0
+        assert record["dt_s"] == 0.0
+        assert "rate" not in record["counters"]["c"]
+        assert registry.gauge("rate.c_per_s").value is None
+
+    def test_tsdb_and_drift_fed_every_tick(self):
+        from repro.obs.drift import DriftMonitor
+        from repro.obs.tsdb import TimeSeriesDB
+
+        registry = MetricsRegistry()
+        tsdb = TimeSeriesDB()
+        drift = DriftMonitor(registry=registry, health=None)
+        snapshotter = Snapshotter(
+            registry, interval_s=1.0, tsdb=tsdb, drift=drift
+        )
+        registry.counter("detector.beacons_observed").inc(4)
+        for tick in range(3):
+            registry.counter("detector.beacons_observed").inc(4)
+            snapshotter.tick(now=float(tick))
+        assert drift.ticks == 3
+        # Rates exist from the second tick on, and each one lands in
+        # the store.
+        assert tsdb.latest("rate.detector.beacons_observed") == 4.0
+        assert len(tsdb.query("rate.detector.beacons_observed")) == 2
+
+    def test_ratio_gauges_visible_in_same_tick_record(self):
+        registry = MetricsRegistry()
+        snapshotter = Snapshotter(registry, interval_s=1.0)
+        snapshotter.tick(now=0.0)
+        registry.counter("detector.cache_hits").inc(3)
+        registry.counter("detector.pairs_compared").inc(4)
+        record = snapshotter.tick(now=1.0)
+        # The freshly computed ratio is folded into the record the
+        # TSDB/drift observers see, not deferred to the next tick.
+        assert record["gauges"]["rate.pairwise_cache_hit_rate"] == 0.75
+
+
+class TestTelemetryServerHardening:
+    def test_series_404_without_store(self):
+        server = TelemetryServer(MetricsRegistry()).start()
+        try:
+            status, _, body = http_get(server.port, "/series")
+        finally:
+            server.stop()
+        assert status == 404
+        assert b"--watch-record" in body
+
+    def test_series_round_trip_through_payload(self):
+        from repro.obs.tsdb import TimeSeriesDB
+
+        tsdb = TimeSeriesDB()
+        for tick in range(5):
+            tsdb.record("m", float(tick), t=float(tick))
+        server = TelemetryServer(MetricsRegistry(), tsdb=tsdb).start()
+        try:
+            status, headers, body = http_get(server.port, "/series")
+        finally:
+            server.stop()
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        rebuilt = TimeSeriesDB.from_payload(json.loads(body))
+        assert rebuilt.latest("m") == 4.0
+        assert rebuilt.samples == 5
+
+    def test_responses_close_the_connection(self):
+        server = TelemetryServer(MetricsRegistry()).start()
+        try:
+            _, headers, _ = http_get(server.port, "/metrics")
+        finally:
+            server.stop()
+        assert headers["Connection"] == "close"
+
+    def test_stalled_reader_is_dropped_and_server_stays_responsive(self):
+        import socket as socket_module
+        import time as time_module
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc(1)
+        server = TelemetryServer(registry, request_timeout_s=0.3).start()
+        try:
+            # A client that connects, sends half a request, and stalls.
+            stalled = socket_module.create_connection(
+                ("127.0.0.1", server.port), timeout=5.0
+            )
+            stalled.sendall(b"GET /metrics HTTP/1.1\r\n")  # no final CRLF
+            deadline = time_module.monotonic() + 5.0
+            try:
+                # The handler times out reading and drops the
+                # connection: the stalled client sees EOF.
+                while True:
+                    chunk = stalled.recv(1024)
+                    if not chunk:
+                        break
+                    assert time_module.monotonic() < deadline
+            finally:
+                stalled.close()
+            # And the server still answers fresh scrapes.
+            status, _, body = http_get(server.port, "/metrics")
+            assert status == 200
+            assert b"repro_c_total 1.0" in body
+        finally:
+            server.stop()
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError, match="timeout"):
+            TelemetryServer(MetricsRegistry(), request_timeout_s=0.0)

@@ -1,0 +1,260 @@
+"""Tests for repro.obs.tsdb — the multi-resolution ring store."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.tsdb import DEFAULT_RESOLUTIONS, TimeSeriesDB
+
+
+class TestRecordAndQuery:
+    def test_single_sample_lands_in_every_resolution(self):
+        store = TimeSeriesDB()
+        store.record("m", 3.0, t=125.0)
+        for step, _cap in DEFAULT_RESOLUTIONS:
+            buckets = store.query("m", step_s=step)
+            assert len(buckets) == 1
+            assert buckets[0].t == (125.0 // step) * step
+            assert buckets[0].count == 1
+            assert buckets[0].last == 3.0
+
+    def test_consolidation_tuple(self):
+        store = TimeSeriesDB(resolutions=[(10.0, 16)])
+        for t, value in [(1.0, 5.0), (3.0, -2.0), (9.0, 7.0)]:
+            store.record("m", value, t=t)
+        (bucket,) = store.query("m", step_s=10.0)
+        assert bucket.count == 3
+        assert bucket.sum == pytest.approx(10.0)
+        assert bucket.min == -2.0
+        assert bucket.max == 7.0
+        assert bucket.last == 7.0
+        assert bucket.mean == pytest.approx(10.0 / 3.0)
+
+    def test_last_follows_sample_time_not_arrival_order(self):
+        store = TimeSeriesDB(resolutions=[(10.0, 16)])
+        store.record("m", 1.0, t=8.0)
+        store.record("m", 2.0, t=4.0)  # late-arriving older sample
+        (bucket,) = store.query("m", step_s=10.0)
+        assert bucket.last == 1.0
+        assert bucket.count == 2
+
+    def test_query_is_time_ordered_and_since_filters(self):
+        store = TimeSeriesDB(resolutions=[(1.0, 100)])
+        for t in (5.0, 1.0, 3.0):
+            store.record("m", t, t=t)
+        buckets = store.query("m")
+        assert [b.t for b in buckets] == [1.0, 3.0, 5.0]
+        assert [b.t for b in store.query("m", since=3.0)] == [3.0, 5.0]
+
+    def test_ring_prunes_oldest_buckets(self):
+        store = TimeSeriesDB(resolutions=[(1.0, 3)])
+        for t in range(6):
+            store.record("m", float(t), t=float(t))
+        buckets = store.query("m")
+        assert [b.t for b in buckets] == [3.0, 4.0, 5.0]
+
+    def test_coarse_ring_survives_fine_ring_pruning(self):
+        store = TimeSeriesDB(resolutions=[(1.0, 2), (10.0, 100)])
+        for t in range(20):
+            store.record("m", 1.0, t=float(t))
+        assert len(store.query("m", step_s=1.0)) == 2
+        coarse = store.query("m", step_s=10.0)
+        assert len(coarse) == 2
+        assert sum(b.count for b in coarse) == 20
+
+    def test_non_finite_samples_are_dropped(self):
+        store = TimeSeriesDB()
+        store.record("m", float("nan"), t=1.0)
+        store.record("m", float("inf"), t=2.0)
+        assert store.query("m") == []
+        assert store.samples == 0
+
+    def test_unknown_resolution_raises(self):
+        store = TimeSeriesDB()
+        with pytest.raises(ValueError, match="no 2.5s resolution"):
+            store.query("m", step_s=2.5)
+
+    def test_latest(self):
+        store = TimeSeriesDB()
+        assert store.latest("m") is None
+        store.record("m", 1.0, t=1.0)
+        store.record("m", 9.0, t=2.0)
+        assert store.latest("m") == 9.0
+
+    def test_max_series_cap(self):
+        store = TimeSeriesDB(max_series=2)
+        store.record("a", 1.0, t=0.0)
+        store.record("b", 1.0, t=0.0)
+        store.record("c", 1.0, t=0.0)  # beyond the cap: dropped
+        store.record("a", 2.0, t=1.0)  # existing series still record
+        assert store.series_names() == ["a", "b"]
+        assert store.dropped_series == 1
+        assert store.latest("a") == 2.0
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            TimeSeriesDB(resolutions=[])
+        with pytest.raises(ValueError):
+            TimeSeriesDB(resolutions=[(0.0, 10)])
+        with pytest.raises(ValueError):
+            TimeSeriesDB(resolutions=[(1.0, 0)])
+        with pytest.raises(ValueError):
+            TimeSeriesDB(max_series=0)
+
+
+class TestObserveSnapshot:
+    def _record(self):
+        return {
+            "type": "snapshot",
+            "counters": {
+                "detector.beacons_observed": {
+                    "value": 100.0,
+                    "delta": 10.0,
+                    "rate": 10.0,
+                },
+                "no_rate_yet": {"value": 5.0, "delta": 5.0},
+            },
+            "gauges": {"health.flagged_pair_rate": 0.25, "unset": None},
+            "histograms": {
+                "detector.detect_ms": {
+                    "count": 12,
+                    "sum": 60.0,
+                    "p50": 4.0,
+                    "p99": 9.0,
+                    "count_delta": 4,
+                    "sum_delta": 20.0,
+                },
+                "idle.hist": {
+                    "count": 3,
+                    "sum": 3.0,
+                    "p50": 1.0,
+                    "p99": 1.0,
+                    "count_delta": 0,
+                    "sum_delta": 0.0,
+                },
+            },
+        }
+
+    def test_derived_series(self):
+        store = TimeSeriesDB()
+        store.observe_snapshot(self._record(), t=42.0)
+        assert store.latest("rate.detector.beacons_observed") == 10.0
+        assert store.latest("health.flagged_pair_rate") == 0.25
+        assert store.latest("detector.detect_ms.tick_mean") == 5.0
+        assert store.latest("detector.detect_ms.p50") == 4.0
+        assert store.latest("detector.detect_ms.p99") == 9.0
+        # No rate -> no rate series; unset gauge -> no series; no new
+        # histogram samples -> no tick_mean.
+        assert store.latest("rate.no_rate_yet") is None
+        assert store.latest("unset") is None
+        assert store.latest("idle.hist.tick_mean") is None
+        assert store.latest("idle.hist.p50") == 1.0
+
+
+class TestSnapshotMerge:
+    def test_round_trip_parity(self):
+        store = TimeSeriesDB()
+        for t in range(25):
+            store.record("m", float(t), t=float(t))
+            store.record("n", -float(t), t=float(t) / 2.0)
+        clone = TimeSeriesDB()
+        clone.merge(store.snapshot())
+        assert clone.snapshot() == store.snapshot()
+
+    def test_merge_folds_counts_exactly(self):
+        a, b = TimeSeriesDB(), TimeSeriesDB()
+        a.record("m", 1.0, t=5.0)
+        b.record("m", 3.0, t=5.5)  # same 1s/10s/60s buckets
+        a.merge(b.snapshot())
+        (bucket,) = a.query("m", step_s=10.0)
+        assert bucket.count == 2
+        assert bucket.sum == 4.0
+        assert bucket.min == 1.0
+        assert bucket.max == 3.0
+        assert bucket.last == 3.0
+        assert a.samples == 2
+
+    def test_out_of_order_worker_merge_cannot_clobber_newer_last(self):
+        parent, worker = TimeSeriesDB(), TimeSeriesDB()
+        parent.record("m", 9.0, t=8.0)
+        worker.record("m", 4.0, t=3.0)  # slow worker ships older tick
+        parent.merge(worker.snapshot())
+        (bucket,) = parent.query("m", step_s=10.0)
+        assert bucket.last == 9.0  # newer parent sample wins
+        assert bucket.min == 4.0  # but the worker's data is folded in
+
+    def test_merge_respects_ring_capacity(self):
+        a = TimeSeriesDB(resolutions=[(1.0, 3)])
+        b = TimeSeriesDB(resolutions=[(1.0, 3)])
+        for t in range(3):
+            a.record("m", 1.0, t=float(t))
+        for t in range(10, 14):
+            b.record("m", 1.0, t=float(t))
+        a.merge(b.snapshot())
+        assert [bucket.t for bucket in a.query("m")] == [11.0, 12.0, 13.0]
+
+    def test_merge_rejects_version_and_resolution_mismatch(self):
+        store = TimeSeriesDB()
+        with pytest.raises(ValueError, match="version"):
+            store.merge({"version": 99})
+        other = TimeSeriesDB(resolutions=[(5.0, 10)])
+        with pytest.raises(ValueError, match="resolution mismatch"):
+            store.merge(other.snapshot())
+
+    def test_merge_honours_max_series(self):
+        small = TimeSeriesDB(max_series=1)
+        small.record("a", 1.0, t=0.0)
+        other = TimeSeriesDB(max_series=1)
+        other.record("b", 1.0, t=0.0)
+        snapshot = dict(other.snapshot(), resolutions=[
+            list(pair) for pair in small.resolutions
+        ])
+        small.merge(snapshot)
+        assert small.series_names() == ["a"]
+        assert small.dropped_series == 1
+
+
+class TestPersistence:
+    def test_jsonl_round_trip(self, tmp_path):
+        store = TimeSeriesDB()
+        for t in range(30):
+            store.record("m", float(t) ** 0.5, t=float(t))
+        path = tmp_path / "run.tsdb.jsonl"
+        n_series = store.dump_jsonl(str(path))
+        assert n_series == 1
+        loaded = TimeSeriesDB.load_jsonl(str(path))
+        assert loaded.snapshot() == store.snapshot()
+
+    def test_dump_to_stream_and_header_shape(self):
+        store = TimeSeriesDB()
+        store.record("m", 1.0, t=0.0)
+        buffer = io.StringIO()
+        store.dump_jsonl(buffer)
+        lines = buffer.getvalue().strip().splitlines()
+        header = json.loads(lines[0])
+        assert header["type"] == "tsdb"
+        assert header["version"] == TimeSeriesDB.SNAPSHOT_VERSION
+        assert all(
+            json.loads(line)["type"] == "series" for line in lines[1:]
+        )
+
+    def test_load_rejects_non_tsdb_input(self, tmp_path):
+        path = tmp_path / "not_tsdb.jsonl"
+        path.write_text('{"type": "snapshot"}\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="not a tsdb dump"):
+            TimeSeriesDB.load_jsonl(str(path))
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("", encoding="utf-8")
+        with pytest.raises(ValueError, match="empty"):
+            TimeSeriesDB.load_jsonl(str(empty))
+
+    def test_payload_round_trip_keeps_finest_resolution(self):
+        store = TimeSeriesDB()
+        for t in range(12):
+            store.record("m", float(t), t=float(t))
+        rebuilt = TimeSeriesDB.from_payload(store.to_payload())
+        assert [b.last for b in rebuilt.query("m")] == [
+            b.last for b in store.query("m")
+        ]
+        assert rebuilt.samples == store.samples

@@ -1,0 +1,351 @@
+"""Tests for repro.obs.watch and repro.obs.report — the dashboard and
+the static end-of-run report."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.report import (
+    build_report,
+    render_html,
+    render_markdown,
+    write_report,
+)
+from repro.obs.tsdb import TimeSeriesDB
+from repro.obs.watch import (
+    WatchFrame,
+    load_frame,
+    render_dashboard,
+    run_watch,
+)
+
+
+def _snapshot_line(t, near_miss_rate):
+    return json.dumps(
+        {
+            "type": "snapshot",
+            "t": t,
+            "counters": {},
+            "gauges": {"rate.margin_near_miss_rate": near_miss_rate},
+            "histograms": {},
+        }
+    )
+
+
+def _populated_store():
+    store = TimeSeriesDB()
+    for tick in range(12):
+        t = float(tick)
+        store.record("phase.detect.p50", 2.0 + tick * 0.1, t=t)
+        store.record("phase.detect.p99", 5.0 + tick * 0.2, t=t)
+        store.record("rate.beacons_per_s", 100.0 - tick, t=t)
+        store.record("pipeline.margin.signed.tick_mean", 2.0, t=t)
+        store.record("drift.margin_mean.cusum", 0.1 * tick, t=t)
+        store.record("drift.margin_mean.page_hinkley", 0.05 * tick, t=t)
+        store.record("slo.band.burn_short", 2.0, t=t)
+        store.record("slo.band.burn_long", 1.5, t=t)
+    return store
+
+
+class TestLoadFrame:
+    def test_tsdb_dump_loads_verbatim(self, tmp_path):
+        store = _populated_store()
+        path = tmp_path / "run.tsdb.jsonl"
+        store.dump_jsonl(str(path))
+        frame = load_frame(str(path))
+        assert frame.kind == "tsdb"
+        assert frame.source == str(path)
+        assert frame.tsdb.snapshot() == store.snapshot()
+        assert frame.status == "n/a"
+
+    def test_snapshot_log_replays_drift(self, tmp_path):
+        # 16 calm ticks warm the detectors up; 14 shifted ticks then
+        # trip CUSUM during the replay, so a recorded run's alerts are
+        # recomputed rather than lost.
+        lines = [_snapshot_line(float(t), 0.1) for t in range(16)]
+        lines += [_snapshot_line(float(16 + t), 5.0) for t in range(14)]
+        path = tmp_path / "snapshots.jsonl"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        frame = load_frame(str(path))
+        assert frame.kind == "snapshots"
+        assert frame.status == "alert"
+        assert any(
+            alert["kind"] == "metric_drift" for alert in frame.alerts
+        )
+        assert frame.tsdb.latest("rate.margin_near_miss_rate") == 5.0
+
+    def test_non_snapshot_records_are_skipped(self, tmp_path):
+        lines = ['{"type": "snapshot_meta", "pid": 1}']
+        lines += [_snapshot_line(float(t), 0.1) for t in range(3)]
+        path = tmp_path / "snapshots.jsonl"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        frame = load_frame(str(path))
+        assert frame.tsdb.samples == 3
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(ValueError, match="empty"):
+            load_frame(str(path))
+
+    def test_unrecognised_header_rejected(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"type": "mystery"}\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="unrecognised record type"):
+            load_frame(str(path))
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_frame(str(tmp_path / "nope.jsonl"))
+
+
+class TestRenderDashboard:
+    def test_sections_and_burn_marker(self):
+        frame = WatchFrame(
+            source="run.tsdb.jsonl",
+            kind="tsdb",
+            tsdb=_populated_store(),
+            status="ok",
+        )
+        text = render_dashboard(frame)
+        assert "repro watch — run.tsdb.jsonl" in text
+        assert "status=ok" in text
+        assert "phase latency (ms)" in text
+        assert "detect" in text
+        assert "throughput (/s)" in text
+        assert "beacons" in text
+        assert "verdict health" in text
+        assert "margin mean" in text
+        assert "drift scores" in text
+        assert "SLO burn" in text
+        # short=2.0x and long=1.5x budget: both burning.
+        assert "** BURN **" in text
+
+    def test_no_burn_marker_when_long_window_is_calm(self):
+        store = TimeSeriesDB()
+        store.record("slo.band.burn_short", 2.0, t=0.0)
+        store.record("slo.band.burn_long", 0.5, t=0.0)
+        frame = WatchFrame(source="s", kind="live", tsdb=store)
+        assert "** BURN **" not in render_dashboard(frame)
+
+    def test_alert_tail_is_capped(self):
+        alerts = [
+            {"kind": "metric_drift", "t": float(n), "message": f"alert {n}"}
+            for n in range(11)
+        ]
+        frame = WatchFrame(
+            source="s", kind="live", tsdb=TimeSeriesDB(), alerts=alerts
+        )
+        text = render_dashboard(frame)
+        assert "alerts (11)" in text
+        assert "alert 10" in text
+        assert "alert 2" not in text
+        assert "3 earlier alert(s) not shown" in text
+
+    def test_live_frame_without_alerts_says_none(self):
+        frame = WatchFrame(source="s", kind="live", tsdb=TimeSeriesDB())
+        assert "none" in render_dashboard(frame)
+
+
+class TestRunWatch:
+    def test_once_renders_without_ansi(self, tmp_path):
+        path = tmp_path / "run.tsdb.jsonl"
+        _populated_store().dump_jsonl(str(path))
+        out = io.StringIO()
+        text = run_watch(str(path), once=True, out=out)
+        assert "phase latency" in text
+        assert out.getvalue() == text + "\n"
+        assert "\x1b" not in out.getvalue()
+
+    def test_follow_mode_clears_between_frames(self, tmp_path):
+        path = tmp_path / "run.tsdb.jsonl"
+        _populated_store().dump_jsonl(str(path))
+        out = io.StringIO()
+        sleeps = []
+        run_watch(
+            str(path),
+            interval_s=0.5,
+            out=out,
+            max_frames=2,
+            sleep=sleeps.append,
+        )
+        assert out.getvalue().count("\x1b[2J") == 2
+        assert sleeps == [0.5]
+
+    def test_follow_mode_waits_for_live_source(self):
+        out = io.StringIO()
+        text = run_watch(
+            "http://127.0.0.1:1",  # connection refused immediately
+            interval_s=0.1,
+            out=out,
+            max_frames=1,
+            sleep=lambda _s: None,
+        )
+        assert "waiting for http://127.0.0.1:1" in text
+
+    def test_once_propagates_live_errors(self):
+        with pytest.raises(OSError):
+            run_watch("http://127.0.0.1:1", once=True, out=io.StringIO())
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            run_watch("whatever", interval_s=0.0)
+
+
+class _FakeDrift:
+    def __init__(self, alerts, slos=()):
+        self.alerts = alerts
+        self.slos = slos
+
+
+class TestBuildReport:
+    def test_tsdb_only(self):
+        doc = build_report(tsdb=_populated_store(), title="t")
+        assert doc["title"] == "t"
+        assert doc["samples"] == _populated_store().samples
+        titles = [group["title"] for group in doc["series_groups"]]
+        assert titles == [
+            "Phase latency",
+            "Verdict health",
+            "Throughput",
+            "Drift",
+            "SLO burn",
+        ]
+        assert doc["alerts"] == []
+        assert "status" not in doc
+
+    def test_drift_without_health_sets_status(self):
+        alert = {"kind": "slo_burn", "t": 1.0, "message": "m"}
+        doc = build_report(drift=_FakeDrift([alert]))
+        assert doc["status"] == "alert"
+        assert doc["alerts"] == [alert]
+        assert build_report(drift=_FakeDrift([]))["status"] == "ok"
+
+    def test_invalid_audit_bundles_degrade_to_no_rows(self):
+        doc = build_report(audit_bundles=[{"pairs": []}])
+        assert doc.get("near_misses", []) == []
+
+    def test_near_misses_from_bundles(self):
+        bundles = [
+            {
+                "timestamp": 30.0,
+                "pairs": [
+                    {
+                        "a": "v0",
+                        "b": "v1",
+                        "margin": 0.02,
+                        "flagged": False,
+                        "provenance": "computed",
+                    },
+                    {
+                        "a": "v0",
+                        "b": "v2",
+                        "margin": 1.5,
+                        "flagged": False,
+                        "provenance": "computed",
+                    },
+                ],
+            }
+        ]
+        doc = build_report(audit_bundles=bundles)
+        pairs = [row["pair"] for row in doc["near_misses"]]
+        assert pairs[0] == "v0 × v1"  # closest to its threshold first
+
+    def test_history_groups_by_artifact(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        entries = [
+            {"artifact": "BENCH_watch.json", "ts": "a",
+             "metrics": {"timing.overhead_pct": 1.0}},
+            {"artifact": "BENCH_watch.json", "ts": "b",
+             "metrics": {"timing.overhead_pct": 2.0}},
+            {"artifact": "BENCH_audit.json", "ts": "b",
+             "metrics": {"overhead.pct": 3.0}},
+            {"not-an-entry": True},
+        ]
+        path.write_text(
+            "".join(json.dumps(entry) + "\n" for entry in entries),
+            encoding="utf-8",
+        )
+        doc = build_report(history_path=str(path))
+        by_name = {row["artifact"]: row for row in doc["history"]}
+        assert set(by_name) == {"BENCH_watch.json", "BENCH_audit.json"}
+        metric = by_name["BENCH_watch.json"]["metrics"][0]
+        assert metric["name"] == "timing.overhead_pct"
+        assert metric["values"] == [1.0, 2.0]
+        assert metric["latest"] == 2.0
+
+    def test_missing_history_file_degrades(self, tmp_path):
+        doc = build_report(history_path=str(tmp_path / "nope.jsonl"))
+        assert doc["history"] == []
+
+
+class TestRendering:
+    def _doc(self):
+        return build_report(
+            tsdb=_populated_store(),
+            drift=_FakeDrift(
+                [
+                    {
+                        "kind": "metric_drift",
+                        "t": 3.0,
+                        "value": 9.0,
+                        "threshold": 6.0,
+                        "message": "CUSUM drift on <margin_mean>",
+                    }
+                ]
+            ),
+            title="acceptance <run>",
+        )
+
+    def test_html_is_self_contained_and_escaped(self):
+        html_text = render_html(self._doc())
+        assert html_text.startswith("<!doctype html>")
+        assert "acceptance &lt;run&gt;" in html_text
+        assert "CUSUM drift on &lt;margin_mean&gt;" in html_text
+        assert "<svg" in html_text
+        assert "phase.detect.p99" in html_text
+
+    def test_markdown_tables(self):
+        markdown = render_markdown(self._doc())
+        assert markdown.startswith("# acceptance <run>")
+        assert "| series | latest | min | max | trajectory |" in markdown
+        assert "## Alerts (1)" in markdown
+        assert "metric_drift" in markdown
+
+    def test_history_renders_in_both_formats(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text(
+            json.dumps(
+                {"artifact": "BENCH_watch.json", "ts": "x",
+                 "metrics": {"timing.overhead_pct": 1.25}}
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        doc = build_report(history_path=str(path))
+        assert "Benchmark history: BENCH_watch.json" in render_html(doc)
+        assert "Benchmark history: BENCH_watch.json" in render_markdown(doc)
+
+
+class TestWriteReport:
+    def test_extension_selects_format(self, tmp_path):
+        html_path = write_report(
+            str(tmp_path / "run.html"), tsdb=_populated_store()
+        )
+        assert open(html_path, encoding="utf-8").read().startswith(
+            "<!doctype html>"
+        )
+        md_path = write_report(
+            str(tmp_path / "run.md"), tsdb=_populated_store()
+        )
+        assert open(md_path, encoding="utf-8").read().startswith("# ")
+
+    def test_never_clobbers(self, tmp_path):
+        base = str(tmp_path / "run.md")
+        first = write_report(base, title="first")
+        second = write_report(base, title="second")
+        assert first == base
+        assert second == base + ".1"
+        assert "first" in open(first, encoding="utf-8").read()
+        assert "second" in open(second, encoding="utf-8").read()
