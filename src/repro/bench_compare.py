@@ -100,6 +100,21 @@ _RULES: Dict[str, Tuple[str, str]] = {
     "series": ("both", "deterministic"),
     "tsdb_samples": ("both", "deterministic"),
     "drift_alerts": ("both", "deterministic"),
+    # streaming service benchmark (BENCH_serve.json)
+    "beacons_per_s": ("higher", "timing"),
+    "ingest_wall_ms": ("lower", "timing"),
+    "p50_ingest_to_verdict_ms": ("lower", "timing"),
+    "p99_ingest_to_verdict_ms": ("lower", "timing"),
+    "beacons": ("both", "deterministic"),
+    "observers": ("both", "deterministic"),
+    "identities_per_observer": ("both", "deterministic"),
+    "beacon_hz": ("both", "deterministic"),
+    "duration_s": ("both", "deterministic"),
+    "shards": ("both", "deterministic"),
+    "reports": ("both", "deterministic"),
+    "shed": ("lower", "deterministic"),
+    "flagged_observers": ("both", "deterministic"),
+    "verdicts_match": ("both", "deterministic"),
 }
 
 

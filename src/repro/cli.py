@@ -573,6 +573,63 @@ def build_parser() -> argparse.ArgumentParser:
     ablations = add_parser("ablations", help="E12 ablations")
     ablations.add_argument("--duration", type=float, default=120.0)
 
+    serve = add_parser(
+        "serve",
+        help="streaming detection service: shard a fleet-wide beacon "
+        "stream by observer, run one online pipeline each, publish "
+        "verdicts (see README 'Streaming service')",
+    )
+    serve.add_argument(
+        "--input",
+        metavar="PATH",
+        default=None,
+        help="beacon JSONL ({observer, identity, t, rssi} per line); "
+        "'-' reads stdin; omit for the synthetic demo fleet",
+    )
+    serve.add_argument(
+        "--observers", type=int, default=100,
+        help="demo fleet: receiving vehicles (default: 100)",
+    )
+    serve.add_argument(
+        "--identities", type=int, default=4,
+        help="demo fleet: legitimate identities per observer",
+    )
+    serve.add_argument(
+        "--sybil", type=int, default=3,
+        help="demo fleet: Sybil identities per observer (0 = no attack)",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=60.0,
+        help="demo fleet: simulated seconds of beaconing",
+    )
+    serve.add_argument(
+        "--beacon-hz", type=float, default=10.0,
+        help="demo fleet: per-identity beacon rate",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=0.0, metavar="BEACONS_PER_S",
+        help="pace ingestion at this many beacons/s (0 = as fast as "
+        "the queues accept; useful with --telemetry-port to watch "
+        "a run live)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=4,
+        help="worker threads; observers are hash-partitioned across them",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=2048,
+        help="per-shard ingest queue bound",
+    )
+    serve.add_argument(
+        "--ingest-policy", choices=("block", "shed"), default="block",
+        help="queue-full behaviour: backpressure the producer (block) "
+        "or drop and count the beacon (shed)",
+    )
+    serve.add_argument(
+        "--max-range", type=float, default=650.0,
+        help="Eq. 9 density denominator (metres)",
+    )
+
     # No obs parent here: explain reads an existing audit log, it does
     # not run the pipeline, so telemetry/profiling flags make no sense.
     explain = sub.add_parser(
@@ -687,6 +744,105 @@ def _cmd_watch(args: argparse.Namespace) -> str:
         raise SystemExit(str(error))
 
 
+def _cmd_serve(args: argparse.Namespace) -> str:
+    # Lazy import: serve pulls in the threaded service machinery no
+    # figure command needs.
+    from .serve import (
+        DetectionService,
+        ServiceConfig,
+        read_jsonl,
+        synthetic_fleet,
+    )
+
+    config = ServiceConfig(
+        shards=args.shards,
+        queue_depth=args.queue_depth,
+        ingest_policy=args.ingest_policy,
+        max_range_m=args.max_range,
+    )
+    service = DetectionService(config)
+    # The CLI consumer wants every verdict for the end-of-run summary,
+    # so it gets a deep queue; other subscribers (none by default)
+    # would pick their own QoS.
+    verdicts = service.subscribe("cli", depth=65536)
+
+    if args.input is not None:
+        if args.input == "-":
+            events = read_jsonl(sys.stdin)
+        else:
+            try:
+                handle = open(args.input, encoding="utf-8")
+            except OSError as error:
+                raise SystemExit(str(error))
+            events = read_jsonl(handle)
+    else:
+        events = iter(
+            synthetic_fleet(
+                observers=args.observers,
+                legit=args.identities,
+                sybil=args.sybil,
+                duration_s=args.duration,
+                beacon_hz=args.beacon_hz,
+                seed=args.seed,
+            )
+        )
+
+    service.start()
+    start = time.monotonic()
+    submitted = 0
+    for event in events:
+        service.submit(event)
+        submitted += 1
+        if args.rate > 0 and submitted % 256 == 0:
+            # Pace in chunks; per-event sleeps are dominated by timer
+            # granularity at realistic rates.
+            ahead = submitted / args.rate - (time.monotonic() - start)
+            if ahead > 0:
+                time.sleep(ahead)
+    drained = service.flush(timeout=600.0)
+    ingest_wall = time.monotonic() - start
+    service.stop()
+
+    stats = service.stats()
+    reports = verdicts.drain()
+    latencies = sorted(r.latency_ms for r in reports)
+
+    def pct(q: float) -> str:
+        if not latencies:
+            return "-"
+        rank = q / 100.0 * (len(latencies) - 1)
+        low = int(rank)
+        high = min(low + 1, len(latencies) - 1)
+        frac = rank - low
+        return f"{latencies[low] * (1 - frac) + latencies[high] * frac:.2f}"
+
+    confirmed = service.confirmed()
+    rows = [
+        ("beacons ingested", f"{stats['ingested']}"),
+        ("beacons shed", f"{stats['shed']}"),
+        ("observers", f"{stats['observers']}"),
+        ("reports published", f"{len(reports)}"),
+        ("throughput (beacons/s)", f"{stats['ingested'] / ingest_wall:,.0f}"),
+        ("ingest-to-verdict p50 (ms)", pct(50.0)),
+        ("ingest-to-verdict p99 (ms)", pct(99.0)),
+        ("observers with confirmed Sybils", f"{len(confirmed)}"),
+        ("drained cleanly", "yes" if drained else "NO (flush timed out)"),
+    ]
+    lines = [render_table(["quantity", "value"], rows, title="serve summary")]
+    if confirmed:
+        shown = list(confirmed.items())[:10]
+        lines.append("")
+        lines.append(
+            render_table(
+                ["observer", "confirmed Sybil identities"],
+                [(obs_id, ", ".join(ids)) for obs_id, ids in shown],
+                title=f"confirmed Sybil clusters "
+                f"(first {len(shown)} of {len(confirmed)})",
+            )
+        )
+    return "\n".join(lines)
+
+
 _HANDLERS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "list": _cmd_list,
     "table1": _cmd_table1,
@@ -703,6 +859,7 @@ _HANDLERS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "ablations": _cmd_ablations,
     "explain": _cmd_explain,
     "watch": _cmd_watch,
+    "serve": _cmd_serve,
 }
 
 
@@ -792,7 +949,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         or watch_on
     ):
         monitor = HealthMonitor(
-            args.health_thresholds or HealthThresholds(), registry=registry
+            args.health_thresholds or HealthThresholds(),
+            registry=registry,
+            # Clock-source contract (see HealthMonitor): simulations
+            # and replays measure silence in event time, the live
+            # service in wall time.
+            clock="wall" if args.command == "serve" else "event",
         )
     previous_monitor = obs.set_default_monitor(monitor) if monitor else None
 

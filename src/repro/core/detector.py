@@ -21,6 +21,7 @@ makes Voiceprint trust-relationship-free.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
@@ -45,11 +46,43 @@ from .pairwise import PairwiseEngine, PairwiseStats, get_engine_defaults
 from .thresholds import LinearThreshold, ThresholdPolicy
 from .timeseries import RSSITimeSeries
 
-__all__ = ["DetectorConfig", "DetectionReport", "VoiceprintDetector"]
+__all__ = [
+    "DetectorConfig",
+    "DetectionReport",
+    "VoiceprintDetector",
+    "set_ownership_guard",
+    "ownership_guard_enabled",
+]
 
 _log = get_logger("core.detector")
 
 Pair = Tuple[str, str]
+
+#: Process-wide default for the single-writer ownership guard (see
+#: :meth:`VoiceprintDetector.claim_ownership`).  Off in production —
+#: the check is one ``threading.get_ident()`` per call, cheap but not
+#: free — and switched on by the test suite's conftest plus the
+#: streaming service's shard workers, so concurrent misuse of one
+#: detector fails loudly instead of silently corrupting buffers.
+_OWNERSHIP_GUARD_DEFAULT = False
+
+
+def set_ownership_guard(enabled: bool) -> bool:
+    """Set the process-wide ownership-guard default; returns the previous.
+
+    Only affects detectors constructed afterwards (each instance
+    snapshots the default, overridable per instance via the
+    ``owner_guard`` constructor argument).
+    """
+    global _OWNERSHIP_GUARD_DEFAULT
+    previous = _OWNERSHIP_GUARD_DEFAULT
+    _OWNERSHIP_GUARD_DEFAULT = bool(enabled)
+    return previous
+
+
+def ownership_guard_enabled() -> bool:
+    """The current process-wide ownership-guard default."""
+    return _OWNERSHIP_GUARD_DEFAULT
 
 
 @dataclass(frozen=True)
@@ -306,6 +339,22 @@ class VoiceprintDetector:
             :func:`repro.obs.set_default_monitor` — None unless
             telemetry is armed, keeping the unmonitored fast path at a
             single None check.
+        owner_guard: Enforce the single-writer contract below with a
+            per-call thread-identity check (``None`` follows the
+            process default, see :func:`set_ownership_guard`).
+
+    **Thread-safety contract (single writer).**  A detector instance
+    holds mutable per-identity buffers and incremental engine state
+    with no internal locking: exactly one thread may call the mutating
+    entry points (:meth:`observe`, :meth:`detect`, :meth:`load_series`,
+    :meth:`forget`, :meth:`reset`).  ``repro.serve`` enforces this by
+    sharding observers across worker threads — each shard thread owns
+    its detectors outright (one-writer-per-shard) and other threads
+    only ever see published :class:`DetectionReport` values.  With the
+    ownership guard armed, the first mutating call binds the instance
+    to the calling thread and any other thread's mutation raises
+    ``RuntimeError`` instead of corrupting buffers; an explicit
+    handoff between threads goes through :meth:`claim_ownership`.
 
     Example:
         >>> detector = VoiceprintDetector()
@@ -322,11 +371,23 @@ class VoiceprintDetector:
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         health: Optional[HealthMonitor] = None,
+        owner_guard: Optional[bool] = None,
     ) -> None:
         self.threshold: ThresholdPolicy = threshold or LinearThreshold()
         self.config = config or DetectorConfig()
         self._buffers: Dict[str, RSSITimeSeries] = {}
         self._latest: float = float("-inf")
+        self._next_sweep_t: float = float("-inf")
+        self._guard = (
+            _OWNERSHIP_GUARD_DEFAULT if owner_guard is None else owner_guard
+        )
+        self._owner_ident: Optional[int] = None
+        #: Observer id stamped onto this detector's audit bundles in
+        #: place of the process-global audit context — shard threads in
+        #: ``repro.serve`` run many detectors concurrently, so a global
+        #: stamp would race (see :func:`repro.obs.set_audit_context`).
+        self.audit_identity: Optional[str] = None
+        self._audit_period = 0
         metrics = registry if registry is not None else default_registry()
         self._tracer = tracer if tracer is not None else default_tracer()
         self._health = health if health is not None else default_monitor()
@@ -373,10 +434,45 @@ class VoiceprintDetector:
                 registry=metrics,
             )
 
+        self._c_stale_forgets = metrics.counter("detector.stale_forgets")
+
     @property
     def pairwise_stats(self) -> Optional[PairwiseStats]:
         """Cumulative engine work accounting (``None`` on the legacy path)."""
         return self._engine.stats if self._engine is not None else None
+
+    # ------------------------------------------------------------------
+    # Single-writer ownership guard
+    # ------------------------------------------------------------------
+    def enable_ownership_guard(self) -> None:
+        """Arm the guard on this instance and bind it to this thread."""
+        self._guard = True
+        self._owner_ident = threading.get_ident()
+
+    def claim_ownership(self) -> None:
+        """Rebind the guard to the calling thread (explicit handoff).
+
+        The previous owner must have stopped touching the detector
+        before the new owner claims it — the guard checks identity,
+        not synchronisation.
+        """
+        self._owner_ident = threading.get_ident()
+
+    def _check_owner(self) -> None:
+        if not self._guard:
+            return
+        ident = threading.get_ident()
+        owner = self._owner_ident
+        if owner is None:
+            self._owner_ident = ident
+        elif ident != owner:
+            raise RuntimeError(
+                f"VoiceprintDetector mutated from thread {ident} while "
+                f"owned by thread {owner}: observe()/detect() are "
+                "single-writer — route every mutation through one shard "
+                "thread (see repro.serve) or hand the instance over with "
+                "claim_ownership()"
+            )
 
     # ------------------------------------------------------------------
     # Collection phase
@@ -385,8 +481,15 @@ class VoiceprintDetector:
         """Record one received beacon's ``<ID, RSSI>`` tuple.
 
         Buffers are trimmed lazily to roughly twice the observation
-        time, bounding memory on long runs.
+        time, and identities whose *newest* sample has fallen more than
+        twice the observation time behind the latest beacon are swept
+        away entirely (buffer plus incremental pair state) — an
+        identity that went silent can never contribute samples to a
+        window again, so keeping it would leak memory for every
+        identity a long-running observer ever heard.  The sweep is
+        amortised: it runs at most once per observation time.
         """
+        self._check_owner()
         identity = str(identity)
         buffer = self._buffers.get(identity)
         if buffer is None:
@@ -402,6 +505,30 @@ class VoiceprintDetector:
         if buffer.start < horizon:
             buffer.drop_before(horizon)
             self._c_evictions.inc()
+        if self._latest >= self._next_sweep_t:
+            self._sweep_stale()
+
+    def _sweep_stale(self) -> None:
+        """Forget identities silent for over twice the observation time.
+
+        The horizon trails :attr:`_latest` (the newest beacon heard from
+        *anyone*), so a single chatty neighbour is enough to age out the
+        whole silent tail.  Runs O(identities) once per observation
+        time — amortised O(1) per beacon.
+        """
+        horizon = self._latest - 2.0 * self.config.observation_time
+        stale = [
+            identity
+            for identity, buffer in self._buffers.items()
+            if len(buffer) == 0 or buffer.end < horizon
+        ]
+        for identity in stale:
+            del self._buffers[identity]
+            if self._engine is not None:
+                self._engine.drop_identity(identity)
+        if stale:
+            self._c_stale_forgets.inc(len(stale))
+        self._next_sweep_t = self._latest + self.config.observation_time
 
     def load_series(self, series: RSSITimeSeries) -> None:
         """Adopt a pre-collected series as this identity's buffer.
@@ -412,6 +539,7 @@ class VoiceprintDetector:
         adopted by reference and replaces any existing buffer for the
         identity.
         """
+        self._check_owner()
         self._buffers[series.identity] = series
         if len(series) and series.end > self._latest:
             self._latest = series.end
@@ -432,6 +560,7 @@ class VoiceprintDetector:
         per-pair carries) is dropped with it: a node that re-enters
         range later must never carry a stale pre-departure verdict.
         """
+        self._check_owner()
         identity = str(identity)
         self._buffers.pop(identity, None)
         if self._engine is not None:
@@ -604,6 +733,7 @@ class VoiceprintDetector:
             A :class:`DetectionReport`; with fewer than two comparable
             identities the report is empty (nothing to compare).
         """
+        self._check_owner()
         if density < 0:
             raise ValueError(f"density must be non-negative, got {density}")
         if now is None:
@@ -745,6 +875,12 @@ class VoiceprintDetector:
         )
         if sink is not None:
             observer, period = get_audit_context()
+            if self.audit_identity is not None:
+                # Serve-mode stamp: shard threads run many detectors
+                # concurrently, so the process-global context would
+                # race; the instance-level identity cannot.
+                observer = self.audit_identity
+                period = self._audit_period
             sink.record_detection(
                 make_detection_bundle(
                     report=report,
@@ -761,6 +897,7 @@ class VoiceprintDetector:
                     store_windows=sink.store_windows,
                 )
             )
+        self._audit_period += 1
         if self._health is not None:
             self._health.on_report(report, stopwatch.elapsed_ms or 0.0)
         if _log.isEnabledFor(10):  # DEBUG: skip summary() cost otherwise
@@ -769,7 +906,9 @@ class VoiceprintDetector:
 
     def reset(self) -> None:
         """Drop all collection buffers and incremental state (fresh start)."""
+        self._check_owner()
         self._buffers.clear()
         self._latest = float("-inf")
+        self._next_sweep_t = float("-inf")
         if self._engine is not None:
             self._engine.clear_incremental()

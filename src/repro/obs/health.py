@@ -28,6 +28,7 @@ is attached — the pipeline's fast path only does a ``None`` check.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, fields
 from typing import Any, Callable, Deque, Dict, List, Optional
@@ -175,6 +176,28 @@ class HealthMonitor:
             ``health.alerts`` counter live in; defaults to the
             process-global one.
         max_alerts: Ring capacity for :attr:`recent_alerts`.
+        clock: Which timebase the silence/staleness watchdog measures
+            gaps in — the **clock-source contract**:
+
+            * ``"event"`` (default — simulations and trace replays):
+              gaps are measured between *beacon timestamps*.  A replay
+              running faster or slower than real time sees exactly the
+              silences recorded in the trace, never artefacts of the
+              replay speed.  :meth:`check` requires an event-time
+              ``now`` in this mode.
+            * ``"wall"`` (live services — ``repro.serve``): gaps are
+              measured between the *wall-clock arrival times* of
+              beats.  Beacon timestamps are kept only for status and
+              alert context; a stalled radio or ingestion loop fires
+              regardless of what the (possibly bogus or replayed)
+              beacon timestamps claim.
+
+            :meth:`watchdog` — the external staleness tick driven by
+            the :class:`~repro.obs.telemetry.Snapshotter` — is always
+            wall-based: from a background thread, "the feed stalled"
+            is only meaningful in wall time.
+        wall_clock: Wall time source (injectable for tests; defaults
+            to :func:`time.monotonic`).
 
     Thread-safe: the simulator feeds beacons from the event loop while
     the telemetry HTTP thread reads :meth:`status`.
@@ -185,8 +208,16 @@ class HealthMonitor:
         thresholds: Optional[HealthThresholds] = None,
         registry: Optional[MetricsRegistry] = None,
         max_alerts: int = 64,
+        clock: str = "event",
+        wall_clock: Callable[[], float] = time.monotonic,
     ) -> None:
+        if clock not in ("event", "wall"):
+            raise ValueError(
+                f"clock must be 'event' or 'wall', got {clock!r}"
+            )
         self.thresholds = thresholds or HealthThresholds()
+        self.clock = clock
+        self._wall_clock = wall_clock
         metrics = registry if registry is not None else default_registry()
         self._lock = threading.Lock()
         window = self.thresholds.window
@@ -195,6 +226,7 @@ class HealthMonitor:
         self._densities: Deque[float] = deque(maxlen=window)
         self._fragile_rates: Deque[float] = deque(maxlen=window)
         self._last_beacon_t: Optional[float] = None
+        self._last_beat_wall: Optional[float] = None
         self._reports = 0
         self._hooks: List[Callable[[Alert], None]] = []
         self._n_alerts = 0
@@ -204,6 +236,7 @@ class HealthMonitor:
         self._g_flag_rate = metrics.gauge("health.flagged_pair_rate")
         self._g_density_drift = metrics.gauge("health.density_drift")
         self._g_silence = metrics.gauge("health.beacon_gap_s")
+        self._g_feed_silence = metrics.gauge("health.feed_silence_s")
         self._g_fragile = metrics.gauge("health.fragile_verdict_rate")
 
     # -- wiring --------------------------------------------------------
@@ -225,14 +258,25 @@ class HealthMonitor:
 
         Detects *retroactive* gaps: the beacon that ends a silence
         longer than ``max_silence_s`` fires a ``beacon_gap`` alert.
+        The gap is measured in the configured clock source — beacon
+        timestamps in ``"event"`` mode, beat arrival wall time in
+        ``"wall"`` mode (see the class docstring).
         """
         limit = self.thresholds.max_silence_s
+        wall = self._wall_clock()
         with self._lock:
-            last = self._last_beacon_t
+            last_t = self._last_beacon_t
+            last_wall = self._last_beat_wall
             self._last_beacon_t = t
-        if last is None:
-            return
-        gap = t - last
+            self._last_beat_wall = wall
+        if self.clock == "wall":
+            if last_wall is None:
+                return
+            gap = wall - last_wall
+        else:
+            if last_t is None:
+                return
+            gap = t - last_t
         self._g_silence.set(gap)
         if limit is not None and gap > limit:
             self._alert(
@@ -243,26 +287,79 @@ class HealthMonitor:
                 threshold=limit,
             )
 
-    def check(self, now: float) -> Optional[Alert]:
-        """Watchdog tick from an external clock (snapshotter/server).
+    def check(self, now: Optional[float] = None) -> Optional[Alert]:
+        """Ongoing-silence check against an explicit "now".
 
         Fires a ``silence`` alert when the detector has heard beacons
         before but none for longer than ``max_silence_s`` as of
         ``now`` — the *ongoing*-stall complement of :meth:`beat`'s
         retroactive gap detection.
+
+        ``now`` must be in the monitor's clock source: an event-time
+        timestamp in ``"event"`` mode (required — there is no ambient
+        event clock to default to), a ``wall_clock`` reading in
+        ``"wall"`` mode (defaults to the current one).  Background
+        threads without access to event time use :meth:`watchdog`
+        instead.
         """
         limit = self.thresholds.max_silence_s
         with self._lock:
-            last = self._last_beacon_t
-        if limit is None or last is None:
-            return None
-        gap = now - last
+            last_t = self._last_beacon_t
+            last_wall = self._last_beat_wall
+        if self.clock == "wall":
+            if limit is None or last_wall is None:
+                return None
+            gap = (self._wall_clock() if now is None else now) - last_wall
+        else:
+            if limit is None or last_t is None:
+                return None
+            if now is None:
+                raise ValueError(
+                    "an event-clock HealthMonitor needs an explicit "
+                    "event-time 'now' for check(); wall-clock callers "
+                    "(snapshotter ticks) should use watchdog()"
+                )
+            gap = now - last_t
         self._g_silence.set(gap)
         if gap > limit:
             return self._alert(
                 "silence",
                 f"detector quiet for {gap:.1f}s (limit {limit:.1f}s)",
-                t=now,
+                t=now if now is not None else (last_t or 0.0),
+                value=gap,
+                threshold=limit,
+            )
+        return None
+
+    def watchdog(self) -> Optional[Alert]:
+        """Wall-clock staleness tick from a background thread.
+
+        The :class:`~repro.obs.telemetry.Snapshotter` calls this every
+        tick.  It measures the wall time since the last :meth:`beat`
+        regardless of clock source: a snapshotter thread has no event
+        clock, so "the feeding loop stalled" can only mean wall
+        silence.  In ``"event"`` mode this is deliberately *not* the
+        same signal as :meth:`check` — a replay running faster than
+        real time keeps beating in wall time and never misfires here,
+        while the old behaviour of comparing a wall ``now`` against
+        event-time beats made the gap depend on the replay speed and
+        the trace's epoch (the clock-source confusion this parameter
+        exists to fix).
+        """
+        limit = self.thresholds.max_silence_s
+        with self._lock:
+            last_t = self._last_beacon_t
+            last_wall = self._last_beat_wall
+        if limit is None or last_wall is None:
+            return None
+        gap = self._wall_clock() - last_wall
+        self._g_feed_silence.set(gap)
+        if gap > limit:
+            return self._alert(
+                "silence",
+                f"no beacons fed for {gap:.1f}s of wall time "
+                f"(limit {limit:.1f}s)",
+                t=last_t if last_t is not None else 0.0,
                 value=gap,
                 threshold=limit,
             )
@@ -408,6 +505,7 @@ class HealthMonitor:
         alerts = list(self.recent_alerts)
         return {
             "status": "alert" if alerts else "ok",
+            "clock": self.clock,
             "reports": reports,
             "last_beacon_t": last,
             "window": {

@@ -112,8 +112,8 @@ class Snapshotter:
             :meth:`tick` calls may use any cadence.
         out: JSONL destination — a path (opened lazily, closed by
             :meth:`close`) or an open text stream (left open).
-        health: Optional monitor whose staleness watchdog is driven
-            from the snapshot clock (:meth:`HealthMonitor.check`).
+        health: Optional monitor whose wall-clock staleness watchdog
+            is driven once per tick (:meth:`HealthMonitor.watchdog`).
         tsdb: Optional :class:`~repro.obs.tsdb.TimeSeriesDB`; every
             tick record is folded in (counter rates, gauges, histogram
             tick means and quantiles) so the run keeps a bounded
@@ -233,7 +233,11 @@ class Snapshotter:
         # snapshot above predates them).
         self._publish_rates(counters, deltas, dt, record["gauges"])
         if self._health is not None:
-            self._health.check(t)
+            # Wall-based staleness tick: the snapshotter has no event
+            # clock, so asking "did the feed stall" with its monotonic
+            # t against event-time beats would confuse timebases (the
+            # monitor's clock-source contract; see HealthMonitor).
+            self._health.watchdog()
         if self.tsdb is not None:
             self.tsdb.observe_snapshot(record, t)
         if self.drift is not None:

@@ -1,0 +1,27 @@
+"""Streaming detection service: fleet-scale Voiceprint as a long-running
+process (``repro serve``).
+
+Because the paper's detector is per-verifier-independent (Section IV),
+a fleet-wide beacon stream shards cleanly by observer:
+:class:`DetectionService` runs one isolated
+:class:`~repro.core.pipeline.OnlineVoiceprint` per observer across a
+pool of worker threads, behind bounded ingest queues with explicit
+backpressure/shedding, and publishes verdicts on a pub/sub bus with
+per-subscriber QoS.  See DESIGN.md §5h.
+"""
+
+from .qos import BoundedQueue, ReportBus, Subscription
+from .service import DetectionService, ReportEvent, ServiceConfig
+from .stream import BeaconEvent, read_jsonl, synthetic_fleet
+
+__all__ = [
+    "BeaconEvent",
+    "BoundedQueue",
+    "DetectionService",
+    "ReportBus",
+    "ReportEvent",
+    "ServiceConfig",
+    "Subscription",
+    "read_jsonl",
+    "synthetic_fleet",
+]

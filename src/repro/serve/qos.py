@@ -1,0 +1,271 @@
+"""Bounded queues and the pub/sub report bus — the service's QoS layer.
+
+The streaming service moves data through exactly two kinds of channel,
+both bounded, both with an *explicit* overflow policy (modelled on the
+DDS history/QoS decomposition the V2X communication stacks use):
+
+* **Ingest queues** (:class:`BoundedQueue`) carry beacon events from
+  the ingestion thread to a shard worker.  Overflow policy is chosen
+  by the operator: ``"block"`` applies backpressure to the producer
+  (lossless — right when the producer is a paced replay or can
+  tolerate latency), ``"shed"`` drops the *newest* event and returns
+  ``False`` (lossy but non-blocking — right when the producer is a
+  radio that cannot wait; a dropped beacon is one sample out of ~200
+  per window, exactly the packet-loss regime the paper's detector
+  already tolerates).  Every shed event is counted.
+
+* **Subscriber queues** (:class:`Subscription`, fanned out by
+  :class:`ReportBus`) carry finished :class:`DetectionReport`s to
+  consumers.  A slow subscriber must never stall detection or other
+  subscribers, so these queues *never* block the publisher: the
+  default ``"drop-oldest"`` policy evicts the stalest report (a
+  monitoring consumer wants the freshest verdicts), ``"drop-newest"``
+  keeps history instead.  Per-subscriber drop counts are published as
+  ``serve.sub.<name>.dropped`` counters.
+
+Everything is stdlib ``threading``; no external broker.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from ..obs.metrics import MetricsRegistry, default_registry
+
+__all__ = ["BoundedQueue", "Subscription", "ReportBus"]
+
+#: Ingest-queue overflow policies.
+INGEST_POLICIES = ("block", "shed")
+#: Subscriber-queue overflow policies.
+SUBSCRIBER_POLICIES = ("drop-oldest", "drop-newest")
+
+
+class BoundedQueue:
+    """Thread-safe bounded FIFO with an explicit overflow policy.
+
+    Args:
+        depth: Maximum queued items (>= 1).
+        policy: ``"block"`` (producer waits for space) or ``"shed"``
+            (overflow drops the incoming item; :meth:`put` returns
+            ``False``).
+
+    :meth:`close` wakes every waiter; once closed, puts are refused and
+    gets drain the remaining items before returning ``None``.
+    """
+
+    def __init__(self, depth: int, policy: str = "block") -> None:
+        if depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {depth}")
+        if policy not in INGEST_POLICIES:
+            raise ValueError(
+                f"policy must be one of {INGEST_POLICIES}, got {policy!r}"
+            )
+        self.depth = int(depth)
+        self.policy = policy
+        self._items: Deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def put(self, item: Any, timeout: Optional[float] = None) -> bool:
+        """Enqueue ``item``; returns False when shed, refused, or timed out."""
+        with self._lock:
+            if self.policy == "shed":
+                if self._closed or len(self._items) >= self.depth:
+                    return False
+            else:
+                while len(self._items) >= self.depth and not self._closed:
+                    if not self._not_full.wait(timeout=timeout):
+                        return False
+                if self._closed:
+                    return False
+            self._items.append(item)
+            self._not_empty.notify()
+            return True
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Dequeue one item; ``None`` on timeout or when closed and empty."""
+        with self._lock:
+            while not self._items:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def close(self) -> None:
+        """Refuse further puts; queued items remain gettable."""
+        with self._lock:
+            self._closed = True
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
+
+    def clear(self) -> int:
+        """Discard everything queued; returns how many were dropped."""
+        with self._lock:
+            dropped = len(self._items)
+            self._items.clear()
+            self._not_full.notify_all()
+            return dropped
+
+
+class Subscription:
+    """One subscriber's bounded report queue (never blocks the bus).
+
+    Obtained from :meth:`ReportBus.subscribe`.  Consume with
+    :meth:`get` (blocking, with timeout) or :meth:`drain`
+    (non-blocking, everything queued).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        depth: int,
+        policy: str,
+        registry: MetricsRegistry,
+    ) -> None:
+        if depth < 1:
+            raise ValueError(f"subscriber depth must be >= 1, got {depth}")
+        if policy not in SUBSCRIBER_POLICIES:
+            raise ValueError(
+                f"policy must be one of {SUBSCRIBER_POLICIES}, got {policy!r}"
+            )
+        self.name = name
+        self.depth = int(depth)
+        self.policy = policy
+        self._items: Deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._closed = False
+        self._c_dropped = registry.counter(f"serve.sub.{name}.dropped")
+        self._c_delivered = registry.counter(f"serve.sub.{name}.delivered")
+        self._n_dropped = 0
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from this subscriber's queue so far."""
+        with self._lock:
+            return self._n_dropped
+
+    def _deliver(self, event: Any) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            if len(self._items) >= self.depth:
+                if self.policy == "drop-oldest":
+                    self._items.popleft()
+                else:  # drop-newest: keep history, refuse the incoming
+                    self._n_dropped += 1
+                    self._c_dropped.inc()
+                    return
+                self._n_dropped += 1
+                self._c_dropped.inc()
+            self._items.append(event)
+            self._c_delivered.inc()
+            self._ready.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Next event; ``None`` on timeout or when closed and empty."""
+        with self._lock:
+            while not self._items:
+                if self._closed:
+                    return None
+                if not self._ready.wait(timeout=timeout):
+                    return None
+            return self._items.popleft()
+
+    def drain(self) -> List[Any]:
+        """Everything currently queued, without blocking."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            return items
+
+    def close(self) -> None:
+        """Detach: refuse further deliveries, wake blocked getters."""
+        with self._lock:
+            self._closed = True
+            self._ready.notify_all()
+
+
+class ReportBus:
+    """Fan-out pub/sub for :class:`ReportEvent`s with per-subscriber QoS.
+
+    Publishing iterates the subscriber list outside any global lock —
+    each :class:`Subscription` applies its own bounded-queue policy, so
+    one slow consumer can neither stall the shard workers nor starve
+    the other subscribers (the per-verifier independence the paper
+    claims for Voiceprint carries over to the service's consumers:
+    nothing a subscriber does feeds back into detection).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self._registry = (
+            registry if registry is not None else default_registry()
+        )
+        self._lock = threading.Lock()
+        self._subs: List[Subscription] = []
+        self._names: Dict[str, int] = {}
+        self._c_published = self._registry.counter("serve.reports_published")
+
+    def subscribe(
+        self,
+        name: Optional[str] = None,
+        depth: int = 256,
+        policy: str = "drop-oldest",
+    ) -> Subscription:
+        """Attach a consumer; ``name`` defaults to ``sub<N>`` and is
+        de-duplicated (``name``, ``name.2``, ...) so counter names
+        stay distinct."""
+        with self._lock:
+            base = name or f"sub{len(self._subs)}"
+            count = self._names.get(base, 0)
+            self._names[base] = count + 1
+            unique = base if count == 0 else f"{base}.{count + 1}"
+            subscription = Subscription(
+                unique, depth=depth, policy=policy, registry=self._registry
+            )
+            self._subs.append(subscription)
+            return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Detach (and close) a subscriber."""
+        with self._lock:
+            if subscription in self._subs:
+                self._subs.remove(subscription)
+        subscription.close()
+
+    @property
+    def subscribers(self) -> List[Subscription]:
+        with self._lock:
+            return list(self._subs)
+
+    def publish(self, event: Any) -> None:
+        """Deliver ``event`` to every subscriber under its own QoS."""
+        with self._lock:
+            subs = list(self._subs)
+        self._c_published.inc()
+        for subscription in subs:
+            subscription._deliver(event)
+
+    def close(self) -> None:
+        """Close every subscriber (service shutdown)."""
+        with self._lock:
+            subs = list(self._subs)
+            self._subs.clear()
+        for subscription in subs:
+            subscription.close()

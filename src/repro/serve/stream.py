@@ -1,0 +1,141 @@
+"""Beacon event sources for the streaming service.
+
+Two sources feed :class:`~repro.serve.service.DetectionService`:
+
+* :func:`read_jsonl` — one JSON object per line with keys
+  ``observer`` (the receiving vehicle), ``identity`` (the claimed
+  sender), ``t`` (beacon timestamp, seconds) and ``rssi`` (dBm).
+  This is the on-disk shape of a fleet-wide beacon log: every
+  verifier's receptions multiplexed into one stream.
+
+* :func:`synthetic_fleet` — a deterministic multi-observer workload
+  generator used by the demo mode, the acceptance tests and the
+  throughput benchmark.  Each observer hears a handful of legitimate
+  identities (independent RSSI random walks) and, optionally, a Sybil
+  cluster: fake identities that share one attacker's walk plus small
+  per-identity noise, the signature Voiceprint detects (paper
+  Section III — all of a Sybil attacker's identities transmit from
+  the same radio, so their RSSI time series agree).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator, List, Union
+
+__all__ = ["BeaconEvent", "synthetic_fleet", "read_jsonl"]
+
+
+@dataclass(frozen=True)
+class BeaconEvent:
+    """One beacon reception: ``observer`` heard ``identity`` at ``t``."""
+
+    observer: str
+    identity: str
+    t: float
+    rssi_dbm: float
+
+
+def synthetic_fleet(
+    observers: int = 100,
+    legit: int = 4,
+    sybil: int = 3,
+    duration_s: float = 60.0,
+    beacon_hz: float = 10.0,
+    seed: int = 0,
+) -> List[BeaconEvent]:
+    """Deterministic fleet-wide beacon log, sorted by time.
+
+    Args:
+        observers: Number of receiving vehicles (each gets its own
+            detection shard state in the service).
+        legit: Legitimate identities heard per observer.
+        sybil: Sybil identities per observer's attacker (0 disables
+            the attack for that whole fleet).
+        duration_s: Length of the simulated window.
+        beacon_hz: Per-identity beacon rate (10 Hz per the standard).
+        seed: RNG seed; same arguments → byte-identical event list.
+
+    Returns:
+        Events sorted by ``(t, observer, identity)`` — the arrival
+        order a fleet-wide collector would emit.
+    """
+    if observers < 1:
+        raise ValueError(f"observers must be >= 1, got {observers}")
+    if beacon_hz <= 0:
+        raise ValueError(f"beacon_hz must be positive, got {beacon_hz}")
+    rng = random.Random(seed)
+    interval = 1.0 / beacon_hz
+    events: List[BeaconEvent] = []
+    for obs_idx in range(observers):
+        observer = f"v{obs_idx:04d}"
+        # Per-identity RSSI walks. Legitimate identities walk
+        # independently; Sybil identities ride one shared attacker walk
+        # with only receiver noise telling them apart.
+        walks = {}
+        for leg_idx in range(legit):
+            walks[f"{observer}.car{leg_idx}"] = rng.gauss(-65.0, 5.0)
+        attacker_level = rng.gauss(-65.0, 5.0)
+        sybil_ids = [f"{observer}.ghost{s}" for s in range(sybil)]
+        # Per-identity phase offsets so beacons interleave rather than
+        # arriving in lockstep.
+        phases = {
+            identity: rng.uniform(0.0, interval)
+            for identity in [*walks, *sybil_ids]
+        }
+        n_ticks = int(duration_s * beacon_hz)
+        for tick in range(n_ticks):
+            for identity in walks:
+                walks[identity] += rng.gauss(0.0, 0.8)
+            attacker_level += rng.gauss(0.0, 0.8)
+            base_t = tick * interval
+            for identity, level in walks.items():
+                events.append(
+                    BeaconEvent(
+                        observer=observer,
+                        identity=identity,
+                        t=base_t + phases[identity],
+                        rssi_dbm=level + rng.gauss(0.0, 0.1),
+                    )
+                )
+            for identity in sybil_ids:
+                events.append(
+                    BeaconEvent(
+                        observer=observer,
+                        identity=identity,
+                        t=base_t + phases[identity],
+                        rssi_dbm=attacker_level + rng.gauss(0.0, 0.1),
+                    )
+                )
+    events.sort(key=lambda e: (e.t, e.observer, e.identity))
+    return events
+
+
+def read_jsonl(
+    source: Union[IO[str], Iterable[str]],
+) -> Iterator[BeaconEvent]:
+    """Parse a beacon-log stream (one JSON object per line).
+
+    Expected keys: ``observer``, ``identity``, ``t``, ``rssi``.
+    Blank lines are skipped; a malformed line raises ``ValueError``
+    naming the line number (a corrupt log should fail loudly, not
+    silently thin the sample stream the detector sees).
+    """
+    for lineno, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            yield BeaconEvent(
+                observer=str(record["observer"]),
+                identity=str(record["identity"]),
+                t=float(record["t"]),
+                rssi_dbm=float(record["rssi"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"malformed beacon record on line {lineno}: {line[:120]!r}"
+            ) from exc

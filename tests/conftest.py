@@ -1,0 +1,19 @@
+"""Suite-wide fixtures.
+
+The detector's single-writer ownership guard is off by default in
+production (one ``threading.get_ident()`` per mutation); the test
+suite arms it process-wide so any test — or any code under test, like
+the ``repro.serve`` shard workers — that mutates a detector from two
+threads fails loudly instead of silently corrupting buffers.
+"""
+
+import pytest
+
+from repro.core.detector import set_ownership_guard
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _arm_ownership_guard():
+    previous = set_ownership_guard(True)
+    yield
+    set_ownership_guard(previous)

@@ -23,6 +23,7 @@ class TestParser:
             ["fig13", "--duration", "120", "--period", "40"],
             ["timing"],
             ["ablations", "--duration", "60"],
+            ["serve", "--observers", "5", "--shards", "2"],
         ):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
@@ -73,6 +74,45 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "campus" in out
         assert "highway" in out
+
+    def test_serve_demo(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--observers", "4",
+                    "--duration", "45",
+                    "--shards", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "serve summary" in out
+        assert "beacons ingested" in out
+        assert "drained cleanly" in out
+        assert "ghost" in out  # confirmed Sybil clusters listed
+
+    def test_serve_stdin_jsonl(self, capsys, monkeypatch):
+        import io
+        import json as json_mod
+
+        lines = "\n".join(
+            json_mod.dumps(
+                {"observer": "v1", "identity": f"car{i % 3}",
+                 "t": i * 0.1, "rssi": -70.0 + i % 5}
+            )
+            for i in range(600)
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        assert main(["serve", "--input", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "beacons ingested" in out
+        assert "600" in out
+
+    def test_serve_missing_input_file_fails_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--input", "/nonexistent/beacons.jsonl"])
 
 
 class TestObservabilityFlags:

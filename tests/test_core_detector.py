@@ -208,3 +208,138 @@ class TestPowerSpoofingInvariance:
             _feed(detector, name, values)
         report = detector.detect(density=10.0)
         assert {"mal", "syb1", "syb2"} <= set(report.sybil_ids)
+
+
+class TestStaleIdentitySweep:
+    """Long-run memory: silent identities must be forgotten (bugfix).
+
+    A roadside observer hears thousands of one-shot identities over a
+    long run (every passing vehicle, every pseudonym change).  Before
+    the sweep, each left a buffer behind forever; this is the
+    regression test that failed against the leaking detector.
+    """
+
+    def test_one_shot_identities_are_swept(self):
+        config = DetectorConfig(observation_time=20.0, min_samples=2)
+        detector = VoiceprintDetector(config=config)
+        # 10k identities, each heard exactly once, 0.1s apart: the
+        # stream spans 1000s, identities fall silent immediately.
+        for i in range(10_000):
+            detector.observe(f"car{i}", i * 0.1, -70.0)
+        # Only identities newer than 2x observation_time (40s = 400
+        # beacons) behind the latest can legally remain.
+        assert len(detector.heard_identities) <= 1_000
+
+    def test_sweep_counts_forgets_when_metrics_enabled(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.enable()
+        config = DetectorConfig(observation_time=20.0, min_samples=2)
+        detector = VoiceprintDetector(config=config, registry=registry)
+        for i in range(5_000):
+            detector.observe(f"car{i}", i * 0.1, -70.0)
+        assert registry.counter("detector.stale_forgets").value > 0
+
+    def test_active_identities_survive_the_sweep(self):
+        config = DetectorConfig(observation_time=20.0, min_samples=2)
+        detector = VoiceprintDetector(config=config)
+        for i in range(3_000):
+            t = i * 0.1
+            detector.observe("steady", t, -70.0)
+            detector.observe(f"oneshot{i}", t, -75.0)
+        assert "steady" in detector.heard_identities
+        series = detector.series_for("steady")
+        assert len(series) > 0
+
+    def test_sweep_drops_incremental_engine_state(self):
+        config = DetectorConfig(
+            observation_time=20.0,
+            min_samples=2,
+            pairwise_engine=True,
+            pairwise_incremental=True,
+        )
+        detector = VoiceprintDetector(config=config)
+        for i in range(3_000):
+            detector.observe(f"car{i}", i * 0.1, -70.0)
+        # The engine's per-identity envelope table must not retain the
+        # swept tail either (that's the other half of the leak).
+        engine = detector._engine
+        assert engine is not None
+        tracked = getattr(engine, "_inc_series", None)
+        if tracked is not None:
+            assert len(tracked) <= len(detector.heard_identities) + 1
+
+    def test_reset_rearms_the_sweep_schedule(self):
+        config = DetectorConfig(observation_time=20.0, min_samples=2)
+        detector = VoiceprintDetector(config=config)
+        for i in range(1_000):
+            detector.observe(f"car{i}", i * 0.1, -70.0)
+        detector.reset()
+        for i in range(1_000):
+            detector.observe(f"bus{i}", i * 0.1, -70.0)
+        assert len(detector.heard_identities) <= 1_000
+
+
+class TestOwnershipGuard:
+    def test_foreign_thread_mutation_raises(self):
+        import threading
+
+        detector = VoiceprintDetector()
+        detector.enable_ownership_guard()
+        detector.observe("a", 0.0, -70.0)
+        failures = []
+
+        def intruder():
+            try:
+                detector.observe("a", 1.0, -70.0)
+            except RuntimeError as error:
+                failures.append(error)
+
+        thread = threading.Thread(target=intruder)
+        thread.start()
+        thread.join()
+        assert len(failures) == 1
+        assert "single-writer" in str(failures[0])
+
+    def test_claim_ownership_hands_over(self):
+        import threading
+
+        detector = VoiceprintDetector()
+        detector.enable_ownership_guard()
+        detector.observe("a", 0.0, -70.0)
+        outcome = []
+
+        def new_owner():
+            detector.claim_ownership()
+            detector.observe("a", 1.0, -70.0)
+            outcome.append("ok")
+
+        thread = threading.Thread(target=new_owner)
+        thread.start()
+        thread.join()
+        assert outcome == ["ok"]
+
+    def test_guard_default_off_allows_cross_thread(self):
+        import threading
+
+        from repro.core.detector import set_ownership_guard
+
+        previous = set_ownership_guard(False)
+        try:
+            detector = VoiceprintDetector()
+            detector.observe("a", 0.0, -70.0)
+            errors = []
+
+            def other():
+                try:
+                    detector.observe("a", 1.0, -70.0)
+                except RuntimeError as error:  # pragma: no cover
+                    errors.append(error)
+
+            thread = threading.Thread(target=other)
+            thread.start()
+            thread.join()
+            assert errors == []
+        finally:
+            set_ownership_guard(previous)

@@ -214,3 +214,94 @@ class TestDefaultMonitor:
         finally:
             set_default_monitor(previous)
         assert default_monitor() is None
+
+
+class TestClockSources:
+    """The clock-source contract (see HealthMonitor docstring).
+
+    Event mode measures gaps between beacon timestamps (replays see
+    the trace's silences, not the replay speed's); wall mode measures
+    gaps between beat arrival times (a live feed stalling fires even
+    if beacon timestamps claim otherwise); watchdog() is always wall.
+    """
+
+    def test_rejects_unknown_clock(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(registry=MetricsRegistry(), clock="gps")
+
+    def test_status_reports_clock(self):
+        monitor = HealthMonitor(registry=MetricsRegistry(), clock="wall")
+        assert monitor.status()["clock"] == "wall"
+
+    def test_event_check_requires_explicit_now(self):
+        monitor = HealthMonitor(
+            HealthThresholds(max_silence_s=5.0),
+            registry=MetricsRegistry(),
+        )
+        monitor.beat(0.0)
+        with pytest.raises(ValueError, match="watchdog"):
+            monitor.check()
+
+    def test_wall_beat_gap_ignores_event_timestamps(self):
+        wall = [100.0]
+        monitor = HealthMonitor(
+            HealthThresholds(max_silence_s=5.0),
+            registry=MetricsRegistry(),
+            clock="wall",
+            wall_clock=lambda: wall[0],
+        )
+        # Beacon timestamps jump 1000s apart, but the beats arrive
+        # back-to-back in wall time: no alert in wall mode.
+        monitor.beat(0.0)
+        wall[0] = 100.5
+        monitor.beat(1000.0)
+        assert monitor.healthy
+        # Now the wall stalls between beats while event time barely
+        # moves: that IS a gap in wall mode.
+        wall[0] = 200.0
+        monitor.beat(1000.1)
+        [alert] = monitor.recent_alerts
+        assert alert.kind == "beacon_gap"
+        assert alert.value == pytest.approx(99.5)
+
+    def test_wall_check_defaults_to_wall_clock(self):
+        wall = [50.0]
+        monitor = HealthMonitor(
+            HealthThresholds(max_silence_s=5.0),
+            registry=MetricsRegistry(),
+            clock="wall",
+            wall_clock=lambda: wall[0],
+        )
+        monitor.beat(0.0)
+        wall[0] = 52.0
+        assert monitor.check() is None
+        wall[0] = 70.0
+        alert = monitor.check()
+        assert alert is not None and alert.kind == "silence"
+
+    def test_watchdog_is_wall_based_in_event_mode(self):
+        wall = [10.0]
+        monitor = HealthMonitor(
+            HealthThresholds(max_silence_s=5.0),
+            registry=MetricsRegistry(),
+            clock="event",
+            wall_clock=lambda: wall[0],
+        )
+        # A fast replay: event time races ahead of wall time.  The
+        # old (buggy) behaviour compared a wall "now" against event
+        # beats and misfired or stayed silent depending on the trace
+        # epoch; watchdog() only ever looks at wall beat arrival.
+        monitor.beat(100_000.0)
+        wall[0] = 11.0
+        assert monitor.watchdog() is None
+        wall[0] = 60.0
+        alert = monitor.watchdog()
+        assert alert is not None and alert.kind == "silence"
+        assert alert.value == pytest.approx(50.0)
+
+    def test_watchdog_silent_before_first_beat(self):
+        monitor = HealthMonitor(
+            HealthThresholds(max_silence_s=5.0),
+            registry=MetricsRegistry(),
+        )
+        assert monitor.watchdog() is None

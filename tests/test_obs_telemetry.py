@@ -161,14 +161,21 @@ class TestSnapshotterMath:
         assert len(records) == 2
 
     def test_tick_drives_health_watchdog(self):
+        # The snapshotter's staleness tick is wall-based (the monitor's
+        # clock-source contract): inject a fake wall clock and stall it.
+        wall = [100.0]
         registry = MetricsRegistry()
         monitor = HealthMonitor(
-            HealthThresholds(max_silence_s=5.0), registry=registry
+            HealthThresholds(max_silence_s=5.0),
+            registry=registry,
+            wall_clock=lambda: wall[0],
         )
         monitor.beat(0.0)
         snap = Snapshotter(registry, health=monitor)
+        wall[0] = 101.0
         snap.tick(now=1.0)
         assert monitor.healthy
+        wall[0] = 160.0
         snap.tick(now=60.0)
         assert [a.kind for a in monitor.recent_alerts] == ["silence"]
 
