@@ -1,0 +1,222 @@
+"""Lineage overhead benchmark — tracing must stay under 5 %.
+
+Runs the BENCH_serve workload (a seeded 100-observer synthetic fleet
+through a sharded :class:`~repro.serve.DetectionService`) twice per
+attempt — lineage off, then lineage on at the default 1 % tail
+sample — and:
+
+* gates the throughput cost of tracing at ``_OVERHEAD_CEILING_PCT``
+  (the ISSUE's <5 % budget: context minting, queue propagation, span
+  listening and tail-retention, measured end-to-end submit→flush);
+* asserts verdicts stay **byte-identical** with tracing on
+  (``verdicts_match`` — lineage observes the pipeline, never steers
+  it);
+* asserts every retained trace's disjoint stage cuts sum to its
+  recorded ingest-to-verdict latency (``stage_sum_ok``) and that every
+  flagged verdict's trace was retained (``traces_flagged`` — the
+  tail-based sampler never drops the traces that matter).
+
+``traces_flagged`` and ``stage_sum_ok`` are deterministic replays of
+the seeded fleet and gate at the deterministic tolerance in
+``bench_compare``; the throughputs and ``overhead_pct`` are
+host-dependent timings, skipped in CI.  Like the profiler's overhead
+gate, the measurement retries up to ``_ATTEMPTS`` times so a noisy
+host passes on a retry while a real regression fails every attempt.
+"""
+
+import json
+import time
+from collections import defaultdict
+from pathlib import Path
+
+from repro.eval.reporting import render_table
+from repro.obs.lineage import start_lineage, stop_lineage
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import default_tracer
+from repro.serve import DetectionService, ServiceConfig, synthetic_fleet
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_OUT_PATH = _REPO_ROOT / "BENCH_trace.json"
+
+_OBSERVERS = 100
+_LEGIT = 4
+_SYBIL = 3
+_DURATION_S = 30.0
+_BEACON_HZ = 10.0
+_SHARDS = 4
+_SEED = 7
+_ATTEMPTS = 3
+_OVERHEAD_CEILING_PCT = 5.0
+_SAMPLE = 0.01
+_CAPACITY = 4096  # > total verdicts: flagged traces must never evict
+_STAGE_SUM_TOLERANCE_MS = 0.05
+
+
+def _run_service(events, config):
+    """One full ingest; returns (wall_s, report_events)."""
+    service = DetectionService(config, registry=MetricsRegistry())
+    subscription = service.subscribe("bench", depth=65536)
+    service.start()
+    start = time.perf_counter()
+    for event in events:
+        service.submit(event)
+    service.flush(timeout=600.0)
+    wall_s = time.perf_counter() - start
+    service.stop()
+    return wall_s, subscription.drain()
+
+
+def _run_traced(events, config):
+    """Same ingest with the process-global lineage installed; returns
+    (wall_s, report_events, lineage_stats, retained_records)."""
+    tracer_was_enabled = default_tracer().enabled
+    registry = MetricsRegistry()
+    registry.enable()
+    lineage = start_lineage(
+        capacity=_CAPACITY, sample=_SAMPLE, registry=registry
+    )
+    try:
+        wall_s, report_events = _run_service(events, config)
+        stats = lineage.stats()
+        records = lineage.records
+    finally:
+        stop_lineage()
+        if not tracer_was_enabled:
+            default_tracer().disable()
+    return wall_s, report_events, stats, records
+
+
+def _by_observer(report_events):
+    grouped = defaultdict(list)
+    for event in report_events:
+        grouped[event.observer].append(event.report)
+    return grouped
+
+
+def test_bench_trace(once, benchmark):
+    events = synthetic_fleet(
+        observers=_OBSERVERS,
+        legit=_LEGIT,
+        sybil=_SYBIL,
+        duration_s=_DURATION_S,
+        beacon_hz=_BEACON_HZ,
+        seed=_SEED,
+    )
+    config = ServiceConfig(shards=_SHARDS)
+
+    def measure_best_attempt():
+        best = None
+        for _attempt in range(_ATTEMPTS):
+            base_wall, base_reports = _run_service(events, config)
+            traced_wall, traced_reports, stats, records = _run_traced(
+                events, config
+            )
+            base_tput = len(events) / base_wall
+            traced_tput = len(events) / traced_wall
+            overhead = 100.0 * (base_tput - traced_tput) / base_tput
+            candidate = (
+                overhead,
+                base_tput,
+                traced_tput,
+                base_reports,
+                traced_reports,
+                stats,
+                records,
+            )
+            if best is None or overhead < best[0]:
+                best = candidate
+            if overhead < _OVERHEAD_CEILING_PCT:
+                break
+        return best
+
+    (
+        overhead_pct,
+        base_tput,
+        traced_tput,
+        base_reports,
+        traced_reports,
+        stats,
+        records,
+    ) = once(benchmark, measure_best_attempt)
+
+    verdicts_match = int(
+        _by_observer(traced_reports) == _by_observer(base_reports)
+    )
+    flagged_verdicts = sum(
+        1 for event in traced_reports if event.report.sybil_pairs
+    )
+    traces_flagged = sum(1 for record in records if record["flagged"])
+    stage_sum_ok = int(
+        all(
+            abs(
+                record["stages"]["ingest_enqueue"]
+                + record["stages"]["queue_wait"]
+                + record["stages"]["detect"]
+                - record["latency_ms"]
+            )
+            <= _STAGE_SUM_TOLERANCE_MS
+            for record in records
+        )
+    )
+
+    payload = {
+        "workload": {
+            "beacons": len(events),
+            "observers": _OBSERVERS,
+            "identities_per_observer": _LEGIT + _SYBIL,
+            "beacon_hz": _BEACON_HZ,
+            "duration_s": _DURATION_S,
+            "shards": _SHARDS,
+        },
+        "lineage": {
+            "reports": len(traced_reports),
+            "traces_flagged": traces_flagged,
+            "stage_sum_ok": stage_sum_ok,
+            "verdicts_match": verdicts_match,
+            "retained": stats["retained"],
+            "completed": stats["completed"],
+        },
+        "timing": {
+            "baseline_beacons_per_s": round(base_tput, 0),
+            "traced_beacons_per_s": round(traced_tput, 0),
+            "overhead_pct": round(overhead_pct, 2),
+        },
+    }
+    _OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    table = render_table(
+        ["quantity", "value"],
+        [
+            ("beacons", payload["workload"]["beacons"]),
+            ("reports", payload["lineage"]["reports"]),
+            ("baseline beacons/s",
+             payload["timing"]["baseline_beacons_per_s"]),
+            ("traced beacons/s",
+             payload["timing"]["traced_beacons_per_s"]),
+            ("overhead %", payload["timing"]["overhead_pct"]),
+            ("traces retained", stats["retained"]),
+            ("flagged verdicts / traces",
+             f"{flagged_verdicts} / {traces_flagged}"),
+            ("stage sums hold", stage_sum_ok),
+            ("verdicts match baseline", verdicts_match),
+        ],
+        title=f"lineage tracing overhead (-> {_OUT_PATH.name})",
+    )
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+
+    assert verdicts_match == 1, (
+        "verdicts diverged with lineage tracing on"
+    )
+    assert traces_flagged == flagged_verdicts, (
+        f"{flagged_verdicts} flagged verdicts but only {traces_flagged} "
+        "flagged traces retained — tail sampling dropped the traces "
+        "that matter"
+    )
+    assert stage_sum_ok == 1, (
+        "stage cuts do not sum to the recorded ingest-to-verdict latency"
+    )
+    assert overhead_pct < _OVERHEAD_CEILING_PCT, (
+        f"lineage costs {overhead_pct:.2f}% throughput, ceiling is "
+        f"{_OVERHEAD_CEILING_PCT:.1f}%"
+    )

@@ -115,6 +115,12 @@ _RULES: Dict[str, Tuple[str, str]] = {
     "shed": ("lower", "deterministic"),
     "flagged_observers": ("both", "deterministic"),
     "verdicts_match": ("both", "deterministic"),
+    # lineage overhead benchmark (BENCH_trace.json); retained-trace
+    # totals are interleaving-dependent and stay informational.
+    "baseline_beacons_per_s": ("higher", "timing"),
+    "traced_beacons_per_s": ("higher", "timing"),
+    "traces_flagged": ("both", "deterministic"),
+    "stage_sum_ok": ("both", "deterministic"),
 }
 
 

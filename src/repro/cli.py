@@ -32,6 +32,14 @@ recent spans/logs/reports that dumps a post-mortem bundle on an alert
 or an unhandled exception (see README "Telemetry & health
 monitoring").
 
+The streaming service adds causal lineage: ``serve --lineage`` (or
+``--lineage-out PATH``) decomposes every beacon→verdict path into
+``serve.stage.*`` histograms and tail-samples a bounded trace ring —
+flagged / near-miss / slow / shed-adjacent verdicts always retained —
+whose correlation ids join the audit log and flight recorder; the
+``trace`` subcommand is the forensics reader (see README "Tracing &
+lineage").
+
 Profiling rides along too: ``--profile`` samples Python stacks at
 ``--profile-hz`` and attributes them to pipeline phases via the open
 spans, printing per-phase and hotspot tables at the end and writing a
@@ -629,6 +637,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-range", type=float, default=650.0,
         help="Eq. 9 density denominator (metres)",
     )
+    serve.add_argument(
+        "--lineage", action="store_true",
+        help="beacon-to-verdict stage tracing with tail-based "
+        "sampling: serve.stage.* histograms plus a bounded ring of "
+        "the flagged/near-miss/slow/shed-adjacent traces (see README "
+        "'Tracing & lineage')",
+    )
+    serve.add_argument(
+        "--lineage-out", metavar="PATH", default=None,
+        help="dump the retained trace ring as JSONL on shutdown "
+        "(implies --lineage; inspect with the 'trace' subcommand)",
+    )
+    serve.add_argument(
+        "--lineage-sample", type=float, default=0.01, metavar="P",
+        help="probability an uninteresting verdict trace is retained "
+        "anyway — flagged/near-miss/slow/shed-adjacent always are "
+        "(default: 0.01)",
+    )
+    serve.add_argument(
+        "--lineage-capacity", type=int, default=512,
+        help="trace ring size in retained traces (default: 512)",
+    )
 
     # No obs parent here: explain reads an existing audit log, it does
     # not run the pipeline, so telemetry/profiling flags make no sense.
@@ -667,6 +697,49 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replay every exact record through repro.core.pairwise and "
         "fail unless each distance is bit-identical",
+    )
+
+    # No obs parent here either: trace reads an existing lineage dump.
+    trace = sub.add_parser(
+        "trace",
+        help="forensics over a --lineage-out trace dump: slowest / "
+        "flagged / near-miss paths, per-verdict stage waterfalls, "
+        "audit-bundle joins, Chrome-tracing export",
+    )
+    trace.add_argument(
+        "dump", help="lineage JSONL written by serve --lineage-out"
+    )
+    trace.add_argument(
+        "--slowest", type=int, metavar="N", default=None,
+        help="show the N highest-latency traces in the selection",
+    )
+    trace.add_argument(
+        "--flagged", action="store_true",
+        help="restrict to traces whose verdict flagged a Sybil pair",
+    )
+    trace.add_argument(
+        "--near-misses", type=int, metavar="N", default=None,
+        help="show the N near-miss traces (margin within epsilon)",
+    )
+    trace.add_argument(
+        "--follow", metavar="CID", default=None,
+        help="print one trace's stage waterfall by correlation id; "
+        "with --audit, also the joined audit pair evidence",
+    )
+    trace.add_argument(
+        "--export", metavar="PATH", default=None,
+        help="write the selection as Chrome-tracing / Perfetto JSON "
+        "(open in chrome://tracing or ui.perfetto.dev)",
+    )
+    trace.add_argument(
+        "--audit", metavar="PATH", default=None,
+        help="join traces to this --audit-out log on correlation id; "
+        "exits non-zero when a flagged trace has no bundle",
+    )
+    trace.add_argument(
+        "--once", action="store_true",
+        help="render a single report and exit (already the default; "
+        "accepted so scripts can be explicit, like watch --once)",
     )
 
     # No obs parent here either: watch observes another run's
@@ -745,6 +818,25 @@ def _cmd_watch(args: argparse.Namespace) -> str:
 
 
 def _cmd_serve(args: argparse.Namespace) -> str:
+    # Lineage must be installed before service.start() captures the
+    # process-global instance for its submit hot path — and
+    # uninstalled on every exit, so a bad --input path cannot leak
+    # tracing into later work in the same process.
+    lineage: Optional["obs.Lineage"] = None
+    if args.lineage or args.lineage_out:
+        lineage = obs.start_lineage(
+            capacity=args.lineage_capacity, sample=args.lineage_sample
+        )
+    try:
+        return _run_serve(args, lineage)
+    finally:
+        if lineage is not None:
+            obs.stop_lineage()
+
+
+def _run_serve(
+    args: argparse.Namespace, lineage: Optional["obs.Lineage"]
+) -> str:
     # Lazy import: serve pulls in the threaded service machinery no
     # figure command needs.
     from .serve import (
@@ -828,6 +920,16 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         ("observers with confirmed Sybils", f"{len(confirmed)}"),
         ("drained cleanly", "yes" if drained else "NO (flush timed out)"),
     ]
+    if lineage is not None:
+        lstats = lineage.stats()
+        rows.append(
+            (
+                "traces retained",
+                f"{lstats['retained']} in ring "
+                f"({lstats['retained_total']} of "
+                f"{lstats['completed']} completed)",
+            )
+        )
     lines = [render_table(["quantity", "value"], rows, title="serve summary")]
     if confirmed:
         shown = list(confirmed.items())[:10]
@@ -840,7 +942,33 @@ def _cmd_serve(args: argparse.Namespace) -> str:
                 f"(first {len(shown)} of {len(confirmed)})",
             )
         )
+    if lineage is not None and args.lineage_out:
+        dump_path = lineage.dump_jsonl(args.lineage_out)
+        lines.append("")
+        lines.append(
+            f"[{lineage.stats()['retained']} trace(s) -> {dump_path}; "
+            f"inspect with 'trace {dump_path}']"
+        )
     return "\n".join(lines)
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    # Lazy import: trace reads a finished dump; nothing else needs the
+    # forensics renderer.
+    from .obs.traceview import run_trace
+
+    try:
+        return run_trace(
+            args.dump,
+            slowest=args.slowest,
+            flagged=args.flagged,
+            near_misses=args.near_misses,
+            follow=args.follow,
+            export=args.export,
+            audit_path=args.audit,
+        )
+    except (ValueError, OSError, RuntimeError) as error:
+        raise SystemExit(str(error))
 
 
 _HANDLERS: Dict[str, Callable[[argparse.Namespace], str]] = {
@@ -858,6 +986,7 @@ _HANDLERS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "timing": _cmd_timing,
     "ablations": _cmd_ablations,
     "explain": _cmd_explain,
+    "trace": _cmd_trace,
     "watch": _cmd_watch,
     "serve": _cmd_serve,
 }
@@ -967,6 +1096,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
 
     recorder: Optional[obs.FlightRecorder] = None
+    previous_recorder: Optional[obs.FlightRecorder] = None
     if args.flight_recorder_out:
         recorder = obs.FlightRecorder(
             args.flight_recorder_out, tracer=obs.default_tracer()
@@ -975,6 +1105,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         recorder.install_excepthook()
         assert monitor is not None
         monitor.attach_recorder(recorder)
+        # Publish as the process default so the serve layer's shed
+        # path (DetectionService.submit) can record dropped beacons.
+        previous_recorder = obs.set_default_recorder(recorder)
 
     # Span destinations: the JSONL stream (--trace-out), the per-phase
     # latency histograms (telemetry), and the flight-recorder ring.
@@ -1155,6 +1288,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if server is not None:
             server.stop()
         if recorder is not None:
+            obs.set_default_recorder(previous_recorder)
             recorder.close()
         if monitor is not None:
             obs.set_default_monitor(previous_monitor)

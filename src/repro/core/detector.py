@@ -35,6 +35,7 @@ from ..obs.audit import (
     signed_margin,
 )
 from ..obs.health import HealthMonitor, default_monitor
+from ..obs.lineage import current_correlation_id
 from ..obs.logging import get_logger
 from ..obs.metrics import MetricsRegistry, default_registry
 from ..obs.timers import Stopwatch
@@ -881,22 +882,27 @@ class VoiceprintDetector:
                 # race; the instance-level identity cannot.
                 observer = self.audit_identity
                 period = self._audit_period
-            sink.record_detection(
-                make_detection_bundle(
-                    report=report,
-                    config=self.config,
-                    scale_tag=(capture or {}).get("scale_tag", ""),
-                    series=(capture or {}).get("series", {}),
-                    provenance=(
-                        self._engine.last_provenance
-                        if self._engine is not None
-                        else None
-                    ),
-                    observer=observer,
-                    period=period,
-                    store_windows=sink.store_windows,
+            # The audit_write span makes evidence-persistence cost
+            # visible in the trace decomposition (lineage folds it into
+            # the audit_write sub-stage of detect).
+            with self._tracer.span("audit_write"):
+                sink.record_detection(
+                    make_detection_bundle(
+                        report=report,
+                        config=self.config,
+                        scale_tag=(capture or {}).get("scale_tag", ""),
+                        series=(capture or {}).get("series", {}),
+                        provenance=(
+                            self._engine.last_provenance
+                            if self._engine is not None
+                            else None
+                        ),
+                        observer=observer,
+                        period=period,
+                        store_windows=sink.store_windows,
+                        correlation_id=current_correlation_id(),
+                    )
                 )
-            )
         self._audit_period += 1
         if self._health is not None:
             self._health.on_report(report, stopwatch.elapsed_ms or 0.0)

@@ -76,6 +76,10 @@ from typing import (
 
 from ..obs.audit import default_audit_log
 from ..obs.audit import restart_in_child as _audit_restart_in_child
+from ..obs.lineage import (
+    default_lineage,
+    restart_in_child as _lineage_restart_in_child,
+)
 from ..obs.logging import get_logger
 from ..obs.metrics import MetricsRegistry, default_registry
 from ..obs.profiling import default_profiler, restart_in_child
@@ -350,6 +354,9 @@ def _worker_entry(conn, fn, args, kwargs) -> None:
     # the parent's stream, so the child audits into a fresh in-memory
     # shard and ships a snapshot home for the parent to merge.
     audit_log = _audit_restart_in_child()
+    # A forked lineage ring is likewise the parent's state in spirit;
+    # the child traces into a fresh ring and ships a snapshot home.
+    lineage = _lineage_restart_in_child()
     try:
         value = fn(*args, **kwargs)
         status: Tuple[str, Any] = ("ok", value)
@@ -364,6 +371,7 @@ def _worker_entry(conn, fn, args, kwargs) -> None:
         span_buffer.records if span_buffer is not None else [],
         profiler.snapshot() if profiler is not None else None,
         audit_log.snapshot() if audit_log is not None else None,
+        lineage.snapshot() if lineage is not None else None,
     )
     try:
         conn.send(payload)
@@ -576,7 +584,15 @@ def run_tasks(
                     if message is None:
                         fail(entry, "worker process died")
                         continue
-                    status, payload, snapshot, spans, profile, audit_shard = message
+                    (
+                        status,
+                        payload,
+                        snapshot,
+                        spans,
+                        profile,
+                        audit_shard,
+                        lineage_shard,
+                    ) = message
                     target.merge(snapshot)
                     _reexport_spans(spans)
                     if profile is not None:
@@ -587,6 +603,10 @@ def run_tasks(
                         parent_audit = default_audit_log()
                         if parent_audit is not None:
                             parent_audit.merge(audit_shard)
+                    if lineage_shard is not None:
+                        parent_lineage = default_lineage()
+                        if parent_lineage is not None:
+                            parent_lineage.merge(lineage_shard)
                     if status != "ok":
                         raise TaskError(entry.spec.key, payload)
                     h_task_ms.observe((now - entry.started) * 1000.0)

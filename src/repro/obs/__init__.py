@@ -24,8 +24,15 @@ pipeline, the simulators, and the evaluation harness:
   online pipeline (staleness watchdog, latency / flag-rate / density
   sliding windows, threshold alerts).
 * :mod:`repro.obs.flightrec` — a bounded :class:`FlightRecorder` ring
-  of recent spans / logs / reports that dumps a post-mortem JSONL
-  bundle when an alert or an unhandled exception fires.
+  of recent spans / logs / reports / shed events that dumps a
+  post-mortem JSONL bundle when an alert or an unhandled exception
+  fires.
+* :mod:`repro.obs.lineage` — beacon-to-verdict causal tracing for the
+  serve layer: a :class:`TraceContext` propagated through the ingest
+  queues decomposes each verdict into ``serve.stage.*_ms`` stage
+  histograms, a tail-sampled trace ring keeps the flagged / near-miss
+  / slow / shed-adjacent paths, and a correlation id joins each trace
+  to its audit bundle and flight-recorder rows (``repro trace``).
 * :mod:`repro.obs.profiling` — a :class:`SamplingProfiler` attributing
   stack samples (and optionally tracemalloc memory) to the open tracer
   span's pipeline phase; collapsed-stack / hotspot-table export and
@@ -99,7 +106,23 @@ from .health import (
     default_monitor,
     set_default_monitor,
 )
-from .flightrec import FlightRecorder, TeeSpanExporter
+from .flightrec import (
+    FlightRecorder,
+    TeeSpanExporter,
+    default_recorder,
+    set_default_recorder,
+)
+from .lineage import (
+    Lineage,
+    TraceContext,
+    current_correlation_id,
+    default_lineage,
+    export_chrome_trace,
+    load_lineage,
+    restart_in_child as restart_lineage_in_child,
+    start_lineage,
+    stop_lineage,
+)
 from .paths import counted_path, indexed_path
 from .profiling import (
     SamplingProfiler,
@@ -168,6 +191,17 @@ __all__ = [
     "HealthMonitor",
     "HealthThresholds",
     "FlightRecorder",
+    "default_recorder",
+    "set_default_recorder",
+    "Lineage",
+    "TraceContext",
+    "current_correlation_id",
+    "default_lineage",
+    "start_lineage",
+    "stop_lineage",
+    "restart_lineage_in_child",
+    "load_lineage",
+    "export_chrome_trace",
     "SamplingProfiler",
     "phase_for_span",
     "counted_path",

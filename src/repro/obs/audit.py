@@ -208,6 +208,7 @@ def make_detection_bundle(
     observer: Optional[str],
     period: Optional[int],
     store_windows: bool = True,
+    correlation_id: Optional[str] = None,
 ) -> Dict[str, Any]:
     """One JSON-ready audit bundle for a finished detection.
 
@@ -224,6 +225,11 @@ def make_detection_bundle(
         observer: Observer id from :func:`get_audit_context`.
         period: Detection-period index from :func:`get_audit_context`.
         store_windows: Embed the raw window bytes (required for replay).
+        correlation_id: The lineage trace's correlation id for this
+            detection, when one is in flight — the join key shared
+            with the trace ring and the flight recorder (additive
+            field; the schema version is unchanged because absent ⇒
+            ``None`` and no consumer requires it).
     """
     raw = report.raw_distances
     flagged = set(report.sybil_pairs)
@@ -282,6 +288,7 @@ def make_detection_bundle(
         "schema": SCHEMA_VERSION,
         "observer": observer,
         "period": period,
+        "correlation_id": correlation_id,
         "timestamp": float(report.timestamp),
         "density": float(report.density),
         "threshold": float(report.threshold),

@@ -245,6 +245,13 @@ WATCHED_SIGNALS = {
         record, "rate.pairwise_cache_hit_rate"
     ),
     "beacon_interarrival_s": _beacon_interarrival,
+    # Serve-only (absent ⇒ skipped): queue wait is the first stage to
+    # drift when shards fall behind the offered load — lineage's stage
+    # decomposition makes it a first-class signal instead of a guess
+    # from the end-to-end latency histogram.
+    "serve_queue_wait_ms": lambda record: _hist_tick_mean(
+        record, "serve.stage.queue_wait_ms"
+    ),
 }
 
 
@@ -386,7 +393,9 @@ class SLOSpec:
 
 def default_slos() -> Tuple[SLOSpec, ...]:
     """The stock objectives ``--watch-record`` arms when no ``--slo``
-    is given: p99 detect latency, near-miss rate, flagged-pair rate."""
+    is given: p99 detect latency, near-miss rate, flagged-pair rate,
+    and (serve runs with lineage only — the metric is absent
+    otherwise, so the objective self-disarms) p99 queue wait."""
     return (
         SLOSpec(
             name="detect_p99_ms",
@@ -402,6 +411,11 @@ def default_slos() -> Tuple[SLOSpec, ...]:
             name="flagged_pair_rate",
             metric="health.flagged_pair_rate",
             max_value=0.5,
+        ),
+        SLOSpec(
+            name="serve_queue_wait_p99_ms",
+            metric="hist:serve.stage.queue_wait_ms:p99",
+            max_value=250.0,
         ),
     )
 

@@ -14,7 +14,15 @@ fixed-size ring buffers instead and serialises them on demand:
   off the ``repro`` logger and records every structured event.
 * **reports** — :meth:`record_report` keeps one summary row per
   :class:`~repro.core.detector.DetectionReport` (the health monitor
-  forwards these when wired via ``attach_recorder``).
+  forwards these when wired via ``attach_recorder``).  When lineage is
+  active each row is stamped with the in-flight trace's correlation
+  id, so a post-mortem joins back to the trace ring and the audit log
+  on one key.
+* **sheds** — :meth:`record_shed` keeps one row per beacon the serve
+  layer dropped under the ``"shed"`` ingest policy, with observer and
+  per-observer sequence context — a post-mortem shows *which*
+  observers lost beacons, not just how many
+  (``serve.beacons_shed``).
 
 :meth:`dump` writes one self-describing JSONL bundle — a header line,
 then every buffered record tagged with its ``type`` — to
@@ -34,11 +42,17 @@ import time
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional
 
+from .lineage import current_correlation_id
 from .logging import ROOT_LOGGER, _STANDARD_ATTRS
 from .paths import counted_path
 from .trace import SpanExporter, Tracer
 
-__all__ = ["FlightRecorder", "TeeSpanExporter"]
+__all__ = [
+    "FlightRecorder",
+    "TeeSpanExporter",
+    "default_recorder",
+    "set_default_recorder",
+]
 
 
 class TeeSpanExporter(SpanExporter):
@@ -117,6 +131,7 @@ class FlightRecorder(SpanExporter):
         self._logs: Deque[Dict[str, Any]] = deque(maxlen=capacity)
         self._reports: Deque[Dict[str, Any]] = deque(maxlen=capacity)
         self._alerts: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._sheds: Deque[Dict[str, Any]] = deque(maxlen=capacity)
         self._dumps = 0
         self._handler: Optional[_RecorderHandler] = None
         self._previous_excepthook: Optional[Any] = None
@@ -132,7 +147,13 @@ class FlightRecorder(SpanExporter):
             self._logs.append(record)
 
     def record_report(self, report: "Any") -> None:
-        """Buffer a one-row summary of a detection report."""
+        """Buffer a one-row summary of a detection report.
+
+        When a lineage trace context is bound to this thread (serve
+        shard workers during ``on_beacon``), the row carries its
+        correlation id — the join key shared with the trace ring and
+        the audit bundle for the same detection.
+        """
         row = {
             "t": float(report.timestamp),
             "density": float(report.density),
@@ -143,8 +164,24 @@ class FlightRecorder(SpanExporter):
             "flagged_pairs": len(report.sybil_pairs),
             "sybil_ids": sorted(report.sybil_ids),
         }
+        correlation_id = current_correlation_id()
+        if correlation_id is not None:
+            row["correlation_id"] = correlation_id
         with self._lock:
             self._reports.append(row)
+
+    def record_shed(self, observer: str, t: float, seq: int) -> None:
+        """Buffer one shed beacon: who lost it and its shed ordinal.
+
+        Args:
+            observer: The observer whose beacon was dropped.
+            t: The beacon's event timestamp.
+            seq: This observer's 1-based shed count (not the beacon
+                sequence — sheds are what the ring is sized for).
+        """
+        row = {"observer": observer, "t": float(t), "seq": int(seq)}
+        with self._lock:
+            self._sheds.append(row)
 
     def on_alert(self, alert: "Any") -> str:
         """Health-monitor hook: buffer the alert and dump a post-mortem.
@@ -207,7 +244,8 @@ class FlightRecorder(SpanExporter):
 
         The first line is a ``postmortem`` header (reason, wall-clock
         time, per-stream record counts); every following line is one
-        buffered record tagged ``type: span | log | report | alert``.
+        buffered record tagged
+        ``type: span | log | report | alert | shed``.
         """
         if self._tracer is not None:
             # Rescue still-open spans into the ring before serialising.
@@ -217,6 +255,7 @@ class FlightRecorder(SpanExporter):
             logs = list(self._logs)
             reports = list(self._reports)
             alerts = list(self._alerts)
+            sheds = list(self._sheds)
             self._dumps += 1
             index = self._dumps
         path = counted_path(self.out, index)
@@ -228,6 +267,7 @@ class FlightRecorder(SpanExporter):
             "logs": len(logs),
             "reports": len(reports),
             "alerts": len(alerts),
+            "sheds": len(sheds),
             "capacity": self.capacity,
         }
         with open(path, "w", encoding="utf-8") as handle:
@@ -235,6 +275,7 @@ class FlightRecorder(SpanExporter):
             for kind, records in (
                 ("alert", alerts),
                 ("report", reports),
+                ("shed", sheds),
                 ("span", spans),
                 ("log", logs),
             ):
@@ -249,3 +290,26 @@ class FlightRecorder(SpanExporter):
         """Detach every installed integration (exporter stays usable)."""
         self.uninstall_log_capture()
         self.uninstall_excepthook()
+
+
+# ----------------------------------------------------------------------
+# Process-global recorder (so the serve layer can feed shed events
+# without threading a recorder handle through every constructor)
+# ----------------------------------------------------------------------
+_DEFAULT: Optional[FlightRecorder] = None
+
+
+def default_recorder() -> Optional[FlightRecorder]:
+    """The process-global flight recorder, or None when not armed."""
+    return _DEFAULT
+
+
+def set_default_recorder(
+    recorder: Optional[FlightRecorder],
+) -> Optional[FlightRecorder]:
+    """Install (or clear, with None) the process-global recorder;
+    returns the previous one so callers can restore it."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = recorder
+    return previous

@@ -1,0 +1,667 @@
+"""Beacon-to-verdict causal lineage with tail-based sampling.
+
+The serve layer's single ``serve.ingest_to_verdict_ms`` histogram says
+*how slow* the tail is but not *where* the time went or *which*
+verdicts are behind the bucket.  This module decomposes every
+beacon→verdict path into explicit stages and keeps the interesting
+traces:
+
+* :meth:`~repro.serve.service.DetectionService.submit` ships two
+  monotonic stamps *through* the shard's
+  :class:`~repro.serve.qos.BoundedQueue` as extra tuple elements — the
+  producer thread allocates no context object, keeping ingest
+  throughput intact.  The shard worker parks the stamps in a
+  per-thread hot-path cell (:meth:`Lineage.register_worker`) and a
+  full :class:`TraceContext` is only materialised lazily, for the rare
+  beacons whose dequeue triggers a detection (the span listener, the
+  audit layer's correlation-id lookup, or verdict completion forces
+  it); the context is stamped again on the way out through the
+  :class:`~repro.serve.qos.ReportBus`.  Under the GIL every per-beacon
+  bytecode on any thread taxes ingest throughput, so the common
+  no-verdict path is three list stores and one clock read.
+* Stages: ``ingest_enqueue`` (submit → enqueue attempt, the routing
+  cut), ``queue_wait`` (enqueue attempt → dequeued, which includes
+  block-policy backpressure), ``detect``
+  (dequeued → verdict).  These three are disjoint cuts of the same
+  monotonic clock, so they sum to the event's ``ingest_to_verdict_ms``
+  latency.  ``publish`` and ``subscriber_delivery`` cover the
+  post-verdict fan-out; ``compare`` and ``audit_write`` are sub-stages
+  of ``detect`` captured from the tracer's ``pairwise_dtw`` /
+  ``audit_write`` spans via a span listener (the lineage object *is*
+  the listener).
+* Every completed verdict trace feeds ``serve.stage.<stage>_ms``
+  histograms — Prometheus, ``/series`` and the watch dashboard pick
+  them up through the normal registry → Snapshotter path.
+
+**Tail-based sampling** keeps the ring useful without unbounded
+growth: traces for flagged verdicts, near-misses (margin within the
+audit layer's epsilon), p99-slow paths and shed-adjacent completions
+are always retained; everything else is sampled at ``sample``
+probability from a seeded RNG.  Every retained trace carries a
+``correlation_id`` that the detector also writes into the matching
+audit bundle and the flight recorder stamps onto its report rows —
+so trace ↔ audit ↔ post-mortem join on one key (``repro trace
+--follow`` walks the join).
+
+Everything is **off by default**: :func:`default_lineage` returns
+``None`` until :func:`start_lineage` installs the process-global
+instance, and the serve hot path guards every touch behind a single
+``is None`` check — zero extra allocations per beacon while disabled
+(asserted by test).  :meth:`Lineage.snapshot` / :meth:`Lineage.merge`
+fold worker rings across processes exactly like the metrics registry
+and audit log do.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+import zlib
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from .metrics import MetricsRegistry, default_registry
+from .paths import indexed_path
+from .trace import default_tracer
+
+__all__ = [
+    "TraceContext",
+    "Lineage",
+    "STAGES",
+    "TOP_STAGES",
+    "current_correlation_id",
+    "default_lineage",
+    "start_lineage",
+    "stop_lineage",
+    "restart_in_child",
+    "load_lineage",
+    "export_chrome_trace",
+]
+
+SNAPSHOT_VERSION = 1
+
+#: Disjoint top-level stages; the first three sum to ingest-to-verdict.
+TOP_STAGES = (
+    "ingest_enqueue",
+    "queue_wait",
+    "detect",
+    "publish",
+    "subscriber_delivery",
+)
+#: Sub-stages of ``detect``, captured from tracer spans.
+SUB_STAGES = ("compare", "audit_write")
+#: Every stage a trace may carry, waterfall order.
+STAGES = TOP_STAGES[:3] + SUB_STAGES + TOP_STAGES[3:]
+
+#: Tracer span name → lineage sub-stage.
+_SPAN_STAGES = {"pairwise_dtw": "compare", "audit_write": "audit_write"}
+
+#: Retention reasons, priority order (first match wins).
+_REASONS = ("flagged", "near_miss", "slow", "shed_adjacent", "sampled")
+
+
+class TraceContext:
+    """One beacon's trace: correlation id plus monotonic stage stamps.
+
+    Minted by :meth:`Lineage.mint` on the submit path; the timestamps
+    are all from ``time.monotonic()`` so stage durations are cuts of
+    one clock, never cross-clock skew.
+    """
+
+    __slots__ = (
+        "correlation_id",
+        "observer",
+        "shard",
+        "seq",
+        "wall_submit",
+        "t_submit",
+        "t_enqueued",
+        "t_dequeued",
+        "t_detect_done",
+        "stages",
+    )
+
+    def __init__(
+        self, correlation_id: str, observer: str, shard: int
+    ) -> None:
+        self.correlation_id = correlation_id
+        self.observer = observer
+        self.shard = shard
+        self.seq: Optional[int] = None
+        self.wall_submit = time.time()
+        self.t_submit = time.monotonic()
+        self.t_enqueued: Optional[float] = None
+        self.t_dequeued: Optional[float] = None
+        self.t_detect_done: Optional[float] = None
+        self.stages: Dict[str, float] = {}
+
+
+class Lineage:
+    """Bounded trace ring with tail-based retention.
+
+    Args:
+        capacity: Ring size in retained traces.
+        sample: Probability an *uninteresting* verdict trace is kept
+            anyway (interesting ones — flagged, near-miss, p99-slow,
+            shed-adjacent — are always kept).
+        shed_window_s: How long after a shed event completions count
+            as shed-adjacent.
+        registry: Metrics registry for the ``serve.stage.*_ms``
+            histograms and trace counters (default: process-global).
+        seed: Seed for the sampling RNG (deterministic retention on a
+            deterministic workload).
+
+    The instance doubles as a tracer span listener
+    (:meth:`on_span_start` / :meth:`on_span_end`), folding
+    ``pairwise_dtw`` / ``audit_write`` span durations into the bound
+    context's ``compare`` / ``audit_write`` sub-stages.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        sample: float = 0.01,
+        shed_window_s: float = 5.0,
+        registry: Optional[MetricsRegistry] = None,
+        seed: int = 7,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError(f"sample must be in [0, 1], got {sample}")
+        self.capacity = int(capacity)
+        self.sample = float(sample)
+        self.shed_window_s = float(shed_window_s)
+        self.seed = int(seed)
+        self._registry = (
+            registry if registry is not None else default_registry()
+        )
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._cid_prefix = f"c{os.getpid():x}-"
+        # Wall ≈ anchor + monotonic: lets _materialize() recover a
+        # submit-time wall stamp without a per-beacon time.time() call.
+        self._wall_anchor = time.time() - time.monotonic()
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=self.capacity)
+        self._rng = random.Random(seed)
+        self._minted = 0
+        self._completed = 0
+        self._retained_total = 0
+        self._sheds = 0
+        self._shed_deadline = float("-inf")
+        self._recent: Deque[float] = deque(maxlen=512)
+        self._p99: Optional[float] = None
+        self._c_retained = self._registry.counter("serve.traces.retained")
+        self._c_dropped = self._registry.counter("serve.traces.dropped")
+        self._h_stages = {
+            stage: self._registry.histogram(f"serve.stage.{stage}_ms")
+            for stage in STAGES
+        }
+
+    # -- hot path (serve threads) --------------------------------------
+    def mint(self, observer: str, shard: int) -> TraceContext:
+        """New context for one submitted beacon; stamps ``t_submit``."""
+        with self._lock:
+            self._minted += 1
+            n = self._minted
+        return TraceContext(
+            self._cid_prefix + format(n, "x"), observer, shard
+        )
+
+    def register_worker(self, shard: int) -> List[Any]:
+        """Hand a shard worker its per-thread hot-path cell.
+
+        The cell is ``[queue_item, t_dequeued, ctx, shard]``.  Per
+        dequeued beacon the worker writes slots 0–2 with plain C-level
+        list stores — no method call, no allocation, under the GIL
+        every per-beacon bytecode on *any* thread taxes ingest
+        throughput.  A :class:`TraceContext` is only materialised
+        lazily (:meth:`_materialize`) when something actually needs it:
+        the span listener, the audit layer asking for the correlation
+        id, or verdict completion.  Beacons that never trigger a
+        detection — the overwhelming majority — pay three list stores
+        and one clock read.
+
+        The cell's ``queue_item`` slot may hold a stale item between
+        beacons; only the owning worker thread reads it, and it
+        overwrites the slot before every ``on_beacon`` call.
+        """
+        cell: List[Any] = [None, 0.0, None, shard]
+        self._local.cell = cell
+        return cell
+
+    def _materialize(self, cell: List[Any]) -> TraceContext:
+        """Build the context for the beacon currently in ``cell``."""
+        item = cell[0]
+        event = item[0]
+        with self._lock:
+            self._minted += 1
+            n = self._minted
+        ctx = TraceContext.__new__(TraceContext)
+        ctx.correlation_id = self._cid_prefix + format(n, "x")
+        ctx.observer = event.observer
+        ctx.shard = cell[3]
+        ctx.seq = None
+        ctx.wall_submit = self._wall_anchor + item[1]
+        ctx.t_submit = item[1]
+        ctx.t_enqueued = item[2]
+        ctx.t_dequeued = cell[1]
+        ctx.t_detect_done = None
+        ctx.stages = {}
+        cell[2] = ctx
+        return ctx
+
+    def bind(self, ctx: TraceContext) -> None:
+        """Make ``ctx`` this thread's current context (shard worker)."""
+        self._local.ctx = ctx
+
+    def unbind(self) -> None:
+        """Clear this thread's current context."""
+        self._local.ctx = None
+
+    def current(self) -> Optional[TraceContext]:
+        """The context bound to this thread, if any.
+
+        On a shard worker thread this materialises the current
+        beacon's context from the hot-path cell on first use; on any
+        other thread it returns whatever :meth:`bind` installed.
+        """
+        cell = getattr(self._local, "cell", None)
+        if cell is not None:
+            ctx = cell[2]
+            if ctx is None and cell[0] is not None:
+                ctx = self._materialize(cell)
+            return ctx
+        return getattr(self._local, "ctx", None)
+
+    def note_shed(self, observer: str, t: float, seq: int) -> None:
+        """Record a shed event: arms the shed-adjacency window."""
+        with self._lock:
+            self._sheds += 1
+            self._shed_deadline = time.monotonic() + self.shed_window_s
+
+    # -- span listener (sub-stage capture) -----------------------------
+    def on_span_start(self, span: Any) -> None:
+        """Tracer listener hook (sub-stages only need the end)."""
+
+    def on_span_end(self, span: Any) -> None:
+        """Fold a finished ``pairwise_dtw``/``audit_write`` span into
+        the bound context's sub-stage durations."""
+        stage = _SPAN_STAGES.get(span.name)
+        if stage is None:
+            return
+        ctx = self.current()
+        if ctx is None or span.duration_ms is None:
+            return
+        ctx.stages[stage] = ctx.stages.get(stage, 0.0) + span.duration_ms
+
+    # -- completion ----------------------------------------------------
+    def complete(
+        self, ctx: TraceContext, report: Any, latency_ms: float
+    ) -> Optional[str]:
+        """Finish a verdict trace: compute stages, observe histograms,
+        decide retention.
+
+        Returns:
+            The retention reason, or None when the trace was sampled
+            out (counted, not kept).
+        """
+        stages = ctx.stages
+        if ctx.t_enqueued is not None:
+            stages["ingest_enqueue"] = (
+                ctx.t_enqueued - ctx.t_submit
+            ) * 1000.0
+            if ctx.t_dequeued is not None:
+                stages["queue_wait"] = (
+                    ctx.t_dequeued - ctx.t_enqueued
+                ) * 1000.0
+                if ctx.t_detect_done is not None:
+                    stages["detect"] = (
+                        ctx.t_detect_done - ctx.t_dequeued
+                    ) * 1000.0
+        for stage, duration in stages.items():
+            hist = self._h_stages.get(stage)
+            if hist is not None:
+                hist.observe(duration)
+
+        flagged = bool(report.sybil_pairs)
+        epsilon = _near_miss_epsilon()
+        near_miss = any(
+            abs(margin) < epsilon for margin in report.margins.values()
+        )
+        now = time.monotonic()
+        with self._lock:
+            self._completed += 1
+            self._recent.append(latency_ms)
+            if self._completed % 64 == 0 and len(self._recent) >= 32:
+                ordered = sorted(self._recent)
+                self._p99 = ordered[
+                    min(len(ordered) - 1, int(0.99 * len(ordered)))
+                ]
+            if flagged:
+                reason: Optional[str] = "flagged"
+            elif near_miss:
+                reason = "near_miss"
+            elif self._p99 is not None and latency_ms >= self._p99:
+                reason = "slow"
+            elif now <= self._shed_deadline:
+                reason = "shed_adjacent"
+            elif self._rng.random() < self.sample:
+                reason = "sampled"
+            else:
+                reason = None
+            if reason is None:
+                self._c_dropped.inc()
+                return None
+            record = {
+                "type": "trace",
+                "correlation_id": ctx.correlation_id,
+                "observer": ctx.observer,
+                "seq": ctx.seq,
+                "shard": ctx.shard,
+                "reason": reason,
+                "flagged": flagged,
+                "near_miss": near_miss,
+                "latency_ms": round(latency_ms, 3),
+                "wall_submit": ctx.wall_submit,
+                "t": float(report.timestamp),
+                "sybil_ids": sorted(report.sybil_ids),
+                "stages": {
+                    stage: round(stages[stage], 3)
+                    for stage in STAGES
+                    if stage in stages
+                },
+            }
+            self._ring.append(record)
+            self._retained_total += 1
+        self._c_retained.inc()
+        return reason
+
+    # -- introspection -------------------------------------------------
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        """The ring's retained traces, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def stats(self) -> Dict[str, int]:
+        """Counters: minted / completed / retained / dropped / sheds."""
+        with self._lock:
+            return {
+                "minted": self._minted,
+                "completed": self._completed,
+                "retained": len(self._ring),
+                "retained_total": self._retained_total,
+                "dropped": self._completed - self._retained_total,
+                "sheds": self._sheds,
+            }
+
+    # -- cross-process folding (same shape as AuditLog) ----------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable copy of this ring's state for a parent to merge."""
+        with self._lock:
+            return {
+                "version": SNAPSHOT_VERSION,
+                "minted": self._minted,
+                "completed": self._completed,
+                "retained_total": self._retained_total,
+                "sheds": self._sheds,
+                "records": list(self._ring),
+            }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a worker's snapshot in: records re-enter this ring
+        (bound applies), counters track process-tree totals."""
+        version = snapshot.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"cannot merge lineage snapshot version {version!r}"
+            )
+        with self._lock:
+            self._minted += snapshot["minted"]
+            self._completed += snapshot["completed"]
+            self._retained_total += snapshot["retained_total"]
+            self._sheds += snapshot["sheds"]
+            for record in snapshot["records"]:
+                self._ring.append(record)
+
+    # -- persistence ---------------------------------------------------
+    def dump_jsonl(self, out: str) -> str:
+        """Write a header line plus one line per retained trace to a
+        fresh :func:`~repro.obs.paths.indexed_path`; returns the path."""
+        with self._lock:
+            records = list(self._ring)
+            header = {
+                "type": "lineage",
+                "version": SNAPSHOT_VERSION,
+                "minted": self._minted,
+                "completed": self._completed,
+                "retained": len(records),
+                "retained_total": self._retained_total,
+                "sheds": self._sheds,
+                "sample": self.sample,
+                "capacity": self.capacity,
+            }
+        path = indexed_path(out)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+            for record in records:
+                handle.write(
+                    json.dumps(record, separators=(",", ":")) + "\n"
+                )
+        return path
+
+
+def _near_miss_epsilon() -> float:
+    # Late import: audit pulls in numpy; the lineage hot path must not
+    # pay that import (or a cycle) at module load.
+    from .audit import get_near_miss_epsilon
+
+    return get_near_miss_epsilon()
+
+
+# ----------------------------------------------------------------------
+# Process-global lifecycle (mirrors the audit log's)
+# ----------------------------------------------------------------------
+_DEFAULT: Optional[Lineage] = None
+
+
+def current_correlation_id() -> Optional[str]:
+    """The correlation id of this thread's bound trace context, or
+    None when lineage is off / nothing is bound.  Cheap enough for the
+    detector's audit path: one global read and two ``None`` checks."""
+    lineage = _DEFAULT
+    if lineage is None:
+        return None
+    ctx = lineage.current()
+    return None if ctx is None else ctx.correlation_id
+
+
+def default_lineage() -> Optional[Lineage]:
+    """The process-global lineage, or None while tracing is off."""
+    return _DEFAULT
+
+
+def start_lineage(
+    capacity: int = 512,
+    sample: float = 0.01,
+    shed_window_s: float = 5.0,
+    registry: Optional[MetricsRegistry] = None,
+    seed: int = 7,
+) -> Lineage:
+    """Install (or return the already-installed) process-global
+    lineage and register it as a span listener.
+
+    Enables the process-global tracer if nothing else has — like the
+    profiler, lineage needs spans to nest and time, but leaves any
+    configured exporter untouched (no exporter ⇒ spans time without
+    being written anywhere).
+    """
+    global _DEFAULT
+    if _DEFAULT is not None:
+        return _DEFAULT
+    lineage = Lineage(
+        capacity=capacity,
+        sample=sample,
+        shed_window_s=shed_window_s,
+        registry=registry,
+        seed=seed,
+    )
+    tracer = default_tracer()
+    if not tracer.enabled:
+        tracer.enable()
+    tracer.add_span_listener(lineage)
+    _DEFAULT = lineage
+    return lineage
+
+
+def stop_lineage() -> Optional[Lineage]:
+    """Uninstall the global lineage (its ring stays readable); returns
+    it, or None when lineage was off."""
+    global _DEFAULT
+    lineage = _DEFAULT
+    _DEFAULT = None
+    if lineage is not None:
+        default_tracer().remove_span_listener(lineage)
+    return lineage
+
+
+def restart_in_child() -> Optional[Lineage]:
+    """Replace a fork-inherited global lineage with a fresh ring.
+
+    The inherited object is shared state with the parent in spirit
+    (same ring, same counters); the child records into its own shard
+    and ships a :meth:`~Lineage.snapshot` home for the parent to
+    :meth:`~Lineage.merge` — the same discipline as the audit log.
+    No-op (returns None) when the parent had lineage off.
+    """
+    global _DEFAULT
+    inherited = _DEFAULT
+    if inherited is None:
+        return None
+    tracer = default_tracer()
+    tracer.remove_span_listener(inherited)
+    _DEFAULT = Lineage(
+        capacity=inherited.capacity,
+        sample=inherited.sample,
+        shed_window_s=inherited.shed_window_s,
+        seed=inherited.seed,
+    )
+    tracer.add_span_listener(_DEFAULT)
+    return _DEFAULT
+
+
+# ----------------------------------------------------------------------
+# Reading + export (the `repro trace` substrate)
+# ----------------------------------------------------------------------
+def load_lineage(path: str) -> List[Dict[str, Any]]:
+    """Parse a :meth:`Lineage.dump_jsonl` file into its trace records.
+
+    Raises:
+        ValueError: The file is not a lineage dump.
+    """
+    records: List[Dict[str, Any]] = []
+    with open(path, encoding="utf-8") as handle:
+        for index, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{index + 1}: not JSON ({error})"
+                ) from error
+            kind = record.get("type")
+            if index == 0:
+                if kind != "lineage":
+                    raise ValueError(
+                        f"{path}: not a lineage dump (first record type "
+                        f"{kind!r}; want 'lineage')"
+                    )
+                continue
+            if kind == "trace":
+                records.append(record)
+    return records
+
+
+def export_chrome_trace(
+    records: List[Dict[str, Any]], out: str
+) -> int:
+    """Write trace records as Chrome-tracing / Perfetto JSON.
+
+    One complete (``"ph": "X"``) event per stage, timestamps in
+    microseconds anchored at each trace's wall-clock submit time; the
+    ``compare`` / ``audit_write`` sub-stages are laid inside their
+    ``detect`` window.  Each observer becomes a named thread row.
+
+    Returns:
+        The number of events written.
+    """
+    events: List[Dict[str, Any]] = []
+    named: Dict[int, str] = {}
+    for record in records:
+        observer = str(record.get("observer", "?"))
+        tid = zlib.crc32(observer.encode("utf-8")) & 0x7FFFFFFF
+        if tid not in named:
+            named[tid] = observer
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": f"observer {observer}"},
+                }
+            )
+        stages = record.get("stages", {})
+        args = {
+            "correlation_id": record.get("correlation_id"),
+            "reason": record.get("reason"),
+            "seq": record.get("seq"),
+        }
+        cursor = float(record.get("wall_submit", 0.0)) * 1e6
+        detect_start = cursor
+        for stage in TOP_STAGES:
+            duration = stages.get(stage)
+            if duration is None:
+                continue
+            if stage == "detect":
+                detect_start = cursor
+            events.append(
+                {
+                    "name": stage,
+                    "cat": "serve",
+                    "ph": "X",
+                    "ts": cursor,
+                    "dur": duration * 1000.0,
+                    "pid": 1,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+            cursor += duration * 1000.0
+        sub_cursor = detect_start
+        for stage in SUB_STAGES:
+            duration = stages.get(stage)
+            if duration is None:
+                continue
+            events.append(
+                {
+                    "name": stage,
+                    "cat": "serve.detect",
+                    "ph": "X",
+                    "ts": sub_cursor,
+                    "dur": duration * 1000.0,
+                    "pid": 1,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+            sub_cursor += duration * 1000.0
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump({"traceEvents": events}, handle)
+    return len(events)

@@ -16,7 +16,10 @@ Mapping:
 * histograms → a summary-style family: ``{quantile="0.5|0.95|0.99"}``
   series plus ``_sum`` and ``_count`` (``# TYPE ... summary``).  The
   registry keeps raw samples (optionally reservoir-capped), not fixed
-  buckets, so a summary is the honest rendering.
+  buckets, so a summary is the honest rendering.  The serve layer's
+  per-stage lineage histograms (``serve.stage.queue_wait_ms`` etc.,
+  see :mod:`repro.obs.lineage`) surface the same way, e.g.
+  ``repro_serve_stage_queue_wait_ms{quantile="0.99"}``.
 
 Metric names like ``detector.pairs_compared`` are sanitised to the
 ``[a-zA-Z_:][a-zA-Z0-9_:]*`` charset (dots become underscores); label

@@ -26,6 +26,12 @@ two runtime consumers, both stdlib-only and fully opt-in:
   ``pairwise_dtw``, ``minmax``, ``threshold``, ``confirmation``) into
   scrapeable p50/p95/p99 latency series.
 
+The serve layer's lineage stage histograms (``serve.stage.*_ms``, see
+:mod:`repro.obs.lineage`) need no extra plumbing here: they live in the
+same registry, so each Snapshotter tick derives their
+``.tick_mean``/``.p50``/``.p99`` series and ``/series`` (hence
+``repro watch``) picks them up automatically.
+
 Nothing here runs unless explicitly constructed and started; the
 disabled path costs the library nothing.
 """

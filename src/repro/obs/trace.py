@@ -37,7 +37,26 @@ __all__ = [
     "default_tracer",
 ]
 
-_ids = itertools.count(1)
+# Span ids are derived from a per-thread monotonic counter plus a
+# globally unique per-thread epoch, so concurrent shard workers can
+# never mint the same id: the epoch differs between threads (and
+# between lifetimes of a reused thread ident), the counter differs
+# within one.  A single shared ``itertools.count`` would rely on the
+# GIL serialising ``next`` — an implementation detail free-threaded
+# builds drop — and contends on one hot object from every worker.
+_thread_epochs = itertools.count(1)
+_id_state = threading.local()
+
+
+def _next_span_id() -> str:
+    state = _id_state
+    count = getattr(state, "count", None)
+    if count is None:
+        state.epoch = next(_thread_epochs)
+        count = 0
+    count += 1
+    state.count = count
+    return f"{state.epoch:x}-{count:x}"
 
 
 class SpanExporter:
@@ -260,7 +279,7 @@ class Tracer:
         if not self._enabled:
             return _NULL_SPAN
         parent = self.current_span
-        span_id = f"{next(_ids):x}"
+        span_id = _next_span_id()
         if parent is None:
             trace_id, parent_id = f"t{span_id}", None
         else:

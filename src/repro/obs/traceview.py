@@ -1,0 +1,308 @@
+"""Forensic rendering of lineage traces — the ``repro trace`` command.
+
+Given a trace dump written by ``repro serve --lineage-out`` (see
+:mod:`repro.obs.lineage`), this module answers the operator's
+questions about the beacon→verdict tail with evidence:
+
+* which retained paths were slowest / flagged / near-misses
+  (``--slowest`` / ``--flagged`` / ``--near-misses``),
+* where one verdict's time went, as a stage waterfall with the
+  stage-sum cross-check against its recorded ingest-to-verdict
+  latency (``--follow <correlation-id>``),
+* whether each flagged trace joins to its decision-provenance audit
+  bundle on the shared correlation id (``--audit`` — the join fails
+  loudly, so CI can assert trace ↔ audit integrity with one command),
+* and a Chrome-tracing / Perfetto export of the selection
+  (``--export``).
+
+Everything renders to plain text — the CLI prints the returned string.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from .lineage import (
+    SUB_STAGES,
+    TOP_STAGES,
+    export_chrome_trace,
+    load_lineage,
+)
+
+__all__ = [
+    "load_header",
+    "render_waterfall",
+    "run_trace",
+    "select_traces",
+]
+
+#: Most traces listed in one invocation (the dump keeps the full ring).
+MAX_LISTED = 20
+
+#: Width of the per-stage duration bars in a waterfall.
+_BAR_WIDTH = 28
+
+
+def load_header(path: str) -> Dict[str, Any]:
+    """The dump's header record (counters, sample rate, capacity).
+
+    Raises:
+        ValueError: Empty file or a non-lineage first record.
+    """
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            header = json.loads(line)
+            if header.get("type") != "lineage":
+                raise ValueError(
+                    f"{path}: not a lineage dump (first record type "
+                    f"{header.get('type')!r}; want 'lineage')"
+                )
+            return header
+    raise ValueError(f"{path} is empty")
+
+
+def select_traces(
+    records: List[Dict[str, Any]],
+    slowest: Optional[int] = None,
+    flagged: bool = False,
+    near_misses: Optional[int] = None,
+) -> Tuple[List[Dict[str, Any]], str]:
+    """Apply the CLI's selectors; returns (selection, label).
+
+    Selectors compose: ``--flagged --slowest 5`` is the five slowest
+    flagged traces.  Without any selector the whole ring is returned
+    in retention order (oldest first).
+    """
+    selected = list(records)
+    label = "retained"
+    if flagged:
+        selected = [r for r in selected if r.get("flagged")]
+        label = "flagged"
+    if near_misses is not None:
+        selected = [r for r in selected if r.get("near_miss")]
+        selected.sort(
+            key=lambda r: r.get("latency_ms") or 0.0, reverse=True
+        )
+        selected = selected[:near_misses]
+        label = f"near-miss {label}" if flagged else "near-miss"
+    if slowest is not None:
+        selected = sorted(
+            selected, key=lambda r: r.get("latency_ms") or 0.0, reverse=True
+        )[:slowest]
+        label = f"slowest {label}"
+    return selected, label
+
+
+def _bar(value: float, scale: float) -> str:
+    if scale <= 0.0:
+        return ""
+    filled = int(round(_BAR_WIDTH * value / scale))
+    return "█" * min(filled, _BAR_WIDTH) if filled > 0 else "▏"
+
+
+def _trace_line(record: Dict[str, Any]) -> str:
+    stages = record.get("stages", {})
+    cuts = "  ".join(
+        f"{stage.split('_')[-1]}={stages[stage]:.3f}"
+        for stage in ("ingest_enqueue", "queue_wait", "detect")
+        if stage in stages
+    )
+    return (
+        f"  {record.get('correlation_id', '?'):<18}"
+        f" {str(record.get('observer', '?')):<10}"
+        f" {record.get('reason', '?'):<13}"
+        f" {record.get('latency_ms') or 0.0:>10.3f}ms"
+        f"  {cuts}"
+    )
+
+
+def _audit_join_section(
+    record: Dict[str, Any], bundle: Dict[str, Any], audit_path: str
+) -> List[str]:
+    lines = [
+        f"  audit join -> {audit_path}: observer={bundle.get('observer')}"
+        f" period={bundle.get('period')}"
+        f" threshold={bundle.get('threshold'):.6g}"
+        f" ({bundle.get('threshold_on')})",
+    ]
+    pairs = [p for p in bundle.get("pairs", []) if p.get("flagged")]
+    shown = pairs if pairs else sorted(
+        bundle.get("pairs", []),
+        key=lambda p: abs(p.get("margin") or float("inf")),
+    )[:1]
+    kind = "flagged pair" if pairs else "closest pair"
+    for pair in shown:
+        margin = pair.get("margin")
+        lines.append(
+            f"    {kind} {pair['a']},{pair['b']}:"
+            f" judged={pair.get('judged_distance'):.6g}"
+            f" margin={margin if margin is None else format(margin, '.6g')}"
+            f" provenance={pair.get('provenance')}"
+        )
+        lines.append(
+            f"      (full evidence: repro explain {audit_path}"
+            f" --pair {pair['a']},{pair['b']})"
+        )
+    return lines
+
+
+def render_waterfall(
+    record: Dict[str, Any],
+    bundle: Optional[Dict[str, Any]] = None,
+    audit_path: Optional[str] = None,
+) -> str:
+    """One trace as a stage waterfall, sub-stages indented under
+    ``detect``, with the stage-sum cross-check footer."""
+    stages = record.get("stages", {})
+    latency = record.get("latency_ms") or 0.0
+    scale = max([latency] + [v for v in stages.values()])
+    lines = [
+        f"trace {record.get('correlation_id', '?')} —"
+        f" observer={record.get('observer')}"
+        f" seq={record.get('seq')}"
+        f" shard={record.get('shard')}"
+        f" reason={record.get('reason')}",
+        f"  flagged={record.get('flagged')}"
+        f" near_miss={record.get('near_miss')}"
+        f" sybil_ids={','.join(record.get('sybil_ids') or []) or '-'}"
+        f" t={record.get('t')}",
+    ]
+    for stage in TOP_STAGES:
+        if stage not in stages:
+            continue
+        lines.append(
+            f"  {stage:<21} {stages[stage]:>10.3f}ms"
+            f"  {_bar(stages[stage], scale)}"
+        )
+        if stage == "detect":
+            for sub in SUB_STAGES:
+                if sub in stages:
+                    lines.append(
+                        f"    {sub:<19} {stages[sub]:>10.3f}ms"
+                        f"  {_bar(stages[sub], scale)}"
+                    )
+    cut_sum = sum(
+        stages.get(stage, 0.0)
+        for stage in ("ingest_enqueue", "queue_wait", "detect")
+    )
+    lines.append(
+        f"  {'ingest-to-verdict':<21} {latency:>10.3f}ms"
+        f"  (enqueue+wait+detect = {cut_sum:.3f}ms,"
+        f" Δ {latency - cut_sum:+.3f}ms)"
+    )
+    if bundle is not None and audit_path is not None:
+        lines.extend(_audit_join_section(record, bundle, audit_path))
+    elif audit_path is not None:
+        lines.append(
+            f"  audit join -> {audit_path}: NO bundle carries this"
+            " correlation id"
+        )
+    return "\n".join(lines)
+
+
+def run_trace(
+    dump_path: str,
+    slowest: Optional[int] = None,
+    flagged: bool = False,
+    near_misses: Optional[int] = None,
+    follow: Optional[str] = None,
+    export: Optional[str] = None,
+    audit_path: Optional[str] = None,
+) -> str:
+    """The ``repro trace`` entry point; returns the rendered text.
+
+    Raises:
+        ValueError: Bad query or unreadable/malformed dump.
+        RuntimeError: ``audit_path`` was given and a flagged trace in
+            the selection does not join to any audit bundle.
+    """
+    header = load_header(dump_path)
+    records = load_lineage(dump_path)
+    by_cid: Dict[str, Dict[str, Any]] = {}
+    if audit_path is not None:
+        from .audit import load_audit_log
+
+        for bundle in load_audit_log(audit_path):
+            cid = bundle.get("correlation_id")
+            if cid is not None:
+                by_cid[cid] = bundle
+
+    if follow is not None:
+        matches = [
+            r for r in records if r.get("correlation_id") == follow
+        ]
+        if not matches:
+            raise ValueError(
+                f"correlation id {follow!r} not among the "
+                f"{len(records)} retained trace(s) in {dump_path}"
+            )
+        sections = [
+            render_waterfall(record, by_cid.get(follow), audit_path)
+            for record in matches
+        ]
+        if export is not None:
+            n_events = export_chrome_trace(matches, export)
+            sections.append(f"[{n_events} event(s) -> {export}]")
+        return "\n\n".join(sections)
+
+    selected, label = select_traces(
+        records, slowest=slowest, flagged=flagged, near_misses=near_misses
+    )
+    lines = [
+        f"lineage {dump_path}: minted={header.get('minted')}"
+        f" completed={header.get('completed')}"
+        f" retained={header.get('retained')}"
+        f" (lifetime {header.get('retained_total')})"
+        f" sheds={header.get('sheds')}"
+        f" sample={header.get('sample')}",
+    ]
+    reasons: Dict[str, int] = {}
+    for record in records:
+        reason = record.get("reason", "?")
+        reasons[reason] = reasons.get(reason, 0) + 1
+    if reasons:
+        lines.append(
+            "retention: "
+            + "  ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(reasons.items())
+            )
+        )
+    lines.append(f"{label}: {len(selected)} trace(s)")
+    for record in selected[:MAX_LISTED]:
+        lines.append(_trace_line(record))
+    if len(selected) > MAX_LISTED:
+        lines.append(
+            f"  ... {len(selected) - MAX_LISTED} more (narrow with"
+            " --slowest/--flagged/--near-misses, or --follow one)"
+        )
+    if export is not None:
+        n_events = export_chrome_trace(selected, export)
+        lines.append(
+            f"[{n_events} event(s) from {len(selected)} trace(s) ->"
+            f" {export}]"
+        )
+    if audit_path is not None:
+        flagged_selection = [r for r in selected if r.get("flagged")]
+        missing = [
+            r.get("correlation_id")
+            for r in flagged_selection
+            if r.get("correlation_id") not in by_cid
+        ]
+        lines.append(
+            f"audit join: {len(flagged_selection) - len(missing)}/"
+            f"{len(flagged_selection)} flagged trace(s) resolve to an"
+            f" audit bundle in {audit_path}"
+        )
+        if missing:
+            raise RuntimeError(
+                "\n".join(lines)
+                + f"\naudit join FAILED: {len(missing)} flagged trace(s)"
+                f" carry no matching bundle: "
+                + ", ".join(str(cid) for cid in missing[:5])
+            )
+    return "\n".join(lines)

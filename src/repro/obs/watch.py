@@ -204,6 +204,24 @@ def render_dashboard(frame: WatchFrame, now: Optional[float] = None) -> str:
                 f"  {sparkline(p99, _SPARK)}"
             )
 
+    stages = sorted(
+        name[: -len(".p99")]
+        for name in names
+        if name.startswith("serve.stage.") and name.endswith(".p99")
+    )
+    if stages:
+        lines.append(_section("serve stage latency (ms)"))
+        for base in stages:
+            label = base[len("serve.stage."):]
+            if label.endswith("_ms"):
+                label = label[: -len("_ms")]
+            p99 = _series_lasts(store, f"{base}.p99")
+            lines.append(
+                f"  {label:<22} p50={_fmt(store.latest(f'{base}.p50')):>8}"
+                f"  p99={_fmt(store.latest(f'{base}.p99')):>8}"
+                f"  {sparkline(p99, _SPARK)}"
+            )
+
     rates = [
         name
         for name in names

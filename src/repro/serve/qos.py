@@ -29,6 +29,7 @@ Everything is stdlib ``threading``; no external broker.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional
 
@@ -254,13 +255,27 @@ class ReportBus:
         with self._lock:
             return list(self._subs)
 
-    def publish(self, event: Any) -> None:
-        """Deliver ``event`` to every subscriber under its own QoS."""
+    def publish(self, event: Any, ctx: Optional[Any] = None) -> None:
+        """Deliver ``event`` to every subscriber under its own QoS.
+
+        With a lineage ``ctx`` the fan-out loop is timed into the
+        context's ``subscriber_delivery`` stage (the time detection
+        verdicts spend being handed to consumers — bounded because
+        subscriber queues never block, but not free).
+        """
         with self._lock:
             subs = list(self._subs)
         self._c_published.inc()
+        if ctx is None:
+            for subscription in subs:
+                subscription._deliver(event)
+            return
+        start = time.monotonic()
         for subscription in subs:
             subscription._deliver(event)
+        ctx.stages["subscriber_delivery"] = (
+            time.monotonic() - start
+        ) * 1000.0
 
     def close(self) -> None:
         """Close every subscriber (service shutdown)."""

@@ -31,6 +31,19 @@ accidental cross-thread mutation of shard state raises instead of
 corrupting buffers, and stamp ``audit_identity`` per observer so audit
 bundles from concurrent shards don't race over the process-global
 audit context.
+
+When :func:`~repro.obs.lineage.start_lineage` has installed the
+process-global lineage *before* :meth:`DetectionService.start`, every
+submitted beacon additionally carries two monotonic stamps through the
+queue; the shard worker parks them in a per-thread hot-path cell
+(:meth:`~repro.obs.lineage.Lineage.register_worker`) and the
+:class:`~repro.obs.lineage.TraceContext` is materialised lazily, only
+for beacons whose dequeue triggers a detection (so the detector's
+audit bundle and the flight recorder pick up its correlation id), and
+the verdict path is decomposed into
+``serve.stage.*_ms`` stage histograms with tail-based trace retention
+(see :mod:`repro.obs.lineage`).  With lineage off the queue items stay
+2-tuples and the hot path performs zero extra allocations.
 """
 
 from __future__ import annotations
@@ -44,7 +57,9 @@ from typing import Dict, List, Optional
 from ..core.detector import DetectionReport, DetectorConfig
 from ..core.pipeline import OnlineVoiceprint, OnlineVoiceprintConfig
 from ..core.thresholds import ThresholdPolicy
+from ..obs.flightrec import default_recorder
 from ..obs.health import HealthMonitor, default_monitor
+from ..obs.lineage import Lineage, TraceContext, default_lineage
 from ..obs.logging import get_logger
 from ..obs.metrics import MetricsRegistry, default_registry
 from .qos import BoundedQueue, ReportBus, Subscription
@@ -171,18 +186,46 @@ class _Shard:
 
     def _run(self) -> None:
         poll = self.service.config.poll_interval_s
+        # With lineage on, every queue item is a 3-tuple
+        # (event, t_submit, t_enqueued) and this thread owns a hot-path
+        # cell; the TraceContext is only materialised lazily for the
+        # rare beacons whose dequeue triggers a detection.  With it off
+        # the loop body is byte-for-byte the pre-lineage path.
+        lineage = self.service._lineage
+        cell = (
+            lineage.register_worker(self.index)
+            if lineage is not None
+            else None
+        )
         while True:
             item = self.queue.get(timeout=poll)
             if item is None:
                 if self.queue.closed:
                     break
                 continue
-            event, wall_in = item
+            event, wall_in = item[0], item[1]
+            if cell is not None:
+                cell[0] = item
+                cell[1] = time.monotonic()
+                cell[2] = None
             pipeline = self._pipeline(event.observer)
-            report = pipeline.on_beacon(event.identity, event.t, event.rssi_dbm)
+            report = pipeline.on_beacon(
+                event.identity, event.t, event.rssi_dbm
+            )
             if report is not None:
-                latency_ms = (time.monotonic() - wall_in) * 1000.0
-                self.service._publish(event.observer, pipeline, report, latency_ms)
+                now = time.monotonic()
+                ctx = None
+                if cell is not None:
+                    ctx = cell[2]
+                    if ctx is None:
+                        ctx = lineage._materialize(cell)
+                    ctx.t_detect_done = now
+                    cell[0] = None
+                    cell[2] = None
+                latency_ms = (now - wall_in) * 1000.0
+                self.service._publish(
+                    event.observer, pipeline, report, latency_ms, ctx
+                )
             self.processed += 1
 
 
@@ -236,6 +279,10 @@ class DetectionService:
         self._n_ingested = 0
         self._n_shed = 0
         self._n_published = 0
+        # Captured from the process-global at start() so the submit
+        # hot path pays one attribute load, not a module lookup.
+        self._lineage: Optional[Lineage] = None
+        self._shed_seq: Dict[str, int] = {}
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "DetectionService":
@@ -243,6 +290,7 @@ class DetectionService:
         if self._started:
             return self
         self._started = True
+        self._lineage = default_lineage()
         for shard in self._shards:
             shard.thread.start()
         _log.info(
@@ -308,8 +356,24 @@ class DetectionService:
         point — a lossless producer should slow down, not OOM the
         service.
         """
-        shard = self._shards[self.shard_of(event.observer, len(self._shards))]
-        if shard.queue.put((event, time.monotonic())):
+        lineage = self._lineage
+        if lineage is None:
+            shard = self._shards[
+                self.shard_of(event.observer, len(self._shards))
+            ]
+            queued = shard.queue.put((event, time.monotonic()))
+        else:
+            # Producer side stays allocation-free: two monotonic stamps
+            # ride the queue and the shard worker materialises a
+            # TraceContext lazily, only when a verdict needs one.
+            # ``wall_in`` doubles as the trace's submit stamp so the
+            # published latency and the stage sum share one clock read.
+            t_submit = time.monotonic()
+            shard = self._shards[
+                self.shard_of(event.observer, len(self._shards))
+            ]
+            queued = shard.queue.put((event, t_submit, time.monotonic()))
+        if queued:
             with self._submit_lock:
                 shard.accepted += 1
                 self._n_ingested += 1
@@ -317,7 +381,14 @@ class DetectionService:
             return True
         with self._submit_lock:
             self._n_shed += 1
+            shed_seq = self._shed_seq.get(event.observer, 0) + 1
+            self._shed_seq[event.observer] = shed_seq
         self._c_shed.inc()
+        if lineage is not None:
+            lineage.note_shed(event.observer, event.t, shed_seq)
+        recorder = default_recorder()
+        if recorder is not None:
+            recorder.record_shed(event.observer, event.t, shed_seq)
         return False
 
     # -- reports -------------------------------------------------------
@@ -336,19 +407,31 @@ class DetectionService:
         pipeline: OnlineVoiceprint,
         report: DetectionReport,
         latency_ms: float,
+        ctx: Optional["TraceContext"] = None,
     ) -> None:
         self._h_latency.observe(latency_ms)
         seq = len(pipeline.reports)  # report already appended → 1-based
         with self._submit_lock:
             self._n_published += 1
-        self.bus.publish(
-            ReportEvent(
-                observer=observer,
-                seq=seq,
-                report=report,
-                latency_ms=latency_ms,
-            )
+        event = ReportEvent(
+            observer=observer,
+            seq=seq,
+            report=report,
+            latency_ms=latency_ms,
         )
+        if ctx is None:
+            self.bus.publish(event)
+            return
+        ctx.seq = seq
+        publish_start = time.monotonic()
+        # The bus stamps the subscriber_delivery stage (the fan-out
+        # loop); publish is the bus overhead around it, so the two
+        # stages stay disjoint.
+        self.bus.publish(event, ctx=ctx)
+        publish_ms = (time.monotonic() - publish_start) * 1000.0
+        delivery_ms = ctx.stages.get("subscriber_delivery", 0.0)
+        ctx.stages["publish"] = max(publish_ms - delivery_ms, 0.0)
+        self._lineage.complete(ctx, report, latency_ms)
 
     # -- introspection -------------------------------------------------
     def _observer_count(self) -> int:

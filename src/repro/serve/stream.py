@@ -16,6 +16,12 @@ Two sources feed :class:`~repro.serve.service.DetectionService`:
   per-identity noise, the signature Voiceprint detects (paper
   Section III — all of a Sybil attacker's identities transmit from
   the same radio, so their RSSI time series agree).
+
+Both sources yield plain :class:`BeaconEvent` rows; when lineage
+tracing is on (``--lineage``), :meth:`DetectionService.submit` ships
+monotonic stamps through the shard queue and the worker mints a
+:class:`~repro.obs.lineage.TraceContext` per dequeued event — sources
+stay trace-agnostic by design.
 """
 
 from __future__ import annotations

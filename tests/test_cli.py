@@ -648,3 +648,102 @@ class TestWatchtowerFlags:
     def test_watch_rejects_bad_source(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["watch", str(tmp_path / "missing.jsonl"), "--once"])
+
+
+class TestTraceCommand:
+    def _serve_with_lineage(self, tmp_path, extra=()):
+        dump = tmp_path / "traces.jsonl"
+        audit = tmp_path / "audit.jsonl"
+        argv = [
+            "serve",
+            "--observers", "2",
+            "--identities", "3",
+            "--sybil", "2",
+            "--duration", "25",
+            "--shards", "2",
+            "--lineage-out", str(dump),
+            "--lineage-sample", "1.0",
+            "--audit-out", str(audit),
+            *extra,
+        ]
+        assert main(argv) == 0
+        return dump, audit
+
+    def test_serve_lineage_run_then_flagged_audit_join(
+        self, tmp_path, capsys
+    ):
+        dump, audit = self._serve_with_lineage(tmp_path)
+        out = capsys.readouterr().out
+        assert "traces retained" in out
+        assert dump.exists()
+
+        assert (
+            main(
+                [
+                    "trace", str(dump),
+                    "--flagged",
+                    "--audit", str(audit),
+                    "--once",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "audit join:" in out
+        assert "0/0" not in out  # flagged verdicts existed and joined
+
+    def test_trace_follow_renders_waterfall_and_evidence(
+        self, tmp_path, capsys
+    ):
+        dump, audit = self._serve_with_lineage(tmp_path)
+        capsys.readouterr()
+        from repro.obs.lineage import load_lineage
+
+        flagged = [r for r in load_lineage(str(dump)) if r["flagged"]]
+        assert flagged
+        cid = flagged[0]["correlation_id"]
+        assert (
+            main(["trace", str(dump), "--follow", cid, "--audit", str(audit)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "queue_wait" in out
+        assert "ingest-to-verdict" in out
+        assert "repro explain" in out  # joined audit pair evidence
+
+    def test_trace_export_writes_chrome_json(self, tmp_path, capsys):
+        dump, _ = self._serve_with_lineage(tmp_path)
+        capsys.readouterr()
+        chrome = tmp_path / "chrome.json"
+        assert (
+            main(["trace", str(dump), "--slowest", "2", "--export", str(chrome)])
+            == 0
+        )
+        payload = json.loads(chrome.read_text(encoding="utf-8"))
+        assert payload["traceEvents"]
+
+    def test_trace_unknown_cid_fails_cleanly(self, tmp_path):
+        dump, _ = self._serve_with_lineage(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["trace", str(dump), "--follow", "c-nope"])
+
+    def test_trace_rejects_non_lineage_file(self, tmp_path):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text('{"type": "tsdb"}\n', encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["trace", str(bogus)])
+
+    def test_lineage_flags_default_to_off(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.lineage is False
+        assert args.lineage_out is None
+        assert args.lineage_sample == 0.01
+        assert args.lineage_capacity == 512
+
+    def test_serve_without_lineage_leaves_global_off(self, capsys):
+        from repro.obs.lineage import default_lineage
+
+        assert (
+            main(["serve", "--observers", "1", "--duration", "25"]) == 0
+        )
+        assert default_lineage() is None

@@ -223,6 +223,7 @@ class TestSLOSpec:
             "detect_p99_ms",
             "near_miss_rate",
             "flagged_pair_rate",
+            "serve_queue_wait_p99_ms",
         ]
 
 
@@ -316,6 +317,7 @@ class TestDriftMonitor:
             "near_miss_rate": 0.1,
             "cache_hit_rate": 0.8,
             "beacon_interarrival_s": 0.1,
+            "serve_queue_wait_ms": None,
         }
 
     def test_slo_burn_needs_full_short_window_and_both_windows(self):

@@ -1,0 +1,635 @@
+"""Tests for repro.obs.lineage + traceview — beacon-to-verdict tracing.
+
+The contracts under test are the ISSUE's acceptance criteria: every
+flagged verdict's trace is retained; its disjoint stage cuts
+(``ingest_enqueue + queue_wait + detect``) sum to the published
+``ingest_to_verdict_ms`` latency; the correlation id joins the trace
+to the matching audit bundle and flight-recorder rows; verdicts stay
+byte-identical with tracing on or off; and the disabled path performs
+exactly zero trace-context allocations per beacon.
+"""
+
+import json
+from collections import defaultdict
+
+import pytest
+
+from repro.obs import audit as audit_mod
+from repro.obs.flightrec import FlightRecorder, set_default_recorder
+from repro.obs.lineage import (
+    Lineage,
+    TraceContext,
+    current_correlation_id,
+    default_lineage,
+    export_chrome_trace,
+    load_lineage,
+    restart_in_child,
+    start_lineage,
+    stop_lineage,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import default_tracer
+from repro.obs.traceview import (
+    load_header,
+    render_waterfall,
+    run_trace,
+    select_traces,
+)
+from repro.serve import (
+    BeaconEvent,
+    DetectionService,
+    ServiceConfig,
+    synthetic_fleet,
+)
+
+
+class _FakeReport:
+    """Just enough of a DetectionReport for Lineage.complete()."""
+
+    def __init__(
+        self, flagged=False, margins=None, timestamp=0.0, sybil_ids=()
+    ):
+        self.sybil_pairs = [("a", "b")] if flagged else []
+        self.margins = {} if margins is None else margins
+        self.sybil_ids = list(sybil_ids)
+        self.timestamp = timestamp
+        self.density = 10.0
+        self.threshold = 1.0
+        self.compared_ids = ["a", "b"]
+        self.skipped_ids = []
+        self.raw_distances = {("a", "b"): 0.5}
+
+
+def _completed_ctx(lineage, stages=True):
+    ctx = lineage.mint("v1", 0)
+    if stages:
+        ctx.t_enqueued = ctx.t_submit + 0.001
+        ctx.t_dequeued = ctx.t_submit + 0.003
+        ctx.t_detect_done = ctx.t_submit + 0.010
+    return ctx
+
+
+FAR = 1e9  # a margin nowhere near the near-miss epsilon
+
+
+@pytest.fixture
+def global_lineage():
+    """Process-global lineage (sample=1.0) with full teardown."""
+    tracer_was_enabled = default_tracer().enabled
+    registry = MetricsRegistry()
+    registry.enable()
+    lineage = start_lineage(sample=1.0, registry=registry)
+    yield lineage
+    stop_lineage()
+    if not tracer_was_enabled:
+        default_tracer().disable()
+
+
+# ----------------------------------------------------------------------
+# Unit: retention, stages, ring bound
+# ----------------------------------------------------------------------
+class TestLineageUnit:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Lineage(capacity=0, registry=MetricsRegistry())
+        with pytest.raises(ValueError):
+            Lineage(sample=1.5, registry=MetricsRegistry())
+
+    def test_correlation_ids_unique(self):
+        lineage = Lineage(registry=MetricsRegistry())
+        ids = {lineage.mint("v1", 0).correlation_id for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_stage_cuts_sum_to_latency(self):
+        lineage = Lineage(sample=1.0, registry=MetricsRegistry())
+        ctx = _completed_ctx(lineage)
+        latency = (ctx.t_detect_done - ctx.t_submit) * 1000.0
+        assert lineage.complete(ctx, _FakeReport(), latency) == "sampled"
+        [record] = lineage.records
+        cuts = record["stages"]
+        assert cuts["ingest_enqueue"] == pytest.approx(1.0, abs=1e-6)
+        assert cuts["queue_wait"] == pytest.approx(2.0, abs=1e-6)
+        assert cuts["detect"] == pytest.approx(7.0, abs=1e-6)
+        assert (
+            cuts["ingest_enqueue"] + cuts["queue_wait"] + cuts["detect"]
+            == pytest.approx(record["latency_ms"], abs=2e-3)
+        )
+
+    def test_flagged_always_retained(self):
+        lineage = Lineage(sample=0.0, registry=MetricsRegistry())
+        ctx = _completed_ctx(lineage)
+        reason = lineage.complete(
+            ctx, _FakeReport(flagged=True, sybil_ids=["b"]), 10.0
+        )
+        assert reason == "flagged"
+        [record] = lineage.records
+        assert record["flagged"] is True
+        assert record["sybil_ids"] == ["b"]
+
+    def test_near_miss_retained(self):
+        lineage = Lineage(sample=0.0, registry=MetricsRegistry())
+        ctx = _completed_ctx(lineage)
+        reason = lineage.complete(
+            ctx, _FakeReport(margins={("a", "b"): 0.0}), 10.0
+        )
+        assert reason == "near_miss"
+
+    def test_shed_adjacent_retained(self):
+        lineage = Lineage(
+            sample=0.0, shed_window_s=30.0, registry=MetricsRegistry()
+        )
+        lineage.note_shed("v1", 1.0, 1)
+        ctx = _completed_ctx(lineage)
+        reason = lineage.complete(
+            ctx, _FakeReport(margins={("a", "b"): FAR}), 10.0
+        )
+        assert reason == "shed_adjacent"
+        assert lineage.stats()["sheds"] == 1
+
+    def test_uninteresting_sampled_out(self):
+        lineage = Lineage(sample=0.0, registry=MetricsRegistry())
+        ctx = _completed_ctx(lineage)
+        reason = lineage.complete(
+            ctx, _FakeReport(margins={("a", "b"): FAR}), 10.0
+        )
+        assert reason is None
+        assert lineage.records == []
+        stats = lineage.stats()
+        assert stats["completed"] == 1
+        assert stats["dropped"] == 1
+
+    def test_ring_bounded_but_lifetime_counted(self):
+        lineage = Lineage(
+            capacity=4, sample=0.0, registry=MetricsRegistry()
+        )
+        for _ in range(10):
+            lineage.complete(
+                _completed_ctx(lineage), _FakeReport(flagged=True), 10.0
+            )
+        stats = lineage.stats()
+        assert stats["retained"] == 4
+        assert stats["retained_total"] == 10
+
+    def test_stage_histograms_observed(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        lineage = Lineage(sample=1.0, registry=registry)
+        lineage.complete(_completed_ctx(lineage), _FakeReport(), 10.0)
+        assert registry.histogram("serve.stage.detect_ms").count == 1
+        assert registry.counter("serve.traces.retained").value == 1
+
+    def test_span_listener_folds_substages(self):
+        lineage = Lineage(sample=1.0, registry=MetricsRegistry())
+        ctx = _completed_ctx(lineage)
+        lineage.bind(ctx)
+
+        class _Span:
+            def __init__(self, name, duration_ms):
+                self.name = name
+                self.duration_ms = duration_ms
+
+        lineage.on_span_end(_Span("pairwise_dtw", 2.0))
+        lineage.on_span_end(_Span("pairwise_dtw", 0.5))
+        lineage.on_span_end(_Span("audit_write", 1.0))
+        lineage.on_span_end(_Span("normalise", 9.0))  # not a sub-stage
+        lineage.unbind()
+        lineage.on_span_end(_Span("pairwise_dtw", 99.0))  # unbound: no-op
+        assert ctx.stages["compare"] == pytest.approx(2.5)
+        assert ctx.stages["audit_write"] == pytest.approx(1.0)
+        assert "normalise" not in ctx.stages
+
+    def test_worker_cell_materialises_lazily(self):
+        lineage = Lineage(sample=1.0, registry=MetricsRegistry())
+        cell = lineage.register_worker(shard=3)
+
+        class _Event:
+            observer = "v7"
+
+        # Worker parks the queue item + dequeue stamp; nothing is
+        # allocated until someone asks for the context.
+        cell[0] = (_Event(), 1.0, 1.25)
+        cell[1] = 2.0
+        cell[2] = None
+        assert lineage.stats()["minted"] == 0
+
+        ctx = lineage.current()
+        assert ctx is not None
+        assert lineage.stats()["minted"] == 1
+        assert ctx.observer == "v7"
+        assert ctx.shard == 3
+        assert ctx.t_submit == pytest.approx(1.0)
+        assert ctx.t_enqueued == pytest.approx(1.25)
+        assert ctx.t_dequeued == pytest.approx(2.0)
+        # Second lookup returns the same context, no re-mint.
+        assert lineage.current() is ctx
+        assert lineage.stats()["minted"] == 1
+        # Empty cell (between beacons) yields no context.
+        cell[0] = None
+        cell[2] = None
+        assert lineage.current() is None
+        assert lineage.stats()["minted"] == 1
+
+
+# ----------------------------------------------------------------------
+# snapshot()/merge() folding (eval.parallel workers)
+# ----------------------------------------------------------------------
+class TestSnapshotMerge:
+    def test_roundtrip_counters_and_records(self):
+        worker = Lineage(sample=0.0, registry=MetricsRegistry())
+        worker.note_shed("v1", 0.0, 1)
+        worker.complete(
+            _completed_ctx(worker), _FakeReport(flagged=True), 10.0
+        )
+        parent = Lineage(sample=0.0, registry=MetricsRegistry())
+        parent.merge(worker.snapshot())
+        stats = parent.stats()
+        assert stats["minted"] == 1
+        assert stats["completed"] == 1
+        assert stats["retained"] == 1
+        assert stats["sheds"] == 1
+        assert parent.records == worker.records
+
+    def test_version_mismatch_rejected(self):
+        parent = Lineage(registry=MetricsRegistry())
+        with pytest.raises(ValueError, match="version"):
+            parent.merge({"version": 99})
+
+    def test_merge_respects_ring_bound(self):
+        worker = Lineage(
+            capacity=16, sample=0.0, registry=MetricsRegistry()
+        )
+        for _ in range(8):
+            worker.complete(
+                _completed_ctx(worker), _FakeReport(flagged=True), 10.0
+            )
+        parent = Lineage(
+            capacity=4, sample=0.0, registry=MetricsRegistry()
+        )
+        parent.merge(worker.snapshot())
+        assert parent.stats()["retained"] == 4
+        assert parent.stats()["retained_total"] == 8
+
+
+# ----------------------------------------------------------------------
+# Process-global lifecycle
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_off_by_default(self):
+        assert default_lineage() is None
+        assert current_correlation_id() is None
+
+    def test_start_stop_roundtrip(self, global_lineage):
+        assert default_lineage() is global_lineage
+        # Idempotent: a second start returns the installed instance.
+        assert start_lineage(sample=0.5) is global_lineage
+        ctx = global_lineage.mint("v1", 0)
+        global_lineage.bind(ctx)
+        assert current_correlation_id() == ctx.correlation_id
+        global_lineage.unbind()
+        assert current_correlation_id() is None
+
+    def test_restart_in_child_installs_fresh_ring(self, global_lineage):
+        global_lineage.complete(
+            _completed_ctx(global_lineage), _FakeReport(flagged=True), 1.0
+        )
+        child = restart_in_child()
+        try:
+            assert child is not global_lineage
+            assert child.sample == global_lineage.sample
+            assert child.capacity == global_lineage.capacity
+            assert child.records == []
+        finally:
+            stop_lineage()
+            # Reinstall the fixture's instance so its teardown matches.
+            start_lineage(sample=1.0)
+
+    def test_restart_in_child_noop_when_off(self):
+        assert restart_in_child() is None
+
+
+# ----------------------------------------------------------------------
+# Dump / load / export
+# ----------------------------------------------------------------------
+class TestDumpLoadExport:
+    def _ring_with_traces(self, n=3):
+        lineage = Lineage(sample=0.0, registry=MetricsRegistry())
+        for i in range(n):
+            ctx = _completed_ctx(lineage)
+            ctx.seq = i + 1
+            lineage.bind(ctx)
+            lineage.on_span_end(
+                type("S", (), {"name": "pairwise_dtw", "duration_ms": 1.5})
+            )
+            lineage.unbind()
+            lineage.complete(
+                ctx,
+                _FakeReport(flagged=True, timestamp=float(i)),
+                10.0 + i,
+            )
+        return lineage
+
+    def test_dump_load_roundtrip(self, tmp_path):
+        lineage = self._ring_with_traces()
+        path = lineage.dump_jsonl(str(tmp_path / "traces.jsonl"))
+        assert load_lineage(path) == lineage.records
+        header = load_header(path)
+        assert header["retained"] == 3
+        assert header["minted"] == 3
+
+    def test_load_rejects_non_lineage_file(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"type": "tsdb"}\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="not a lineage dump"):
+            load_lineage(str(path))
+        with pytest.raises(ValueError, match="not a lineage dump"):
+            load_header(str(path))
+
+    def test_chrome_export_shapes(self, tmp_path):
+        lineage = self._ring_with_traces(n=2)
+        out = tmp_path / "chrome.json"
+        n_events = export_chrome_trace(lineage.records, str(out))
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        events = payload["traceEvents"]
+        assert len(events) == n_events
+        meta = [e for e in events if e["ph"] == "M"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(meta) == 1  # one observer -> one named thread row
+        assert {e["name"] for e in slices} >= {
+            "ingest_enqueue", "queue_wait", "detect", "compare",
+        }
+        detect = next(e for e in slices if e["name"] == "detect")
+        compare = next(e for e in slices if e["name"] == "compare")
+        # Sub-stage laid inside its detect window.
+        assert compare["ts"] >= detect["ts"]
+        assert compare["ts"] + compare["dur"] <= detect["ts"] + detect[
+            "dur"
+        ] + 1e-6
+
+
+# ----------------------------------------------------------------------
+# Service integration (the acceptance criteria)
+# ----------------------------------------------------------------------
+def _run_fleet(events, shards=2):
+    service = DetectionService(
+        ServiceConfig(shards=shards), registry=MetricsRegistry()
+    )
+    sub = service.subscribe("test", depth=65536)
+    with service:
+        for event in events:
+            assert service.submit(event)
+        assert service.flush(timeout=120.0)
+    return sub.drain()
+
+
+class TestServiceIntegration:
+    def _fleet(self):
+        return synthetic_fleet(
+            observers=2, legit=3, sybil=2, duration_s=25.0, seed=11
+        )
+
+    def test_flagged_traces_retained_and_stage_sums_hold(
+        self, global_lineage
+    ):
+        report_events = _run_fleet(self._fleet())
+        flagged = [e for e in report_events if e.report.sybil_pairs]
+        assert flagged, "workload produced no flagged verdicts"
+        records = global_lineage.records
+        by_cid = {r["correlation_id"]: r for r in records}
+        assert len(by_cid) == len(records), "correlation ids collided"
+        # sample=1.0 -> every completion retained; all flagged present.
+        assert sum(r["flagged"] for r in records) == len(flagged)
+        for record in records:
+            cuts = record["stages"]
+            cut_sum = (
+                cuts["ingest_enqueue"] + cuts["queue_wait"] + cuts["detect"]
+            )
+            assert cut_sum == pytest.approx(
+                record["latency_ms"], abs=5e-3
+            ), record
+            assert cuts.get("compare", 0.0) <= cuts["detect"]
+        # The published latency is the same measurement.
+        latencies = sorted(e.latency_ms for e in report_events)
+        recorded = sorted(r["latency_ms"] for r in records)
+        assert recorded == pytest.approx(latencies, abs=5e-3)
+
+    def test_verdicts_identical_with_tracing_on_and_off(self):
+        events = self._fleet()
+        baseline = _run_fleet(events)
+        tracer_was_enabled = default_tracer().enabled
+        start_lineage(sample=1.0, registry=MetricsRegistry())
+        try:
+            traced = _run_fleet(events)
+        finally:
+            stop_lineage()
+            if not tracer_was_enabled:
+                default_tracer().disable()
+        by_observer = defaultdict(list)
+        for event in baseline:
+            by_observer[event.observer].append(event.report)
+        traced_by_observer = defaultdict(list)
+        for event in traced:
+            traced_by_observer[event.observer].append(event.report)
+        assert traced_by_observer == by_observer
+
+    def test_correlation_id_written_into_audit_bundle(
+        self, global_lineage
+    ):
+        audit_mod.start_default(out=None)
+        try:
+            _run_fleet(self._fleet())
+            bundles = audit_mod.default_audit_log().bundles
+        finally:
+            audit_mod.stop_default()
+        bundle_cids = {
+            b["correlation_id"]
+            for b in bundles
+            if b.get("correlation_id")
+        }
+        flagged_cids = {
+            r["correlation_id"]
+            for r in global_lineage.records
+            if r["flagged"]
+        }
+        assert flagged_cids, "no flagged traces retained"
+        assert flagged_cids <= bundle_cids
+        # The audit_write sub-stage came from the detector's span.
+        assert any(
+            "audit_write" in r["stages"] for r in global_lineage.records
+        )
+
+    def test_shed_events_reach_lineage_and_flight_recorder(
+        self, tmp_path, global_lineage
+    ):
+        recorder = FlightRecorder(str(tmp_path / "post_mortem.jsonl"))
+        previous = set_default_recorder(recorder)
+        try:
+            config = ServiceConfig(
+                shards=1, queue_depth=2, ingest_policy="shed"
+            )
+            service = DetectionService(config, registry=MetricsRegistry())
+            service.start()
+            for i in range(10):
+                service.submit(BeaconEvent("v1", "a", i * 0.1, -70.0))
+            service.flush(timeout=30.0)
+            service.stop()
+        finally:
+            set_default_recorder(previous)
+        assert global_lineage.stats()["sheds"] >= 1
+        dump_path = recorder.dump(reason="test")
+        rows = [
+            json.loads(line)
+            for line in open(dump_path, encoding="utf-8")
+        ]
+        sheds = [r for r in rows if r.get("type") == "shed"]
+        assert sheds
+        assert sheds[0]["observer"] == "v1"
+        assert sheds[0]["seq"] == 1
+        assert rows[0]["sheds"] == len(sheds)
+
+    def test_flight_recorder_report_rows_carry_correlation_id(
+        self, tmp_path, global_lineage
+    ):
+        recorder = FlightRecorder(str(tmp_path / "post_mortem.jsonl"))
+        ctx = global_lineage.mint("v1", 0)
+        global_lineage.bind(ctx)
+        try:
+            recorder.record_report(
+                _FakeReport(
+                    flagged=True, margins={("a", "b"): FAR}, timestamp=1.0
+                )
+            )
+        finally:
+            global_lineage.unbind()
+        recorder.record_report(_FakeReport(timestamp=2.0))
+
+        dump_path = recorder.dump(reason="test")
+        rows = [
+            json.loads(line)
+            for line in open(dump_path, encoding="utf-8")
+            if json.loads(line).get("type") == "report"
+        ]
+        assert rows[0]["correlation_id"] == ctx.correlation_id
+        assert "correlation_id" not in rows[1]
+
+
+class TestZeroCostDisabled:
+    def test_disabled_path_allocates_no_trace_contexts(self, monkeypatch):
+        assert default_lineage() is None
+
+        def _boom(*args, **kwargs):
+            raise AssertionError(
+                "TraceContext allocated while lineage is disabled"
+            )
+
+        # Guard both construction paths: the public constructor and
+        # the lazy worker-side materialisation (which uses __new__).
+        monkeypatch.setattr(TraceContext, "__init__", _boom)
+        monkeypatch.setattr(TraceContext, "__new__", _boom)
+        events = synthetic_fleet(observers=1, duration_s=25.0, seed=3)
+        report_events = _run_fleet(events, shards=1)
+        assert report_events  # the run really detected something
+
+
+# ----------------------------------------------------------------------
+# traceview (the `repro trace` substrate)
+# ----------------------------------------------------------------------
+def _fake_trace(cid, latency, flagged=False, near_miss=False):
+    return {
+        "type": "trace",
+        "correlation_id": cid,
+        "observer": "v1",
+        "seq": 1,
+        "shard": 0,
+        "reason": "flagged" if flagged else "sampled",
+        "flagged": flagged,
+        "near_miss": near_miss,
+        "latency_ms": latency,
+        "wall_submit": 1000.0,
+        "t": 20.0,
+        "sybil_ids": ["s0"] if flagged else [],
+        "stages": {
+            "ingest_enqueue": 0.1,
+            "queue_wait": latency / 2,
+            "detect": latency / 2 - 0.1,
+        },
+    }
+
+
+def _write_dump(path, traces):
+    header = {
+        "type": "lineage",
+        "version": 1,
+        "minted": len(traces),
+        "completed": len(traces),
+        "retained": len(traces),
+        "retained_total": len(traces),
+        "sheds": 0,
+        "sample": 1.0,
+        "capacity": 512,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for trace in traces:
+            handle.write(json.dumps(trace) + "\n")
+
+
+class TestTraceview:
+    def test_select_traces_compose(self):
+        traces = [
+            _fake_trace("c1", 5.0, flagged=True),
+            _fake_trace("c2", 9.0),
+            _fake_trace("c3", 7.0, flagged=True),
+            _fake_trace("c4", 1.0, near_miss=True),
+        ]
+        selected, label = select_traces(traces, flagged=True, slowest=1)
+        assert [t["correlation_id"] for t in selected] == ["c3"]
+        assert label == "slowest flagged"
+        selected, _ = select_traces(traces, near_misses=5)
+        assert [t["correlation_id"] for t in selected] == ["c4"]
+
+    def test_run_trace_summary_and_follow(self, tmp_path):
+        dump = tmp_path / "traces.jsonl"
+        _write_dump(dump, [_fake_trace("c1", 5.0, flagged=True)])
+        out = run_trace(str(dump))
+        assert "minted=1" in out
+        assert "c1" in out
+        waterfall = run_trace(str(dump), follow="c1")
+        assert "queue_wait" in waterfall
+        assert "ingest-to-verdict" in waterfall
+
+    def test_follow_unknown_cid_raises(self, tmp_path):
+        dump = tmp_path / "traces.jsonl"
+        _write_dump(dump, [_fake_trace("c1", 5.0)])
+        with pytest.raises(ValueError, match="nope"):
+            run_trace(str(dump), follow="nope")
+
+    def test_waterfall_stage_sum_footer(self):
+        text = render_waterfall(_fake_trace("c1", 5.0, flagged=True))
+        assert "enqueue+wait+detect" in text
+        assert "Δ" in text
+
+    def test_audit_join_failure_raises(self, tmp_path):
+        dump = tmp_path / "traces.jsonl"
+        _write_dump(dump, [_fake_trace("c1", 5.0, flagged=True)])
+        audit = tmp_path / "audit.jsonl"
+        audit.write_text(
+            json.dumps(
+                {"type": "detection", "correlation_id": "other"}
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(RuntimeError, match="audit join FAILED"):
+            run_trace(str(dump), flagged=True, audit_path=str(audit))
+
+    def test_audit_join_success_reports_counts(self, tmp_path):
+        dump = tmp_path / "traces.jsonl"
+        _write_dump(dump, [_fake_trace("c1", 5.0, flagged=True)])
+        audit = tmp_path / "audit.jsonl"
+        audit.write_text(
+            json.dumps({"type": "detection", "correlation_id": "c1"})
+            + "\n",
+            encoding="utf-8",
+        )
+        out = run_trace(str(dump), flagged=True, audit_path=str(audit))
+        assert "audit join: 1/1" in out

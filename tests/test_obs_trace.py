@@ -223,3 +223,50 @@ class TestJsonlExporter:
         exporter = JsonlSpanExporter(str(tmp_path / "t.jsonl"))
         exporter.close()
         exporter.close()
+
+
+class TestSpanIdUniqueness:
+    def test_concurrent_threads_never_emit_duplicate_span_ids(self):
+        """Regression: span ids were a single global counter read with
+        ``next()`` — safe under the GIL but a collision risk for the
+        serve layer's shard threads on free-threaded builds.  Ids are
+        now per-thread (epoch + local counter); hammering one tracer
+        from many threads must never produce a duplicate."""
+        exporter = InMemorySpanExporter()
+        tracer = Tracer(exporter=exporter)
+        n_threads, per_thread = 8, 250
+        barrier = threading.Barrier(n_threads)
+
+        def worker():
+            barrier.wait()
+            for _ in range(per_thread):
+                with tracer.span("op"):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        ids = [record["span_id"] for record in exporter.records]
+        assert len(ids) == n_threads * per_thread
+        assert len(set(ids)) == len(ids)
+
+    def test_ids_survive_thread_ident_reuse(self):
+        """Sequentially spawned threads may reuse OS thread idents; the
+        epoch counter must keep their span ids distinct anyway."""
+        exporter = InMemorySpanExporter()
+        tracer = Tracer(exporter=exporter)
+
+        def one_span():
+            with tracer.span("op"):
+                pass
+
+        for _ in range(20):
+            thread = threading.Thread(target=one_span)
+            thread.start()
+            thread.join(timeout=10.0)
+        ids = {record["span_id"] for record in exporter.records}
+        assert len(ids) == 20

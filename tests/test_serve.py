@@ -168,6 +168,86 @@ class TestReportBus:
         assert sub.get(timeout=0.05) is None
 
 
+class TestReportBusConcurrentQoS:
+    """Per-subscriber QoS under concurrent publishers (the serve
+    shards): drop policies must keep their ordering guarantees and the
+    ``serve.sub.<name>.dropped`` counters must account for every lost
+    report exactly."""
+
+    N_THREADS = 4
+    PER_THREAD = 250
+
+    def _hammer(self, bus):
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def publisher(worker):
+            barrier.wait()
+            for i in range(self.PER_THREAD):
+                bus.publish((worker, i))
+
+        threads = [
+            threading.Thread(target=publisher, args=(worker,))
+            for worker in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        return self.N_THREADS * self.PER_THREAD
+
+    def test_depths_and_counters_account_for_every_publish(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        bus = ReportBus(registry)
+        oldest = bus.subscribe("oldest", depth=8, policy="drop-oldest")
+        newest = bus.subscribe("newest", depth=8, policy="drop-newest")
+        deep = bus.subscribe("deep", depth=10_000)
+        total = self._hammer(bus)
+
+        assert len(deep.drain()) == total
+        assert deep.dropped == 0
+        for sub in (oldest, newest):
+            kept = sub.drain()
+            assert len(kept) == 8
+            assert sub.dropped == total - 8
+            assert (
+                registry.counter(f"serve.sub.{sub.name}.dropped").value
+                == total - 8
+            )
+        assert (
+            registry.counter("serve.reports_published").value == total
+        )
+
+    def test_drop_oldest_keeps_a_suffix_per_publisher(self):
+        bus = ReportBus(MetricsRegistry())
+        sub = bus.subscribe("tail", depth=8, policy="drop-oldest")
+        self._hammer(bus)
+        kept = defaultdict(list)
+        for worker, i in sub.drain():
+            kept[worker].append(i)
+        # Drop-oldest keeps the freshest reports; since each publisher
+        # publishes in order, its surviving items are a contiguous
+        # suffix of its sequence (in publish order).
+        for worker, items in kept.items():
+            expected = list(
+                range(self.PER_THREAD - len(items), self.PER_THREAD)
+            )
+            assert items == expected, (worker, items)
+
+    def test_drop_newest_keeps_a_prefix_per_publisher(self):
+        bus = ReportBus(MetricsRegistry())
+        sub = bus.subscribe("head", depth=8, policy="drop-newest")
+        self._hammer(bus)
+        kept = defaultdict(list)
+        for worker, i in sub.drain():
+            kept[worker].append(i)
+        # Drop-newest preserves history: once the ring filled, later
+        # publishes were refused, so each publisher's surviving items
+        # are a contiguous prefix of its sequence.
+        for worker, items in kept.items():
+            assert items == list(range(len(items))), (worker, items)
+
+
 # ----------------------------------------------------------------------
 # Stream sources
 # ----------------------------------------------------------------------
